@@ -1,0 +1,92 @@
+// Command fmsa-gen emits the synthetic benchmark modules used by the
+// evaluation as textual IR files.
+//
+//	fmsa-gen -suite spec -o out/          # all 19 SPEC-like modules
+//	fmsa-gen -suite mibench -bench rijndael -o out/
+//	fmsa-gen -list                        # show available benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "spec", "benchmark suite: spec or mibench")
+		bench = flag.String("bench", "", "emit only this benchmark (default: all)")
+		out   = flag.String("o", ".", "output directory")
+		list  = flag.Bool("list", false, "list available benchmarks and exit")
+		units = flag.Int("units", 1, "split each benchmark into this many translation units (feed them all to `fmsa` to model the Fig. 9 LTO pipeline)")
+	)
+	flag.Parse()
+
+	var profiles []workload.Profile
+	switch *suite {
+	case "spec":
+		profiles = workload.SPECLike()
+	case "mibench":
+		profiles = workload.MiBenchLike()
+	default:
+		fatal(fmt.Errorf("unknown suite %q", *suite))
+	}
+
+	if *list {
+		for _, p := range profiles {
+			fmt.Printf("%-18s %5d funcs, avg size %4d, max %5d\n",
+				p.Name, p.NumFuncs, p.AvgSize, p.MaxSize)
+		}
+		return
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	emitted := 0
+	for _, p := range profiles {
+		if *bench != "" && p.Name != *bench {
+			continue
+		}
+		m := workload.Build(p)
+		if err := ir.VerifyModule(m); err != nil {
+			fatal(fmt.Errorf("%s: generated module invalid: %w", p.Name, err))
+		}
+		base := strings.ReplaceAll(p.Name, ".", "_")
+		if *units > 1 {
+			tus, err := ir.SplitModule(m, *units)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", p.Name, err))
+			}
+			for k, tu := range tus {
+				path := filepath.Join(*out, fmt.Sprintf("%s_unit%d.ll", base, k))
+				if err := os.WriteFile(path, []byte(ir.FormatModule(tu)), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s (%d functions)\n", path, len(tu.Definitions()))
+			}
+			emitted++
+			continue
+		}
+		path := filepath.Join(*out, base+".ll")
+		if err := os.WriteFile(path, []byte(ir.FormatModule(m)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d functions, %d instructions)\n",
+			path, len(m.Definitions()), m.NumInsts())
+		emitted++
+	}
+	if emitted == 0 {
+		fatal(fmt.Errorf("no benchmark named %q in suite %s", *bench, *suite))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fmsa-gen:", err)
+	os.Exit(1)
+}

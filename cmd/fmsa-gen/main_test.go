@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+var genBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fmsa-gen-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	genBin = filepath.Join(dir, "fmsa-gen")
+	if out, err := exec.Command("go", "build", "-o", genBin, ".").CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func TestGenList(t *testing.T) {
+	out, err := exec.Command(genBin, "-suite", "spec", "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, name := range []string{"400.perlbench", "470.lbm", "483.xalancbmk"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("list missing %s:\n%s", name, s)
+		}
+	}
+	if n := strings.Count(s, "\n"); n != 19 {
+		t.Errorf("spec list has %d rows, want 19", n)
+	}
+}
+
+func TestGenEmitSingleBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	out, err := exec.Command(genBin, "-suite", "mibench", "-bench", "rijndael", "-o", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "rijndael.ll"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ir.ParseModule("rijndael", string(data))
+	if err != nil {
+		t.Fatalf("emitted module unparseable: %v", err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("emitted module invalid: %v", err)
+	}
+	if m.FuncByName("encrypt") == nil || m.FuncByName("decrypt") == nil {
+		t.Error("rijndael twins missing")
+	}
+	if m.FuncByName("main") == nil {
+		t.Error("driver missing")
+	}
+}
+
+func TestGenUnknownBenchmarkFails(t *testing.T) {
+	if err := exec.Command(genBin, "-suite", "spec", "-bench", "nope").Run(); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if err := exec.Command(genBin, "-suite", "nope").Run(); err == nil {
+		t.Error("unknown suite should fail")
+	}
+}

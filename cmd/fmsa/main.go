@@ -1,0 +1,151 @@
+// Command fmsa runs function merging by sequence alignment on a textual IR
+// module.
+//
+// Whole-module mode (default) applies one of the three techniques:
+//
+//	fmsa -technique fmsa -threshold 10 -target x86-64 module.ll
+//
+// Pair mode merges two named functions and prints the merged function:
+//
+//	fmsa -merge glist_add_float32,glist_add_float64 module.ll
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fmsa"
+
+	"fmsa/internal/callgraph"
+	"fmsa/internal/core"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+)
+
+func main() {
+	var (
+		technique = flag.String("technique", "fmsa", "merging technique: identical, soa, fmsa")
+		threshold = flag.Int("threshold", 1, "FMSA exploration threshold (t)")
+		target    = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
+		oracle    = flag.Bool("oracle", false, "use exhaustive (oracle) exploration")
+		mergePair = flag.String("merge", "", "merge exactly this comma-separated function pair")
+		out       = flag.String("o", "", "write the optimized module to this file (default: stdout)")
+		quiet     = flag.Bool("q", false, "suppress the statistics report")
+		cgDot     = flag.Bool("callgraph", false, "print the call graph as Graphviz DOT instead of optimizing")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: fmsa [flags] module.ll [more.ll ...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Multiple translation units are linked into one module before
+	// optimizing — the paper's monolithic-LTO pipeline (Fig. 9).
+	var units []*fmsa.Module
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		fatal(err)
+		unit, err := fmsa.ParseModule(path, string(src))
+		fatal(err)
+		units = append(units, unit)
+	}
+	mod := units[0]
+	if len(units) > 1 {
+		var err error
+		mod, err = ir.LinkModules("linked", units...)
+		fatal(err)
+	}
+	fatal(fmsa.Verify(mod))
+
+	tgt := tti.ByName(*target)
+	if tgt == nil {
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+
+	if *cgDot {
+		g := callgraph.Build(mod)
+		st := g.ComputeStats()
+		fmt.Fprintf(os.Stderr, "functions: %d (+%d decls), edges: %d, call sites: %d, recursive: %d, address-taken: %d, unreachable: %d\n",
+			st.Functions, st.Declarations, st.Edges, st.CallSites, st.Recursive, st.AddressTaken, st.Unreachable)
+		fmt.Print(g.DOT())
+		return
+	}
+
+	if *mergePair != "" {
+		runPair(mod, *mergePair, tgt, *quiet)
+		emit(mod, *out)
+		return
+	}
+
+	before, _ := fmsa.ModuleSize(mod, *target)
+	rep, err := fmsa.Optimize(mod, fmsa.Options{
+		Technique: fmsa.Technique(*technique),
+		Threshold: *threshold,
+		Target:    *target,
+		Oracle:    *oracle,
+	})
+	fatal(err)
+	fatal(fmsa.Verify(mod))
+	after, _ := fmsa.ModuleSize(mod, *target)
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "technique:        %s\n", *technique)
+		fmt.Fprintf(os.Stderr, "merge operations: %d\n", rep.MergeOps)
+		fmt.Fprintf(os.Stderr, "fully removed:    %d\n", rep.FullyRemoved)
+		fmt.Fprintf(os.Stderr, "size (%s):    %d -> %d bytes (%.2f%% reduction)\n",
+			tgt.Name(), before, after, 100*float64(before-after)/float64(max(before, 1)))
+	}
+	emit(mod, *out)
+}
+
+func runPair(mod *fmsa.Module, pair string, tgt tti.Target, quiet bool) {
+	names := strings.SplitN(pair, ",", 2)
+	if len(names) != 2 {
+		fatal(fmt.Errorf("-merge wants two comma-separated names, got %q", pair))
+	}
+	f1 := mod.FuncByName(strings.TrimSpace(names[0]))
+	f2 := mod.FuncByName(strings.TrimSpace(names[1]))
+	if f1 == nil || f2 == nil {
+		fatal(fmt.Errorf("function pair %q not found in module", pair))
+	}
+	fmsa.DemotePhis(mod)
+	res, err := core.Merge(f1, f2, core.DefaultOptions())
+	fatal(err)
+	profit := res.Profit(tgt)
+	if !quiet {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "aligned %d + %d entries: %d matched, %d divergent\n",
+			st.Len1, st.Len2, st.MatchedColumns, st.GapColumns)
+		fmt.Fprintf(os.Stderr, "selects: %d, dispatch blocks: %d, func_id: %v\n",
+			st.Selects, st.DispatchBlocks, st.HasFuncID)
+		fmt.Fprintf(os.Stderr, "cost-model profit (%s): %d bytes\n", tgt.Name(), profit)
+	}
+	res.Commit()
+	fatal(fmsa.Verify(mod))
+}
+
+func emit(mod *fmsa.Module, out string) {
+	text := fmsa.FormatModule(mod)
+	if out == "" {
+		fmt.Print(text)
+		return
+	}
+	fatal(os.WriteFile(out, []byte(text), 0o644))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fmsa:", err)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

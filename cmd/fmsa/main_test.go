@@ -1,0 +1,203 @@
+package main
+
+// Integration tests: build the fmsa binary once and drive it end to end on
+// real module files.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var fmsaBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fmsa-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	fmsaBin = filepath.Join(dir, "fmsa")
+	build := exec.Command("go", "build", "-o", fmsaBin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+const cliModule = `
+define internal i64 @dupA(i64 %x) {
+entry:
+  %a = add i64 %x, 5
+  %b = mul i64 %a, 3
+  ret i64 %b
+}
+
+define internal i64 @dupB(i64 %x) {
+entry:
+  %a = add i64 %x, 5
+  %b = mul i64 %a, 3
+  ret i64 %b
+}
+
+define i64 @root(i64 %x) {
+entry:
+  %r1 = call i64 @dupA(i64 %x)
+  %r2 = call i64 @dupB(i64 %r1)
+  ret i64 %r2
+}
+`
+
+func writeModule(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mod.ll")
+	if err := os.WriteFile(path, []byte(cliModule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func run(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(fmsaBin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("fmsa %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCLIOptimize(t *testing.T) {
+	mod := writeModule(t)
+	stdout, stderr := run(t, "-technique", "fmsa", "-threshold", "5", mod)
+	if !strings.Contains(stderr, "merge operations: 1") {
+		t.Errorf("expected one merge, stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "reduction") {
+		t.Errorf("missing size report:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "define i64 @root") {
+		t.Errorf("optimized module missing root:\n%s", stdout)
+	}
+	// Identical folding keeps one representative and deletes the twin.
+	if !strings.Contains(stdout, "@dupA") {
+		t.Errorf("representative should survive:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "@dupB") {
+		t.Errorf("folded duplicate should be gone:\n%s", stdout)
+	}
+}
+
+func TestCLIMergePair(t *testing.T) {
+	mod := writeModule(t)
+	stdout, stderr := run(t, "-merge", "dupA,dupB", mod)
+	if !strings.Contains(stderr, "matched") {
+		t.Errorf("missing alignment stats:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "define i64 @root") {
+		t.Errorf("module output missing:\n%s", stdout)
+	}
+}
+
+func TestCLITechniques(t *testing.T) {
+	for _, tech := range []string{"identical", "soa", "fmsa"} {
+		mod := writeModule(t)
+		_, stderr := run(t, "-technique", tech, mod)
+		if !strings.Contains(stderr, "technique:        "+tech) {
+			t.Errorf("%s: bad report:\n%s", tech, stderr)
+		}
+	}
+}
+
+func TestCLIOutputFile(t *testing.T) {
+	mod := writeModule(t)
+	out := filepath.Join(t.TempDir(), "out.ll")
+	run(t, "-q", "-o", out, mod)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "define i64 @root") {
+		t.Error("output file missing optimized module")
+	}
+}
+
+func TestCLICallgraph(t *testing.T) {
+	mod := writeModule(t)
+	stdout, stderr := run(t, "-callgraph", mod)
+	if !strings.HasPrefix(stdout, "digraph callgraph {") {
+		t.Errorf("expected DOT output:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "functions: 3") {
+		t.Errorf("expected stats on stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, `"root" -> "dupA"`) {
+		t.Errorf("missing call edge:\n%s", stdout)
+	}
+}
+
+func TestCLIThumbTarget(t *testing.T) {
+	mod := writeModule(t)
+	_, stderr := run(t, "-target", "thumb", mod)
+	if !strings.Contains(stderr, "size (thumb)") {
+		t.Errorf("thumb target not reported:\n%s", stderr)
+	}
+}
+
+func TestCLILinkMultipleUnits(t *testing.T) {
+	dir := t.TempDir()
+	unitA := filepath.Join(dir, "a.ll")
+	unitB := filepath.Join(dir, "b.ll")
+	os.WriteFile(unitA, []byte(`
+declare i64 @twin(i64)
+
+define internal i64 @twinA(i64 %x) {
+entry:
+  %r = mul i64 %x, 9
+  ret i64 %r
+}
+
+define i64 @rootA(i64 %x) {
+entry:
+  %a = call i64 @twinA(i64 %x)
+  %b = call i64 @twin(i64 %a)
+  ret i64 %b
+}
+`), 0o644)
+	os.WriteFile(unitB, []byte(`
+define i64 @twin(i64 %x) {
+entry:
+  %r = mul i64 %x, 9
+  ret i64 %r
+}
+`), 0o644)
+	stdout, stderr := run(t, "-technique", "fmsa", unitA, unitB)
+	// Cross-unit merging: the internal twin in a.ll folds into b.ll's twin.
+	if !strings.Contains(stderr, "merge operations: 1") {
+		t.Errorf("expected a cross-unit merge:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "@rootA") || !strings.Contains(stdout, "@twin") {
+		t.Errorf("linked output incomplete:\n%s", stdout)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	mod := writeModule(t)
+	cmd := exec.Command(fmsaBin, "-technique", "bogus", mod)
+	if err := cmd.Run(); err == nil {
+		t.Error("bogus technique should fail")
+	}
+	cmd = exec.Command(fmsaBin, "-merge", "nope,dupA", mod)
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown function pair should fail")
+	}
+	cmd = exec.Command(fmsaBin, "/nonexistent.ll")
+	if err := cmd.Run(); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,75 @@
+package fmsa_test
+
+import (
+	"fmt"
+
+	"fmsa"
+)
+
+// ExampleMerge merges two nearly identical functions and prints what the
+// alignment found.
+func ExampleMerge() {
+	mod, _ := fmsa.ParseModule("demo", `
+define internal i64 @scale10(i64 %x) {
+entry:
+  %r = mul i64 %x, 10
+  ret i64 %r
+}
+
+define internal i64 @scale100(i64 %x) {
+entry:
+  %r = mul i64 %x, 100
+  ret i64 %r
+}
+
+define i64 @use(i64 %x) {
+entry:
+  %a = call i64 @scale10(i64 %x)
+  %b = call i64 @scale100(i64 %a)
+  ret i64 %b
+}
+`)
+	res, _ := fmsa.Merge(mod.FuncByName("scale10"), mod.FuncByName("scale100"))
+	fmt.Printf("matched %d columns, %d selects\n", res.Stats.MatchedColumns, res.Stats.Selects)
+	res.Commit()
+
+	mc := fmsa.NewMachine(mod)
+	v, _ := mc.Run("use", 3)
+	fmt.Printf("use(3) = %d\n", v)
+	// Output:
+	// matched 3 columns, 1 selects
+	// use(3) = 3000
+}
+
+// ExampleOptimize runs the whole-module pipeline.
+func ExampleOptimize() {
+	mod, _ := fmsa.ParseModule("demo", `
+define internal i32 @dup1(i32 %x) {
+entry:
+  %r = add i32 %x, 7
+  ret i32 %r
+}
+
+define internal i32 @dup2(i32 %x) {
+entry:
+  %r = add i32 %x, 7
+  ret i32 %r
+}
+
+define i32 @use(i32 %x) {
+entry:
+  %a = call i32 @dup1(i32 %x)
+  %b = call i32 @dup2(i32 %a)
+  ret i32 %b
+}
+`)
+	rep, _ := fmsa.Optimize(mod, fmsa.Options{Technique: fmsa.TechniqueFMSA, Threshold: 10})
+	fmt.Printf("merges: %d, removed: %d\n", rep.MergeOps, rep.FullyRemoved)
+
+	mc := fmsa.NewMachine(mod)
+	v, _ := mc.Run("use", 1)
+	fmt.Printf("use(1) = %d\n", v)
+	// Output:
+	// merges: 1, removed: 1
+	// use(1) = 15
+}

@@ -1,0 +1,219 @@
+// Libquantum: merge the paper's Fig. 2 pair — quantum_cond_phase and
+// quantum_cond_phase_inv differ in an extra early-return basic block and a
+// negated constant. The state of the art requires isomorphic CFGs and
+// cannot merge them; FMSA aligns the shared loop and guards the extra block
+// behind the function identifier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fmsa"
+
+	"fmsa/internal/baseline"
+	"fmsa/internal/interp"
+	"fmsa/internal/tti"
+)
+
+const src = `
+declare i1 @quantum_objcode_put(i32, i32, i32)
+declare void @quantum_decohere({i64, i64*, f64*}*)
+
+define void @quantum_cond_phase_inv(i32 %control, i32 %target, {i64, i64*, f64*}* %reg) {
+entry:
+  %cmt = sub i32 %control, %target
+  %shamt = shl i32 1, %cmt
+  %shf = sitofp i32 %shamt to f64
+  %z = fdiv f64 -3.141592653589793, %shf
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %szp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 0
+  %sz = load i64, i64* %szp
+  %c = icmp slt i64 %iv, %sz
+  br i1 %c, label %body, label %done
+body:
+  %stp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 1
+  %states = load i64*, i64** %stp
+  %sp = getelementptr i64, i64* %states, i64 %iv
+  %state = load i64, i64* %sp
+  %cbit = zext i32 %control to i64
+  %cmask = shl i64 1, %cbit
+  %cand = and i64 %state, %cmask
+  %ctest = icmp ne i64 %cand, 0
+  br i1 %ctest, label %checktgt, label %next
+checktgt:
+  %tbit = zext i32 %target to i64
+  %tmask = shl i64 1, %tbit
+  %tand = and i64 %state, %tmask
+  %ttest = icmp ne i64 %tand, 0
+  br i1 %ttest, label %apply, label %next
+apply:
+  %ampp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 2
+  %amps = load f64*, f64** %ampp
+  %ap = getelementptr f64, f64* %amps, i64 %iv
+  %amp = load f64, f64* %ap
+  %amp2 = fmul f64 %amp, %z
+  store f64 %amp2, f64* %ap
+  br label %next
+next:
+  %iv2 = add i64 %iv, 1
+  store i64 %iv2, i64* %i
+  br label %head
+done:
+  call void @quantum_decohere({i64, i64*, f64*}* %reg)
+  ret void
+}
+
+define void @quantum_cond_phase(i32 %control, i32 %target, {i64, i64*, f64*}* %reg) {
+entry:
+  %obj = call i1 @quantum_objcode_put(i32 7, i32 %control, i32 %target)
+  br i1 %obj, label %earlyret, label %cont
+earlyret:
+  ret void
+cont:
+  %cmt = sub i32 %control, %target
+  %shamt = shl i32 1, %cmt
+  %shf = sitofp i32 %shamt to f64
+  %z = fdiv f64 3.141592653589793, %shf
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %szp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 0
+  %sz = load i64, i64* %szp
+  %c = icmp slt i64 %iv, %sz
+  br i1 %c, label %body, label %done
+body:
+  %stp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 1
+  %states = load i64*, i64** %stp
+  %sp = getelementptr i64, i64* %states, i64 %iv
+  %state = load i64, i64* %sp
+  %cbit = zext i32 %control to i64
+  %cmask = shl i64 1, %cbit
+  %cand = and i64 %state, %cmask
+  %ctest = icmp ne i64 %cand, 0
+  br i1 %ctest, label %checktgt, label %next
+checktgt:
+  %tbit = zext i32 %target to i64
+  %tmask = shl i64 1, %tbit
+  %tand = and i64 %state, %tmask
+  %ttest = icmp ne i64 %tand, 0
+  br i1 %ttest, label %apply, label %next
+apply:
+  %ampp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 2
+  %amps = load f64*, f64** %ampp
+  %ap = getelementptr f64, f64* %amps, i64 %iv
+  %amp = load f64, f64* %ap
+  %amp2 = fmul f64 %amp, %z
+  store f64 %amp2, f64* %ap
+  br label %next
+next:
+  %iv2 = add i64 %iv, 1
+  store i64 %iv2, i64* %i
+  br label %head
+done:
+  call void @quantum_decohere({i64, i64*, f64*}* %reg)
+  ret void
+}
+`
+
+func main() {
+	mod, err := fmsa.ParseModule("libquantum", src)
+	check(err)
+	check(fmsa.Verify(mod))
+
+	inv := mod.FuncByName("quantum_cond_phase_inv")
+	fwd := mod.FuncByName("quantum_cond_phase")
+
+	// The state of the art cannot even consider this pair.
+	fmt.Printf("SOA eligible? %v (different CFGs — Fig. 2)\n", baseline.SOAEligible(inv, fwd))
+
+	res, err := fmsa.Merge(inv, fwd)
+	check(err)
+	st := res.Stats
+	fmt.Printf("aligned %d+%d entries: %d matched, %d divergent, %d selects\n",
+		st.Len1, st.Len2, st.MatchedColumns, st.GapColumns, st.Selects)
+	fmt.Printf("profit: x86-64 %+d bytes, thumb %+d bytes\n\n",
+		res.Profit(tti.X86{}), res.Profit(tti.Thumb{}))
+
+	res.Commit()
+	check(fmsa.Verify(mod))
+	fmt.Println(fmsa.FormatModule(mod))
+
+	// Exercise the merged code through both original entry points.
+	mc := fmsa.NewMachine(mod)
+	decoheres := 0
+	mc.Register("quantum_objcode_put", func(_ *interp.Machine, args []interp.Word) (interp.Word, error) {
+		return 0, nil
+	})
+	mc.Register("quantum_decohere", func(_ *interp.Machine, args []interp.Word) (interp.Word, error) {
+		decoheres++
+		return 0, nil
+	})
+
+	reg := buildReg(mc, []uint64{0b1010, 0b0010})
+	_, err = mc.Run("quantum_cond_phase", 3, 1, reg)
+	check(err)
+	_, err = mc.Run("quantum_cond_phase_inv", 3, 1, reg)
+	check(err)
+	fmt.Printf("amplitude[0] after fwd+inv: %v (want -(pi/4)^2 = -0.61685...)\n", readAmp(mc, reg, 0))
+	fmt.Printf("decohere calls: %d (want 2)\n", decoheres)
+}
+
+// buildReg allocates a quantum register {size, states*, amps*} with unit
+// amplitudes.
+func buildReg(mc *fmsa.Machine, states []uint64) uint64 {
+	n := uint64(len(states))
+	reg := alloc(mc, 24)
+	st := alloc(mc, 8*n)
+	amps := alloc(mc, 8*n)
+	w64(mc, reg, n)
+	w64(mc, reg+8, st)
+	w64(mc, reg+16, amps)
+	for i, s := range states {
+		w64(mc, st+uint64(8*i), s)
+		w64(mc, amps+uint64(8*i), interp.F64(1.0))
+	}
+	return reg
+}
+
+func alloc(mc *fmsa.Machine, n uint64) uint64 {
+	a, err := mc.Alloc(n)
+	check(err)
+	return a
+}
+
+func w64(mc *fmsa.Machine, addr, v uint64) {
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	check(mc.WriteMem(addr, b))
+}
+
+func readAmp(mc *fmsa.Machine, reg uint64, i int) float64 {
+	b, err := mc.ReadMem(reg+16, 8)
+	check(err)
+	var amps uint64
+	for k := 7; k >= 0; k-- {
+		amps = amps<<8 | uint64(b[k])
+	}
+	b, err = mc.ReadMem(amps+uint64(8*i), 8)
+	check(err)
+	var v uint64
+	for k := 7; k >= 0; k-- {
+		v = v<<8 | uint64(b[k])
+	}
+	return interp.ToF64(v)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package fmsa_test
+
+import (
+	"strings"
+	"testing"
+
+	"fmsa"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+// workloadPairModule builds a module holding a template function ("orig")
+// and a type-variant clone ("variant"), used by facade tests and benches.
+func workloadPairModule(seed int64) *fmsa.Module {
+	m := ir.NewModule("pair")
+	base := workload.FuncSpec{
+		Name: "orig", Seed: seed * 7121, Scalar: ir.F32(),
+		NumParams: 3, Regions: 4, OpsPerBlock: 8,
+	}
+	workload.Generate(m, base)
+	base.Name = "variant"
+	base.Scalar = ir.F64()
+	workload.Generate(m, base)
+	return m
+}
+
+const facadeSrc = `
+define internal i64 @double_it(i64 %x) {
+entry:
+  %r = mul i64 %x, 2
+  ret i64 %r
+}
+
+define internal i64 @triple_it(i64 %x) {
+entry:
+  %r = mul i64 %x, 3
+  ret i64 %r
+}
+
+define i64 @main(i64 %x) {
+entry:
+  %a = call i64 @double_it(i64 %x)
+  %b = call i64 @triple_it(i64 %a)
+  ret i64 %b
+}
+`
+
+func TestFacadeParseFormatRoundTrip(t *testing.T) {
+	m, err := fmsa.ParseModule("facade", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fmsa.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	text := fmsa.FormatModule(m)
+	m2, err := fmsa.ParseModule("facade", text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if fmsa.FormatModule(m2) != text {
+		t.Error("facade round trip unstable")
+	}
+}
+
+func TestFacadeMergeAndRun(t *testing.T) {
+	m, err := fmsa.ParseModule("facade", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fmsa.Merge(m.FuncByName("double_it"), m.FuncByName("triple_it"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Selects == 0 {
+		t.Error("expected a select for the differing multiplier")
+	}
+	res.Commit()
+	if err := fmsa.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	mc := fmsa.NewMachine(m)
+	got, err := mc.Run("main", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Errorf("main(5) = %d, want 30", got)
+	}
+}
+
+func TestFacadeOptimizeTechniques(t *testing.T) {
+	for _, tech := range []fmsa.Technique{
+		fmsa.TechniqueIdentical, fmsa.TechniqueSOA, fmsa.TechniqueFMSA,
+	} {
+		m, err := fmsa.ParseModule("facade", facadeSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fmsa.Optimize(m, fmsa.Options{Technique: tech, Threshold: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if err := fmsa.Verify(m); err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		mc := fmsa.NewMachine(m)
+		got, err := mc.Run("main", 5)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if got != 30 {
+			t.Errorf("%s: main(5) = %d, want 30", tech, got)
+		}
+		_ = rep
+	}
+}
+
+func TestFacadeOptimizeRejectsBadInputs(t *testing.T) {
+	m, _ := fmsa.ParseModule("f", facadeSrc)
+	if _, err := fmsa.Optimize(m, fmsa.Options{Technique: "bogus"}); err == nil {
+		t.Error("bogus technique must error")
+	}
+	if _, err := fmsa.Optimize(m, fmsa.Options{Target: "riscv"}); err == nil {
+		t.Error("bogus target must error")
+	}
+	if _, err := fmsa.ModuleSize(m, "riscv"); err == nil {
+		t.Error("bogus target must error in ModuleSize")
+	}
+}
+
+func TestFacadeModuleSize(t *testing.T) {
+	m, _ := fmsa.ParseModule("f", facadeSrc)
+	x86, err := fmsa.ModuleSize(m, "x86-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	thumb, err := fmsa.ModuleSize(m, "thumb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x86 <= 0 || thumb <= 0 {
+		t.Error("sizes must be positive")
+	}
+	def, err := fmsa.ModuleSize(m, "")
+	if err != nil || def != x86 {
+		t.Error("default target must be x86-64")
+	}
+}
+
+func TestFacadeDemotePhis(t *testing.T) {
+	src := `
+define i32 @p(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %j
+b:
+  br label %j
+j:
+  %v = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %v
+}
+`
+	m, err := fmsa.ParseModule("demote", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmsa.DemotePhis(m)
+	if strings.Contains(fmsa.FormatModule(m), "phi") {
+		t.Error("phi survived DemotePhis")
+	}
+	if err := fmsa.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMergeWorkloadPair(t *testing.T) {
+	m := workloadPairModule(3)
+	res, err := fmsa.Merge(m.FuncByName("orig"), m.FuncByName("variant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Commit()
+	if err := fmsa.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module fmsa
+
+go 1.22

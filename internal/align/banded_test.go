@@ -1,0 +1,102 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandedValidAlignments(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 150; iter++ {
+		a := randSeq(r, r.Intn(30), "abcd")
+		b := randSeq(r, r.Intn(30), "abcd")
+		for _, band := range []int{1, 3, 8, 100} {
+			steps := Banded(len(a), len(b), strEq(a, b), DefaultScoring, band)
+			if !Validate(steps, len(a), len(b)) {
+				t.Fatalf("invalid banded(%d) alignment of %q, %q: %v", band, a, b, steps)
+			}
+		}
+	}
+}
+
+func TestBandedWideBandIsOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 100; iter++ {
+		a := randSeq(r, r.Intn(20), "abc")
+		b := randSeq(r, r.Intn(20), "abc")
+		wide := Banded(len(a), len(b), strEq(a, b), DefaultScoring, 64)
+		nw := NeedlemanWunsch(len(a), len(b), strEq(a, b), DefaultScoring)
+		if Score(wide, DefaultScoring) != Score(nw, DefaultScoring) {
+			t.Fatalf("wide band not optimal for %q, %q: %d vs %d",
+				a, b, Score(wide, DefaultScoring), Score(nw, DefaultScoring))
+		}
+	}
+}
+
+func TestBandedNeverBeatsOptimal(t *testing.T) {
+	f := func(aRaw, bRaw []byte, bandRaw uint8) bool {
+		a, b := aRaw, bRaw
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		band := int(bandRaw%12) + 1
+		eq := func(i, j int) bool { return a[i]%4 == b[j]%4 }
+		banded := Banded(len(a), len(b), eq, DefaultScoring, band)
+		if !Validate(banded, len(a), len(b)) {
+			return false
+		}
+		nw := NeedlemanWunsch(len(a), len(b), eq, DefaultScoring)
+		return Score(banded, DefaultScoring) <= Score(nw, DefaultScoring)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedIdenticalSequences(t *testing.T) {
+	// Identical sequences live on the main diagonal: even band 1 recovers
+	// the full match.
+	s := "mergemergemerge"
+	steps := Banded(len(s), len(s), strEq(s, s), DefaultScoring, 1)
+	if countOps(steps)[OpMatch] != len(s) {
+		t.Errorf("band-1 failed to match identical sequences: %v", steps)
+	}
+}
+
+func TestBandedNarrowDegradesGracefully(t *testing.T) {
+	// A large shift (prefix insertion) exceeds the band: the result stays
+	// valid, just with fewer matches than the optimum.
+	a := "0123456789"
+	b := "XXXXXXXX0123456789"
+	narrow := Banded(len(a), len(b), strEq(a, b), DefaultScoring, 9) // just covers diff
+	if !Validate(narrow, len(a), len(b)) {
+		t.Fatal("invalid narrow alignment")
+	}
+	nw := NeedlemanWunsch(len(a), len(b), strEq(a, b), DefaultScoring)
+	if countOps(narrow)[OpMatch] > countOps(nw)[OpMatch] {
+		t.Error("banded cannot out-match the optimum")
+	}
+}
+
+func TestBandedAligner(t *testing.T) {
+	fn := BandedAligner(16)
+	steps := fn(4, 4, strEq("abca", "abca"), DefaultScoring)
+	if countOps(steps)[OpMatch] != 4 {
+		t.Errorf("adapter misaligned: %v", steps)
+	}
+}
+
+func BenchmarkBanded500(b *testing.B) {
+	r := rand.New(rand.NewSource(23))
+	s1 := randSeq(r, 500, "abcdefgh")
+	s2 := randSeq(r, 500, "abcdefgh")
+	eq := strEq(s1, s2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Banded(len(s1), len(s2), eq, DefaultScoring, 32)
+	}
+}

@@ -1,0 +1,163 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// slowAffineScore computes the optimal affine-gap alignment score by
+// exhaustive three-state recursion, for cross-checking Gotoh on small
+// inputs.
+func slowAffineScore(a, b string, sc AffineScoring) int {
+	type key struct {
+		i, j  int
+		state int // 0=fresh/match, 1=in gapA, 2=in gapB
+	}
+	memo := map[key]int{}
+	const negInf = -1 << 29
+	var rec func(i, j, state int) int
+	rec = func(i, j, state int) int {
+		if i == len(a) && j == len(b) {
+			return 0
+		}
+		k := key{i, j, state}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		best := negInf
+		if i < len(a) && j < len(b) {
+			sub := sc.Mismatch
+			if a[i] == b[j] {
+				sub = sc.Match
+			}
+			if v := rec(i+1, j+1, 0) + sub; v > best {
+				best = v
+			}
+		}
+		if i < len(a) {
+			cost := sc.GapExtend
+			if state != 1 {
+				cost += sc.GapOpen
+			}
+			if v := rec(i+1, j, 1) + cost; v > best {
+				best = v
+			}
+		}
+		if j < len(b) {
+			cost := sc.GapExtend
+			if state != 2 {
+				cost += sc.GapOpen
+			}
+			if v := rec(i, j+1, 2) + cost; v > best {
+				best = v
+			}
+		}
+		memo[k] = best
+		return best
+	}
+	return rec(0, 0, 0)
+}
+
+func TestGotohOptimality(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	sc := AffineScoring{Match: 2, Mismatch: -1, GapOpen: -3, GapExtend: -1}
+	for iter := 0; iter < 150; iter++ {
+		a := randSeq(r, r.Intn(12), "abc")
+		b := randSeq(r, r.Intn(12), "abc")
+		steps := Gotoh(len(a), len(b), strEq(a, b), sc)
+		if !Validate(steps, len(a), len(b)) {
+			t.Fatalf("invalid gotoh alignment of %q, %q: %v", a, b, steps)
+		}
+		got := AffineScore(steps, sc)
+		want := slowAffineScore(a, b, sc)
+		if got != want {
+			t.Fatalf("gotoh score %d != optimal %d for %q, %q (%v)", got, want, a, b, steps)
+		}
+	}
+}
+
+func TestGotohIdentical(t *testing.T) {
+	steps := Gotoh(5, 5, strEq("hello", "hello"), DefaultAffineScoring)
+	if countOps(steps)[OpMatch] != 5 {
+		t.Errorf("identical strings should fully match: %v", steps)
+	}
+}
+
+func TestGotohEmpty(t *testing.T) {
+	steps := Gotoh(0, 3, strEq("", "abc"), DefaultAffineScoring)
+	if !Validate(steps, 0, 3) {
+		t.Errorf("empty-A alignment invalid: %v", steps)
+	}
+	steps = Gotoh(3, 0, strEq("abc", ""), DefaultAffineScoring)
+	if !Validate(steps, 3, 0) {
+		t.Errorf("empty-B alignment invalid: %v", steps)
+	}
+}
+
+func TestGotohPrefersContiguousGaps(t *testing.T) {
+	// A = core, B = core with noise inserted at two sites. With a strong
+	// opening penalty the alignment should not have more gap runs than
+	// insertion sites.
+	a := "MMMMMMMM"
+	b := "MMxyMMMMzwMM"
+	sc := AffineScoring{Match: 2, Mismatch: -3, GapOpen: -4, GapExtend: 0}
+	steps := Gotoh(len(a), len(b), strEq(a, b), sc)
+	if !Validate(steps, len(a), len(b)) {
+		t.Fatal("invalid alignment")
+	}
+	if runs := GapRuns(steps); runs > 2 {
+		t.Errorf("affine alignment has %d gap runs, want <= 2: %v", runs, steps)
+	}
+	if countOps(steps)[OpMatch] != 8 {
+		t.Errorf("all core symbols should match: %v", steps)
+	}
+}
+
+func TestGotohNeverWorseThanNWOnGapRuns(t *testing.T) {
+	// Property: with equal total weights, the affine aligner produces at
+	// most as many gap runs as plain NW on the same input (that is its
+	// purpose for merging: fewer diamonds).
+	f := func(aRaw, bRaw []byte) bool {
+		a, b := aRaw, bRaw
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		eq := func(i, j int) bool { return a[i]%4 == b[j]%4 }
+		nw := DecomposeMismatches(NeedlemanWunsch(len(a), len(b), eq, DefaultScoring))
+		gt := DecomposeMismatches(Gotoh(len(a), len(b), eq, AffineScoring{
+			Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -1,
+		}))
+		if !Validate(gt, len(a), len(b)) {
+			return false
+		}
+		// Soft property: affine should not fragment more than NW by a
+		// large margin (exact dominance does not hold for arbitrary
+		// scorings, so allow +1).
+		return GapRuns(gt) <= GapRuns(nw)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGotohAlignerAdapter(t *testing.T) {
+	steps := GotohAligner(3, 3, strEq("abc", "abc"), DefaultScoring)
+	if !Validate(steps, 3, 3) || countOps(steps)[OpMatch] != 3 {
+		t.Errorf("adapter misaligned identical input: %v", steps)
+	}
+}
+
+func BenchmarkGotoh500(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	s1 := randSeq(r, 500, "abcdefgh")
+	s2 := randSeq(r, 500, "abcdefgh")
+	eq := strEq(s1, s2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Gotoh(len(s1), len(s2), eq, DefaultAffineScoring)
+	}
+}

@@ -1,0 +1,164 @@
+package align
+
+// Hirschberg computes an optimal global alignment in O(n+m) space using
+// Hirschberg's divide-and-conquer refinement of Needleman–Wunsch. It
+// produces an alignment with the same score as NeedlemanWunsch (the exact
+// column sequence may differ among co-optimal alignments).
+func Hirschberg(n, m int, eq EqFunc, sc Scoring) []Step {
+	var out []Step
+	hirschRec(0, n, 0, m, eq, sc, &out)
+	return out
+}
+
+func hirschRec(aLo, aHi, bLo, bHi int, eq EqFunc, sc Scoring, out *[]Step) {
+	n, m := aHi-aLo, bHi-bLo
+	switch {
+	case n == 0:
+		for j := bLo; j < bHi; j++ {
+			*out = append(*out, Step{Op: OpGapB, I: -1, J: j})
+		}
+		return
+	case m == 0:
+		for i := aLo; i < aHi; i++ {
+			*out = append(*out, Step{Op: OpGapA, I: i, J: -1})
+		}
+		return
+	case n == 1 || m == 1:
+		// Small enough for direct DP; translate indices.
+		steps := NeedlemanWunsch(n, m, func(i, j int) bool {
+			return eq(aLo+i, bLo+j)
+		}, sc)
+		for _, s := range steps {
+			if s.I >= 0 {
+				s.I += aLo
+			}
+			if s.J >= 0 {
+				s.J += bLo
+			}
+			*out = append(*out, s)
+		}
+		return
+	}
+
+	mid := aLo + n/2
+	// Forward scores for A[aLo:mid] against prefixes of B.
+	scoreL := nwLastRow(aLo, mid, bLo, bHi, eq, sc, false)
+	// Backward scores for A[mid:aHi] against suffixes of B.
+	scoreR := nwLastRow(mid, aHi, bLo, bHi, eq, sc, true)
+
+	// Choose the split point of B maximizing total score.
+	best, bestJ := scoreL[0]+scoreR[m], 0
+	for j := 1; j <= m; j++ {
+		if s := scoreL[j] + scoreR[m-j]; s > best {
+			best, bestJ = s, j
+		}
+	}
+	hirschRec(aLo, mid, bLo, bLo+bestJ, eq, sc, out)
+	hirschRec(mid, aHi, bLo+bestJ, bHi, eq, sc, out)
+}
+
+// nwLastRow computes the final row of the NW score matrix for
+// A[aLo:aHi] × B[bLo:bHi]. When rev is true, both ranges are processed in
+// reverse (suffix alignment scores).
+func nwLastRow(aLo, aHi, bLo, bHi int, eq EqFunc, sc Scoring, rev bool) []int32 {
+	n, m := aHi-aLo, bHi-bLo
+	prev := make([]int32, m+1)
+	cur := make([]int32, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = int32(j * sc.Gap)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = int32(i * sc.Gap)
+		for j := 1; j <= m; j++ {
+			var ai, bj int
+			if rev {
+				ai, bj = aHi-i, bHi-j
+			} else {
+				ai, bj = aLo+i-1, bLo+j-1
+			}
+			sub := sc.Mismatch
+			if eq(ai, bj) {
+				sub = sc.Match
+			}
+			best := prev[j-1] + int32(sub)
+			if up := prev[j] + int32(sc.Gap); up > best {
+				best = up
+			}
+			if left := cur[j-1] + int32(sc.Gap); left > best {
+				best = left
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// SmithWaterman computes an optimal local alignment: the highest-scoring
+// aligned region between the two sequences, ignoring everything outside it.
+// The returned steps cover contiguous subranges of each sequence; Validate
+// does not apply to local alignments.
+func SmithWaterman(n, m int, eq EqFunc, sc Scoring) []Step {
+	if n == 0 || m == 0 {
+		return nil
+	}
+	score := make([]int32, (n+1)*(m+1))
+	dirs := make([]byte, (n+1)*(m+1))
+	at := func(i, j int) int { return i*(m+1) + j }
+
+	var best int32
+	bi, bj := 0, 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if eq(i-1, j-1) {
+				sub = sc.Match
+			}
+			v, d := score[at(i-1, j-1)]+int32(sub), dirDiag
+			if up := score[at(i-1, j)] + int32(sc.Gap); up > v {
+				v, d = up, dirUp
+			}
+			if left := score[at(i, j-1)] + int32(sc.Gap); left > v {
+				v, d = left, dirLeft
+			}
+			if v < 0 {
+				v, d = 0, 0
+			}
+			score[at(i, j)] = v
+			dirs[at(i, j)] = d
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+
+	var rev []Step
+	i, j := bi, bj
+	for i > 0 && j > 0 && score[at(i, j)] > 0 {
+		switch dirs[at(i, j)] {
+		case dirDiag:
+			op := OpMismatch
+			if eq(i-1, j-1) {
+				op = OpMatch
+			}
+			rev = append(rev, Step{Op: op, I: i - 1, J: j - 1})
+			i--
+			j--
+		case dirUp:
+			rev = append(rev, Step{Op: OpGapA, I: i - 1, J: -1})
+			i--
+		case dirLeft:
+			rev = append(rev, Step{Op: OpGapB, I: -1, J: j - 1})
+			j--
+		default:
+			i, j = 0, 0
+		}
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}

@@ -1,0 +1,340 @@
+package baseline
+
+import (
+	"testing"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+const identicalTrioIR = `
+define internal i32 @dup1(i32 %x) {
+entry:
+  %a = add i32 %x, 7
+  %b = mul i32 %a, %a
+  ret i32 %b
+}
+
+define internal i32 @dup2(i32 %x) {
+entry:
+  %a = add i32 %x, 7
+  %b = mul i32 %a, %a
+  ret i32 %b
+}
+
+define internal i32 @dup3(i32 %x) {
+entry:
+  %a = add i32 %x, 7
+  %b = mul i32 %a, %a
+  ret i32 %b
+}
+
+define internal i32 @different(i32 %x) {
+entry:
+  %a = sub i32 %x, 7
+  %b = mul i32 %a, 3
+  ret i32 %b
+}
+
+define i32 @use(i32 %x) {
+entry:
+  %r1 = call i32 @dup1(i32 %x)
+  %r2 = call i32 @dup2(i32 %x)
+  %r3 = call i32 @dup3(i32 %x)
+  %r4 = call i32 @different(i32 %x)
+  %s1 = add i32 %r1, %r2
+  %s2 = add i32 %s1, %r3
+  %s3 = add i32 %s2, %r4
+  ret i32 %s3
+}
+`
+
+func TestIdenticalFoldsDuplicates(t *testing.T) {
+	m := ir.MustParseModule("id", identicalTrioIR)
+	mc := interp.NewMachine(m)
+	before, err := mc.Run("use", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := RunIdentical(m, tti.X86{})
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("post-verify: %v", err)
+	}
+	if rep.MergeOps != 2 {
+		t.Errorf("merge ops = %d, want 2 (three duplicates fold into one)", rep.MergeOps)
+	}
+	if rep.FullyRemoved != 2 {
+		t.Errorf("fully removed = %d, want 2", rep.FullyRemoved)
+	}
+	if m.FuncByName("different") == nil {
+		t.Error("non-duplicate function must survive")
+	}
+	if rep.SizeAfter >= rep.SizeBefore {
+		t.Errorf("size must shrink: %d -> %d", rep.SizeBefore, rep.SizeAfter)
+	}
+
+	mc2 := interp.NewMachine(m)
+	after, err := mc2.Run("use", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("semantics changed: %d -> %d", before, after)
+	}
+}
+
+func TestIdenticalRespectsConstantDifferences(t *testing.T) {
+	m := ir.MustParseModule("c", `
+define internal i32 @k10(i32 %x) {
+entry:
+  %r = mul i32 %x, 10
+  ret i32 %r
+}
+
+define internal i32 @k20(i32 %x) {
+entry:
+  %r = mul i32 %x, 20
+  ret i32 %r
+}
+
+define i32 @use(i32 %x) {
+entry:
+  %a = call i32 @k10(i32 %x)
+  %b = call i32 @k20(i32 %x)
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+`)
+	rep := RunIdentical(m, tti.X86{})
+	if rep.MergeOps != 0 {
+		t.Errorf("constant-differing functions must not fold, got %d merges", rep.MergeOps)
+	}
+}
+
+func TestFunctionsIdenticalPredicate(t *testing.T) {
+	m := ir.MustParseModule("p", identicalTrioIR)
+	d1, d2, diff := m.FuncByName("dup1"), m.FuncByName("dup2"), m.FuncByName("different")
+	if !FunctionsIdentical(d1, d2) {
+		t.Error("dup1 and dup2 must be identical")
+	}
+	if FunctionsIdentical(d1, diff) {
+		t.Error("dup1 and different must not be identical")
+	}
+	if !FunctionsIdentical(d1, d1) {
+		t.Error("function must be identical to itself")
+	}
+}
+
+func TestIdenticalExternalLinkageThunk(t *testing.T) {
+	src := `
+define i64 @exp_a(i64 %x) {
+entry:
+  %r = add i64 %x, 100
+  ret i64 %r
+}
+
+define i64 @exp_b(i64 %x) {
+entry:
+  %r = add i64 %x, 100
+  ret i64 %r
+}
+`
+	m := ir.MustParseModule("x", src)
+	rep := RunIdentical(m, tti.X86{})
+	if rep.MergeOps != 1 {
+		t.Fatalf("merge ops = %d, want 1", rep.MergeOps)
+	}
+	if rep.FullyRemoved != 0 {
+		t.Error("external functions must not be deleted")
+	}
+	b := m.FuncByName("exp_b")
+	if b == nil || b.NumInsts() > 2 {
+		t.Error("exp_b should be a two-instruction thunk")
+	}
+	mc := interp.NewMachine(m)
+	got, err := mc.Run("exp_b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 101 {
+		t.Errorf("thunk exp_b(1) = %d, want 101", got)
+	}
+}
+
+// fig1PairIR reproduces the shape of the paper's Fig. 1 (different
+// signatures) in minimal form.
+const fig1PairIR = `
+define internal i64 @addf32(i64 %g, f32 %v) {
+entry:
+  %b = bitcast f32 %v to i32
+  %w = zext i32 %b to i64
+  %r = add i64 %g, %w
+  ret i64 %r
+}
+
+define internal i64 @addf64(i64 %g, f64 %v) {
+entry:
+  %b = bitcast f64 %v to i64
+  %r = add i64 %g, %b
+  ret i64 %r
+}
+
+define i64 @use(i64 %g) {
+entry:
+  %a = call i64 @addf32(i64 %g, f32 1.5)
+  %b = call i64 @addf64(i64 %a, f64 2.5)
+  ret i64 %b
+}
+`
+
+// fig2PairIR reproduces the shape of Fig. 2 (same signature, extra block).
+const fig2PairIR = `
+declare i64 @ext_i64(i64)
+
+define internal i64 @plain(i64 %x) {
+entry:
+  %a = mul i64 %x, 3
+  %b = call i64 @ext_i64(i64 %a)
+  ret i64 %b
+}
+
+define internal i64 @guarded(i64 %x) {
+entry:
+  %c = icmp eq i64 %x, 0
+  br i1 %c, label %early, label %cont
+early:
+  ret i64 0
+cont:
+  %a = mul i64 %x, 3
+  %b = call i64 @ext_i64(i64 %a)
+  ret i64 %b
+}
+
+define i64 @use(i64 %x) {
+entry:
+  %a = call i64 @plain(i64 %x)
+  %b = call i64 @guarded(i64 %a)
+  ret i64 %b
+}
+`
+
+func TestSOACannotMergeMotivatingExamples(t *testing.T) {
+	m1 := ir.MustParseModule("f1", fig1PairIR)
+	if SOAEligible(m1.FuncByName("addf32"), m1.FuncByName("addf64")) {
+		t.Error("SOA must reject different signatures (Fig. 1)")
+	}
+	rep1 := RunSOA(m1, tti.X86{})
+	if rep1.MergeOps != 0 {
+		t.Errorf("SOA merged Fig. 1 shape: %d ops", rep1.MergeOps)
+	}
+
+	m2 := ir.MustParseModule("f2", fig2PairIR)
+	if SOAEligible(m2.FuncByName("plain"), m2.FuncByName("guarded")) {
+		t.Error("SOA must reject different CFGs (Fig. 2)")
+	}
+	rep2 := RunSOA(m2, tti.X86{})
+	if rep2.MergeOps != 0 {
+		t.Errorf("SOA merged Fig. 2 shape: %d ops", rep2.MergeOps)
+	}
+}
+
+func TestSOAMergesSameShapePairs(t *testing.T) {
+	src := `
+define internal i64 @scale3(i64 %x, i64 %y) {
+entry:
+  %a = mul i64 %x, 3
+  %b = add i64 %a, %y
+  ret i64 %b
+}
+
+define internal i64 @scale9(i64 %x, i64 %y) {
+entry:
+  %a = mul i64 %x, 9
+  %b = add i64 %a, %y
+  ret i64 %b
+}
+
+define i64 @use(i64 %x) {
+entry:
+  %a = call i64 @scale3(i64 %x, i64 1)
+  %b = call i64 @scale9(i64 %a, i64 2)
+  %c = call i64 @scale3(i64 %b, i64 3)
+  %d = call i64 @scale9(i64 %c, i64 4)
+  %e = call i64 @scale3(i64 %d, i64 5)
+  %f = call i64 @scale9(i64 %e, i64 6)
+  %s = add i64 %f, %x
+  ret i64 %s
+}
+`
+	m := ir.MustParseModule("soa", src)
+	mc := interp.NewMachine(m)
+	before, err := mc.Run("use", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !SOAEligible(m.FuncByName("scale3"), m.FuncByName("scale9")) {
+		t.Fatal("same-shape pair must be SOA-eligible")
+	}
+	rep := RunSOA(m, tti.X86{})
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("post-verify: %v\n%s", err, ir.FormatModule(m))
+	}
+	if rep.MergeOps != 1 {
+		t.Fatalf("merge ops = %d, want 1", rep.MergeOps)
+	}
+	mc2 := interp.NewMachine(m)
+	after, err := mc2.Run("use", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("SOA merge changed semantics: %d -> %d", before, after)
+	}
+}
+
+func TestTechniquePowerOrdering(t *testing.T) {
+	// On a clone-rich module: Identical ≤ SOA ≤ FMSA in size reduction —
+	// the central claim of the paper's evaluation.
+	profile := workload.Profile{
+		Name: "power", NumFuncs: 40, AvgSize: 30, MaxSize: 100,
+		Identical: 0.15, TypeVar: 0.12, CFGVar: 0.1, Partial: 0.08,
+		InternalFrac: 0.8, Seed: 99,
+	}
+	reduction := func(run func(*ir.Module) *explore.Report) float64 {
+		m := workload.Build(profile)
+		rep := run(m)
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("post-verify: %v", err)
+		}
+		return rep.Reduction()
+	}
+
+	// Paper protocol (§V-A): Identical runs before both SOA and FMSA.
+	ident := reduction(func(m *ir.Module) *explore.Report { return RunIdentical(m, tti.X86{}) })
+	soa := reduction(func(m *ir.Module) *explore.Report {
+		rep := RunIdentical(m, tti.X86{})
+		rep.Add(RunSOA(m, tti.X86{}))
+		return rep
+	})
+	fmsa := reduction(func(m *ir.Module) *explore.Report {
+		rep := RunIdentical(m, tti.X86{})
+		rep.Add(explore.Run(m, explore.DefaultOptions()))
+		return rep
+	})
+
+	t.Logf("reduction: identical=%.2f%% soa=%.2f%% fmsa=%.2f%%", ident, soa, fmsa)
+	if ident > soa+0.5 {
+		t.Errorf("Identical (%.2f%%) should not beat SOA (%.2f%%)", ident, soa)
+	}
+	if soa > fmsa+0.5 {
+		t.Errorf("SOA (%.2f%%) should not beat FMSA (%.2f%%)", soa, fmsa)
+	}
+	if fmsa <= ident {
+		t.Errorf("FMSA (%.2f%%) must beat Identical (%.2f%%)", fmsa, ident)
+	}
+}

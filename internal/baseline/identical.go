@@ -1,0 +1,209 @@
+// Package baseline implements the two comparison techniques of the paper's
+// evaluation (§V-A, §VI-A):
+//
+//   - Identical: LLVM's MergeFunctions-style folding of structurally
+//     identical functions, discovered through hashing;
+//   - SOA: the state of the art (von Koch et al., LCTES'14,
+//     MergeSimilarFunctions), which merges functions with identical
+//     signatures and isomorphic CFGs whose corresponding blocks have the
+//     same length, guarding residual differences on a function identifier.
+//
+// Both return the same Report type as the explore package so the
+// experiment harness can compare all three techniques uniformly.
+package baseline
+
+import (
+	"hash/fnv"
+	"time"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/ir"
+	"fmsa/internal/linearize"
+	"fmsa/internal/tti"
+)
+
+// RunIdentical folds groups of structurally identical functions: one
+// representative survives, the others are deleted (internal, unreferenced)
+// or turned into forwarding thunks. It mirrors LLVM's MergeFunctions pass.
+func RunIdentical(m *ir.Module, target tti.Target) *explore.Report {
+	rep := &explore.Report{SizeBefore: tti.ModuleSize(target, m)}
+	start := time.Now()
+
+	groups := map[uint64][]*ir.Func{}
+	var order []uint64
+	for _, f := range m.Funcs {
+		if f.IsDecl() || f.Sig().Variadic {
+			continue
+		}
+		h := hashFunc(f)
+		if _, seen := groups[h]; !seen {
+			order = append(order, h)
+		}
+		groups[h] = append(groups[h], f)
+	}
+
+	for _, h := range order {
+		bucket := groups[h]
+		// Partition the bucket into classes of truly identical functions
+		// (hash collisions are resolved by the structural check).
+		for len(bucket) > 1 {
+			rep0 := bucket[0]
+			rest := bucket[1:]
+			bucket = bucket[:0]
+			for _, g := range rest {
+				if FunctionsIdentical(rep0, g) {
+					foldInto(m, rep0, g, rep)
+				} else {
+					bucket = append(bucket, g)
+				}
+			}
+		}
+	}
+
+	rep.Phases.UpdateCalls = time.Since(start)
+	rep.SizeAfter = tti.ModuleSize(target, m)
+	return rep
+}
+
+// foldInto redirects every use of dup to keep, then deletes dup or leaves a
+// thunk.
+func foldInto(m *ir.Module, keep, dup *ir.Func, rep *explore.Report) {
+	dup.DropBody()
+	// Replace direct calls and any other uses (identical signatures make
+	// the function values interchangeable).
+	ir.ReplaceAllUsesWith(dup, keep)
+	rep.MergeOps++
+	rep.Records = append(rep.Records, explore.MergeRecord{
+		Merged: keep.Name(), F1: keep.Name(), F2: dup.Name(),
+	})
+	if dup.NumUses() == 0 && dup.Linkage == ir.InternalLinkage {
+		m.RemoveFunc(dup)
+		rep.FullyRemoved++
+		return
+	}
+	// External linkage: leave a thunk.
+	entry := dup.NewBlockIn("entry")
+	bd := ir.NewBuilder(entry)
+	args := make([]ir.Value, len(dup.Params))
+	for i, p := range dup.Params {
+		args[i] = p
+	}
+	call := bd.Call(keep, args...)
+	if dup.ReturnType().IsVoid() {
+		bd.Ret(nil)
+	} else {
+		bd.Ret(call)
+	}
+}
+
+// hashFunc computes a structural hash over the linearized function:
+// signature, opcodes, result types, predicates and constants. Identical
+// functions hash equally; the converse is checked structurally.
+func hashFunc(f *ir.Func) uint64 {
+	h := fnv.New64a()
+	write := func(s string) { h.Write([]byte(s)) }
+	write(f.Sig().String())
+	for _, e := range linearize.Linearize(f) {
+		if e.IsLabel() {
+			write("|L")
+			continue
+		}
+		in := e.Inst
+		write("|")
+		write(in.Op.String())
+		write(in.Type().String())
+		if in.Pred != ir.PredInvalid {
+			write(in.Pred.String())
+		}
+		if in.Alloc != nil {
+			write(in.Alloc.String())
+		}
+		for _, c := range in.Clauses {
+			write(c)
+		}
+		for _, op := range in.Operands() {
+			switch v := op.(type) {
+			case *ir.ConstInt:
+				write("#")
+				write(v.Ident())
+			case *ir.ConstFloat:
+				write("#f")
+				write(v.Ident())
+			case *ir.Func:
+				write("@")
+				write(v.Name())
+			case *ir.Global:
+				write("@g")
+				write(v.Name())
+			default:
+				write("%")
+				write(op.Type().String())
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// FunctionsIdentical reports whether two definitions are structurally
+// identical: same signature and bodies that correspond exactly under a
+// value renaming (LLVM MergeFunctions' equality).
+func FunctionsIdentical(a, b *ir.Func) bool {
+	if a.Sig() != b.Sig() || a.IsDecl() || b.IsDecl() {
+		return false
+	}
+	sa := linearize.Linearize(a)
+	sb := linearize.Linearize(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	vmap := map[ir.Value]ir.Value{}
+	for i, p := range a.Params {
+		vmap[p] = b.Params[i]
+	}
+	// First pass: map labels and instruction identities.
+	for i := range sa {
+		if sa[i].IsLabel() != sb[i].IsLabel() {
+			return false
+		}
+		if sa[i].IsLabel() {
+			vmap[sa[i].Block] = sb[i].Block
+		} else {
+			vmap[sa[i].Inst] = sb[i].Inst
+		}
+	}
+	// Second pass: compare instructions under the mapping.
+	for i := range sa {
+		if sa[i].IsLabel() {
+			continue
+		}
+		ia, ib := sa[i].Inst, sb[i].Inst
+		if ia.Op != ib.Op || ia.Type() != ib.Type() ||
+			ia.Pred != ib.Pred || ia.Alloc != ib.Alloc ||
+			ia.NumOperands() != ib.NumOperands() {
+			return false
+		}
+		if len(ia.Clauses) != len(ib.Clauses) {
+			return false
+		}
+		for k := range ia.Clauses {
+			if ia.Clauses[k] != ib.Clauses[k] {
+				return false
+			}
+		}
+		for k := 0; k < ia.NumOperands(); k++ {
+			oa, ob := ia.Operand(k), ib.Operand(k)
+			if mapped, ok := vmap[oa]; ok {
+				if mapped != ob {
+					return false
+				}
+				continue
+			}
+			// Constants, globals, functions: must be equal themselves.
+			if oa == ob || ir.ConstantsEqual(oa, ob) {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}

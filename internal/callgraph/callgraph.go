@@ -1,0 +1,298 @@
+// Package callgraph builds and analyzes the module call graph: direct call
+// edges, address-taken escapes, reachability from external roots, and
+// strongly connected components (recursion groups). The exploration
+// framework's "Call Graph Update" stage (Fig. 7) rewires call sites after
+// every committed merge; this package provides the analyses around it —
+// deciding which originals can be deleted outright, stripping functions
+// that merging made unreachable, and reporting module structure.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fmsa/internal/ir"
+)
+
+// Graph is a call graph over one module snapshot.
+type Graph struct {
+	mod *ir.Module
+	// callees[f] lists the distinct functions f calls directly, in first-
+	// call-site order.
+	callees map[*ir.Func][]*ir.Func
+	// callers[f] lists the distinct functions calling f directly.
+	callers map[*ir.Func][]*ir.Func
+	// addressTaken marks functions whose address escapes (indirect-call
+	// candidates).
+	addressTaken map[*ir.Func]bool
+	// callSites[f] counts direct call/invoke instructions targeting f.
+	callSites map[*ir.Func]int
+}
+
+// Build constructs the call graph of m.
+func Build(m *ir.Module) *Graph {
+	g := &Graph{
+		mod:          m,
+		callees:      map[*ir.Func][]*ir.Func{},
+		callers:      map[*ir.Func][]*ir.Func{},
+		addressTaken: map[*ir.Func]bool{},
+		callSites:    map[*ir.Func]int{},
+	}
+	for _, f := range m.Funcs {
+		seen := map[*ir.Func]bool{}
+		f.Insts(func(in *ir.Inst) {
+			for idx, op := range in.Operands() {
+				callee, ok := op.(*ir.Func)
+				if !ok {
+					continue
+				}
+				isDirectCall := (in.Op == ir.OpCall || in.Op == ir.OpInvoke) && idx == 0
+				if !isDirectCall {
+					g.addressTaken[callee] = true
+					continue
+				}
+				g.callSites[callee]++
+				if !seen[callee] {
+					seen[callee] = true
+					g.callees[f] = append(g.callees[f], callee)
+					g.callers[callee] = append(g.callers[callee], f)
+				}
+			}
+		})
+	}
+	return g
+}
+
+// Callees returns the distinct direct callees of f.
+func (g *Graph) Callees(f *ir.Func) []*ir.Func { return g.callees[f] }
+
+// Callers returns the distinct direct callers of f.
+func (g *Graph) Callers(f *ir.Func) []*ir.Func { return g.callers[f] }
+
+// AddressTaken reports whether f's address escapes into data or casts.
+func (g *Graph) AddressTaken(f *ir.Func) bool { return g.addressTaken[f] }
+
+// CallSites returns the number of direct call sites targeting f.
+func (g *Graph) CallSites(f *ir.Func) int { return g.callSites[f] }
+
+// Roots returns the functions reachable from outside the module: external-
+// linkage definitions and address-taken functions (conservatively callable
+// indirectly).
+func (g *Graph) Roots() []*ir.Func {
+	var roots []*ir.Func
+	for _, f := range g.mod.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if f.Linkage == ir.ExternalLinkage || g.addressTaken[f] {
+			roots = append(roots, f)
+		}
+	}
+	return roots
+}
+
+// Reachable returns the set of functions reachable from the given roots
+// over direct call edges (address-taken functions should be included in
+// roots for soundness).
+func (g *Graph) Reachable(roots []*ir.Func) map[*ir.Func]bool {
+	reach := map[*ir.Func]bool{}
+	var stack []*ir.Func
+	for _, r := range roots {
+		if !reach[r] {
+			reach[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range g.callees[f] {
+			if !reach[c] {
+				reach[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return reach
+}
+
+// SCCs returns the strongly connected components of the call graph in
+// reverse topological order (callees before callers), computed with
+// Tarjan's algorithm. Components with more than one member — or a single
+// self-calling member — are recursion groups.
+func (g *Graph) SCCs() [][]*ir.Func {
+	index := map[*ir.Func]int{}
+	low := map[*ir.Func]int{}
+	onStack := map[*ir.Func]bool{}
+	var stack []*ir.Func
+	var sccs [][]*ir.Func
+	next := 0
+
+	var strongconnect func(f *ir.Func)
+	strongconnect = func(f *ir.Func) {
+		index[f] = next
+		low[f] = next
+		next++
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, c := range g.callees[f] {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[f] {
+					low[f] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[f] {
+				low[f] = index[c]
+			}
+		}
+		if low[f] == index[f] {
+			var comp []*ir.Func
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, top)
+				if top == f {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+
+	for _, f := range g.mod.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if _, seen := index[f]; !seen {
+			strongconnect(f)
+		}
+	}
+	return sccs
+}
+
+// IsRecursive reports whether f participates in a call cycle (including
+// direct self-recursion).
+func (g *Graph) IsRecursive(f *ir.Func) bool {
+	for _, c := range g.callees[f] {
+		if c == f {
+			return true
+		}
+	}
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			for _, member := range comp {
+				if member == f {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Stats summarizes the call graph.
+type Stats struct {
+	Functions    int // definitions
+	Declarations int
+	Edges        int // distinct direct caller→callee pairs
+	CallSites    int // direct call/invoke instructions
+	AddressTaken int
+	Recursive    int // functions inside nontrivial SCCs or self loops
+	Unreachable  int // definitions not reachable from the roots
+}
+
+// ComputeStats derives summary statistics from the graph.
+func (g *Graph) ComputeStats() Stats {
+	var st Stats
+	for _, f := range g.mod.Funcs {
+		if f.IsDecl() {
+			st.Declarations++
+			continue
+		}
+		st.Functions++
+		st.Edges += len(g.callees[f])
+	}
+	for _, n := range g.callSites {
+		st.CallSites += n
+	}
+	st.AddressTaken = len(g.addressTaken)
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			st.Recursive += len(comp)
+		} else if oneSelfCalls(g, comp[0]) {
+			st.Recursive++
+		}
+	}
+	reach := g.Reachable(g.Roots())
+	for _, f := range g.mod.Funcs {
+		if !f.IsDecl() && !reach[f] {
+			st.Unreachable++
+		}
+	}
+	return st
+}
+
+func oneSelfCalls(g *Graph, f *ir.Func) bool {
+	for _, c := range g.callees[f] {
+		if c == f {
+			return true
+		}
+	}
+	return false
+}
+
+// DOT renders the call graph in Graphviz format. External-linkage functions
+// are drawn as boxes, internal as ellipses, declarations dashed.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph callgraph {\n")
+	for _, f := range g.mod.Funcs {
+		attrs := []string{fmt.Sprintf("label=%q", f.Name())}
+		switch {
+		case f.IsDecl():
+			attrs = append(attrs, "style=dashed")
+		case f.Linkage == ir.ExternalLinkage:
+			attrs = append(attrs, "shape=box")
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", f.Name(), strings.Join(attrs, ", "))
+	}
+	// Stable edge order.
+	var defs []*ir.Func
+	defs = append(defs, g.mod.Funcs...)
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name() < defs[j].Name() })
+	for _, f := range defs {
+		for _, c := range g.callees[f] {
+			fmt.Fprintf(&sb, "  %q -> %q;\n", f.Name(), c.Name())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// StripUnreachable removes definitions not reachable from the module's
+// roots (external and address-taken functions), returning how many were
+// removed. It is the call-graph-aware complement of dead-function
+// stripping: functions made unreachable by merging disappear even when
+// they still reference each other in cycles.
+func StripUnreachable(m *ir.Module) int {
+	g := Build(m)
+	reach := g.Reachable(g.Roots())
+	var dead []*ir.Func
+	for _, f := range m.Funcs {
+		if !f.IsDecl() && !reach[f] {
+			dead = append(dead, f)
+		}
+	}
+	// Drop bodies first so mutual references between dead functions vanish.
+	for _, f := range dead {
+		f.DropBody()
+	}
+	for _, f := range dead {
+		if f.NumUses() == 0 {
+			m.RemoveFunc(f)
+		}
+	}
+	return len(dead)
+}

@@ -1,0 +1,228 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+const graphSrc = `
+declare void @ext()
+
+define internal void @leaf() {
+entry:
+  ret void
+}
+
+define internal void @mid() {
+entry:
+  call void @leaf()
+  call void @leaf()
+  ret void
+}
+
+define void @root() {
+entry:
+  call void @mid()
+  call void @ext()
+  ret void
+}
+
+define internal void @island() {
+entry:
+  ret void
+}
+
+define internal void @selfrec(i64 %n) {
+entry:
+  %c = icmp sgt i64 %n, 0
+  br i1 %c, label %go, label %done
+go:
+  %n1 = sub i64 %n, 1
+  call void @selfrec(i64 %n1)
+  br label %done
+done:
+  ret void
+}
+
+define internal void @mutA(i64 %n) {
+entry:
+  %c = icmp sgt i64 %n, 0
+  br i1 %c, label %go, label %done
+go:
+  %n1 = sub i64 %n, 1
+  call void @mutB(i64 %n1)
+  br label %done
+done:
+  ret void
+}
+
+define internal void @mutB(i64 %n) {
+entry:
+  call void @mutA(i64 %n)
+  ret void
+}
+
+define void @recroot(i64 %n) {
+entry:
+  call void @selfrec(i64 %n)
+  call void @mutA(i64 %n)
+  ret void
+}
+
+define i64 @takesaddr() {
+entry:
+  %p = ptrtoint void ()* @island to i64
+  ret i64 %p
+}
+`
+
+func build(t *testing.T) (*ir.Module, *Graph) {
+	t.Helper()
+	m, err := ir.ParseModule("cg", graphSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, Build(m)
+}
+
+func TestEdgesAndCallSites(t *testing.T) {
+	m, g := build(t)
+	mid := m.FuncByName("mid")
+	leaf := m.FuncByName("leaf")
+	if cs := g.CallSites(leaf); cs != 2 {
+		t.Errorf("leaf call sites = %d, want 2", cs)
+	}
+	if len(g.Callees(mid)) != 1 || g.Callees(mid)[0] != leaf {
+		t.Errorf("mid callees = %v", g.Callees(mid))
+	}
+	if len(g.Callers(leaf)) != 1 || g.Callers(leaf)[0] != mid {
+		t.Errorf("leaf callers wrong")
+	}
+}
+
+func TestAddressTaken(t *testing.T) {
+	m, g := build(t)
+	if !g.AddressTaken(m.FuncByName("island")) {
+		t.Error("island's address is taken via ptrtoint")
+	}
+	if g.AddressTaken(m.FuncByName("leaf")) {
+		t.Error("leaf's address is not taken")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	m, g := build(t)
+	reach := g.Reachable(g.Roots())
+	for _, name := range []string{"root", "mid", "leaf", "selfrec", "mutA", "mutB", "island"} {
+		if !reach[m.FuncByName(name)] {
+			t.Errorf("%s should be reachable", name)
+		}
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	_, g := build(t)
+	sccs := g.SCCs()
+	var mutual [][]*ir.Func
+	for _, comp := range sccs {
+		if len(comp) > 1 {
+			mutual = append(mutual, comp)
+		}
+	}
+	if len(mutual) != 1 || len(mutual[0]) != 2 {
+		t.Fatalf("expected exactly one 2-member SCC, got %v", mutual)
+	}
+	names := map[string]bool{}
+	for _, f := range mutual[0] {
+		names[f.Name()] = true
+	}
+	if !names["mutA"] || !names["mutB"] {
+		t.Errorf("SCC members = %v", names)
+	}
+}
+
+func TestIsRecursive(t *testing.T) {
+	m, g := build(t)
+	if !g.IsRecursive(m.FuncByName("selfrec")) {
+		t.Error("selfrec is recursive")
+	}
+	if !g.IsRecursive(m.FuncByName("mutA")) || !g.IsRecursive(m.FuncByName("mutB")) {
+		t.Error("mutual recursion not detected")
+	}
+	if g.IsRecursive(m.FuncByName("leaf")) {
+		t.Error("leaf is not recursive")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, g := build(t)
+	st := g.ComputeStats()
+	if st.Functions != 9 || st.Declarations != 1 {
+		t.Errorf("functions/decls = %d/%d, want 9/1", st.Functions, st.Declarations)
+	}
+	if st.Recursive != 3 {
+		t.Errorf("recursive = %d, want 3 (selfrec, mutA, mutB)", st.Recursive)
+	}
+	if st.Unreachable != 0 {
+		t.Errorf("unreachable = %d, want 0 (island is address-taken)", st.Unreachable)
+	}
+	if st.CallSites == 0 || st.Edges == 0 {
+		t.Error("edge/call-site counts missing")
+	}
+}
+
+func TestStripUnreachable(t *testing.T) {
+	m, err := ir.ParseModule("strip", `
+define internal void @deadA() {
+entry:
+  call void @deadB()
+  ret void
+}
+
+define internal void @deadB() {
+entry:
+  call void @deadA()
+  ret void
+}
+
+define void @live() {
+entry:
+  ret void
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead pair forms a cycle: plain use-count stripping cannot remove
+	// it, reachability-based stripping can.
+	if n := StripUnreachable(m); n != 2 {
+		t.Errorf("stripped %d, want 2", n)
+	}
+	if m.FuncByName("deadA") != nil || m.FuncByName("deadB") != nil {
+		t.Error("cyclic dead functions must be removed")
+	}
+	if m.FuncByName("live") == nil {
+		t.Error("live function removed")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	_, g := build(t)
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "digraph callgraph {") {
+		t.Error("missing digraph header")
+	}
+	for _, fragment := range []string{`"mid" -> "leaf"`, `"root" -> "mid"`, `"mutA" -> "mutB"`} {
+		if !strings.Contains(dot, fragment) {
+			t.Errorf("DOT missing edge %s:\n%s", fragment, dot)
+		}
+	}
+	if !strings.Contains(dot, `"root" [label="root", shape=box]`) {
+		t.Error("external function should be a box")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+)
+
+// Profit evaluates the §IV-A cost model for a (not yet committed) merge:
+//
+//	Δ({f1,f2}, f1,2) = (c(f1) + c(f2)) − (c(f1,2) + ε)
+//
+// where c is the target-specific code-size cost and ε accumulates the extra
+// costs δ(fk, f1,2) of keeping thunks or widening rewritten call sites. The
+// merge is profitable when the returned Δ is positive.
+func (r *Result) Profit(t tti.Target) int {
+	before := tti.FuncSize(t, r.F1) + tti.FuncSize(t, r.F2)
+	after := tti.FuncSize(t, r.Merged)
+	eps := r.delta(t, r.F1, true, r.ParamMap1) + r.delta(t, r.F2, false, r.ParamMap2)
+	return before - (after + eps)
+}
+
+// delta estimates δ(f, merged): the residual cost of redirecting f's callers
+// to the merged function. If f can be deleted outright, the cost is the
+// per-call-site growth from the widened argument list; otherwise it is the
+// size of the thunk that must remain.
+func (r *Result) delta(t tti.Target, f *ir.Func, id bool, pmap []int) int {
+	callSiteGrowth := r.callGrowth(t, f, id, pmap)
+	if f.Linkage == ir.InternalLinkage && !f.HasAddressTaken() {
+		return callSiteGrowth
+	}
+	return r.thunkCost(t, f, id, pmap) + callSiteGrowth
+}
+
+// callGrowth estimates the summed per-call-site size increase when calls to
+// f are rewritten to call the merged function.
+func (r *Result) callGrowth(t tti.Target, f *ir.Func, id bool, pmap []int) int {
+	callers := f.Callers()
+	if len(callers) == 0 {
+		return 0
+	}
+	oldCall := syntheticCall(f)
+	newCall := syntheticCall(r.Merged)
+	growth := t.InstSize(newCall) - t.InstSize(oldCall)
+	oldCall.Detach()
+	newCall.Detach()
+	if growth < 0 {
+		growth = 0
+	}
+	return growth * len(callers)
+}
+
+// thunkCost estimates the size of the forwarding thunk left behind for f.
+func (r *Result) thunkCost(t tti.Target, f *ir.Func, id bool, pmap []int) int {
+	call := syntheticCall(r.Merged)
+	cost := t.FuncOverhead() + t.InstSize(call)
+	call.Detach()
+	ret := ir.NewInst(ir.OpRet, ir.Void())
+	cost += t.InstSize(ret)
+	if f.ReturnType() != r.Merged.ReturnType() && !f.ReturnType().IsVoid() {
+		// Unwrap conversion, roughly one cast.
+		cast := ir.NewInst(ir.OpBitCast, f.ReturnType())
+		cost += t.InstSize(cast)
+	}
+	return cost
+}
+
+// syntheticCall builds a detached call instruction with the right arity for
+// size estimation. Callers must Detach it afterwards to release the use of
+// callee.
+func syntheticCall(callee *ir.Func) *ir.Inst {
+	sig := callee.Sig()
+	ops := make([]ir.Value, 0, len(sig.Fields)+1)
+	ops = append(ops, callee)
+	for _, pt := range sig.Fields {
+		ops = append(ops, ir.NewUndef(pt))
+	}
+	return ir.NewInst(ir.OpCall, sig.Ret, ops...)
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+	"fmsa/internal/linearize"
+	"fmsa/internal/workload"
+)
+
+// mutation describes one clone-pair relationship exercised by the
+// differential tests; together they cover every divergence kind the merger
+// must guard correctly.
+type mutation struct {
+	name  string
+	apply func(spec *workload.FuncSpec)
+}
+
+var mutations = []mutation{
+	{"identical", func(s *workload.FuncSpec) {}},
+	{"type-variant", func(s *workload.FuncSpec) { s.Scalar = ir.F64() }},
+	{"type-int-variant", func(s *workload.FuncSpec) { s.Scalar = ir.I64() }},
+	{"cfg-variant", func(s *workload.FuncSpec) { s.Guard = true }},
+	{"const-variant", func(s *workload.FuncSpec) { s.ConstSalt += 13 }},
+	{"drop-variant", func(s *workload.FuncSpec) { s.ConstSalt += 2; s.DropMod = 7 }},
+	{"reorder-variant", func(s *workload.FuncSpec) { s.ReorderParams = true }},
+	{"void-variant", func(s *workload.FuncSpec) { s.VoidRet = true }},
+	{"shape-variant", func(s *workload.FuncSpec) { s.Regions++ }},
+}
+
+// runFunc executes f on a deterministic input grid, folding results and a
+// memory checksum into one value.
+func runFunc(t *testing.T, m *ir.Module, name string, trial uint64) uint64 {
+	t.Helper()
+	mc := interp.NewMachine(m)
+	workload.RegisterIntrinsics(mc)
+	f := m.FuncByName(name)
+	if f == nil {
+		t.Fatalf("function %s missing", name)
+	}
+	args := make([]uint64, len(f.Params))
+	var buf uint64
+	for k, pt := range f.Sig().Fields {
+		switch {
+		case pt == ir.PointerTo(ir.I64()):
+			var err error
+			buf, err = mc.Alloc(64 * 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			args[k] = buf
+		case pt == ir.F32():
+			args[k] = uint64(interp.F32(float32(trial) * 0.75))
+		case pt == ir.F64():
+			args[k] = interp.F64(float64(trial) * 0.75)
+		default:
+			args[k] = trial * 131
+		}
+	}
+	v, err := mc.CallFunc(f, args)
+	if err != nil {
+		t.Fatalf("%s(trial %d): %v", name, trial, err)
+	}
+	// Fold in the buffer contents so stores through pointer params count.
+	if buf != 0 {
+		data, err := mc.ReadMem(buf, 64*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data {
+			v = v*16777619 + uint64(b)
+		}
+	}
+	return v
+}
+
+// TestDifferentialMergeAllMutations is the central soundness test: for
+// every mutation kind and several seeds, merging a clone pair and
+// committing it must leave every observable behaviour unchanged.
+func TestDifferentialMergeAllMutations(t *testing.T) {
+	for _, mut := range mutations {
+		mut := mut
+		t.Run(mut.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				base := workload.FuncSpec{
+					Name: "orig", Seed: seed*2671 + 17, Scalar: ir.F32(),
+					NumParams: int(seed%4) + 1, Regions: int(seed%4) + 1,
+					OpsPerBlock: int(seed%6) + 3,
+				}
+				variant := base
+				variant.Name = "variant"
+				mut.apply(&variant)
+
+				build := func() *ir.Module {
+					m := ir.NewModule("diff")
+					workload.Generate(m, base)
+					workload.Generate(m, variant)
+					return m
+				}
+
+				ref := build()
+				opt := build()
+				res, err := Merge(opt.FuncByName("orig"), opt.FuncByName("variant"), DefaultOptions())
+				if err != nil {
+					t.Fatalf("seed %d: merge: %v", seed, err)
+				}
+				res.Commit()
+				if err := ir.VerifyModule(opt); err != nil {
+					t.Fatalf("seed %d: verify: %v", seed, err)
+				}
+
+				for trial := uint64(0); trial < 3; trial++ {
+					for _, fn := range []string{"orig", "variant"} {
+						want := runFunc(t, ref, fn, trial)
+						got := runFunc(t, opt, fn, trial)
+						if want != got {
+							t.Fatalf("seed %d %s(trial %d): original %#x, merged %#x",
+								seed, fn, trial, want, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialMergeAlternativeOrders re-runs a subset of the
+// differential matrix under the two non-default linearization orders; the
+// paper notes the order affects effectiveness, never correctness (§III-B).
+func TestDifferentialMergeAlternativeOrders(t *testing.T) {
+	for _, order := range []linearize.Order{linearize.OrderDFS, linearize.OrderLayout} {
+		order := order
+		t.Run(order.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				base := workload.FuncSpec{
+					Name: "orig", Seed: seed * 919, Scalar: ir.I32(),
+					NumParams: 2, Regions: 3, OpsPerBlock: 5,
+				}
+				variant := base
+				variant.Name = "variant"
+				variant.Guard = true
+				variant.ConstSalt = 5
+
+				build := func() *ir.Module {
+					m := ir.NewModule("ord")
+					workload.Generate(m, base)
+					workload.Generate(m, variant)
+					return m
+				}
+				ref := build()
+				opt := build()
+				opts := DefaultOptions()
+				opts.Order = order
+				res, err := Merge(opt.FuncByName("orig"), opt.FuncByName("variant"), opts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				res.Commit()
+				if err := ir.VerifyModule(opt); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, fn := range []string{"orig", "variant"} {
+					if runFunc(t, ref, fn, 2) != runFunc(t, opt, fn, 2) {
+						t.Fatalf("seed %d %s: behaviour changed under %s order", seed, fn, order)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialChainMerges merges three mutually similar clones through
+// the feedback path (merged functions merging again) and validates
+// semantics after both commits.
+func TestDifferentialChainMerges(t *testing.T) {
+	base := workload.FuncSpec{
+		Name: "a", Seed: 5417, Scalar: ir.F32(),
+		NumParams: 2, Regions: 3, OpsPerBlock: 6,
+	}
+	specB := base
+	specB.Name = "b"
+	specB.Scalar = ir.F64()
+	specC := base
+	specC.Name = "c"
+	specC.Guard = true
+
+	build := func() *ir.Module {
+		m := ir.NewModule("chain")
+		workload.Generate(m, base)
+		workload.Generate(m, specB)
+		workload.Generate(m, specC)
+		return m
+	}
+	ref := build()
+	opt := build()
+
+	res1, err := Merge(opt.FuncByName("a"), opt.FuncByName("b"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1.Commit()
+	res2, err := Merge(res1.Merged, opt.FuncByName("c"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Commit()
+	if err := ir.VerifyModule(opt); err != nil {
+		t.Fatalf("verify after chain: %v", err)
+	}
+
+	for _, fn := range []string{"a", "b", "c"} {
+		for trial := uint64(0); trial < 3; trial++ {
+			if runFunc(t, ref, fn, trial) != runFunc(t, opt, fn, trial) {
+				t.Fatalf("%s(trial %d) diverged after chained merges", fn, trial)
+			}
+		}
+	}
+}
+
+// TestMergeIdempotentFormatting ensures committed modules stay parseable:
+// print -> parse -> print is stable after merging.
+func TestMergeIdempotentFormatting(t *testing.T) {
+	m := ir.NewModule("fmt")
+	base := workload.FuncSpec{
+		Name: "orig", Seed: 31, Scalar: ir.F32(), NumParams: 3, Regions: 3, OpsPerBlock: 6,
+	}
+	workload.Generate(m, base)
+	base.Name = "variant"
+	base.Scalar = ir.F64()
+	workload.Generate(m, base)
+	res, err := Merge(m.FuncByName("orig"), m.FuncByName("variant"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Commit()
+
+	text1 := ir.FormatModule(m)
+	m2, err := ir.ParseModule("fmt", text1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text1)
+	}
+	if err := ir.VerifyModule(m2); err != nil {
+		t.Fatal(err)
+	}
+	if text2 := ir.FormatModule(m2); text1 != text2 {
+		t.Error("merged module formatting unstable")
+	}
+}
+
+// TestMergedNamesUnique guards against symbol collisions when many merges
+// target the same function names.
+func TestMergedNamesUnique(t *testing.T) {
+	m := ir.NewModule("names")
+	var fns []*ir.Func
+	for i := 0; i < 6; i++ {
+		spec := workload.FuncSpec{
+			Name: "clone", Seed: 777, Scalar: ir.I64(),
+			NumParams: 1, Regions: 2, OpsPerBlock: 4, Internal: true,
+		}
+		fns = append(fns, workload.Generate(m, spec))
+	}
+	// Keep them alive.
+	user := m.NewFuncIn("user", ir.FuncOf(ir.I64(), ir.I64()))
+	bd := ir.NewBuilder(user.NewBlockIn("entry"))
+	var acc ir.Value = ir.NewConstInt(ir.I64(), 0)
+	for _, f := range fns {
+		acc = bd.Add(acc, bd.Call(f, user.Params[0]))
+	}
+	bd.Ret(acc)
+
+	seen := map[string]bool{}
+	pair := func(a, b *ir.Func) *ir.Func {
+		res, err := Merge(a, b, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Commit()
+		if seen[res.Merged.Name()] {
+			t.Fatalf("duplicate merged name %s", res.Merged.Name())
+		}
+		seen[res.Merged.Name()] = true
+		return res.Merged
+	}
+	m1 := pair(fns[0], fns[1])
+	m2 := pair(fns[2], fns[3])
+	m3 := pair(fns[4], fns[5])
+	m4 := pair(m1, m2)
+	pair(m4, m3)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected 5 distinct merged names, got %d", len(seen))
+	}
+}

@@ -1,0 +1,138 @@
+// Package core implements the paper's primary contribution: merging two
+// arbitrary functions by sequence alignment (Rocha et al., CGO 2019).
+//
+// The pipeline is: linearize both functions (internal/linearize), align the
+// linearized sequences (internal/align) under the instruction-equivalence
+// relation defined here (§III-D), then generate the merged function in two
+// passes over the aligned sequence (§III-E): matched columns are emitted
+// once, unmatched columns are guarded by a function-identifier parameter,
+// operand disagreements become select instructions (values) or dispatch
+// blocks (labels), and parameter lists and return types are unified.
+package core
+
+import (
+	"fmsa/internal/ir"
+	"fmsa/internal/linearize"
+)
+
+// InstructionsEquivalent implements the instruction-equivalence relation of
+// §III-D: two instructions are equivalent if their opcodes agree, their
+// result types agree, and their operands pairwise agree in type. Operand
+// *values* may differ — the merger reconciles them with selects. Additional
+// per-opcode constraints keep code generation sound:
+//
+//   - comparisons must use the same predicate;
+//   - allocas must allocate the same type;
+//   - getelementptr index constants must be identical (different constants
+//     would address different fields through the same shared instruction);
+//   - switches must have identical case constants;
+//   - calls and invokes must have identical callee function types;
+//   - invokes must unwind to landing blocks with identical landingpads;
+//   - landingpads must encode identical clause lists;
+//   - phis are never equivalent (inputs must be phi-free, see DemotePhis).
+func InstructionsEquivalent(a, b *ir.Inst) bool {
+	if a.Op != b.Op {
+		return false
+	}
+	if a.Type() != b.Type() {
+		return false
+	}
+	if a.NumOperands() != b.NumOperands() {
+		return false
+	}
+	for i := 0; i < a.NumOperands(); i++ {
+		oa, ob := a.Operand(i), b.Operand(i)
+		_, la := oa.(*ir.Block)
+		_, lb := ob.(*ir.Block)
+		if la != lb {
+			return false
+		}
+		if !la && oa.Type() != ob.Type() {
+			return false
+		}
+	}
+
+	switch a.Op {
+	case ir.OpPhi:
+		return false
+	case ir.OpICmp, ir.OpFCmp:
+		return a.Pred == b.Pred
+	case ir.OpAlloca:
+		return a.Alloc == b.Alloc
+	case ir.OpGEP:
+		for i := 1; i < a.NumOperands(); i++ {
+			ca, isCA := a.Operand(i).(*ir.ConstInt)
+			cb, isCB := b.Operand(i).(*ir.ConstInt)
+			if isCA != isCB {
+				return false
+			}
+			if isCA && (ca.Type() != cb.Type() || ca.V != cb.V) {
+				return false
+			}
+		}
+		return true
+	case ir.OpSwitch:
+		for i := 2; i < a.NumOperands(); i += 2 {
+			ca := a.Operand(i).(*ir.ConstInt)
+			cb := b.Operand(i).(*ir.ConstInt)
+			if ca.Type() != cb.Type() || ca.V != cb.V {
+				return false
+			}
+		}
+		return true
+	case ir.OpLandingPad:
+		return landingPadsIdentical(a, b)
+	case ir.OpInvoke:
+		lpa := a.InvokeUnwind().Insts
+		lpb := b.InvokeUnwind().Insts
+		if len(lpa) == 0 || len(lpb) == 0 {
+			return false
+		}
+		return landingPadsIdentical(lpa[0], lpb[0])
+	}
+	return true
+}
+
+// landingPadsIdentical reports whether two landingpad instructions encode
+// identical lists of exception and cleanup handlers (§III-D).
+func landingPadsIdentical(a, b *ir.Inst) bool {
+	if a.Op != ir.OpLandingPad || b.Op != ir.OpLandingPad {
+		return false
+	}
+	if len(a.Clauses) != len(b.Clauses) {
+		return false
+	}
+	for i := range a.Clauses {
+		if a.Clauses[i] != b.Clauses[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelsEquivalent implements label equivalence (§III-D): labels of normal
+// basic blocks are mutually equivalent; landing-block labels are equivalent
+// only to landing-block labels with identical landingpad instructions.
+func LabelsEquivalent(a, b *ir.Block) bool {
+	la, lb := a.IsLandingBlock(), b.IsLandingBlock()
+	if la != lb {
+		return false
+	}
+	if !la {
+		return true
+	}
+	return landingPadsIdentical(a.Insts[0], b.Insts[0])
+}
+
+// EntriesEquivalent lifts equivalence to linearization entries: labels match
+// labels and instructions match instructions under their respective
+// relations.
+func EntriesEquivalent(a, b linearize.Entry) bool {
+	if a.IsLabel() != b.IsLabel() {
+		return false
+	}
+	if a.IsLabel() {
+		return LabelsEquivalent(a.Block, b.Block)
+	}
+	return InstructionsEquivalent(a.Inst, b.Inst)
+}

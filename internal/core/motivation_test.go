@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+)
+
+// pairReduction merges two functions and returns the percent reduction in
+// cost-model size of the pair itself (§II quotes 18% for Fig. 1 and 23%
+// for Fig. 2 in machine instructions).
+func pairReduction(t *testing.T, src, n1, n2 string, target tti.Target) float64 {
+	t.Helper()
+	m := ir.MustParseModule("mot", src)
+	f1, f2 := m.FuncByName(n1), m.FuncByName(n2)
+	before := tti.FuncSize(target, f1) + tti.FuncSize(target, f2)
+	res, err := Merge(f1, f2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tti.FuncSize(target, res.Merged)
+	res.Discard()
+	return 100 * float64(before-after) / float64(before)
+}
+
+// TestMotivationFig1Reduction measures the §II claim on the sphinx pair:
+// merging alone (ignoring thunk bookkeeping) removes a double-digit
+// percentage of the pair's code.
+func TestMotivationFig1Reduction(t *testing.T) {
+	for _, tgt := range tti.Targets() {
+		red := pairReduction(t, sphinxIR, "glist_add_float32", "glist_add_float64", tgt)
+		t.Logf("%s: Fig. 1 pair reduction %.1f%% (paper: 18%% on Intel)", tgt.Name(), red)
+		if red < 10 || red > 50 {
+			t.Errorf("%s: Fig. 1 pair reduction %.1f%% outside plausible band", tgt.Name(), red)
+		}
+	}
+}
+
+// TestMotivationFig2Reduction measures the §II claim on the libquantum
+// pair.
+func TestMotivationFig2Reduction(t *testing.T) {
+	for _, tgt := range tti.Targets() {
+		red := pairReduction(t, libquantumIR, "quantum_cond_phase_inv", "quantum_cond_phase", tgt)
+		t.Logf("%s: Fig. 2 pair reduction %.1f%% (paper: 23%% on Intel)", tgt.Name(), red)
+		if red < 15 || red > 55 {
+			t.Errorf("%s: Fig. 2 pair reduction %.1f%% outside plausible band", tgt.Name(), red)
+		}
+	}
+}

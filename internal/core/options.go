@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"fmsa/internal/align"
+	"fmsa/internal/linearize"
+)
+
+// Timings accumulates wall-clock time per merge phase, feeding the Fig. 13
+// compile-time breakdown.
+type Timings struct {
+	Linearize time.Duration
+	Align     time.Duration
+	CodeGen   time.Duration
+}
+
+// AlignFunc is the signature of a pairwise global-alignment algorithm.
+type AlignFunc func(n, m int, eq align.EqFunc, sc align.Scoring) []align.Step
+
+// Options configures a merge operation. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	// Scoring is the alignment scoring scheme.
+	Scoring align.Scoring
+	// Align is the alignment algorithm (defaults to align.Align, which
+	// picks Needleman–Wunsch or Hirschberg by problem size).
+	Align AlignFunc
+	// Order is the linearization traversal order (paper default: RPO).
+	Order linearize.Order
+	// ReuseParams enables sharing parameters of identical type between the
+	// two merged functions (§III-E, Fig. 6). Disabling it is the
+	// parameter-merging ablation.
+	ReuseParams bool
+	// NamePrefix prefixes generated merged-function names.
+	NamePrefix string
+	// Timings, when non-nil, accumulates per-phase wall-clock time.
+	Timings *Timings
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Scoring:     align.DefaultScoring,
+		Align:       align.Align,
+		Order:       linearize.OrderRPO,
+		ReuseParams: true,
+		NamePrefix:  "__merged",
+	}
+}
+
+// Stats describes one merge operation, for reporting and for the
+// compile-time breakdown experiment (Fig. 13).
+type Stats struct {
+	// Len1 and Len2 are the linearized sequence lengths.
+	Len1, Len2 int
+	// MatchedColumns counts aligned columns emitted once.
+	MatchedColumns int
+	// GapColumns counts columns unique to one function.
+	GapColumns int
+	// Selects counts operand-select instructions inserted.
+	Selects int
+	// DispatchBlocks counts label-disagreement dispatch blocks inserted.
+	DispatchBlocks int
+	// HasFuncID reports whether the merged function needed the
+	// function-identifier parameter.
+	HasFuncID bool
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+
+	"fmsa/internal/align"
+	"fmsa/internal/ir"
+	"fmsa/internal/linearize"
+)
+
+// paramPlan describes the merged parameter list (§III-E, Fig. 6).
+type paramPlan struct {
+	// types are the merged parameter types. When hasFuncID is true, slot 0
+	// is the i1 function identifier.
+	types []*ir.Type
+	// hasFuncID records whether slot 0 is the function identifier.
+	hasFuncID bool
+	// map1[i] is the merged slot receiving f1's parameter i; likewise map2.
+	map1, map2 []int
+}
+
+// buildParamPlan merges the parameter lists of f1 and f2. All of f1's
+// parameters are appended first; each f2 parameter then either reuses an
+// available f1 parameter of identical type or appends a new slot. When
+// multiple candidates exist, pairs are chosen to maximise the number of
+// aligned instruction pairs that use the two parameters in the same operand
+// position — each such pair avoids one select instruction (§III-E).
+func buildParamPlan(f1, f2 *ir.Func, seq1, seq2 []linearize.Entry, steps []align.Step, reuse bool) paramPlan {
+	plan := paramPlan{hasFuncID: true}
+	plan.types = append(plan.types, ir.Bool())
+	plan.map1 = make([]int, len(f1.Params))
+	plan.map2 = make([]int, len(f2.Params))
+
+	for i, p := range f1.Params {
+		plan.map1[i] = len(plan.types)
+		plan.types = append(plan.types, p.Type())
+	}
+
+	if !reuse {
+		for j, p := range f2.Params {
+			plan.map2[j] = len(plan.types)
+			plan.types = append(plan.types, p.Type())
+		}
+		return plan
+	}
+
+	votes := countParamVotes(f1, f2, seq1, seq2, steps)
+
+	// Candidate pairs of identical type, ordered by descending vote count,
+	// then by (i, j) for determinism.
+	type cand struct {
+		i, j, votes int
+	}
+	var cands []cand
+	for j, p2 := range f2.Params {
+		for i, p1 := range f1.Params {
+			if p1.Type() == p2.Type() {
+				cands = append(cands, cand{i: i, j: j, votes: votes[[2]int{i, j}]})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].votes != cands[b].votes {
+			return cands[a].votes > cands[b].votes
+		}
+		if cands[a].i != cands[b].i {
+			return cands[a].i < cands[b].i
+		}
+		return cands[a].j < cands[b].j
+	})
+
+	used1 := make([]bool, len(f1.Params))
+	assigned2 := make([]int, len(f2.Params))
+	for j := range assigned2 {
+		assigned2[j] = -1
+	}
+	for _, c := range cands {
+		if used1[c.i] || assigned2[c.j] >= 0 {
+			continue
+		}
+		used1[c.i] = true
+		assigned2[c.j] = c.i
+	}
+	for j := range f2.Params {
+		if i := assigned2[j]; i >= 0 {
+			plan.map2[j] = plan.map1[i]
+		} else {
+			plan.map2[j] = len(plan.types)
+			plan.types = append(plan.types, f2.Params[j].Type())
+		}
+	}
+	return plan
+}
+
+// countParamVotes counts, for every (f1 param, f2 param) pair, how many
+// aligned matched instruction pairs use them in the same operand position.
+func countParamVotes(f1, f2 *ir.Func, seq1, seq2 []linearize.Entry, steps []align.Step) map[[2]int]int {
+	votes := map[[2]int]int{}
+	for _, s := range steps {
+		if s.Op != align.OpMatch {
+			continue
+		}
+		e1, e2 := seq1[s.I], seq2[s.J]
+		if e1.IsLabel() || e2.IsLabel() {
+			continue
+		}
+		i1, i2 := e1.Inst, e2.Inst
+		n := i1.NumOperands()
+		if i2.NumOperands() < n {
+			n = i2.NumOperands()
+		}
+		for k := 0; k < n; k++ {
+			p1, ok1 := i1.Operand(k).(*ir.Param)
+			p2, ok2 := i2.Operand(k).(*ir.Param)
+			if ok1 && ok2 && p1.Parent() == f1 && p2.Parent() == f2 && p1.Type() == p2.Type() {
+				votes[[2]int{p1.Index, p2.Index}]++
+			}
+		}
+	}
+	return votes
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"fmsa/internal/ir"
+)
+
+// mergeReturnTypes computes the return type of the merged function (§III-E).
+// Identical types are kept; if one side is void the other type wins; scalar
+// types of equal width share a bitcast-compatible base; any remaining scalar
+// combination is funnelled through i64, which every modelled scalar fits in
+// losslessly. Differing aggregate returns are not supported.
+func mergeReturnTypes(t1, t2 *ir.Type) (*ir.Type, error) {
+	switch {
+	case t1 == t2:
+		return t1, nil
+	case t1.IsVoid():
+		return t2, nil
+	case t2.IsVoid():
+		return t1, nil
+	case t1.IsAggregate() || t2.IsAggregate():
+		return nil, fmt.Errorf("cannot merge aggregate return types %s and %s", t1, t2)
+	case ir.LosslesslyBitcastable(t1, t2):
+		return t1, nil
+	default:
+		return ir.I64(), nil
+	}
+}
+
+// convertToRet emits instructions before pos converting v to the merged
+// return type ret. The conversion is lossless and reversed exactly by
+// convertFromRet.
+func convertToRet(v ir.Value, ret *ir.Type, insertBlock *ir.Block, pos *ir.Inst) ir.Value {
+	t := v.Type()
+	if t == ret {
+		return v
+	}
+	emit := func(in *ir.Inst) *ir.Inst {
+		insertBlock.InsertBefore(in, pos)
+		return in
+	}
+	if ir.LosslesslyBitcastable(t, ret) {
+		return emit(ir.NewInst(ir.OpBitCast, ret, v))
+	}
+	// Widening path into an integer container (ret is i64 by construction).
+	if !ret.IsInt() {
+		panic(fmt.Sprintf("core: unexpected merged return type %s", ret))
+	}
+	switch {
+	case t.IsInt():
+		return emit(ir.NewInst(ir.OpZExt, ret, v))
+	case t.IsFloat():
+		asInt := emit(ir.NewInst(ir.OpBitCast, ir.Int(t.Bits), v))
+		if t.Bits == ret.Bits {
+			return asInt
+		}
+		return emit(ir.NewInst(ir.OpZExt, ret, asInt))
+	case t.IsPointer():
+		return emit(ir.NewInst(ir.OpPtrToInt, ret, v))
+	default:
+		panic(fmt.Sprintf("core: cannot convert %s to return type %s", t, ret))
+	}
+}
+
+// emitFn places a freshly created instruction somewhere and returns it.
+type emitFn func(*ir.Inst) *ir.Inst
+
+// appendEmit returns an emitFn appending to the end of bd's block.
+func appendEmit(bd *ir.Builder) emitFn {
+	return func(in *ir.Inst) *ir.Inst {
+		bd.Block().Append(in)
+		return in
+	}
+}
+
+// convertFromRet emits instructions (through emit) converting a
+// merged-return value v back to the original return type want. It is the
+// exact inverse of convertToRet.
+func convertFromRet(emit emitFn, v ir.Value, want *ir.Type) ir.Value {
+	t := v.Type()
+	if t == want {
+		return v
+	}
+	if ir.LosslesslyBitcastable(t, want) {
+		return emit(ir.NewInst(ir.OpBitCast, want, v))
+	}
+	if !t.IsInt() {
+		panic(fmt.Sprintf("core: cannot unwrap return %s to %s", t, want))
+	}
+	switch {
+	case want.IsInt():
+		return emit(ir.NewInst(ir.OpTrunc, want, v))
+	case want.IsFloat():
+		narrow := v
+		if want.Bits < t.Bits {
+			narrow = emit(ir.NewInst(ir.OpTrunc, ir.Int(want.Bits), v))
+		}
+		return emit(ir.NewInst(ir.OpBitCast, want, narrow))
+	case want.IsPointer():
+		return emit(ir.NewInst(ir.OpIntToPtr, want, v))
+	default:
+		panic(fmt.Sprintf("core: cannot unwrap return %s to %s", t, want))
+	}
+}

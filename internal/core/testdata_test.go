@@ -1,0 +1,286 @@
+package core
+
+// IR sources shared across core tests: the paper's two motivating examples
+// (Fig. 1 and Fig. 2) translated to the project IR, plus smaller fixtures.
+
+// sphinxIR models Fig. 1: glist_add_float32 / glist_add_float64 from
+// 482.sphinx3 — identical shapes, one differing parameter type and store.
+const sphinxIR = `
+declare i8* @mymalloc(i64)
+
+define internal i8* @glist_add_float32(i8* %g, f32 %val) {
+entry:
+  %mem = call i8* @mymalloc(i64 16)
+  %data = bitcast i8* %mem to f32*
+  store f32 %val, f32* %data
+  %nextraw = getelementptr i8, i8* %mem, i64 8
+  %next = bitcast i8* %nextraw to i8**
+  store i8* %g, i8** %next
+  ret i8* %mem
+}
+
+define internal i8* @glist_add_float64(i8* %g, f64 %val) {
+entry:
+  %mem = call i8* @mymalloc(i64 16)
+  %data = bitcast i8* %mem to f64*
+  store f64 %val, f64* %data
+  %nextraw = getelementptr i8, i8* %mem, i64 8
+  %next = bitcast i8* %nextraw to i8**
+  store i8* %g, i8** %next
+  ret i8* %mem
+}
+
+define i8* @use32(i8* %g, f32 %v) {
+entry:
+  %r = call i8* @glist_add_float32(i8* %g, f32 %v)
+  ret i8* %r
+}
+
+define i8* @use64(i8* %g, f64 %v) {
+entry:
+  %r = call i8* @glist_add_float64(i8* %g, f64 %v)
+  ret i8* %r
+}
+`
+
+// libquantumIR models Fig. 2: quantum_cond_phase / quantum_cond_phase_inv
+// from 462.libquantum — same signature, one extra basic block and a negated
+// constant. The quantum register is modelled as {i64 size, i64* states,
+// f64* amps} laid out as {i64, i64*, f64*}.
+const libquantumIR = `
+declare i1 @quantum_objcode_put(i32, i32, i32)
+declare void @quantum_decohere({i64, i64*, f64*}*)
+
+define void @quantum_cond_phase_inv(i32 %control, i32 %target, {i64, i64*, f64*}* %reg) {
+entry:
+  %cmt = sub i32 %control, %target
+  %shamt = shl i32 1, %cmt
+  %shf = sitofp i32 %shamt to f64
+  %z = fdiv f64 -3.141592653589793, %shf
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %szp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 0
+  %sz = load i64, i64* %szp
+  %c = icmp slt i64 %iv, %sz
+  br i1 %c, label %body, label %done
+body:
+  %stp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 1
+  %states = load i64*, i64** %stp
+  %sp = getelementptr i64, i64* %states, i64 %iv
+  %state = load i64, i64* %sp
+  %cbit = zext i32 %control to i64
+  %cmask = shl i64 1, %cbit
+  %cand = and i64 %state, %cmask
+  %ctest = icmp ne i64 %cand, 0
+  br i1 %ctest, label %checktgt, label %next
+checktgt:
+  %tbit = zext i32 %target to i64
+  %tmask = shl i64 1, %tbit
+  %tand = and i64 %state, %tmask
+  %ttest = icmp ne i64 %tand, 0
+  br i1 %ttest, label %apply, label %next
+apply:
+  %ampp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 2
+  %amps = load f64*, f64** %ampp
+  %ap = getelementptr f64, f64* %amps, i64 %iv
+  %amp = load f64, f64* %ap
+  %amp2 = fmul f64 %amp, %z
+  store f64 %amp2, f64* %ap
+  br label %next
+next:
+  %iv2 = add i64 %iv, 1
+  store i64 %iv2, i64* %i
+  br label %head
+done:
+  call void @quantum_decohere({i64, i64*, f64*}* %reg)
+  ret void
+}
+
+define void @quantum_cond_phase(i32 %control, i32 %target, {i64, i64*, f64*}* %reg) {
+entry:
+  %obj = call i1 @quantum_objcode_put(i32 7, i32 %control, i32 %target)
+  br i1 %obj, label %earlyret, label %cont
+earlyret:
+  ret void
+cont:
+  %cmt = sub i32 %control, %target
+  %shamt = shl i32 1, %cmt
+  %shf = sitofp i32 %shamt to f64
+  %z = fdiv f64 3.141592653589793, %shf
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %szp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 0
+  %sz = load i64, i64* %szp
+  %c = icmp slt i64 %iv, %sz
+  br i1 %c, label %body, label %done
+body:
+  %stp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 1
+  %states = load i64*, i64** %stp
+  %sp = getelementptr i64, i64* %states, i64 %iv
+  %state = load i64, i64* %sp
+  %cbit = zext i32 %control to i64
+  %cmask = shl i64 1, %cbit
+  %cand = and i64 %state, %cmask
+  %ctest = icmp ne i64 %cand, 0
+  br i1 %ctest, label %checktgt, label %next
+checktgt:
+  %tbit = zext i32 %target to i64
+  %tmask = shl i64 1, %tbit
+  %tand = and i64 %state, %tmask
+  %ttest = icmp ne i64 %tand, 0
+  br i1 %ttest, label %apply, label %next
+apply:
+  %ampp = getelementptr {i64, i64*, f64*}, {i64, i64*, f64*}* %reg, i64 0, i32 2
+  %amps = load f64*, f64** %ampp
+  %ap = getelementptr f64, f64* %amps, i64 %iv
+  %amp = load f64, f64* %ap
+  %amp2 = fmul f64 %amp, %z
+  store f64 %amp2, f64* %ap
+  br label %next
+next:
+  %iv2 = add i64 %iv, 1
+  store i64 %iv2, i64* %i
+  br label %head
+done:
+  call void @quantum_decohere({i64, i64*, f64*}* %reg)
+  ret void
+}
+`
+
+// identicalPairIR contains two byte-identical internal functions plus
+// callers.
+const identicalPairIR = `
+define internal i32 @ctor_a(i32 %x) {
+entry:
+  %a = add i32 %x, 10
+  %b = mul i32 %a, 3
+  ret i32 %b
+}
+
+define internal i32 @ctor_b(i32 %x) {
+entry:
+  %a = add i32 %x, 10
+  %b = mul i32 %a, 3
+  ret i32 %b
+}
+
+define i32 @call_a(i32 %x) {
+entry:
+  %r = call i32 @ctor_a(i32 %x)
+  ret i32 %r
+}
+
+define i32 @call_b(i32 %x) {
+entry:
+  %r = call i32 @ctor_b(i32 %x)
+  ret i32 %r
+}
+`
+
+// retMixIR holds functions with different return types (i32 vs f64).
+const retMixIR = `
+define internal i32 @geti(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define internal f64 @getf(f64 %x) {
+entry:
+  %r = fadd f64 %x, 1.0
+  ret f64 %r
+}
+
+define i32 @usei(i32 %x) {
+entry:
+  %r = call i32 @geti(i32 %x)
+  ret i32 %r
+}
+
+define f64 @usef(f64 %x) {
+entry:
+  %r = call f64 @getf(f64 %x)
+  ret f64 %r
+}
+`
+
+// voidMixIR merges a void function with a value-returning one.
+const voidMixIR = `
+@acc = global i64 zeroinitializer
+
+define internal void @bump(i64 %d) {
+entry:
+  %v = load i64, i64* @acc
+  %v2 = add i64 %v, %d
+  store i64 %v2, i64* @acc
+  ret void
+}
+
+define internal i64 @bumpget(i64 %d) {
+entry:
+  %v = load i64, i64* @acc
+  %v2 = add i64 %v, %d
+  store i64 %v2, i64* @acc
+  ret i64 %v2
+}
+
+define void @useb(i64 %d) {
+entry:
+  call void @bump(i64 %d)
+  ret void
+}
+
+define i64 @usebg(i64 %d) {
+entry:
+  %r = call i64 @bumpget(i64 %d)
+  ret i64 %r
+}
+`
+
+// ehPairIR holds two similar functions using invoke/landingpad.
+const ehPairIR = `
+declare void @throw()
+declare void @log(i64)
+
+define internal i64 @guard_add(i64 %x) {
+entry:
+  invoke void @throw() to label %ok unwind label %lpad
+ok:
+  %r = add i64 %x, 1
+  ret i64 %r
+lpad:
+  %lp = landingpad cleanup
+  call void @log(i64 %x)
+  ret i64 0
+}
+
+define internal i64 @guard_mul(i64 %x) {
+entry:
+  invoke void @throw() to label %ok unwind label %lpad
+ok:
+  %r = mul i64 %x, 2
+  ret i64 %r
+lpad:
+  %lp = landingpad cleanup
+  call void @log(i64 %x)
+  ret i64 0
+}
+
+define i64 @use_ga(i64 %x) {
+entry:
+  %r = call i64 @guard_add(i64 %x)
+  ret i64 %r
+}
+
+define i64 @use_gm(i64 %x) {
+entry:
+  %r = call i64 @guard_mul(i64 %x)
+  ret i64 %r
+}
+`

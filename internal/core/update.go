@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"fmsa/internal/ir"
+)
+
+// Commit installs the merged function into the module, redirects every
+// direct call of the originals to it, and then either deletes each original
+// (when its linkage permits and no other references remain) or replaces its
+// body with a thunk that forwards to the merged function (§III-A, §IV).
+//
+// It returns the number of original functions that were deleted outright
+// (0, 1 or 2); the others remain as thunks.
+func (r *Result) Commit() int {
+	mod := r.F1.Parent()
+	r.Merged.SetName(mod.UniqueName(r.Merged.Name()))
+	mod.AddFunc(r.Merged)
+
+	// Drop the original bodies first so stale intra-body references (e.g.
+	// f1 calling f2) disappear before the rewrite.
+	r.F1.DropBody()
+	r.F2.DropBody()
+
+	r.rewriteCallers(r.F1, true, r.ParamMap1)
+	r.rewriteCallers(r.F2, false, r.ParamMap2)
+
+	removed := 0
+	for i, f := range []*ir.Func{r.F1, r.F2} {
+		id := i == 0
+		pmap := r.ParamMap1
+		if !id {
+			pmap = r.ParamMap2
+		}
+		if f.NumUses() == 0 && f.Linkage == ir.InternalLinkage {
+			mod.RemoveFunc(f)
+			removed++
+			continue
+		}
+		r.buildThunk(f, id, pmap)
+	}
+	return removed
+}
+
+// mergedArgs builds the argument list for a call to the merged function on
+// behalf of original function id (true = F1), given the original arguments.
+func (r *Result) mergedArgs(id bool, pmap []int, origArgs []ir.Value) []ir.Value {
+	sig := r.Merged.Sig()
+	args := make([]ir.Value, len(sig.Fields))
+	if r.HasFuncID {
+		args[0] = ir.NewConstInt(ir.Bool(), b2i(id))
+	}
+	for i, a := range origArgs {
+		args[pmap[i]] = a
+	}
+	for s, a := range args {
+		if a == nil {
+			// Parameter belonging to the other function: undefined
+			// (§III-E).
+			args[s] = ir.NewUndef(sig.Fields[s])
+		}
+	}
+	return args
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// rewriteCallers redirects every remaining direct call or invoke of f to the
+// merged function, inserting return-value conversions where the merged
+// return type differs from f's.
+func (r *Result) rewriteCallers(f *ir.Func, id bool, pmap []int) {
+	for _, c := range f.Callers() {
+		r.rewriteCall(c, f, id, pmap)
+	}
+}
+
+func (r *Result) rewriteCall(c *ir.Inst, f *ir.Func, id bool, pmap []int) {
+	blk := c.Parent()
+	args := r.mergedArgs(id, pmap, c.CallArgs())
+	mret := r.Merged.ReturnType()
+
+	var nc *ir.Inst
+	if c.Op == ir.OpCall {
+		ops := append([]ir.Value{r.Merged}, args...)
+		nc = ir.NewInst(ir.OpCall, mret, ops...)
+		blk.InsertBefore(nc, c)
+		if !c.Type().IsVoid() {
+			v := ir.Value(nc)
+			if v.Type() != c.Type() {
+				v = convertAfter(blk, nc, v, c.Type())
+			}
+			ir.ReplaceAllUsesWith(c, v)
+		}
+		c.RemoveFromParent()
+		return
+	}
+
+	// Invoke: the result value exists only along the normal edge. When a
+	// conversion is needed, split the edge with a fresh block holding the
+	// conversions.
+	normal, unwind := c.InvokeNormal(), c.InvokeUnwind()
+	ops := append([]ir.Value{r.Merged}, args...)
+	ops = append(ops, normal, unwind)
+	nc = ir.NewInst(ir.OpInvoke, mret, ops...)
+	blk.InsertBefore(nc, c)
+	if !c.Type().IsVoid() && mret != c.Type() {
+		fn := blk.Parent()
+		eb := ir.NewBlock("")
+		fn.AppendBlock(eb)
+		bd := ir.NewBuilder(eb)
+		v := convertFromRet(appendEmit(bd), nc, c.Type())
+		bd.Br(normal)
+		nc.SetOperand(nc.NumOperands()-2, eb)
+		ir.ReplaceAllUsesWith(c, v)
+	} else if !c.Type().IsVoid() {
+		ir.ReplaceAllUsesWith(c, nc)
+	}
+	c.RemoveFromParent()
+}
+
+// convertAfter emits return-type unwrap conversions immediately after pos.
+// The block is guaranteed non-empty past pos (a call is never a terminator).
+func convertAfter(blk *ir.Block, pos *ir.Inst, v ir.Value, want *ir.Type) ir.Value {
+	anchor := blk.Insts[indexOf(blk, pos)+1]
+	emit := func(in *ir.Inst) *ir.Inst {
+		blk.InsertBefore(in, anchor)
+		return in
+	}
+	return convertFromRet(emit, v, want)
+}
+
+// buildThunk replaces f's (already dropped) body with a tail call to the
+// merged function (§III-A).
+func (r *Result) buildThunk(f *ir.Func, id bool, pmap []int) {
+	entry := f.NewBlockIn("entry")
+	bd := ir.NewBuilder(entry)
+	origArgs := make([]ir.Value, len(f.Params))
+	for i, p := range f.Params {
+		origArgs[i] = p
+	}
+	args := r.mergedArgs(id, pmap, origArgs)
+	call := bd.Call(r.Merged, args...)
+	if f.ReturnType().IsVoid() {
+		bd.Ret(nil)
+		return
+	}
+	v := ir.Value(call)
+	if v.Type() != f.ReturnType() {
+		v = convertFromRet(appendEmit(bd), v, f.ReturnType())
+	}
+	bd.Ret(v)
+}
+
+// sanity check helper used by tests.
+func mustSameModule(fs ...*ir.Func) error {
+	if len(fs) == 0 {
+		return nil
+	}
+	m := fs[0].Parent()
+	for _, f := range fs[1:] {
+		if f.Parent() != m {
+			return fmt.Errorf("functions in different modules")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+// tinyProfiles keeps experiment tests fast.
+func tinyProfiles() []workload.Profile {
+	return []workload.Profile{
+		{
+			Name: "tiny-rich", NumFuncs: 20, AvgSize: 25, MaxSize: 80,
+			Identical: 0.15, ConstVar: 0.05, TypeVar: 0.1, CFGVar: 0.1, Partial: 0.05,
+			InternalFrac: 0.7, Seed: 61,
+		},
+		{
+			Name: "tiny-poor", NumFuncs: 8, AvgSize: 20, MaxSize: 50,
+			InternalFrac: 0.5, Seed: 62,
+		},
+	}
+}
+
+func TestCodeSizeOrdering(t *testing.T) {
+	rows := CodeSize(tinyProfiles(), tti.X86{}, Fig10Techniques())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	rich := rows[0]
+	if rich.NumFuncs != 20 { // driver excluded from population stats
+		t.Errorf("NumFuncs = %d, want 20", rich.NumFuncs)
+	}
+	id := rich.Reduction["Identical"]
+	soa := rich.Reduction["SOA"]
+	f1 := rich.Reduction["FMSA[t=1]"]
+	f10 := rich.Reduction["FMSA[t=10]"]
+	or := rich.Reduction["FMSA[oracle]"]
+	if id > soa+0.5 || soa > f1+0.5 {
+		t.Errorf("power ordering violated: id=%.2f soa=%.2f fmsa1=%.2f", id, soa, f1)
+	}
+	if f10+0.5 < f1 {
+		t.Errorf("higher threshold lost reduction: t1=%.2f t10=%.2f", f1, f10)
+	}
+	if or+0.5 < f10 {
+		t.Errorf("oracle below t=10: oracle=%.2f t10=%.2f", or, f10)
+	}
+	// The similarity-free module must see almost nothing.
+	poor := rows[1]
+	if poor.Reduction["FMSA[t=10]"] > 5 {
+		t.Errorf("clone-free module reduced %.2f%%", poor.Reduction["FMSA[t=10]"])
+	}
+}
+
+func TestRankCDFShape(t *testing.T) {
+	cdf := RankCDF(tinyProfiles(), tti.X86{}, 10, 10)
+	if len(cdf) != 10 {
+		t.Fatalf("cdf length = %d", len(cdf))
+	}
+	prev := 0.0
+	for _, v := range cdf {
+		if v < prev {
+			t.Fatal("CDF not monotone")
+		}
+		prev = v
+	}
+	if cdf[9] != 100 && cdf[9] != 0 {
+		t.Errorf("coverage at max rank = %.1f, want 100 (or 0 if no merges)", cdf[9])
+	}
+}
+
+func TestCompileTimeAboveOne(t *testing.T) {
+	rows := CompileTime(tinyProfiles()[:1], tti.X86{}, []Technique{Identical(), FMSA(1)})
+	for _, r := range rows {
+		for tech, v := range r.Normalized {
+			if v < 1.0 {
+				t.Errorf("%s %s: normalized time %.3f < 1", r.Bench, tech, v)
+			}
+		}
+		if r.Normalized["FMSA[t=1]"] < r.Normalized["Identical"] {
+			t.Error("FMSA should cost at least as much as Identical")
+		}
+	}
+}
+
+func TestBreakdownSumsToHundred(t *testing.T) {
+	rows := Breakdown(tinyProfiles()[:1], tti.X86{}, 1)
+	for _, r := range rows {
+		sum := 0.0
+		for _, ph := range PhaseNames {
+			sum += r.Percent[ph]
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("%s: phases sum to %.1f%%", r.Bench, sum)
+		}
+	}
+}
+
+func TestRuntimeBounded(t *testing.T) {
+	rows, err := Runtime(tinyProfiles(), tti.X86{}, []Technique{Identical(), FMSA(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for tech, v := range r.Normalized {
+			if v < 0.95 || v > 2.0 {
+				t.Errorf("%s %s: runtime ratio %.3f out of plausible range", r.Bench, tech, v)
+			}
+		}
+	}
+}
+
+func TestHotExclusionImprovesRuntime(t *testing.T) {
+	res, err := HotExclusion(tinyProfiles()[0], tti.X86{}, 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverheadCold > res.OverheadAll+1e-9 {
+		t.Errorf("cold-only runtime %.3f worse than all-functions %.3f",
+			res.OverheadCold, res.OverheadAll)
+	}
+	if res.ReductionCold > res.ReductionAll+1e-9 {
+		t.Errorf("cold-only reduction %.2f exceeds all-functions %.2f",
+			res.ReductionCold, res.ReductionAll)
+	}
+}
+
+func TestLTOGranularityMonotone(t *testing.T) {
+	units := []int{1, 4, 16}
+	rows := LTOGranularity(tinyProfiles()[:1], tti.X86{}, 1, units)
+	r := rows[0]
+	if r.Reduction[4] > r.Reduction[1]+0.5 {
+		t.Errorf("4 units reduced more (%.2f%%) than LTO (%.2f%%)", r.Reduction[4], r.Reduction[1])
+	}
+	if r.Reduction[16] > r.Reduction[4]+0.5 {
+		t.Errorf("16 units reduced more (%.2f%%) than 4 (%.2f%%)", r.Reduction[16], r.Reduction[4])
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	techs := []Technique{Identical(), FMSA(1)}
+	rows := CodeSize(tinyProfiles()[:1], tti.X86{}, techs)
+	names := TechNames(techs)
+
+	sizeTab := FormatSizeTable(rows, names)
+	if !strings.Contains(sizeTab, "tiny-rich") || !strings.Contains(sizeTab, "Mean") {
+		t.Errorf("size table malformed:\n%s", sizeTab)
+	}
+	statsTab := FormatStatsTable(rows, names)
+	if !strings.Contains(statsTab, "Min/Avg/Max") {
+		t.Errorf("stats table malformed:\n%s", statsTab)
+	}
+	csv := SizeCSV(rows, names)
+	if !strings.HasPrefix(csv, "benchmark,Identical,FMSA[t=1]") {
+		t.Errorf("csv header malformed: %s", csv)
+	}
+	if strings.Count(csv, "\n") != 2 {
+		t.Errorf("csv row count wrong:\n%s", csv)
+	}
+
+	cdfTab := FormatCDF([]float64{50, 100})
+	if !strings.Contains(cdfTab, "Rank position") {
+		t.Error("CDF table malformed")
+	}
+
+	ltoRows := LTOGranularity(tinyProfiles()[:1], tti.X86{}, 1, []int{1, 4})
+	ltoTab := FormatLTOTable(ltoRows, []int{1, 4})
+	if !strings.Contains(ltoTab, "LTO (1 unit)") {
+		t.Errorf("LTO table malformed:\n%s", ltoTab)
+	}
+}
+
+func TestAblationTechniquesRun(t *testing.T) {
+	rows := CodeSize(tinyProfiles()[:1], tti.X86{}, AblationTechniques())
+	r := rows[0]
+	def := r.Reduction["FMSA[t=1]"]
+	noReuse := r.Reduction["FMSA[no-param-reuse]"]
+	if noReuse > def+0.5 {
+		t.Errorf("disabling parameter reuse should not help: %.2f vs %.2f", noReuse, def)
+	}
+	for _, name := range []string{"FMSA[hirschberg]", "FMSA[affine-gap]", "FMSA[canon-order]"} {
+		if _, ok := r.Reduction[name]; !ok {
+			t.Errorf("ablation %s missing", name)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// TechNames extracts the technique names in order.
+func TechNames(techs []Technique) []string {
+	names := make([]string, len(techs))
+	for i, t := range techs {
+		names[i] = t.Name
+	}
+	return names
+}
+
+func table(write func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	write(w)
+	w.Flush()
+	return sb.String()
+}
+
+// FormatSizeTable renders the Fig. 10/11 data: per-benchmark reduction
+// percentages plus the mean row.
+func FormatSizeTable(rows []SizeRow, techs []string) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Benchmark")
+		for _, t := range techs {
+			fmt.Fprintf(w, "\t%s", t)
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s", r.Bench)
+			for _, t := range techs {
+				fmt.Fprintf(w, "\t%.2f%%", r.Reduction[t])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "Mean")
+		for _, t := range techs {
+			fmt.Fprintf(w, "\t%.2f%%", MeanReduction(rows, t))
+		}
+		fmt.Fprintln(w)
+	})
+}
+
+// FormatStatsTable renders the Table I/II data: population statistics and
+// merge-operation counts per technique.
+func FormatStatsTable(rows []SizeRow, techs []string) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Benchmark\t#Fns\tMin/Avg/Max Size")
+		for _, t := range techs {
+			fmt.Fprintf(w, "\t%s", t)
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d / %d / %d", r.Bench, r.NumFuncs, r.MinSize, r.AvgSize, r.MaxSize)
+			for _, t := range techs {
+				fmt.Fprintf(w, "\t%d", r.MergeOps[t])
+			}
+			fmt.Fprintln(w)
+		}
+	})
+}
+
+// FormatTimeTable renders the Fig. 12 normalized compile times.
+func FormatTimeTable(rows []TimeRow, techs []string) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Benchmark")
+		for _, t := range techs {
+			fmt.Fprintf(w, "\t%s", t)
+		}
+		fmt.Fprintln(w)
+		means := map[string][]float64{}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s", r.Bench)
+			for _, t := range techs {
+				fmt.Fprintf(w, "\t%.2fx", r.Normalized[t])
+				means[t] = append(means[t], r.Normalized[t])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "Mean")
+		for _, t := range techs {
+			sum := 0.0
+			for _, v := range means[t] {
+				sum += v
+			}
+			fmt.Fprintf(w, "\t%.2fx", sum/float64(len(rows)))
+		}
+		fmt.Fprintln(w)
+	})
+}
+
+// FormatBreakdownTable renders the Fig. 13 per-phase percentages.
+func FormatBreakdownTable(rows []BreakdownRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Benchmark")
+		for _, ph := range PhaseNames {
+			fmt.Fprintf(w, "\t%s", ph)
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s", r.Bench)
+			for _, ph := range PhaseNames {
+				fmt.Fprintf(w, "\t%.1f%%", r.Percent[ph])
+			}
+			fmt.Fprintln(w)
+		}
+	})
+}
+
+// FormatRuntimeTable renders the Fig. 14 normalized runtimes.
+func FormatRuntimeTable(rows []RuntimeRow, techs []string) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Benchmark")
+		for _, t := range techs {
+			fmt.Fprintf(w, "\t%s", t)
+		}
+		fmt.Fprintln(w)
+		means := map[string][]float64{}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s", r.Bench)
+			for _, t := range techs {
+				fmt.Fprintf(w, "\t%.3fx", r.Normalized[t])
+				means[t] = append(means[t], r.Normalized[t])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "Mean")
+		for _, t := range techs {
+			sum := 0.0
+			for _, v := range means[t] {
+				sum += v
+			}
+			fmt.Fprintf(w, "\t%.3fx", sum/float64(len(rows)))
+		}
+		fmt.Fprintln(w)
+	})
+}
+
+// FormatCDF renders the Fig. 8 cumulative coverage series.
+func FormatCDF(cdf []float64) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Rank position\tCoverage")
+		for i, v := range cdf {
+			fmt.Fprintf(w, "%d\t%.1f%%\n", i+1, v)
+		}
+	})
+}
+
+// FormatLTOTable renders the §IV-B granularity rows.
+func FormatLTOTable(rows []LTORow, units []int) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Benchmark")
+		for _, k := range units {
+			if k == 1 {
+				fmt.Fprintf(w, "\tLTO (1 unit)")
+			} else {
+				fmt.Fprintf(w, "\t%d units", k)
+			}
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s", r.Bench)
+			for _, k := range units {
+				fmt.Fprintf(w, "\t%.2f%%", r.Reduction[k])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "Mean")
+		for _, k := range units {
+			fmt.Fprintf(w, "\t%.2f%%", MeanLTOReduction(rows, k))
+		}
+		fmt.Fprintln(w)
+	})
+}
+
+// SizeCSV renders the code-size rows as CSV (reduction percentages).
+func SizeCSV(rows []SizeRow, techs []string) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark")
+	for _, t := range techs {
+		sb.WriteString(",")
+		sb.WriteString(t)
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		sb.WriteString(r.Bench)
+		for _, t := range techs {
+			fmt.Fprintf(&sb, ",%.4f", r.Reduction[t])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

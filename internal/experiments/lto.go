@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmsa/internal/baseline"
+	"fmsa/internal/explore"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+// LTORow reports the §IV-B granularity experiment for one benchmark: how
+// much reduction survives when merging is confined to translation units of
+// decreasing size instead of the whole program.
+type LTORow struct {
+	Bench string
+	// Reduction maps the number of simulated translation units to the
+	// percent code-size reduction FMSA achieves under that partitioning
+	// (1 = monolithic LTO).
+	Reduction map[int]float64
+}
+
+// partitionRoundRobin assigns the module's definitions to k units in
+// round-robin order, scattering clone families across units the way
+// separate source files scatter template instantiations.
+func partitionRoundRobin(m *ir.Module, k int) map[*ir.Func]int {
+	part := map[*ir.Func]int{}
+	i := 0
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		part[f] = i % k
+		i++
+	}
+	return part
+}
+
+// LTOGranularity runs FMSA at the given threshold under each partitioning
+// of every profile. The paper's §IV-B argues whole-program (LTO) scope is
+// strictly more powerful than per-translation-unit application because
+// only it can merge functions from different units; this experiment
+// quantifies that claim.
+func LTOGranularity(profiles []workload.Profile, target tti.Target, threshold int, units []int) []LTORow {
+	rows := make([]LTORow, 0, len(profiles))
+	for _, p := range profiles {
+		row := LTORow{Bench: p.Name, Reduction: map[int]float64{}}
+		for _, k := range units {
+			m := workload.Build(p)
+			rep := baseline.RunIdentical(m, target)
+			opts := explore.DefaultOptions()
+			opts.Threshold = threshold
+			opts.Target = target
+			if k > 1 {
+				opts.Partition = partitionRoundRobin(m, k)
+			}
+			rep.Add(explore.Run(m, opts))
+			row.Reduction[k] = rep.Reduction()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// MeanLTOReduction averages one unit count's reduction across rows.
+func MeanLTOReduction(rows []LTORow, k int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Reduction[k]
+	}
+	return sum / float64(len(rows))
+}

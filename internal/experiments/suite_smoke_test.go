@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+// TestTableIProfileEndToEnd runs the full pipeline on a genuine Table I
+// profile (433.milc, mid-size) and checks the properties the paper's
+// evaluation rests on: verified output, preserved driver semantics, and
+// the Identical ≤ SOA ≤ FMSA ordering.
+func TestTableIProfileEndToEnd(t *testing.T) {
+	var milc workload.Profile
+	for _, p := range workload.SPECLike() {
+		if p.Name == "433.milc" {
+			milc = p
+		}
+	}
+	if milc.Name == "" {
+		t.Fatal("profile missing")
+	}
+
+	baseline := workload.Build(milc)
+	mc := interp.NewMachine(baseline)
+	workload.RegisterIntrinsics(mc)
+	want, err := mc.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prev float64 = -1
+	for _, tech := range []Technique{Identical(), SOA(), FMSA(1)} {
+		m := workload.Build(milc)
+		rep := tech.Run(m, tti.X86{})
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("%s: %v", tech.Name, err)
+		}
+		mc := interp.NewMachine(m)
+		workload.RegisterIntrinsics(mc)
+		got, err := mc.Run("main")
+		if err != nil {
+			t.Fatalf("%s: %v", tech.Name, err)
+		}
+		if got != want {
+			t.Fatalf("%s changed driver output: %d vs %d", tech.Name, got, want)
+		}
+		red := rep.Reduction()
+		if red+0.5 < prev {
+			t.Errorf("%s reduction %.2f%% broke the technique ordering (prev %.2f%%)",
+				tech.Name, red, prev)
+		}
+		prev = red
+		t.Logf("%-12s %5.2f%% reduction, %d merges", tech.Name, red, rep.MergeOps)
+	}
+}

@@ -1,0 +1,366 @@
+// Package explore implements the paper's exploration framework (§IV,
+// Fig. 7): fingerprints are precomputed for every function, a ranking
+// mechanism selects the top candidates for each function, merges are
+// attempted greedily in rank order, and committed merges feed back into the
+// work list so merged functions can merge again. An oracle mode performs
+// the exhaustive quadratic exploration the ranking replaces.
+package explore
+
+import (
+	"time"
+
+	"fmsa/internal/core"
+	"fmsa/internal/fingerprint"
+	"fmsa/internal/ir"
+	"fmsa/internal/passes"
+	"fmsa/internal/tti"
+)
+
+// Options configures an exploration run.
+type Options struct {
+	// Threshold is the exploration threshold t: how many top-ranked
+	// candidates to evaluate per function (paper Fig. 10 uses 1, 5, 10).
+	Threshold int
+	// Oracle replaces ranking with exhaustive evaluation of every pair,
+	// choosing the most profitable candidate (paper's unrealistic upper
+	// bound).
+	Oracle bool
+	// OracleCap, when positive, bounds the oracle to the top-OracleCap
+	// ranked candidates per function instead of the whole pool. With the
+	// top-1 candidate already covering ~89% of profitable merges (Fig. 8),
+	// a generous cap approximates the exhaustive oracle at a fraction of
+	// its quadratic cost; it is exact for pools no larger than the cap.
+	OracleCap int
+	// Target supplies the code-size cost model for profitability.
+	Target tti.Target
+	// Merge configures the underlying merge operations.
+	Merge core.Options
+	// MaxHotness, when positive, excludes functions whose profile weight
+	// exceeds it (the §V-D profile-guided mitigation).
+	MaxHotness uint64
+	// MinSimilarity prunes candidate pairs below this fingerprint score.
+	MinSimilarity float64
+	// Partition, when non-nil, restricts merging to function pairs in the
+	// same partition — modelling per-translation-unit optimization instead
+	// of whole-program LTO (§IV-B). Functions missing from the map share
+	// partition 0. Merged functions inherit their pair's partition.
+	Partition map[*ir.Func]int
+}
+
+// DefaultOptions returns the paper's default configuration (t=1, Intel
+// target).
+func DefaultOptions() Options {
+	return Options{
+		Threshold:     1,
+		Target:        tti.X86{},
+		Merge:         core.DefaultOptions(),
+		MinSimilarity: 1e-9,
+	}
+}
+
+// Phases is the per-phase wall-clock breakdown of an exploration run
+// (Fig. 13).
+type Phases struct {
+	Fingerprint time.Duration
+	Ranking     time.Duration
+	Linearize   time.Duration
+	Align       time.Duration
+	CodeGen     time.Duration
+	UpdateCalls time.Duration
+}
+
+// Total sums all phases.
+func (p Phases) Total() time.Duration {
+	return p.Fingerprint + p.Ranking + p.Linearize + p.Align + p.CodeGen + p.UpdateCalls
+}
+
+// MergeRecord describes one committed merge operation.
+type MergeRecord struct {
+	// Merged, F1, F2 are function names.
+	Merged, F1, F2 string
+	// Rank is the 1-based position of F2 in F1's candidate ranking
+	// (0 in oracle mode).
+	Rank int
+	// Profit is the cost-model gain of the merge.
+	Profit int
+}
+
+// Report summarizes an exploration run.
+type Report struct {
+	// MergeOps counts committed merge operations.
+	MergeOps int
+	// FullyRemoved counts original functions deleted outright.
+	FullyRemoved int
+	// CandidatesEvaluated counts attempted (aligned+generated) merges.
+	CandidatesEvaluated int
+	// RankPositions holds, for each committed merge, the rank of the
+	// successful candidate (Fig. 8 data).
+	RankPositions []int
+	// Records lists every committed merge.
+	Records []MergeRecord
+	// SizeBefore and SizeAfter are cost-model module sizes.
+	SizeBefore, SizeAfter int
+	// Phases is the wall-clock breakdown.
+	Phases Phases
+}
+
+// Add folds a later pipeline stage's report into r: counts accumulate,
+// SizeBefore keeps r's original value and SizeAfter takes the later stage's.
+// The paper's protocol runs Identical merging before both SOA and FMSA
+// (§V-A); Add combines the two stages into one comparable report.
+func (r *Report) Add(later *Report) {
+	r.MergeOps += later.MergeOps
+	r.FullyRemoved += later.FullyRemoved
+	r.CandidatesEvaluated += later.CandidatesEvaluated
+	r.RankPositions = append(r.RankPositions, later.RankPositions...)
+	r.Records = append(r.Records, later.Records...)
+	r.SizeAfter = later.SizeAfter
+	r.Phases.Fingerprint += later.Phases.Fingerprint
+	r.Phases.Ranking += later.Phases.Ranking
+	r.Phases.Linearize += later.Phases.Linearize
+	r.Phases.Align += later.Phases.Align
+	r.Phases.CodeGen += later.Phases.CodeGen
+	r.Phases.UpdateCalls += later.Phases.UpdateCalls
+}
+
+// Reduction returns the relative code-size reduction in percent.
+func (r *Report) Reduction() float64 {
+	if r.SizeBefore == 0 {
+		return 0
+	}
+	return 100 * float64(r.SizeBefore-r.SizeAfter) / float64(r.SizeBefore)
+}
+
+// candidate pairs a pool function with its similarity score. size breaks
+// similarity ties: between equally similar candidates, the larger one
+// offers more absolute savings and is evaluated first.
+type candidate struct {
+	fn   *ir.Func
+	sim  float64
+	size int32
+}
+
+// Run executes the exploration framework on m, committing every profitable
+// merge it finds.
+func Run(m *ir.Module, opts Options) *Report {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 1
+	}
+	if opts.Target == nil {
+		opts.Target = tti.X86{}
+	}
+	rep := &Report{SizeBefore: tti.ModuleSize(opts.Target, m)}
+	opts.Merge.Timings = &core.Timings{}
+
+	// Pre-processing: the merger requires φ-free input (§III-A).
+	passes.DemotePhisModule(m)
+
+	// Fingerprint extraction for all eligible functions.
+	tFP := time.Now()
+	fps := map[*ir.Func]*fingerprint.Fingerprint{}
+	var pool []*ir.Func
+	var worklist []*ir.Func
+	for _, f := range m.Funcs {
+		if !eligible(f, opts) {
+			continue
+		}
+		fps[f] = fingerprint.Compute(f)
+		pool = append(pool, f)
+		worklist = append(worklist, f)
+	}
+	rep.Phases.Fingerprint += time.Since(tFP)
+
+	inPool := map[*ir.Func]bool{}
+	for _, f := range pool {
+		inPool[f] = true
+	}
+	removeFromPool := func(f *ir.Func) {
+		if !inPool[f] {
+			return
+		}
+		delete(inPool, f)
+		delete(fps, f)
+	}
+
+	for len(worklist) > 0 {
+		f := worklist[0]
+		worklist = worklist[1:]
+		if !inPool[f] {
+			continue // already consumed by an earlier merge
+		}
+
+		// Candidates Ranking: top-t most similar pool members (§IV), or
+		// every pool member in oracle mode.
+		tRank := time.Now()
+		var cands []candidate
+		if opts.Oracle && opts.OracleCap > 0 {
+			capped := opts
+			capped.Threshold = opts.OracleCap
+			cands = topCandidates(f, pool, inPool, fps, capped)
+		} else if opts.Oracle {
+			for _, g := range pool {
+				if g != f && inPool[g] && samePartition(opts, f, g) {
+					cands = append(cands, candidate{fn: g})
+				}
+			}
+		} else {
+			cands = topCandidates(f, pool, inPool, fps, opts)
+		}
+		rep.Phases.Ranking += time.Since(tRank)
+
+		if opts.Oracle {
+			exploreOracle(m, f, cands, opts, rep, &worklist, &pool, inPool, fps, removeFromPool)
+			continue
+		}
+
+		// Greedy: commit the first profitable candidate (§IV).
+		for rank, c := range cands {
+			res, err := core.Merge(f, c.fn, opts.Merge)
+			rep.CandidatesEvaluated++
+			if err != nil {
+				continue
+			}
+			profit := res.Profit(opts.Target)
+			if profit <= 0 {
+				res.Discard()
+				continue
+			}
+			commit(m, res, profit, rank+1, opts, rep, &worklist, &pool, inPool, fps, removeFromPool)
+			break
+		}
+	}
+
+	rep.SizeAfter = tti.ModuleSize(opts.Target, m)
+	rep.Phases.Linearize = opts.Merge.Timings.Linearize
+	rep.Phases.Align = opts.Merge.Timings.Align
+	rep.Phases.CodeGen = opts.Merge.Timings.CodeGen
+	return rep
+}
+
+// samePartition reports whether two functions may merge under the
+// partition constraint.
+func samePartition(opts Options, a, b *ir.Func) bool {
+	if opts.Partition == nil {
+		return true
+	}
+	return opts.Partition[a] == opts.Partition[b]
+}
+
+// eligible reports whether f participates in exploration.
+func eligible(f *ir.Func, opts Options) bool {
+	if f.IsDecl() || f.Sig().Variadic {
+		return false
+	}
+	if opts.MaxHotness > 0 && f.Hotness > opts.MaxHotness {
+		return false
+	}
+	return true
+}
+
+// topCandidates selects the top-t pool members by fingerprint similarity
+// using a bounded insertion (the paper's priority queue).
+func topCandidates(f *ir.Func, pool []*ir.Func, inPool map[*ir.Func]bool, fps map[*ir.Func]*fingerprint.Fingerprint, opts Options) []candidate {
+	fp := fps[f]
+	t := opts.Threshold
+	best := make([]candidate, 0, t+1)
+	for _, g := range pool {
+		if g == f || !inPool[g] || !samePartition(opts, f, g) {
+			continue
+		}
+		s := fingerprint.Similarity(fp, fps[g])
+		if s < opts.MinSimilarity {
+			continue
+		}
+		sz := fps[g].Total
+		// Insert in descending (similarity, size) order, keeping at most
+		// t entries.
+		pos := len(best)
+		for pos > 0 && (best[pos-1].sim < s ||
+			(best[pos-1].sim == s && best[pos-1].size < sz)) {
+			pos--
+		}
+		if pos >= t {
+			continue
+		}
+		best = append(best, candidate{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = candidate{fn: g, sim: s, size: sz}
+		if len(best) > t {
+			best = best[:t]
+		}
+	}
+	return best
+}
+
+// exploreOracle evaluates every candidate and commits the best profitable
+// one.
+func exploreOracle(m *ir.Module, f *ir.Func, cands []candidate, opts Options, rep *Report,
+	worklist *[]*ir.Func, pool *[]*ir.Func, inPool map[*ir.Func]bool,
+	fps map[*ir.Func]*fingerprint.Fingerprint, removeFromPool func(*ir.Func)) {
+
+	bestProfit := 0
+	var bestRes *core.Result
+	for _, c := range cands {
+		res, err := core.Merge(f, c.fn, opts.Merge)
+		rep.CandidatesEvaluated++
+		if err != nil {
+			continue
+		}
+		profit := res.Profit(opts.Target)
+		if profit > bestProfit {
+			if bestRes != nil {
+				bestRes.Discard()
+			}
+			bestProfit = profit
+			bestRes = res
+		} else {
+			res.Discard()
+		}
+	}
+	if bestRes == nil {
+		return
+	}
+	commit(m, bestRes, bestProfit, 0, opts, rep, worklist, pool, inPool, fps, removeFromPool)
+}
+
+// commit installs a profitable merge and maintains the exploration state:
+// the consumed functions leave the pool, the merged function joins both the
+// pool and the work list (the Fig. 7 feedback loop).
+func commit(m *ir.Module, res *core.Result, profit, rank int, opts Options, rep *Report,
+	worklist *[]*ir.Func, pool *[]*ir.Func, inPool map[*ir.Func]bool,
+	fps map[*ir.Func]*fingerprint.Fingerprint, removeFromPool func(*ir.Func)) {
+
+	tUp := time.Now()
+	removed := res.Commit()
+	rep.Phases.UpdateCalls += time.Since(tUp)
+
+	rep.MergeOps++
+	rep.FullyRemoved += removed
+	if rank > 0 {
+		rep.RankPositions = append(rep.RankPositions, rank)
+	}
+	rep.Records = append(rep.Records, MergeRecord{
+		Merged: res.Merged.Name(),
+		F1:     res.F1.Name(),
+		F2:     res.F2.Name(),
+		Rank:   rank,
+		Profit: profit,
+	})
+
+	removeFromPool(res.F1)
+	removeFromPool(res.F2)
+
+	merged := res.Merged
+	merged.Hotness = res.F1.Hotness + res.F2.Hotness
+	if opts.Partition != nil {
+		opts.Partition[merged] = opts.Partition[res.F1]
+	}
+	if eligible(merged, opts) {
+		tFP := time.Now()
+		fps[merged] = fingerprint.Compute(merged)
+		rep.Phases.Fingerprint += time.Since(tFP)
+		*pool = append(*pool, merged)
+		inPool[merged] = true
+		*worklist = append(*worklist, merged)
+	}
+}

@@ -1,0 +1,275 @@
+package explore
+
+import (
+	"testing"
+
+	"fmsa/internal/core"
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+func demoProfile(seed int64) workload.Profile {
+	return workload.Profile{
+		Name: "demo", NumFuncs: 30, AvgSize: 30, MaxSize: 120,
+		Identical: 0.15, TypeVar: 0.1, CFGVar: 0.1, Partial: 0.1,
+		InternalFrac: 0.7, Seed: seed,
+	}
+}
+
+func registerExterns(mc *interp.Machine) {
+	mc.Register("ext_i64", func(_ *interp.Machine, args []interp.Word) (interp.Word, error) {
+		return args[0]*2 + 1, nil
+	})
+	mc.Register("ext_f64", func(_ *interp.Machine, args []interp.Word) (interp.Word, error) {
+		return interp.F64(interp.ToF64(args[0]) * 1.5), nil
+	})
+}
+
+func runMain(t *testing.T, m *ir.Module) interp.Word {
+	t.Helper()
+	mc := interp.NewMachine(m)
+	registerExterns(mc)
+	v, err := mc.Run("main")
+	if err != nil {
+		t.Fatalf("main: %v", err)
+	}
+	return v
+}
+
+func TestRunReducesSizeAndPreservesSemantics(t *testing.T) {
+	before := runMain(t, workload.Build(demoProfile(5)))
+
+	m := workload.Build(demoProfile(5))
+	rep := Run(m, DefaultOptions())
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("post-verify: %v", err)
+	}
+	if rep.MergeOps == 0 {
+		t.Fatal("expected merges on a clone-rich module")
+	}
+	if rep.SizeAfter >= rep.SizeBefore {
+		t.Errorf("size did not shrink: %d -> %d", rep.SizeBefore, rep.SizeAfter)
+	}
+	after := runMain(t, m)
+	if before != after {
+		t.Errorf("driver output changed: %d -> %d", before, after)
+	}
+}
+
+func TestThresholdMonotonicity(t *testing.T) {
+	var prev int
+	for i, th := range []int{1, 5, 10} {
+		m := workload.Build(demoProfile(7))
+		opts := DefaultOptions()
+		opts.Threshold = th
+		rep := Run(m, opts)
+		if i > 0 && rep.MergeOps+2 < prev {
+			t.Errorf("t=%d found far fewer merges (%d) than smaller threshold (%d)", th, rep.MergeOps, prev)
+		}
+		prev = rep.MergeOps
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("t=%d post-verify: %v", th, err)
+		}
+	}
+}
+
+func TestOracleAtLeastAsGoodAsGreedy(t *testing.T) {
+	m1 := workload.Build(demoProfile(11))
+	greedy := Run(m1, DefaultOptions())
+
+	m2 := workload.Build(demoProfile(11))
+	opts := DefaultOptions()
+	opts.Oracle = true
+	oracle := Run(m2, opts)
+
+	gRed := greedy.Reduction()
+	oRed := oracle.Reduction()
+	if oRed+1.0 < gRed { // small tolerance: greedy feedback orders can differ
+		t.Errorf("oracle reduction %.2f%% much worse than greedy %.2f%%", oRed, gRed)
+	}
+	if oracle.CandidatesEvaluated <= greedy.CandidatesEvaluated {
+		t.Errorf("oracle should evaluate more candidates: %d vs %d",
+			oracle.CandidatesEvaluated, greedy.CandidatesEvaluated)
+	}
+}
+
+func TestRankPositionsRecorded(t *testing.T) {
+	m := workload.Build(demoProfile(13))
+	opts := DefaultOptions()
+	opts.Threshold = 10
+	rep := Run(m, opts)
+	if len(rep.RankPositions) != rep.MergeOps {
+		t.Errorf("rank positions (%d) != merges (%d)", len(rep.RankPositions), rep.MergeOps)
+	}
+	for _, r := range rep.RankPositions {
+		if r < 1 || r > 10 {
+			t.Errorf("rank %d out of range [1,10]", r)
+		}
+	}
+	// The distribution should be strongly top-heavy (Fig. 8).
+	top1 := 0
+	for _, r := range rep.RankPositions {
+		if r == 1 {
+			top1++
+		}
+	}
+	if rep.MergeOps > 5 && float64(top1)/float64(rep.MergeOps) < 0.5 {
+		t.Errorf("only %d/%d merges at rank 1; expected a top-heavy CDF", top1, rep.MergeOps)
+	}
+}
+
+func TestOracleCapApproximation(t *testing.T) {
+	// A capped oracle must be at least as good as greedy t=1 and no better
+	// than the unbounded oracle.
+	run := func(mutate func(*Options)) float64 {
+		m := workload.Build(demoProfile(37))
+		opts := DefaultOptions()
+		mutate(&opts)
+		rep := Run(m, opts)
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+		return rep.Reduction()
+	}
+	greedy := run(func(o *Options) {})
+	capped := run(func(o *Options) { o.Oracle = true; o.OracleCap = 8 })
+	full := run(func(o *Options) { o.Oracle = true })
+	if capped+1.0 < greedy {
+		t.Errorf("capped oracle (%.2f%%) much worse than greedy (%.2f%%)", capped, greedy)
+	}
+	if capped > full+1.0 {
+		t.Errorf("capped oracle (%.2f%%) above unbounded oracle (%.2f%%)", capped, full)
+	}
+}
+
+func TestHotnessExclusion(t *testing.T) {
+	m := workload.Build(demoProfile(17))
+	// Mark every function hot.
+	for _, f := range m.Funcs {
+		f.Hotness = 1000
+	}
+	opts := DefaultOptions()
+	opts.MaxHotness = 10
+	rep := Run(m, opts)
+	if rep.MergeOps != 0 {
+		t.Errorf("all-hot module must see no merges, got %d", rep.MergeOps)
+	}
+}
+
+func TestPhaseTimesPopulated(t *testing.T) {
+	m := workload.Build(demoProfile(19))
+	rep := Run(m, DefaultOptions())
+	if rep.MergeOps == 0 {
+		t.Skip("no merges")
+	}
+	if rep.Phases.Align == 0 {
+		t.Error("alignment phase time missing")
+	}
+	if rep.Phases.Fingerprint == 0 {
+		t.Error("fingerprint phase time missing")
+	}
+	if rep.Phases.Total() == 0 {
+		t.Error("total phase time zero")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	m1 := workload.Build(demoProfile(23))
+	r1 := Run(m1, DefaultOptions())
+	m2 := workload.Build(demoProfile(23))
+	r2 := Run(m2, DefaultOptions())
+	if r1.MergeOps != r2.MergeOps || r1.SizeAfter != r2.SizeAfter {
+		t.Errorf("exploration not deterministic: %+v vs %+v", r1.MergeOps, r2.MergeOps)
+	}
+	if ir.FormatModule(m1) != ir.FormatModule(m2) {
+		t.Error("optimized modules differ between identical runs")
+	}
+}
+
+func TestMergedFunctionsCanRemerge(t *testing.T) {
+	// Four identical clones: the framework should chain merges through the
+	// feedback loop, ending with a single shared body.
+	m := ir.NewModule("chain")
+	for i := 0; i < 4; i++ {
+		spec := workload.FuncSpec{
+			Name: "c", Seed: 99, Scalar: ir.I64(), NumParams: 2,
+			Regions: 2, OpsPerBlock: 6, Internal: true,
+		}
+		workload.Generate(m, spec)
+	}
+	// Keep them alive through a driver-like user.
+	user := m.NewFuncIn("user", ir.FuncOf(ir.I64(), ir.I64()))
+	entry := user.NewBlockIn("entry")
+	bd := ir.NewBuilder(entry)
+	var sum ir.Value = ir.NewConstInt(ir.I64(), 0)
+	for _, f := range m.Funcs {
+		if f.Name() == "user" || f.IsDecl() || f.Name() == "main" {
+			continue
+		}
+		if f.Sig() != ir.FuncOf(ir.I64(), ir.I64(), ir.I64()) {
+			continue
+		}
+		c := bd.Call(f, user.Params[0], ir.NewConstInt(ir.I64(), 3))
+		sum = bd.Add(sum, c)
+	}
+	bd.Ret(sum)
+
+	opts := DefaultOptions()
+	rep := Run(m, opts)
+	if rep.MergeOps < 3 {
+		t.Errorf("4 identical clones should need 3 chained merges, got %d", rep.MergeOps)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("post-verify: %v", err)
+	}
+}
+
+func TestProfitGateRespectsTarget(t *testing.T) {
+	// The same module explored under both targets should verify and shrink
+	// under each cost model.
+	for _, tgt := range tti.Targets() {
+		m := workload.Build(demoProfile(29))
+		opts := DefaultOptions()
+		opts.Target = tgt
+		rep := Run(m, opts)
+		if rep.SizeAfter > rep.SizeBefore {
+			t.Errorf("%s: size grew %d -> %d", tgt.Name(), rep.SizeBefore, rep.SizeAfter)
+		}
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("%s: %v", tgt.Name(), err)
+		}
+	}
+}
+
+func TestEligibleSkipsDeclsAndVariadics(t *testing.T) {
+	m := ir.MustParseModule("e", `
+declare void @d(i32)
+
+define void @v(i32 %x, ...) {
+entry:
+  ret void
+}
+`)
+	opts := DefaultOptions()
+	if eligible(m.FuncByName("d"), opts) {
+		t.Error("declaration must not be eligible")
+	}
+	if eligible(m.FuncByName("v"), opts) {
+		t.Error("variadic must not be eligible")
+	}
+}
+
+func TestMergeOptionsFlowThrough(t *testing.T) {
+	// Disabling parameter reuse must still work end to end.
+	m := workload.Build(demoProfile(31))
+	opts := DefaultOptions()
+	opts.Merge = core.DefaultOptions()
+	opts.Merge.ReuseParams = false
+	rep := Run(m, opts)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("post-verify: %v", err)
+	}
+	_ = rep
+}

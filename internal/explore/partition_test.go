@@ -1,0 +1,91 @@
+package explore
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+// TestPartitionRestrictsMerging verifies the §IV-B model: confining pairs
+// to partitions can only lose opportunities, and a partition separating
+// every clone from its template finds nothing at all.
+func TestPartitionRestrictsMerging(t *testing.T) {
+	p := demoProfile(41)
+
+	whole := workload.Build(p)
+	wholeRep := Run(whole, DefaultOptions())
+
+	// Round-robin partitioning into many units.
+	parted := workload.Build(p)
+	opts := DefaultOptions()
+	opts.Partition = map[*ir.Func]int{}
+	i := 0
+	for _, f := range parted.Funcs {
+		if !f.IsDecl() {
+			opts.Partition[f] = i % 8
+			i++
+		}
+	}
+	partRep := Run(parted, opts)
+	if err := ir.VerifyModule(parted); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	if partRep.Reduction() > wholeRep.Reduction()+1e-9 {
+		t.Errorf("partitioned run reduced more (%.2f%%) than whole-program (%.2f%%)",
+			partRep.Reduction(), wholeRep.Reduction())
+	}
+
+	// Isolate every function: no merges possible.
+	solo := workload.Build(p)
+	opts2 := DefaultOptions()
+	opts2.Partition = map[*ir.Func]int{}
+	j := 0
+	for _, f := range solo.Funcs {
+		if !f.IsDecl() {
+			opts2.Partition[f] = j
+			j++
+		}
+	}
+	soloRep := Run(solo, opts2)
+	if soloRep.MergeOps != 0 {
+		t.Errorf("fully isolated partitioning still merged %d pairs", soloRep.MergeOps)
+	}
+}
+
+// TestPartitionMergedFunctionInherits checks that a merged function stays
+// inside its pair's partition and can keep merging there.
+func TestPartitionMergedFunctionInherits(t *testing.T) {
+	m := ir.NewModule("inherit")
+	var funcs []*ir.Func
+	for i := 0; i < 4; i++ {
+		spec := workload.FuncSpec{
+			Name: "c", Seed: 4242, Scalar: ir.I64(),
+			NumParams: 2, Regions: 2, OpsPerBlock: 6, Internal: true,
+		}
+		funcs = append(funcs, workload.Generate(m, spec))
+	}
+	user := m.NewFuncIn("user", ir.FuncOf(ir.I64(), ir.I64()))
+	bd := ir.NewBuilder(user.NewBlockIn("entry"))
+	var acc ir.Value = ir.NewConstInt(ir.I64(), 0)
+	for _, f := range funcs {
+		acc = bd.Add(acc, bd.Call(f, user.Params[0], ir.NewConstInt(ir.I64(), 1)))
+	}
+	bd.Ret(acc)
+
+	opts := DefaultOptions()
+	opts.Partition = map[*ir.Func]int{
+		funcs[0]: 0, funcs[1]: 0, funcs[2]: 0,
+		funcs[3]: 1, user: 2,
+	}
+	rep := Run(m, opts)
+	// Partition 0 holds three identical clones: two chained merges; the
+	// isolated clone in partition 1 must stay.
+	if rep.MergeOps != 2 {
+		t.Errorf("merge ops = %d, want 2 (chain within partition 0)", rep.MergeOps)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}

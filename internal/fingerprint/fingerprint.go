@@ -1,0 +1,123 @@
+// Package fingerprint implements the lightweight function summaries used by
+// the ranking infrastructure (paper §IV): a map of instruction opcodes to
+// their frequency plus the multiset of types manipulated by the function.
+// Comparing two fingerprints yields an optimistic upper bound on how well
+// the functions could merge, cheap enough to evaluate for every pair.
+package fingerprint
+
+import (
+	"sort"
+
+	"fmsa/internal/ir"
+)
+
+// Fingerprint summarizes one function for similarity ranking.
+type Fingerprint struct {
+	// OpFreq maps each opcode to its occurrence count.
+	OpFreq [ir.NumOpcodes]int32
+	// TypeFreq holds (type, count) pairs sorted by type identity for
+	// linear-merge comparison.
+	TypeFreq []TypeCount
+	// Total is the instruction count.
+	Total int32
+}
+
+// TypeCount is one entry of the type-frequency table.
+type TypeCount struct {
+	Type  *ir.Type
+	Count int32
+}
+
+// Compute builds the fingerprint of a function definition.
+func Compute(f *ir.Func) *Fingerprint {
+	fp := &Fingerprint{}
+	types := map[*ir.Type]int32{}
+	f.Insts(func(in *ir.Inst) {
+		fp.OpFreq[in.Op]++
+		fp.Total++
+		t := in.Type()
+		if in.Op == ir.OpAlloca {
+			t = in.Alloc
+		}
+		if !t.IsVoid() {
+			types[t]++
+		}
+	})
+	fp.TypeFreq = make([]TypeCount, 0, len(types))
+	for t, c := range types {
+		fp.TypeFreq = append(fp.TypeFreq, TypeCount{Type: t, Count: c})
+	}
+	sort.Slice(fp.TypeFreq, func(i, j int) bool {
+		return fp.TypeFreq[i].Type.String() < fp.TypeFreq[j].Type.String()
+	})
+	return fp
+}
+
+// upperBoundOps computes UB(f1, f2, Opcodes):
+//
+//	Σ min(freq(k,f1), freq(k,f2)) / Σ (freq(k,f1) + freq(k,f2))
+//
+// the best-case merge ratio if every same-opcode instruction pair matched.
+func upperBoundOps(a, b *Fingerprint) float64 {
+	var minSum, totSum int32
+	for k := 0; k < int(ir.NumOpcodes); k++ {
+		fa, fb := a.OpFreq[k], b.OpFreq[k]
+		if fa < fb {
+			minSum += fa
+		} else {
+			minSum += fb
+		}
+		totSum += fa + fb
+	}
+	if totSum == 0 {
+		return 0
+	}
+	return float64(minSum) / float64(totSum)
+}
+
+// upperBoundTypes computes UB(f1, f2, Types), the type-based best case.
+func upperBoundTypes(a, b *Fingerprint) float64 {
+	var minSum, totSum int32
+	i, j := 0, 0
+	for i < len(a.TypeFreq) && j < len(b.TypeFreq) {
+		ta, tb := a.TypeFreq[i], b.TypeFreq[j]
+		switch {
+		case ta.Type == tb.Type:
+			if ta.Count < tb.Count {
+				minSum += ta.Count
+			} else {
+				minSum += tb.Count
+			}
+			totSum += ta.Count + tb.Count
+			i++
+			j++
+		case ta.Type.String() < tb.Type.String():
+			totSum += ta.Count
+			i++
+		default:
+			totSum += tb.Count
+			j++
+		}
+	}
+	for ; i < len(a.TypeFreq); i++ {
+		totSum += a.TypeFreq[i].Count
+	}
+	for ; j < len(b.TypeFreq); j++ {
+		totSum += b.TypeFreq[j].Count
+	}
+	if totSum == 0 {
+		return 0
+	}
+	return float64(minSum) / float64(totSum)
+}
+
+// Similarity returns s(f1, f2) = min(UB_opcodes, UB_types), a value in
+// [0, 0.5]; identical functions score exactly 0.5 (paper §IV).
+func Similarity(a, b *Fingerprint) float64 {
+	ops := upperBoundOps(a, b)
+	tys := upperBoundTypes(a, b)
+	if tys < ops {
+		return tys
+	}
+	return ops
+}

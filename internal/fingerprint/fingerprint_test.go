@@ -1,0 +1,168 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule("fp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIdenticalFunctionsScoreHalf(t *testing.T) {
+	m := parse(t, `
+define i32 @a(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  %s = mul i32 %r, 2
+  ret i32 %s
+}
+
+define i32 @b(i32 %x) {
+entry:
+  %r = add i32 %x, 5
+  %s = mul i32 %r, 9
+  ret i32 %s
+}
+`)
+	fa := Compute(m.FuncByName("a"))
+	fb := Compute(m.FuncByName("b"))
+	if s := Similarity(fa, fb); s != 0.5 {
+		t.Errorf("structurally identical functions score %v, want 0.5 (paper §IV)", s)
+	}
+	if s := Similarity(fa, fa); s != 0.5 {
+		t.Errorf("self-similarity %v, want 0.5", s)
+	}
+}
+
+func TestDisjointFunctionsScoreZero(t *testing.T) {
+	m := parse(t, `
+define i32 @ints(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define void @floats(f64 %x) {
+entry:
+  %r = fmul f64 %x, 2.0
+  %s = fdiv f64 %r, 3.0
+  %p = alloca f64
+  store f64 %s, f64* %p
+  ret void
+}
+`)
+	fa := Compute(m.FuncByName("ints"))
+	fb := Compute(m.FuncByName("floats"))
+	s := Similarity(fa, fb)
+	if s > 0.1 {
+		t.Errorf("dissimilar functions score %v, want near 0", s)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	// Property: 0 ≤ s ≤ 0.5 for arbitrary generated pairs, and s is
+	// symmetric.
+	f := func(seedA, seedB int64, szA, szB uint8) bool {
+		m := ir.NewModule("q")
+		fa := workload.Generate(m, workload.FuncSpec{
+			Name: "a", Seed: seedA, Scalar: ir.I64(),
+			NumParams: 2, Regions: int(szA%4) + 1, OpsPerBlock: int(szA%6) + 2,
+		})
+		fb := workload.Generate(m, workload.FuncSpec{
+			Name: "b", Seed: seedB, Scalar: ir.F32(),
+			NumParams: 1, Regions: int(szB%4) + 1, OpsPerBlock: int(szB%6) + 2,
+		})
+		pa, pb := Compute(fa), Compute(fb)
+		s1 := Similarity(pa, pb)
+		s2 := Similarity(pb, pa)
+		return s1 >= 0 && s1 <= 0.5 && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeUpperBoundRefinesOpcodeBound(t *testing.T) {
+	// Same opcode histogram, disjoint types: the type bound must drag the
+	// final score down (the refinement the paper motivates in §IV).
+	m := parse(t, `
+define i32 @ia(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = add i32 %a, 2
+  ret i32 %b
+}
+
+define i64 @ib(i64 %x) {
+entry:
+  %a = add i64 %x, 1
+  %b = add i64 %a, 2
+  ret i64 %b
+}
+`)
+	fa := Compute(m.FuncByName("ia"))
+	fb := Compute(m.FuncByName("ib"))
+	if ops := upperBoundOps(fa, fb); ops != 0.5 {
+		t.Errorf("opcode bound = %v, want 0.5", ops)
+	}
+	if tys := upperBoundTypes(fa, fb); tys != 0 {
+		t.Errorf("type bound = %v, want 0", tys)
+	}
+	if s := Similarity(fa, fb); s != 0 {
+		t.Errorf("similarity = %v, want 0 (min of the two bounds)", s)
+	}
+}
+
+func TestFingerprintCounts(t *testing.T) {
+	m := parse(t, `
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = add i32 %a, 2
+  %p = alloca i64
+  ret i32 %b
+}
+`)
+	fp := Compute(m.FuncByName("f"))
+	if fp.Total != 4 {
+		t.Errorf("Total = %d, want 4", fp.Total)
+	}
+	if fp.OpFreq[ir.OpAdd] != 2 || fp.OpFreq[ir.OpRet] != 1 || fp.OpFreq[ir.OpAlloca] != 1 {
+		t.Errorf("opcode frequencies wrong: %v", fp.OpFreq)
+	}
+	// alloca contributes its allocated type (i64), adds contribute i32.
+	var sawI64 bool
+	for _, tc := range fp.TypeFreq {
+		if tc.Type == ir.I64() {
+			sawI64 = true
+		}
+	}
+	if !sawI64 {
+		t.Error("alloca's allocated type missing from type frequencies")
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	m := ir.NewModule("bench")
+	fa := workload.Generate(m, workload.FuncSpec{
+		Name: "a", Seed: 1, Scalar: ir.I64(), NumParams: 3, Regions: 6, OpsPerBlock: 10,
+	})
+	fb := workload.Generate(m, workload.FuncSpec{
+		Name: "b", Seed: 2, Scalar: ir.F64(), NumParams: 2, Regions: 6, OpsPerBlock: 10,
+	})
+	pa, pb := Compute(fa), Compute(fb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Similarity(pa, pb)
+	}
+}

@@ -1,0 +1,378 @@
+// Package interp executes IR modules. It serves two roles in the
+// reproduction: a semantic safety net (merged functions are differentially
+// tested against the originals on concrete inputs) and the runtime proxy for
+// the paper's performance experiments (Fig. 14) — the dynamic, weighted
+// instruction count exposes exactly the overhead merging can add (extra
+// selects, branches and thunk calls) without the noise of wall-clock timing.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fmsa/internal/ir"
+)
+
+// Word is a runtime value: the raw bits of a scalar, zero-extended to 64
+// bits. Floats are stored as their IEEE bit patterns (f32 in the low 32
+// bits); pointers are addresses in the machine's flat memory.
+type Word = uint64
+
+// Intrinsic implements an external function declaration in Go.
+type Intrinsic func(m *Machine, args []Word) (Word, error)
+
+// ErrUnwind signals exception unwinding from an intrinsic or resume; invoke
+// instructions catch it and transfer to their landing block.
+var ErrUnwind = errors.New("interp: unwinding")
+
+// ErrLimit is returned when execution exceeds the step budget.
+var ErrLimit = errors.New("interp: step limit exceeded")
+
+// Stats accumulates dynamic execution counts.
+type Stats struct {
+	// Executed counts retired instructions.
+	Executed uint64
+	// Weighted accumulates latency-weighted instruction costs, the
+	// runtime proxy for Fig. 14.
+	Weighted uint64
+	// Calls counts function invocations (including thunk hops).
+	Calls uint64
+}
+
+// Machine executes functions of one module against a flat memory.
+type Machine struct {
+	mod        *ir.Module
+	mem        []byte
+	brk        uint64 // bump-allocation cursor
+	globals    map[*ir.Global]Word
+	funcAddrs  map[*ir.Func]Word
+	addrFuncs  map[Word]*ir.Func
+	intrinsics map[string]Intrinsic
+
+	// MaxSteps bounds execution; 0 means the default (64M).
+	MaxSteps uint64
+	// Profile enables per-block execution counting.
+	Profile bool
+	// BlockCounts holds per-block execution counts when Profile is set.
+	BlockCounts map[*ir.Block]uint64
+
+	stats Stats
+}
+
+const (
+	memLimit    = 1 << 28 // 256 MiB
+	defaultStep = 1 << 26
+	funcAddrTag = uint64(1) << 62
+)
+
+// NewMachine creates a machine for m with globals materialized in memory.
+func NewMachine(mod *ir.Module) *Machine {
+	mc := &Machine{
+		mod:        mod,
+		mem:        make([]byte, 4096),
+		brk:        16, // keep null and its surroundings unmapped
+		globals:    map[*ir.Global]Word{},
+		funcAddrs:  map[*ir.Func]Word{},
+		addrFuncs:  map[Word]*ir.Func{},
+		intrinsics: map[string]Intrinsic{},
+	}
+	for _, g := range mod.Globals {
+		addr, err := mc.Alloc(uint64(g.ValueType().SizeBytes()))
+		if err != nil {
+			panic(err)
+		}
+		copy(mc.mem[addr:], g.Init)
+		mc.globals[g] = addr
+	}
+	for i, f := range mod.Funcs {
+		addr := funcAddrTag | uint64(i+1)
+		mc.funcAddrs[f] = addr
+		mc.addrFuncs[addr] = f
+	}
+	RegisterDefaultIntrinsics(mc)
+	return mc
+}
+
+// Register installs an intrinsic implementation for the declaration name.
+func (m *Machine) Register(name string, fn Intrinsic) { m.intrinsics[name] = fn }
+
+// Stats returns the dynamic counters accumulated so far.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the dynamic counters and block profile.
+func (m *Machine) ResetStats() {
+	m.stats = Stats{}
+	m.BlockCounts = nil
+}
+
+// Alloc reserves n bytes of zeroed memory and returns its address.
+func (m *Machine) Alloc(n uint64) (Word, error) {
+	if n == 0 {
+		n = 1
+	}
+	addr := m.brk
+	end := addr + n
+	if end > memLimit {
+		return 0, fmt.Errorf("interp: out of memory (%d bytes requested)", n)
+	}
+	for uint64(len(m.mem)) < end {
+		m.mem = append(m.mem, make([]byte, len(m.mem))...)
+	}
+	m.brk = (end + 7) &^ 7
+	return addr, nil
+}
+
+// ReadMem copies n bytes at addr.
+func (m *Machine) ReadMem(addr, n uint64) ([]byte, error) {
+	if addr < 16 || addr+n > m.brk {
+		return nil, fmt.Errorf("interp: invalid read of %d bytes at %#x", n, addr)
+	}
+	out := make([]byte, n)
+	copy(out, m.mem[addr:addr+n])
+	return out, nil
+}
+
+// WriteMem copies data into memory at addr.
+func (m *Machine) WriteMem(addr uint64, data []byte) error {
+	if addr < 16 || addr+uint64(len(data)) > m.brk {
+		return fmt.Errorf("interp: invalid write of %d bytes at %#x", len(data), addr)
+	}
+	copy(m.mem[addr:], data)
+	return nil
+}
+
+// GlobalAddr returns the address of g.
+func (m *Machine) GlobalAddr(g *ir.Global) Word { return m.globals[g] }
+
+func (m *Machine) load(addr uint64, size int) (Word, error) {
+	if addr < 16 || addr+uint64(size) > m.brk {
+		return 0, fmt.Errorf("interp: invalid load of %d bytes at %#x", size, addr)
+	}
+	var v Word
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | Word(m.mem[addr+uint64(i)])
+	}
+	return v, nil
+}
+
+func (m *Machine) store(addr uint64, size int, v Word) error {
+	if addr < 16 || addr+uint64(size) > m.brk {
+		return fmt.Errorf("interp: invalid store of %d bytes at %#x", size, addr)
+	}
+	for i := 0; i < size; i++ {
+		m.mem[addr+uint64(i)] = byte(v)
+		v >>= 8
+	}
+	return nil
+}
+
+// Run calls the named function with the given arguments and returns its
+// result bits.
+func (m *Machine) Run(name string, args ...Word) (Word, error) {
+	f := m.mod.FuncByName(name)
+	if f == nil {
+		return 0, fmt.Errorf("interp: no function @%s", name)
+	}
+	return m.CallFunc(f, args)
+}
+
+// CallFunc invokes f with args.
+func (m *Machine) CallFunc(f *ir.Func, args []Word) (Word, error) {
+	if f.IsDecl() {
+		intr, ok := m.intrinsics[f.Name()]
+		if !ok {
+			return 0, fmt.Errorf("interp: call of unregistered external @%s", f.Name())
+		}
+		m.stats.Calls++
+		return intr(m, args)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("interp: @%s expects %d args, got %d", f.Name(), len(f.Params), len(args))
+	}
+	m.stats.Calls++
+	frame := make(map[*ir.Inst]Word, f.NumInsts())
+	pvals := make([]Word, len(args))
+	copy(pvals, args)
+
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultStep
+	}
+
+	cur := f.Entry()
+	var prev *ir.Block
+	for {
+		if m.Profile {
+			if m.BlockCounts == nil {
+				m.BlockCounts = map[*ir.Block]uint64{}
+			}
+			m.BlockCounts[cur]++
+		}
+		var nxt *ir.Block
+		unwinding := false
+		for _, in := range cur.Insts {
+			m.stats.Executed++
+			m.stats.Weighted += weight(in)
+			if m.stats.Executed > maxSteps {
+				return 0, ErrLimit
+			}
+			switch in.Op {
+			case ir.OpRet:
+				if in.NumOperands() == 0 {
+					return 0, nil
+				}
+				return m.eval(in.Operand(0), f, pvals, frame)
+
+			case ir.OpBr:
+				if in.NumOperands() == 1 {
+					nxt = in.Operand(0).(*ir.Block)
+				} else {
+					c, err := m.eval(in.Operand(0), f, pvals, frame)
+					if err != nil {
+						return 0, err
+					}
+					if c&1 != 0 {
+						nxt = in.Operand(1).(*ir.Block)
+					} else {
+						nxt = in.Operand(2).(*ir.Block)
+					}
+				}
+
+			case ir.OpSwitch:
+				c, err := m.eval(in.Operand(0), f, pvals, frame)
+				if err != nil {
+					return 0, err
+				}
+				nxt = in.Operand(1).(*ir.Block)
+				condTy := in.Operand(0).Type()
+				for i := 2; i < in.NumOperands(); i += 2 {
+					cv := in.Operand(i).(*ir.ConstInt)
+					if truncWord(cv.Uint(), condTy.Bits) == truncWord(c, condTy.Bits) {
+						nxt = in.Operand(i + 1).(*ir.Block)
+						break
+					}
+				}
+
+			case ir.OpUnreachable:
+				return 0, fmt.Errorf("interp: reached unreachable in @%s", f.Name())
+
+			case ir.OpResume:
+				return 0, ErrUnwind
+
+			case ir.OpCall, ir.OpInvoke:
+				callee, err := m.resolveCallee(in.Callee(), f, pvals, frame)
+				if err != nil {
+					return 0, err
+				}
+				cargs := make([]Word, 0, len(in.CallArgs()))
+				for _, a := range in.CallArgs() {
+					av, err := m.eval(a, f, pvals, frame)
+					if err != nil {
+						return 0, err
+					}
+					cargs = append(cargs, av)
+				}
+				rv, err := m.CallFunc(callee, cargs)
+				if err != nil {
+					if in.Op == ir.OpInvoke && errors.Is(err, ErrUnwind) {
+						nxt = in.InvokeUnwind()
+						unwinding = true
+						break
+					}
+					return 0, err
+				}
+				frame[in] = rv
+				if in.Op == ir.OpInvoke {
+					nxt = in.InvokeNormal()
+				}
+
+			case ir.OpPhi:
+				var got bool
+				for i := 0; i < in.NumPhiIncoming(); i++ {
+					v, pb := in.PhiIncoming(i)
+					if pb == prev {
+						pv, err := m.eval(v, f, pvals, frame)
+						if err != nil {
+							return 0, err
+						}
+						frame[in] = pv
+						got = true
+						break
+					}
+				}
+				if !got {
+					return 0, fmt.Errorf("interp: phi without incoming for predecessor in @%s", f.Name())
+				}
+
+			case ir.OpLandingPad:
+				frame[in] = 0 // opaque token
+
+			default:
+				v, err := m.evalPure(in, f, pvals, frame)
+				if err != nil {
+					return 0, err
+				}
+				frame[in] = v
+			}
+			if nxt != nil || unwinding {
+				break
+			}
+		}
+		if nxt == nil {
+			return 0, fmt.Errorf("interp: block %%%s fell through in @%s", cur.Name(), f.Name())
+		}
+		prev, cur = cur, nxt
+	}
+}
+
+func (m *Machine) resolveCallee(v ir.Value, f *ir.Func, pvals []Word, frame map[*ir.Inst]Word) (*ir.Func, error) {
+	if fn, ok := v.(*ir.Func); ok {
+		return fn, nil
+	}
+	w, err := m.eval(v, f, pvals, frame)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := m.addrFuncs[w]
+	if !ok {
+		return nil, fmt.Errorf("interp: indirect call to invalid address %#x", w)
+	}
+	return fn, nil
+}
+
+// eval resolves an operand to its runtime bits.
+func (m *Machine) eval(v ir.Value, f *ir.Func, pvals []Word, frame map[*ir.Inst]Word) (Word, error) {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return x.Uint(), nil
+	case *ir.ConstFloat:
+		if x.Type().Bits == 32 {
+			return Word(math.Float32bits(float32(x.V))), nil
+		}
+		return math.Float64bits(x.V), nil
+	case *ir.ConstNull:
+		return 0, nil
+	case *ir.Undef:
+		return 0, nil
+	case *ir.Param:
+		if x.Parent() != f {
+			return 0, fmt.Errorf("interp: foreign parameter %s", x.Ident())
+		}
+		return pvals[x.Index], nil
+	case *ir.Inst:
+		w, ok := frame[x]
+		if !ok {
+			// A use is always dominated by its definition (the verifier
+			// checks this), so a missing frame entry is an executor bug.
+			return 0, fmt.Errorf("interp: use of unevaluated %s %s in @%s", x.Op, x.Ident(), f.Name())
+		}
+		return w, nil
+	case *ir.Global:
+		return m.globals[x], nil
+	case *ir.Func:
+		return m.funcAddrs[x], nil
+	default:
+		return 0, fmt.Errorf("interp: cannot evaluate %T", v)
+	}
+}

@@ -1,0 +1,525 @@
+package interp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+func run(t *testing.T, src, fn string, args ...Word) Word {
+	t.Helper()
+	m := ir.MustParseModule("t", src)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	mc := NewMachine(m)
+	v, err := mc.Run(fn, args...)
+	if err != nil {
+		t.Fatalf("run @%s: %v", fn, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+define i32 @addmul(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  %m = mul i32 %s, 3
+  ret i32 %m
+}
+`
+	if got := run(t, src, "addmul", 4, 5); got != 27 {
+		t.Errorf("addmul(4,5) = %d, want 27", got)
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	src := `
+define i8 @sd(i8 %a, i8 %b) {
+entry:
+  %d = sdiv i8 %a, %b
+  ret i8 %d
+}
+`
+	// -6 / 2 = -3 in i8.
+	got := run(t, src, "sd", 0xFA, 2)
+	if sext(got, 8) != -3 {
+		t.Errorf("sdiv(-6,2) = %d, want -3", sext(got, 8))
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	m := ir.MustParseModule("t", `
+define i32 @d(i32 %a) {
+entry:
+  %q = udiv i32 %a, 0
+  ret i32 %q
+}
+`)
+	mc := NewMachine(m)
+	if _, err := mc.Run("d", 1); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	src := `
+define f64 @hypot2(f64 %a, f64 %b) {
+entry:
+  %aa = fmul f64 %a, %a
+  %bb = fmul f64 %b, %b
+  %s = fadd f64 %aa, %bb
+  ret f64 %s
+}
+`
+	got := ToF64(run(t, src, "hypot2", F64(3), F64(4)))
+	if got != 25 {
+		t.Errorf("hypot2(3,4) = %v, want 25", got)
+	}
+}
+
+func TestFloat32Precision(t *testing.T) {
+	src := `
+define f32 @f(f32 %a) {
+entry:
+  %r = fadd f32 %a, 1.5
+  ret f32 %r
+}
+`
+	got := ToF32(run(t, src, "f", F32(2.25)))
+	if got != 3.75 {
+		t.Errorf("f(2.25) = %v, want 3.75", got)
+	}
+}
+
+func TestMemoryAndLoop(t *testing.T) {
+	src := `
+define i64 @sumto(i64 %n) {
+entry:
+  %acc = alloca i64
+  %i = alloca i64
+  store i64 0, i64* %acc
+  store i64 1, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %c = icmp sle i64 %iv, %n
+  br i1 %c, label %body, label %done
+body:
+  %a = load i64, i64* %acc
+  %a2 = add i64 %a, %iv
+  store i64 %a2, i64* %acc
+  %i2 = add i64 %iv, 1
+  store i64 %i2, i64* %i
+  br label %head
+done:
+  %r = load i64, i64* %acc
+  ret i64 %r
+}
+`
+	if got := run(t, src, "sumto", 100); got != 5050 {
+		t.Errorf("sumto(100) = %d, want 5050", got)
+	}
+}
+
+func TestGEPStructArray(t *testing.T) {
+	src := `
+define i32 @pick({i32, f64, i32}* %p) {
+entry:
+  %f2 = getelementptr {i32, f64, i32}, {i32, f64, i32}* %p, i64 0, i32 2
+  %v = load i32, i32* %f2
+  ret i32 %v
+}
+
+define i32 @main() {
+entry:
+  %s = alloca {i32, f64, i32}
+  %f2 = getelementptr {i32, f64, i32}, {i32, f64, i32}* %s, i64 0, i32 2
+  store i32 77, i32* %f2
+  %r = call i32 @pick({i32, f64, i32}* %s)
+  ret i32 %r
+}
+`
+	if got := run(t, src, "main"); got != 77 {
+		t.Errorf("main() = %d, want 77", got)
+	}
+}
+
+func TestArrayGEP(t *testing.T) {
+	src := `
+define i64 @sum4([4 x i64]* %a) {
+entry:
+  %acc = alloca i64
+  store i64 0, i64* %acc
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %c = icmp slt i64 %iv, 4
+  br i1 %c, label %body, label %done
+body:
+  %ep = getelementptr [4 x i64], [4 x i64]* %a, i64 0, i64 %iv
+  %e = load i64, i64* %ep
+  %a0 = load i64, i64* %acc
+  %a1 = add i64 %a0, %e
+  store i64 %a1, i64* %acc
+  %i2 = add i64 %iv, 1
+  store i64 %i2, i64* %i
+  br label %head
+done:
+  %r = load i64, i64* %acc
+  ret i64 %r
+}
+
+define i64 @main() {
+entry:
+  %a = alloca [4 x i64]
+  %p0 = getelementptr [4 x i64], [4 x i64]* %a, i64 0, i64 0
+  store i64 10, i64* %p0
+  %p1 = getelementptr [4 x i64], [4 x i64]* %a, i64 0, i64 1
+  store i64 20, i64* %p1
+  %p2 = getelementptr [4 x i64], [4 x i64]* %a, i64 0, i64 2
+  store i64 30, i64* %p2
+  %p3 = getelementptr [4 x i64], [4 x i64]* %a, i64 0, i64 3
+  store i64 40, i64* %p3
+  %r = call i64 @sum4([4 x i64]* %a)
+  ret i64 %r
+}
+`
+	if got := run(t, src, "main"); got != 100 {
+		t.Errorf("main() = %d, want 100", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+@counter = global i64 zeroinitializer
+
+define i64 @bump() {
+entry:
+  %v = load i64, i64* @counter
+  %v2 = add i64 %v, 1
+  store i64 %v2, i64* @counter
+  ret i64 %v2
+}
+`
+	m := ir.MustParseModule("t", src)
+	mc := NewMachine(m)
+	for want := Word(1); want <= 3; want++ {
+		got, err := mc.Run("bump")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("bump = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestGlobalInitBytes(t *testing.T) {
+	src := `
+@table = global [4 x i32] bytes "01000000020000000300000004000000"
+
+define i32 @get(i64 %i) {
+entry:
+  %p = getelementptr [4 x i32], [4 x i32]* @table, i64 0, i64 %i
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`
+	m := ir.MustParseModule("t", src)
+	mc := NewMachine(m)
+	for i := Word(0); i < 4; i++ {
+		got, err := mc.Run("get", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i+1 {
+			t.Errorf("get(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestPhiExecution(t *testing.T) {
+	src := `
+define i32 @pick(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ 10, %a ], [ 20, %b ]
+  ret i32 %p
+}
+`
+	if got := run(t, src, "pick", 1); got != 10 {
+		t.Errorf("pick(true) = %d, want 10", got)
+	}
+	if got := run(t, src, "pick", 0); got != 20 {
+		t.Errorf("pick(false) = %d, want 20", got)
+	}
+}
+
+func TestSelectAndCmp(t *testing.T) {
+	src := `
+define i32 @max(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}
+`
+	if got := run(t, src, "max", 3, 9); got != 9 {
+		t.Errorf("max(3,9) = %d, want 9", got)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	src := `
+define i32 @inc(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @dec(i32 %x) {
+entry:
+  %r = sub i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @apply(i1 %c, i32 %x) {
+entry:
+  %fp = select i1 %c, i32 (i32)* @inc, i32 (i32)* @dec
+  %r = call i32 %fp(i32 %x)
+  ret i32 %r
+}
+`
+	if got := run(t, src, "apply", 1, 10); got != 11 {
+		t.Errorf("apply(true,10) = %d, want 11", got)
+	}
+	if got := run(t, src, "apply", 0, 10); got != 9 {
+		t.Errorf("apply(false,10) = %d, want 9", got)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	src := `
+declare i8* @mymalloc(i64)
+
+define i64 @roundtrip(i64 %v) {
+entry:
+  %p8 = call i8* @mymalloc(i64 8)
+  %p = bitcast i8* %p8 to i64*
+  store i64 %v, i64* %p
+  %r = load i64, i64* %p
+  ret i64 %r
+}
+`
+	if got := run(t, src, "roundtrip", 424242); got != 424242 {
+		t.Errorf("roundtrip = %d, want 424242", got)
+	}
+}
+
+func TestInvokeUnwind(t *testing.T) {
+	src := `
+declare void @throw()
+
+define i32 @guarded(i1 %doThrow) {
+entry:
+  br i1 %doThrow, label %risky, label %safe
+risky:
+  invoke void @throw() to label %ok unwind label %lpad
+ok:
+  ret i32 1
+safe:
+  ret i32 2
+lpad:
+  %lp = landingpad cleanup
+  ret i32 3
+}
+`
+	if got := run(t, src, "guarded", 1); got != 3 {
+		t.Errorf("guarded(true) = %d, want 3 (landing pad)", got)
+	}
+	if got := run(t, src, "guarded", 0); got != 2 {
+		t.Errorf("guarded(false) = %d, want 2", got)
+	}
+}
+
+func TestResumePropagates(t *testing.T) {
+	src := `
+declare void @throw()
+
+define void @rethrow() {
+entry:
+  invoke void @throw() to label %ok unwind label %lpad
+ok:
+  ret void
+lpad:
+  %lp = landingpad cleanup
+  resume token %lp
+}
+
+define i32 @catcher() {
+entry:
+  invoke void @rethrow() to label %ok unwind label %lpad
+ok:
+  ret i32 0
+lpad:
+  %lp = landingpad cleanup
+  ret i32 99
+}
+`
+	if got := run(t, src, "catcher"); got != 99 {
+		t.Errorf("catcher = %d, want 99", got)
+	}
+}
+
+func TestUnhandledUnwind(t *testing.T) {
+	src := `
+declare void @throw()
+
+define void @boom() {
+entry:
+  call void @throw()
+  ret void
+}
+`
+	m := ir.MustParseModule("t", src)
+	mc := NewMachine(m)
+	_, err := mc.Run("boom")
+	if !errors.Is(err, ErrUnwind) {
+		t.Errorf("expected ErrUnwind, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `
+define void @spin() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+`
+	m := ir.MustParseModule("t", src)
+	mc := NewMachine(m)
+	mc.MaxSteps = 1000
+	_, err := mc.Run("spin")
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("expected ErrLimit, got %v", err)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	src := `
+define i64 @szext(i8 %x) {
+entry:
+  %s = sext i8 %x to i64
+  ret i64 %s
+}
+
+define i64 @uzext(i8 %x) {
+entry:
+  %z = zext i8 %x to i64
+  ret i64 %z
+}
+
+define i64 @fbits(f64 %x) {
+entry:
+  %b = bitcast f64 %x to i64
+  ret i64 %b
+}
+
+define i32 @fti(f64 %x) {
+entry:
+  %i = fptosi f64 %x to i32
+  ret i32 %i
+}
+`
+	if got := run(t, src, "szext", 0xFF); got != math.MaxUint64 {
+		t.Errorf("sext i8 -1 = %#x, want all ones", got)
+	}
+	if got := run(t, src, "uzext", 0xFF); got != 255 {
+		t.Errorf("zext i8 255 = %d, want 255", got)
+	}
+	if got := run(t, src, "fbits", F64(1.0)); got != math.Float64bits(1.0) {
+		t.Errorf("bitcast f64 1.0 = %#x", got)
+	}
+	if got := run(t, src, "fti", F64(-7.9)); sext(got, 32) != -7 {
+		t.Errorf("fptosi(-7.9) = %d, want -7", sext(got, 32))
+	}
+}
+
+func TestStatsAndProfile(t *testing.T) {
+	src := `
+define i64 @work(i64 %n) {
+entry:
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %c = icmp slt i64 %iv, %n
+  br i1 %c, label %body, label %done
+body:
+  %i2 = add i64 %iv, 1
+  store i64 %i2, i64* %i
+  br label %head
+done:
+  ret i64 %iv
+}
+`
+	m := ir.MustParseModule("t", src)
+	mc := NewMachine(m)
+	mc.Profile = true
+	if _, err := mc.Run("work", 10); err != nil {
+		t.Fatal(err)
+	}
+	st := mc.Stats()
+	if st.Executed == 0 || st.Weighted == 0 || st.Calls != 1 {
+		t.Errorf("unexpected stats: %+v", st)
+	}
+	f := m.FuncByName("work")
+	var body *ir.Block
+	for _, b := range f.Blocks {
+		if b.Name() == "body" {
+			body = b
+		}
+	}
+	if mc.BlockCounts[body] != 10 {
+		t.Errorf("body executed %d times, want 10", mc.BlockCounts[body])
+	}
+	mc.ResetStats()
+	if mc.Stats().Executed != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestSwitchExecution(t *testing.T) {
+	src := `
+define i32 @sw(i32 %x) {
+entry:
+  switch i32 %x, label %def [ i32 1, label %one i32 2, label %two ]
+one:
+  ret i32 100
+two:
+  ret i32 200
+def:
+  ret i32 0
+}
+`
+	cases := map[Word]Word{1: 100, 2: 200, 5: 0}
+	for in, want := range cases {
+		if got := run(t, src, "sw", in); got != want {
+			t.Errorf("sw(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

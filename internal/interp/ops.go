@@ -1,0 +1,384 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"fmsa/internal/ir"
+)
+
+// truncWord keeps the low bits of w.
+func truncWord(w Word, bits int) Word {
+	if bits >= 64 {
+		return w
+	}
+	return w & (1<<uint(bits) - 1)
+}
+
+// sext sign-extends the low bits of w to int64.
+func sext(w Word, bits int) int64 {
+	if bits >= 64 {
+		return int64(w)
+	}
+	shift := uint(64 - bits)
+	return int64(w<<shift) >> shift
+}
+
+// asF64 decodes a float operand of the given type.
+func asF64(w Word, t *ir.Type) float64 {
+	if t.Bits == 32 {
+		return float64(math.Float32frombits(uint32(w)))
+	}
+	return math.Float64frombits(w)
+}
+
+// fromF64 encodes v as a float of the given type.
+func fromF64(v float64, t *ir.Type) Word {
+	if t.Bits == 32 {
+		return Word(math.Float32bits(float32(v)))
+	}
+	return math.Float64bits(v)
+}
+
+// evalPure executes value-producing, non-control-flow instructions.
+func (m *Machine) evalPure(in *ir.Inst, f *ir.Func, pvals []Word, frame map[*ir.Inst]Word) (Word, error) {
+	get := func(i int) (Word, error) { return m.eval(in.Operand(i), f, pvals, frame) }
+
+	switch {
+	case in.Op.IsBinary():
+		a, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := get(1)
+		if err != nil {
+			return 0, err
+		}
+		return m.evalBinary(in, a, b)
+	case in.Op.IsCast():
+		a, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		return evalCast(in, a)
+	}
+
+	switch in.Op {
+	case ir.OpAlloca:
+		return m.Alloc(uint64(in.Alloc.SizeBytes()))
+
+	case ir.OpLoad:
+		addr, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		return m.load(addr, in.Type().SizeBytes())
+
+	case ir.OpStore:
+		v, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		addr, err := get(1)
+		if err != nil {
+			return 0, err
+		}
+		return 0, m.store(addr, in.Operand(0).Type().SizeBytes(), v)
+
+	case ir.OpGEP:
+		addr, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		cur := in.Operand(0).Type().Elem
+		for i := 1; i < in.NumOperands(); i++ {
+			idxOp := in.Operand(i)
+			idx, err := get(i)
+			if err != nil {
+				return 0, err
+			}
+			sidx := sext(idx, idxOp.Type().Bits)
+			if i == 1 {
+				addr = Word(int64(addr) + sidx*int64(cur.SizeBytes()))
+				continue
+			}
+			switch cur.Kind {
+			case ir.ArrayKind:
+				addr = Word(int64(addr) + sidx*int64(cur.Elem.SizeBytes()))
+				cur = cur.Elem
+			case ir.StructKind:
+				addr += Word(cur.FieldOffset(int(sidx)))
+				cur = cur.Fields[sidx]
+			default:
+				return 0, fmt.Errorf("interp: gep into non-aggregate %s", cur)
+			}
+		}
+		return addr, nil
+
+	case ir.OpICmp:
+		a, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := get(1)
+		if err != nil {
+			return 0, err
+		}
+		ty := in.Operand(0).Type()
+		bits := 64
+		if ty.IsInt() {
+			bits = ty.Bits
+		}
+		return evalICmp(in.Pred, a, b, bits)
+
+	case ir.OpFCmp:
+		a, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := get(1)
+		if err != nil {
+			return 0, err
+		}
+		ty := in.Operand(0).Type()
+		return evalFCmp(in.Pred, asF64(a, ty), asF64(b, ty))
+
+	case ir.OpSelect:
+		c, err := get(0)
+		if err != nil {
+			return 0, err
+		}
+		if c&1 != 0 {
+			return get(1)
+		}
+		return get(2)
+
+	default:
+		return 0, fmt.Errorf("interp: unsupported opcode %s", in.Op)
+	}
+}
+
+func (m *Machine) evalBinary(in *ir.Inst, a, b Word) (Word, error) {
+	ty := in.Type()
+	if ty.IsFloat() {
+		x, y := asF64(a, ty), asF64(b, ty)
+		var r float64
+		switch in.Op {
+		case ir.OpFAdd:
+			r = x + y
+		case ir.OpFSub:
+			r = x - y
+		case ir.OpFMul:
+			r = x * y
+		case ir.OpFDiv:
+			r = x / y
+		case ir.OpFRem:
+			r = math.Mod(x, y)
+		default:
+			return 0, fmt.Errorf("interp: bad float op %s", in.Op)
+		}
+		return fromF64(r, ty), nil
+	}
+
+	bits := ty.Bits
+	ua, ub := truncWord(a, bits), truncWord(b, bits)
+	sa, sb := sext(a, bits), sext(b, bits)
+	shiftMask := Word(bits - 1)
+	var r Word
+	switch in.Op {
+	case ir.OpAdd:
+		r = ua + ub
+	case ir.OpSub:
+		r = ua - ub
+	case ir.OpMul:
+		r = ua * ub
+	case ir.OpSDiv:
+		if sb == 0 {
+			return 0, fmt.Errorf("interp: division by zero")
+		}
+		r = Word(sa / sb)
+	case ir.OpUDiv:
+		if ub == 0 {
+			return 0, fmt.Errorf("interp: division by zero")
+		}
+		r = ua / ub
+	case ir.OpSRem:
+		if sb == 0 {
+			return 0, fmt.Errorf("interp: remainder by zero")
+		}
+		r = Word(sa % sb)
+	case ir.OpURem:
+		if ub == 0 {
+			return 0, fmt.Errorf("interp: remainder by zero")
+		}
+		r = ua % ub
+	case ir.OpShl:
+		r = ua << (ub & shiftMask)
+	case ir.OpLShr:
+		r = ua >> (ub & shiftMask)
+	case ir.OpAShr:
+		r = Word(sa >> (ub & shiftMask))
+	case ir.OpAnd:
+		r = ua & ub
+	case ir.OpOr:
+		r = ua | ub
+	case ir.OpXor:
+		r = ua ^ ub
+	default:
+		return 0, fmt.Errorf("interp: bad int op %s", in.Op)
+	}
+	return truncWord(r, bits), nil
+}
+
+func evalCast(in *ir.Inst, a Word) (Word, error) {
+	from := in.Operand(0).Type()
+	to := in.Type()
+	switch in.Op {
+	case ir.OpTrunc:
+		return truncWord(a, to.Bits), nil
+	case ir.OpZExt:
+		return truncWord(a, from.Bits), nil
+	case ir.OpSExt:
+		return truncWord(Word(sext(a, from.Bits)), to.Bits), nil
+	case ir.OpFPTrunc, ir.OpFPExt:
+		return fromF64(asF64(a, from), to), nil
+	case ir.OpFPToSI:
+		return truncWord(Word(int64(asF64(a, from))), to.Bits), nil
+	case ir.OpFPToUI:
+		return truncWord(Word(uint64(asF64(a, from))), to.Bits), nil
+	case ir.OpSIToFP:
+		return fromF64(float64(sext(a, from.Bits)), to), nil
+	case ir.OpUIToFP:
+		return fromF64(float64(truncWord(a, from.Bits)), to), nil
+	case ir.OpPtrToInt:
+		return truncWord(a, to.Bits), nil
+	case ir.OpIntToPtr:
+		return truncWord(a, from.Bits), nil
+	case ir.OpBitCast:
+		return a, nil
+	default:
+		return 0, fmt.Errorf("interp: bad cast %s", in.Op)
+	}
+}
+
+func evalICmp(pred ir.CmpPred, a, b Word, bits int) (Word, error) {
+	ua, ub := truncWord(a, bits), truncWord(b, bits)
+	sa, sb := sext(a, bits), sext(b, bits)
+	var r bool
+	switch pred {
+	case ir.PredEQ:
+		r = ua == ub
+	case ir.PredNE:
+		r = ua != ub
+	case ir.PredSGT:
+		r = sa > sb
+	case ir.PredSGE:
+		r = sa >= sb
+	case ir.PredSLT:
+		r = sa < sb
+	case ir.PredSLE:
+		r = sa <= sb
+	case ir.PredUGT:
+		r = ua > ub
+	case ir.PredUGE:
+		r = ua >= ub
+	case ir.PredULT:
+		r = ua < ub
+	case ir.PredULE:
+		r = ua <= ub
+	default:
+		return 0, fmt.Errorf("interp: bad icmp predicate %s", pred)
+	}
+	if r {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func evalFCmp(pred ir.CmpPred, a, b float64) (Word, error) {
+	var r bool
+	switch pred {
+	case ir.PredOEQ:
+		r = a == b
+	case ir.PredONE:
+		r = a != b && !math.IsNaN(a) && !math.IsNaN(b)
+	case ir.PredOGT:
+		r = a > b
+	case ir.PredOGE:
+		r = a >= b
+	case ir.PredOLT:
+		r = a < b
+	case ir.PredOLE:
+		r = a <= b
+	default:
+		return 0, fmt.Errorf("interp: bad fcmp predicate %s", pred)
+	}
+	if r {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// weight returns the latency weight of an instruction, the unit of the
+// Fig. 14 runtime proxy.
+func weight(in *ir.Inst) uint64 {
+	switch in.Op {
+	case ir.OpCall, ir.OpInvoke:
+		return 3
+	case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem, ir.OpFDiv, ir.OpFRem:
+		return 8
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul:
+		return 2
+	case ir.OpLoad, ir.OpStore:
+		return 2
+	case ir.OpAlloca, ir.OpBitCast, ir.OpPtrToInt, ir.OpIntToPtr:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// RegisterDefaultIntrinsics installs the small runtime used by examples and
+// workloads: an allocator, a printer sink, math helpers and an
+// exception-throwing hook.
+func RegisterDefaultIntrinsics(m *Machine) {
+	m.Register("mymalloc", func(mc *Machine, args []Word) (Word, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("mymalloc: want 1 arg")
+		}
+		return mc.Alloc(args[0])
+	})
+	m.Register("malloc", func(mc *Machine, args []Word) (Word, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("malloc: want 1 arg")
+		}
+		return mc.Alloc(args[0])
+	})
+	m.Register("free", func(mc *Machine, args []Word) (Word, error) {
+		return 0, nil // bump allocator: free is a no-op
+	})
+	m.Register("sink_i64", func(mc *Machine, args []Word) (Word, error) {
+		return 0, nil
+	})
+	m.Register("throw", func(mc *Machine, args []Word) (Word, error) {
+		return 0, ErrUnwind
+	})
+	m.Register("abs_f64", func(mc *Machine, args []Word) (Word, error) {
+		return math.Float64bits(math.Abs(math.Float64frombits(args[0]))), nil
+	})
+	m.Register("sqrt_f64", func(mc *Machine, args []Word) (Word, error) {
+		return math.Float64bits(math.Sqrt(math.Float64frombits(args[0]))), nil
+	})
+}
+
+// F64 converts a float64 to its Word representation (for test inputs).
+func F64(v float64) Word { return math.Float64bits(v) }
+
+// F32 converts a float32 to its Word representation.
+func F32(v float32) Word { return Word(math.Float32bits(v)) }
+
+// ToF64 decodes a Word as float64.
+func ToF64(w Word) float64 { return math.Float64frombits(w) }
+
+// ToF32 decodes a Word as float32.
+func ToF32(w Word) float32 { return math.Float32frombits(uint32(w)) }

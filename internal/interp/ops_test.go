@@ -1,0 +1,229 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+func TestRemainders(t *testing.T) {
+	src := `
+define i32 @sr(i32 %a, i32 %b) {
+entry:
+  %r = srem i32 %a, %b
+  ret i32 %r
+}
+
+define i32 @ur(i32 %a, i32 %b) {
+entry:
+  %r = urem i32 %a, %b
+  ret i32 %r
+}
+
+define f64 @fr(f64 %a, f64 %b) {
+entry:
+  %r = frem f64 %a, %b
+  ret f64 %r
+}
+`
+	// -7 % 3 = -1 (signed, Go semantics = LLVM srem).
+	neg7 := uint64(0xFFFFFFF9)
+	if got := run(t, src, "sr", neg7, 3); sext(got, 32) != -1 {
+		t.Errorf("srem(-7,3) = %d, want -1", sext(got, 32))
+	}
+	// 0xFFFFFFF9 % 3 unsigned = 4294967289 % 3 = 0.
+	if got := run(t, src, "ur", neg7, 3); got != 0 {
+		t.Errorf("urem = %d, want 0", got)
+	}
+	if got := ToF64(run(t, src, "fr", F64(7.5), F64(2))); got != 1.5 {
+		t.Errorf("frem(7.5,2) = %v, want 1.5", got)
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	src := `
+define i8 @sh(i8 %a, i8 %b) {
+entry:
+  %r = shl i8 %a, %b
+  ret i8 %r
+}
+`
+	// Shift amounts are masked modulo the bit width (8): shl by 9 ≡ shl by 1.
+	if got := run(t, src, "sh", 1, 9); got != 2 {
+		t.Errorf("shl i8 1, 9 = %d, want 2 (masked)", got)
+	}
+}
+
+func TestUnsignedConversions(t *testing.T) {
+	src := `
+define i32 @ftu(f64 %x) {
+entry:
+  %r = fptoui f64 %x to i32
+  ret i32 %r
+}
+
+define f64 @utf(i8 %x) {
+entry:
+  %r = uitofp i8 %x to f64
+  ret f64 %r
+}
+`
+	if got := run(t, src, "ftu", F64(3000000000)); got != 3000000000 {
+		t.Errorf("fptoui = %d", got)
+	}
+	if got := ToF64(run(t, src, "utf", 0xFF)); got != 255 {
+		t.Errorf("uitofp i8 255 = %v, want 255", got)
+	}
+}
+
+func TestFCmpPredicates(t *testing.T) {
+	src := `
+define i1 @cmp_PRED(f64 %a, f64 %b) {
+entry:
+  %r = fcmp PRED f64 %a, %b
+  ret i1 %r
+}
+`
+	cases := []struct {
+		pred string
+		a, b float64
+		want uint64
+	}{
+		{"oeq", 1, 1, 1}, {"oeq", 1, 2, 0},
+		{"one", 1, 2, 1}, {"one", 1, 1, 0},
+		{"ogt", 2, 1, 1}, {"oge", 1, 1, 1},
+		{"olt", 1, 2, 1}, {"ole", 2, 1, 0},
+		{"oeq", math.NaN(), 1, 0},
+		{"one", math.NaN(), 1, 0}, // ordered: NaN compares false
+	}
+	for _, c := range cases {
+		s := strings.ReplaceAll(src, "PRED", c.pred)
+		if got := run(t, s, "cmp_"+c.pred, F64(c.a), F64(c.b)); got != c.want {
+			t.Errorf("fcmp %s %v %v = %d, want %d", c.pred, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := ir.MustParseModule("mb", `
+define i64 @deref(i64 %addr) {
+entry:
+  %p = inttoptr i64 %addr to i64*
+  %v = load i64, i64* %p
+  ret i64 %v
+}
+`)
+	mc := NewMachine(m)
+	if _, err := mc.Run("deref", 0); err == nil {
+		t.Error("null deref must fail")
+	}
+	if _, err := mc.Run("deref", 1<<40); err == nil {
+		t.Error("wild deref must fail")
+	}
+}
+
+func TestAllocLimit(t *testing.T) {
+	m := ir.MustParseModule("al", "define void @noop() {\nentry:\n  ret void\n}")
+	mc := NewMachine(m)
+	if _, err := mc.Alloc(1 << 40); err == nil {
+		t.Error("huge allocation must fail")
+	}
+	// Zero-sized allocations still return distinct valid addresses.
+	a, err := mc.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mc.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("zero-sized allocations should not alias")
+	}
+}
+
+func TestReadWriteMemBounds(t *testing.T) {
+	m := ir.MustParseModule("rw", "define void @noop() {\nentry:\n  ret void\n}")
+	mc := NewMachine(m)
+	addr, err := mc.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.WriteMem(addr, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.ReadMem(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[2] != 3 {
+		t.Error("round trip failed")
+	}
+	if _, err := mc.ReadMem(2, 4); err == nil {
+		t.Error("sub-16 read must fail")
+	}
+	if err := mc.WriteMem(1<<30, []byte{1}); err == nil {
+		t.Error("unmapped write must fail")
+	}
+}
+
+func TestUnregisteredExternFails(t *testing.T) {
+	m := ir.MustParseModule("ux", `
+declare void @mystery()
+
+define void @f() {
+entry:
+  call void @mystery()
+  ret void
+}
+`)
+	mc := NewMachine(m)
+	if _, err := mc.Run("f"); err == nil {
+		t.Error("call of unregistered external must fail")
+	}
+}
+
+func TestWrongArgCount(t *testing.T) {
+	m := ir.MustParseModule("wa", `
+define i64 @two(i64 %a, i64 %b) {
+entry:
+  %r = add i64 %a, %b
+  ret i64 %r
+}
+`)
+	mc := NewMachine(m)
+	if _, err := mc.Run("two", 1); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if _, err := mc.Run("missing"); err == nil {
+		t.Error("unknown function must fail")
+	}
+}
+
+func TestDefaultIntrinsics(t *testing.T) {
+	m := ir.MustParseModule("di", `
+declare i8* @malloc(i64)
+declare void @free(i8*)
+declare f64 @sqrt_f64(f64)
+declare f64 @abs_f64(f64)
+
+define f64 @f(f64 %x) {
+entry:
+  %p = call i8* @malloc(i64 8)
+  call void @free(i8* %p)
+  %a = call f64 @abs_f64(f64 %x)
+  %r = call f64 @sqrt_f64(f64 %a)
+  ret f64 %r
+}
+`)
+	mc := NewMachine(m)
+	got, err := mc.Run("f", F64(-16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ToF64(got) != 4 {
+		t.Errorf("sqrt(abs(-16)) = %v, want 4", ToF64(got))
+	}
+}

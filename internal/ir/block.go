@@ -1,0 +1,142 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a label plus a sequence of instructions ending in
+// exactly one terminator. Blocks are Values of label type so they can appear
+// as branch operands.
+type Block struct {
+	usable
+	name   string
+	parent *Func
+	// Insts holds the block's instructions in execution order.
+	Insts []*Inst
+}
+
+// NewBlock creates a detached block with the given name (which may be empty;
+// the printer assigns numbers to anonymous blocks).
+func NewBlock(name string) *Block {
+	return &Block{name: name}
+}
+
+// Type returns the label type.
+func (b *Block) Type() *Type { return Label() }
+
+// Name returns the block label.
+func (b *Block) Name() string { return b.name }
+
+// SetName sets the block label.
+func (b *Block) SetName(s string) { b.name = s }
+
+// Ident returns the reference form "label %name".
+func (b *Block) Ident() string {
+	if b.name == "" {
+		return fmt.Sprintf("label %%<%p>", b)
+	}
+	return "label %" + b.name
+}
+
+// Parent returns the function containing the block, or nil if detached.
+func (b *Block) Parent() *Func { return b.parent }
+
+// Append adds in at the end of the block.
+func (b *Block) Append(in *Inst) {
+	if in.parent != nil {
+		panic("ir: instruction already attached")
+	}
+	in.parent = b
+	b.Insts = append(b.Insts, in)
+}
+
+// InsertBefore inserts in immediately before pos, which must be in b.
+func (b *Block) InsertBefore(in *Inst, pos *Inst) {
+	if in.parent != nil {
+		panic("ir: instruction already attached")
+	}
+	for i, x := range b.Insts {
+		if x == pos {
+			b.Insts = append(b.Insts, nil)
+			copy(b.Insts[i+1:], b.Insts[i:])
+			b.Insts[i] = in
+			in.parent = b
+			return
+		}
+	}
+	panic("ir: InsertBefore position not in block")
+}
+
+// Terminator returns the block's terminator, or nil if the block is not yet
+// terminated.
+func (b *Block) Terminator() *Inst {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	last := b.Insts[len(b.Insts)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Successors returns the successor blocks, or nil for unterminated blocks.
+func (b *Block) Successors() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Successors()
+}
+
+// Preds returns the predecessor blocks, derived from the block's use list.
+// A block branching to b twice (e.g. both switch arms) appears once per edge.
+func (b *Block) Preds() []*Block {
+	var preds []*Block
+	for _, u := range b.uses {
+		if u.User.IsTerminator() && u.User.parent != nil {
+			preds = append(preds, u.User.parent)
+		}
+	}
+	return preds
+}
+
+// IsLandingBlock reports whether the block is a landing block, i.e. its
+// first instruction is a landingpad.
+func (b *Block) IsLandingBlock() bool {
+	return len(b.Insts) > 0 && b.Insts[0].Op == OpLandingPad
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	for i, in := range b.Insts {
+		if in.Op != OpPhi {
+			return i
+		}
+	}
+	return len(b.Insts)
+}
+
+// Phis returns the leading phi instructions of the block.
+func (b *Block) Phis() []*Inst {
+	return b.Insts[:b.FirstNonPhi()]
+}
+
+// RemoveFromParent detaches the block from its function. All instructions'
+// operand uses are dropped; the block must itself be unused.
+func (b *Block) RemoveFromParent() {
+	if b.parent == nil {
+		return
+	}
+	f := b.parent
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			break
+		}
+	}
+	b.parent = nil
+	for _, in := range b.Insts {
+		in.parent = nil
+		in.dropAllOperands()
+	}
+	b.Insts = nil
+}

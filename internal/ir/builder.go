@@ -1,0 +1,259 @@
+package ir
+
+import "fmt"
+
+// Builder appends instructions to a basic block, computing result types and
+// checking operand types as it goes. It is the primary way of constructing
+// IR programmatically.
+type Builder struct {
+	blk *Block
+}
+
+// NewBuilder returns a builder positioned at the end of b.
+func NewBuilder(b *Block) *Builder { return &Builder{blk: b} }
+
+// Block returns the current insertion block.
+func (bd *Builder) Block() *Block { return bd.blk }
+
+// SetBlock moves the insertion point to the end of b.
+func (bd *Builder) SetBlock(b *Block) { bd.blk = b }
+
+func (bd *Builder) emit(in *Inst) *Inst {
+	bd.blk.Append(in)
+	return in
+}
+
+// Ret emits a return of v, or a void return if v is nil.
+func (bd *Builder) Ret(v Value) *Inst {
+	if v == nil {
+		return bd.emit(NewInst(OpRet, Void()))
+	}
+	return bd.emit(NewInst(OpRet, Void(), v))
+}
+
+// Br emits an unconditional branch to dest.
+func (bd *Builder) Br(dest *Block) *Inst {
+	return bd.emit(NewInst(OpBr, Void(), dest))
+}
+
+// CondBr emits a conditional branch on cond (i1).
+func (bd *Builder) CondBr(cond Value, then, els *Block) *Inst {
+	if !cond.Type().IsBool() {
+		panic(fmt.Sprintf("ir: CondBr condition must be i1, got %s", cond.Type()))
+	}
+	return bd.emit(NewInst(OpBr, Void(), cond, then, els))
+}
+
+// Switch emits a switch on cond with the given default block; use AddCase on
+// the result to attach cases.
+func (bd *Builder) Switch(cond Value, def *Block) *Inst {
+	return bd.emit(NewInst(OpSwitch, Void(), cond, def))
+}
+
+// AddCase appends a (constant, destination) case to a switch instruction.
+func AddCase(sw *Inst, c *ConstInt, dest *Block) {
+	if sw.Op != OpSwitch {
+		panic("ir: AddCase on non-switch")
+	}
+	sw.AppendOperand(c)
+	sw.AppendOperand(dest)
+}
+
+// Unreachable emits an unreachable terminator.
+func (bd *Builder) Unreachable() *Inst {
+	return bd.emit(NewInst(OpUnreachable, Void()))
+}
+
+// Binary emits a two-operand arithmetic or bitwise instruction. Both
+// operands must have the same type, which is also the result type.
+func (bd *Builder) Binary(op Opcode, lhs, rhs Value) *Inst {
+	if !op.IsBinary() {
+		panic(fmt.Sprintf("ir: Binary with non-binary opcode %s", op))
+	}
+	if lhs.Type() != rhs.Type() {
+		panic(fmt.Sprintf("ir: %s operand type mismatch: %s vs %s", op, lhs.Type(), rhs.Type()))
+	}
+	return bd.emit(NewInst(op, lhs.Type(), lhs, rhs))
+}
+
+// Add emits an integer addition.
+func (bd *Builder) Add(lhs, rhs Value) *Inst { return bd.Binary(OpAdd, lhs, rhs) }
+
+// Sub emits an integer subtraction.
+func (bd *Builder) Sub(lhs, rhs Value) *Inst { return bd.Binary(OpSub, lhs, rhs) }
+
+// Mul emits an integer multiplication.
+func (bd *Builder) Mul(lhs, rhs Value) *Inst { return bd.Binary(OpMul, lhs, rhs) }
+
+// Alloca emits a stack allocation of ty, producing a ty* value.
+func (bd *Builder) Alloca(ty *Type) *Inst {
+	in := NewInst(OpAlloca, PointerTo(ty))
+	in.Alloc = ty
+	return bd.emit(in)
+}
+
+// Load emits a load from ptr.
+func (bd *Builder) Load(ptr Value) *Inst {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic(fmt.Sprintf("ir: Load from non-pointer %s", pt))
+	}
+	return bd.emit(NewInst(OpLoad, pt.Elem, ptr))
+}
+
+// Store emits a store of v to ptr.
+func (bd *Builder) Store(v, ptr Value) *Inst {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic(fmt.Sprintf("ir: Store to non-pointer %s", pt))
+	}
+	if pt.Elem != v.Type() {
+		panic(fmt.Sprintf("ir: Store type mismatch: %s to %s", v.Type(), pt))
+	}
+	return bd.emit(NewInst(OpStore, Void(), v, ptr))
+}
+
+// GEP emits a getelementptr computing an address within the object pointed
+// to by ptr. Index semantics follow LLVM: the first index steps over the
+// pointee as an array element, subsequent indices drill into aggregates.
+// Struct field indices must be ConstInt.
+func (bd *Builder) GEP(ptr Value, indices ...Value) *Inst {
+	rt := GEPResultType(ptr.Type(), indices)
+	ops := append([]Value{ptr}, indices...)
+	return bd.emit(NewInst(OpGEP, rt, ops...))
+}
+
+// GEPResultType computes the result type of a GEP with the given base
+// pointer type and indices.
+func GEPResultType(ptrTy *Type, indices []Value) *Type {
+	if !ptrTy.IsPointer() {
+		panic(fmt.Sprintf("ir: GEP on non-pointer %s", ptrTy))
+	}
+	cur := ptrTy.Elem
+	for i, idx := range indices {
+		if i == 0 {
+			continue // first index steps over the pointee itself
+		}
+		switch cur.Kind {
+		case ArrayKind:
+			cur = cur.Elem
+		case StructKind:
+			c, ok := idx.(*ConstInt)
+			if !ok {
+				panic("ir: GEP struct index must be constant")
+			}
+			cur = cur.Fields[c.V]
+		default:
+			panic(fmt.Sprintf("ir: GEP drills into non-aggregate %s", cur))
+		}
+	}
+	return PointerTo(cur)
+}
+
+// Cast emits a conversion instruction of the given opcode to type to.
+func (bd *Builder) Cast(op Opcode, v Value, to *Type) *Inst {
+	if !op.IsCast() {
+		panic(fmt.Sprintf("ir: Cast with non-cast opcode %s", op))
+	}
+	return bd.emit(NewInst(op, to, v))
+}
+
+// BitCast emits a lossless bit reinterpretation of v as type to.
+func (bd *Builder) BitCast(v Value, to *Type) *Inst {
+	return bd.Cast(OpBitCast, v, to)
+}
+
+// ICmp emits an integer/pointer comparison producing i1.
+func (bd *Builder) ICmp(pred CmpPred, lhs, rhs Value) *Inst {
+	in := NewInst(OpICmp, Bool(), lhs, rhs)
+	in.Pred = pred
+	return bd.emit(in)
+}
+
+// FCmp emits a floating-point comparison producing i1.
+func (bd *Builder) FCmp(pred CmpPred, lhs, rhs Value) *Inst {
+	in := NewInst(OpFCmp, Bool(), lhs, rhs)
+	in.Pred = pred
+	return bd.emit(in)
+}
+
+// Phi emits an empty phi of type ty; attach incoming edges with AddIncoming.
+func (bd *Builder) Phi(ty *Type) *Inst {
+	return bd.emit(NewInst(OpPhi, ty))
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a phi.
+func AddIncoming(phi *Inst, v Value, pred *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.AppendOperand(v)
+	phi.AppendOperand(pred)
+}
+
+// Select emits a select between ifTrue and ifFalse on cond (i1).
+func (bd *Builder) Select(cond, ifTrue, ifFalse Value) *Inst {
+	if !cond.Type().IsBool() {
+		panic("ir: Select condition must be i1")
+	}
+	if ifTrue.Type() != ifFalse.Type() {
+		panic(fmt.Sprintf("ir: Select arm type mismatch: %s vs %s", ifTrue.Type(), ifFalse.Type()))
+	}
+	return bd.emit(NewInst(OpSelect, ifTrue.Type(), cond, ifTrue, ifFalse))
+}
+
+// Call emits a direct or indirect call. callee must have pointer-to-function
+// type.
+func (bd *Builder) Call(callee Value, args ...Value) *Inst {
+	sig := calleeSig(callee)
+	checkCallArgs(sig, args)
+	ops := append([]Value{callee}, args...)
+	return bd.emit(NewInst(OpCall, sig.Ret, ops...))
+}
+
+// Invoke emits an invoke transferring to normal on ordinary return and to
+// unwind (a landing block) if the callee raises.
+func (bd *Builder) Invoke(callee Value, args []Value, normal, unwind *Block) *Inst {
+	sig := calleeSig(callee)
+	checkCallArgs(sig, args)
+	ops := append([]Value{callee}, args...)
+	ops = append(ops, normal, unwind)
+	return bd.emit(NewInst(OpInvoke, sig.Ret, ops...))
+}
+
+// Resume emits a resume of exception propagation with the given landingpad
+// token.
+func (bd *Builder) Resume(tok Value) *Inst {
+	return bd.emit(NewInst(OpResume, Void(), tok))
+}
+
+// LandingPad emits a landingpad instruction with the given clauses. It must
+// be the first instruction of its block.
+func (bd *Builder) LandingPad(clauses ...string) *Inst {
+	in := NewInst(OpLandingPad, Token())
+	in.Clauses = append([]string(nil), clauses...)
+	return bd.emit(in)
+}
+
+func calleeSig(callee Value) *Type {
+	ct := callee.Type()
+	if !ct.IsPointer() || ct.Elem.Kind != FuncKind {
+		panic(fmt.Sprintf("ir: call of non-function value of type %s", ct))
+	}
+	return ct.Elem
+}
+
+func checkCallArgs(sig *Type, args []Value) {
+	if sig.Variadic {
+		if len(args) < len(sig.Fields) {
+			panic("ir: too few arguments to variadic call")
+		}
+	} else if len(args) != len(sig.Fields) {
+		panic(fmt.Sprintf("ir: call argument count %d does not match signature %s", len(args), sig))
+	}
+	for i, p := range sig.Fields {
+		if args[i].Type() != p {
+			panic(fmt.Sprintf("ir: call argument %d has type %s, want %s", i, args[i].Type(), p))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package ir
+
+// CloneFunc deep-copies src into a new detached function named name. The
+// clone shares constants, globals and function references with the original
+// but has fresh parameters, blocks and instructions.
+func CloneFunc(src *Func, name string) *Func {
+	dst := NewFunc(name, src.Sig())
+	dst.Linkage = src.Linkage
+	dst.Hotness = src.Hotness
+	if src.IsDecl() {
+		return dst
+	}
+	vmap := make(map[Value]Value, src.NumInsts()+len(src.Params)+len(src.Blocks))
+	for i, p := range src.Params {
+		dst.Params[i].SetName(p.Name())
+		vmap[p] = dst.Params[i]
+	}
+	CloneBody(src, dst, vmap)
+	return dst
+}
+
+// CloneBody clones all blocks and instructions of src into dst, extending
+// vmap with the mapping from source values to their clones. vmap must
+// already map src's parameters to values valid in dst.
+func CloneBody(src, dst *Func, vmap map[Value]Value) {
+	for _, b := range src.Blocks {
+		nb := NewBlock(b.Name())
+		dst.AppendBlock(nb)
+		vmap[b] = nb
+	}
+	// First pass: clone instructions with unmapped operands.
+	for _, b := range src.Blocks {
+		nb := vmap[b].(*Block)
+		for _, in := range b.Insts {
+			ni := cloneInstShallow(in)
+			nb.Append(ni)
+			vmap[in] = ni
+		}
+	}
+	// Second pass: remap operands.
+	for _, b := range src.Blocks {
+		nb := vmap[b].(*Block)
+		for i, in := range b.Insts {
+			ni := nb.Insts[i]
+			for _, op := range in.Operands() {
+				ni.AppendOperand(mapValue(op, vmap))
+			}
+		}
+	}
+}
+
+// cloneInstShallow copies an instruction's opcode, type, name and attributes
+// but not its operands.
+func cloneInstShallow(in *Inst) *Inst {
+	ni := NewInst(in.Op, in.Type())
+	ni.SetName(in.Name())
+	ni.Pred = in.Pred
+	ni.Alloc = in.Alloc
+	if in.Clauses != nil {
+		ni.Clauses = append([]string(nil), in.Clauses...)
+	}
+	return ni
+}
+
+// mapValue resolves v through vmap, returning v itself for values that are
+// not remapped (constants, globals, functions).
+func mapValue(v Value, vmap map[Value]Value) Value {
+	if v == nil {
+		return nil
+	}
+	if nv, ok := vmap[v]; ok {
+		return nv
+	}
+	return v
+}

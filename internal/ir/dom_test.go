@@ -1,0 +1,115 @@
+package ir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+// randomCFG builds a function with n blocks and random conditional
+// branches, always terminating in a return-capable structure.
+func randomCFG(seed int64, n int) *ir.Func {
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule("dom")
+	f := m.NewFuncIn("f", ir.FuncOf(ir.Void(), ir.Bool()))
+	blocks := make([]*ir.Block, n)
+	for i := range blocks {
+		blocks[i] = f.NewBlockIn("")
+	}
+	for i, b := range blocks {
+		bd := ir.NewBuilder(b)
+		switch {
+		case i == n-1 || rng.Intn(5) == 0:
+			bd.Ret(nil)
+		case rng.Intn(2) == 0:
+			// Unconditional forward/backward edge.
+			bd.Br(blocks[rng.Intn(n)])
+		default:
+			bd.CondBr(f.Params[0], blocks[rng.Intn(n)], blocks[rng.Intn(n)])
+		}
+	}
+	return f
+}
+
+// bruteDominators computes dominance by path enumeration: a dominates b if
+// removing a makes b unreachable from the entry.
+func bruteDominates(f *ir.Func, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*ir.Block]bool{a: true} // block a is "removed"
+	var stack []*ir.Block
+	entry := f.Entry()
+	if entry != a {
+		stack = append(stack, entry)
+		seen[entry] = true
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == b {
+			return false // reached b without passing a
+		}
+		for _, s := range cur.Successors() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+func TestDomTreeMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		f := randomCFG(seed, 8)
+		dt := ir.ComputeDomTree(f)
+		reach := map[*ir.Block]bool{}
+		for _, b := range ir.ReversePostOrder(f) {
+			reach[b] = true
+		}
+		for _, a := range f.Blocks {
+			for _, b := range f.Blocks {
+				if !reach[a] || !reach[b] {
+					continue
+				}
+				want := bruteDominates(f, a, b)
+				got := dt.Dominates(a, b)
+				if got != want {
+					t.Fatalf("seed %d: Dominates(%p, %p) = %v, brute force %v",
+						seed, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIDomConsistency(t *testing.T) {
+	// idom(b) must strictly dominate b and be dominated by every other
+	// dominator of b.
+	for seed := int64(30); seed <= 40; seed++ {
+		f := randomCFG(seed, 7)
+		dt := ir.ComputeDomTree(f)
+		for _, b := range ir.ReversePostOrder(f) {
+			if b == f.Entry() {
+				if dt.IDom(b) != nil {
+					t.Fatal("entry must have no idom")
+				}
+				continue
+			}
+			id := dt.IDom(b)
+			if id == nil {
+				t.Fatalf("seed %d: reachable block lacks idom", seed)
+			}
+			if !dt.Dominates(id, b) || id == b {
+				t.Fatalf("seed %d: idom does not strictly dominate", seed)
+			}
+			for _, d := range ir.ReversePostOrder(f) {
+				if d != b && dt.Dominates(d, b) && !dt.Dominates(d, id) {
+					t.Fatalf("seed %d: dominator %p not above idom %p", seed, d, id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package ir
+
+import "fmt"
+
+// Linkage describes symbol visibility of a function or global.
+type Linkage int
+
+// Linkage kinds. External symbols may be referenced from outside the module
+// (so their definitions cannot be deleted after merging, only replaced with
+// thunks); internal symbols are module-private.
+const (
+	ExternalLinkage Linkage = iota
+	InternalLinkage
+)
+
+// String returns the textual linkage keyword ("" for external).
+func (l Linkage) String() string {
+	if l == InternalLinkage {
+		return "internal"
+	}
+	return ""
+}
+
+// Func is a function: a signature plus, for definitions, a list of basic
+// blocks. Functions are Values (of pointer-to-function type) so they can be
+// call operands and have their addresses taken.
+type Func struct {
+	usable
+	name    string
+	sig     *Type // FuncKind
+	parent  *Module
+	Params  []*Param
+	Blocks  []*Block
+	Linkage Linkage
+	// Hotness is an optional profile weight (execution count) attached by
+	// the profiling substrate; zero when no profile is present.
+	Hotness uint64
+}
+
+// NewFunc creates a detached function with the given name and signature
+// (a FuncKind type). Parameter values are created eagerly.
+func NewFunc(name string, sig *Type) *Func {
+	if sig.Kind != FuncKind {
+		panic("ir: NewFunc requires a function type")
+	}
+	f := &Func{name: name, sig: sig}
+	for i, pt := range sig.Fields {
+		f.Params = append(f.Params, &Param{typ: pt, parent: f, Index: i})
+	}
+	return f
+}
+
+// Type returns the pointer-to-function type of the function value.
+func (f *Func) Type() *Type { return PointerTo(f.sig) }
+
+// Sig returns the function signature type.
+func (f *Func) Sig() *Type { return f.sig }
+
+// ReturnType returns the declared return type.
+func (f *Func) ReturnType() *Type { return f.sig.Ret }
+
+// Name returns the function name.
+func (f *Func) Name() string { return f.name }
+
+// SetName renames the function, keeping the module symbol table consistent.
+func (f *Func) SetName(s string) {
+	if f.parent != nil {
+		delete(f.parent.funcByName, f.name)
+		f.parent.funcByName[s] = f
+	}
+	f.name = s
+}
+
+// Ident returns the reference form "@name".
+func (f *Func) Ident() string { return "@" + f.name }
+
+// Parent returns the module containing the function.
+func (f *Func) Parent() *Module { return f.parent }
+
+// IsDecl reports whether the function is a declaration (no body).
+func (f *Func) IsDecl() bool { return len(f.Blocks) == 0 }
+
+// Entry returns the entry block of a definition.
+func (f *Func) Entry() *Block {
+	if f.IsDecl() {
+		panic(fmt.Sprintf("ir: Entry on declaration %s", f.name))
+	}
+	return f.Blocks[0]
+}
+
+// AppendBlock attaches b at the end of the function.
+func (f *Func) AppendBlock(b *Block) {
+	if b.parent != nil {
+		panic("ir: block already attached")
+	}
+	b.parent = f
+	f.Blocks = append(f.Blocks, b)
+}
+
+// NewBlockIn creates a block with the given name and appends it to f.
+func (f *Func) NewBlockIn(name string) *Block {
+	b := NewBlock(name)
+	f.AppendBlock(b)
+	return b
+}
+
+// NumInsts returns the number of instructions in the function body.
+func (f *Func) NumInsts() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Insts calls fn for every instruction in layout order.
+func (f *Func) Insts(fn func(*Inst)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			fn(in)
+		}
+	}
+}
+
+// HasAddressTaken reports whether the function's address escapes: it is used
+// anywhere other than as the direct callee of a call or invoke. Such
+// functions cannot be fully deleted after merging (paper §III-A).
+func (f *Func) HasAddressTaken() bool {
+	for _, u := range f.uses {
+		if (u.User.Op == OpCall || u.User.Op == OpInvoke) && u.Index == 0 {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Callers returns the call/invoke instructions that directly call f.
+func (f *Func) Callers() []*Inst {
+	var calls []*Inst
+	for _, u := range f.uses {
+		if (u.User.Op == OpCall || u.User.Op == OpInvoke) && u.Index == 0 {
+			calls = append(calls, u.User)
+		}
+	}
+	return calls
+}
+
+// DropBody removes all blocks from the function, turning it into a shell
+// ready for a replacement body (used when thunkifying merged functions).
+func (f *Func) DropBody() {
+	// Two passes: first drop all operand uses so inter-block references
+	// (branches, phis) disappear, then detach blocks.
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			in.dropAllOperands()
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			in.parent = nil
+		}
+		b.Insts = nil
+		b.parent = nil
+	}
+	f.Blocks = nil
+}
+
+// Global is a module-level global variable. Only the properties needed by
+// the merging substrate are modelled: a name, a value type, an optional
+// byte initializer and linkage.
+type Global struct {
+	usable
+	name    string
+	typ     *Type // value type; the global's value is a pointer to it
+	parent  *Module
+	Linkage Linkage
+	// Init holds the initial bytes (little-endian, natural layout) or nil
+	// for zero-initialized globals.
+	Init []byte
+}
+
+// NewGlobal creates a detached global with the given name and value type.
+func NewGlobal(name string, typ *Type) *Global {
+	return &Global{name: name, typ: typ}
+}
+
+// Type returns the pointer type of the global value.
+func (g *Global) Type() *Type { return PointerTo(g.typ) }
+
+// ValueType returns the type of the pointed-to storage.
+func (g *Global) ValueType() *Type { return g.typ }
+
+// Name returns the global's name.
+func (g *Global) Name() string { return g.name }
+
+// SetName renames the global.
+func (g *Global) SetName(s string) { g.name = s }
+
+// Ident returns the reference form "@name".
+func (g *Global) Ident() string { return "@" + g.name }
+
+// Parent returns the module containing the global.
+func (g *Global) Parent() *Module { return g.parent }

@@ -1,0 +1,457 @@
+package ir
+
+import "fmt"
+
+// Opcode identifies the operation performed by an instruction.
+type Opcode int
+
+// Instruction opcodes. The set mirrors the LLVM IR instruction set at the
+// granularity relevant to function merging.
+const (
+	OpInvalid Opcode = iota
+
+	// Terminators.
+	OpRet         // ret void | ret <ty> <val>
+	OpBr          // br label %b | br i1 %c, label %t, label %f
+	OpSwitch      // switch <ty> <val>, label %default [ <ty> <c>, label %b ... ]
+	OpUnreachable // unreachable
+	OpInvoke      // invoke <callee>(args) to label %normal unwind label %lpad
+	OpResume      // resume token %lp
+
+	// Integer arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpUDiv
+	OpSRem
+	OpURem
+
+	// Floating-point arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFRem
+
+	// Bitwise.
+	OpShl
+	OpLShr
+	OpAShr
+	OpAnd
+	OpOr
+	OpXor
+
+	// Memory.
+	OpAlloca // alloca <ty>
+	OpLoad   // load <ty>, <ty>* %p
+	OpStore  // store <ty> %v, <ty>* %p
+	OpGEP    // getelementptr <ty>, <ty>* %p, indices...
+
+	// Conversions.
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpFPTrunc
+	OpFPExt
+	OpFPToSI
+	OpFPToUI
+	OpSIToFP
+	OpUIToFP
+	OpPtrToInt
+	OpIntToPtr
+	OpBitCast
+
+	// Comparisons.
+	OpICmp
+	OpFCmp
+
+	// Other.
+	OpPhi
+	OpSelect
+	OpCall
+	OpLandingPad
+
+	// NumOpcodes is the number of opcodes; useful for frequency vectors.
+	NumOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpInvalid:     "invalid",
+	OpRet:         "ret",
+	OpBr:          "br",
+	OpSwitch:      "switch",
+	OpUnreachable: "unreachable",
+	OpInvoke:      "invoke",
+	OpResume:      "resume",
+	OpAdd:         "add",
+	OpSub:         "sub",
+	OpMul:         "mul",
+	OpSDiv:        "sdiv",
+	OpUDiv:        "udiv",
+	OpSRem:        "srem",
+	OpURem:        "urem",
+	OpFAdd:        "fadd",
+	OpFSub:        "fsub",
+	OpFMul:        "fmul",
+	OpFDiv:        "fdiv",
+	OpFRem:        "frem",
+	OpShl:         "shl",
+	OpLShr:        "lshr",
+	OpAShr:        "ashr",
+	OpAnd:         "and",
+	OpOr:          "or",
+	OpXor:         "xor",
+	OpAlloca:      "alloca",
+	OpLoad:        "load",
+	OpStore:       "store",
+	OpGEP:         "getelementptr",
+	OpTrunc:       "trunc",
+	OpZExt:        "zext",
+	OpSExt:        "sext",
+	OpFPTrunc:     "fptrunc",
+	OpFPExt:       "fpext",
+	OpFPToSI:      "fptosi",
+	OpFPToUI:      "fptoui",
+	OpSIToFP:      "sitofp",
+	OpUIToFP:      "uitofp",
+	OpPtrToInt:    "ptrtoint",
+	OpIntToPtr:    "inttoptr",
+	OpBitCast:     "bitcast",
+	OpICmp:        "icmp",
+	OpFCmp:        "fcmp",
+	OpPhi:         "phi",
+	OpSelect:      "select",
+	OpCall:        "call",
+	OpLandingPad:  "landingpad",
+}
+
+// String returns the mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op <= OpInvalid || int(op) >= len(opcodeNames) {
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+	return opcodeNames[op]
+}
+
+// IsTerminator reports whether op terminates a basic block.
+func (op Opcode) IsTerminator() bool {
+	switch op {
+	case OpRet, OpBr, OpSwitch, OpUnreachable, OpInvoke, OpResume:
+		return true
+	}
+	return false
+}
+
+// IsBinary reports whether op is a two-operand arithmetic/bitwise operation.
+func (op Opcode) IsBinary() bool {
+	return op >= OpAdd && op <= OpXor
+}
+
+// IsCast reports whether op is a conversion operation.
+func (op Opcode) IsCast() bool {
+	return op >= OpTrunc && op <= OpBitCast
+}
+
+// IsCommutative reports whether the operands of op may be swapped without
+// changing semantics. The merger exploits this to maximise operand matches
+// (paper §III-E).
+func (op Opcode) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpFAdd, OpFMul, OpAnd, OpOr, OpXor:
+		return true
+	}
+	return false
+}
+
+// HasSideEffects reports whether an instruction with this opcode may write
+// memory, transfer control, or otherwise not be freely removable when unused.
+func (op Opcode) HasSideEffects() bool {
+	switch op {
+	case OpStore, OpCall, OpInvoke, OpResume, OpRet, OpBr, OpSwitch,
+		OpUnreachable, OpLandingPad:
+		return true
+	}
+	return false
+}
+
+// CmpPred is the predicate of an icmp or fcmp instruction.
+type CmpPred int
+
+// Comparison predicates. Integer predicates apply to icmp, the O-prefixed
+// (ordered) float predicates to fcmp.
+const (
+	PredInvalid CmpPred = iota
+	PredEQ
+	PredNE
+	PredSGT
+	PredSGE
+	PredSLT
+	PredSLE
+	PredUGT
+	PredUGE
+	PredULT
+	PredULE
+	PredOEQ
+	PredONE
+	PredOGT
+	PredOGE
+	PredOLT
+	PredOLE
+)
+
+var predNames = [...]string{
+	PredInvalid: "invalid",
+	PredEQ:      "eq",
+	PredNE:      "ne",
+	PredSGT:     "sgt",
+	PredSGE:     "sge",
+	PredSLT:     "slt",
+	PredSLE:     "sle",
+	PredUGT:     "ugt",
+	PredUGE:     "uge",
+	PredULT:     "ult",
+	PredULE:     "ule",
+	PredOEQ:     "oeq",
+	PredONE:     "one",
+	PredOGT:     "ogt",
+	PredOGE:     "oge",
+	PredOLT:     "olt",
+	PredOLE:     "ole",
+}
+
+// String returns the textual form of the predicate.
+func (p CmpPred) String() string {
+	if p <= PredInvalid || int(p) >= len(predNames) {
+		return "invalid"
+	}
+	return predNames[p]
+}
+
+// PredByName maps predicate spellings to values; used by the parser.
+var PredByName = map[string]CmpPred{
+	"eq": PredEQ, "ne": PredNE,
+	"sgt": PredSGT, "sge": PredSGE, "slt": PredSLT, "sle": PredSLE,
+	"ugt": PredUGT, "uge": PredUGE, "ult": PredULT, "ule": PredULE,
+	"oeq": PredOEQ, "one": PredONE,
+	"ogt": PredOGT, "oge": PredOGE, "olt": PredOLT, "ole": PredOLE,
+}
+
+// Inst is a single IR instruction. Operand layout by opcode:
+//
+//	ret:        [] or [value]
+//	br:         [dest] or [cond, then, else]
+//	switch:     [cond, default, c0, b0, c1, b1, ...]
+//	invoke:     [callee, args..., normal, unwind]
+//	resume:     [token]
+//	binary ops: [lhs, rhs]
+//	alloca:     []                      (Alloc holds the allocated type)
+//	load:       [ptr]
+//	store:      [value, ptr]
+//	gep:        [ptr, indices...]
+//	casts:      [value]
+//	icmp/fcmp:  [lhs, rhs]              (Pred holds the predicate)
+//	phi:        [v0, b0, v1, b1, ...]
+//	select:     [cond, ifTrue, ifFalse]
+//	call:       [callee, args...]
+//	landingpad: []                      (Clauses holds the handler list)
+type Inst struct {
+	usable
+	Op       Opcode
+	typ      *Type
+	name     string
+	parent   *Block
+	operands []Value
+
+	// Pred is the comparison predicate for icmp/fcmp.
+	Pred CmpPred
+	// Alloc is the allocated type for alloca instructions.
+	Alloc *Type
+	// Clauses lists exception clauses for landingpad instructions. Each
+	// entry names an exception handler type-info symbol; the distinguished
+	// entry "cleanup" marks a cleanup landing pad.
+	Clauses []string
+}
+
+// NewInst creates a detached instruction with the given opcode, result type
+// and operands. Use Block.Append or the Builder to attach it.
+func NewInst(op Opcode, typ *Type, operands ...Value) *Inst {
+	in := &Inst{Op: op, typ: typ}
+	in.operands = make([]Value, len(operands))
+	for i, v := range operands {
+		if v == nil {
+			continue
+		}
+		in.operands[i] = v
+		trackUse(v, Use{User: in, Index: i})
+	}
+	return in
+}
+
+// Type returns the result type of the instruction (void for instructions
+// that produce no value).
+func (in *Inst) Type() *Type { return in.typ }
+
+// Name returns the result name (may be empty until printing).
+func (in *Inst) Name() string { return in.name }
+
+// SetName sets the result name.
+func (in *Inst) SetName(s string) { in.name = s }
+
+// Ident returns the reference form "%name".
+func (in *Inst) Ident() string {
+	if in.name == "" {
+		return fmt.Sprintf("%%<%p>", in)
+	}
+	return "%" + in.name
+}
+
+// Parent returns the block containing the instruction, or nil if detached.
+func (in *Inst) Parent() *Block { return in.parent }
+
+// NumOperands returns the operand count.
+func (in *Inst) NumOperands() int { return len(in.operands) }
+
+// Operand returns the i-th operand.
+func (in *Inst) Operand(i int) Value { return in.operands[i] }
+
+// Operands returns the operand slice, owned by the instruction.
+func (in *Inst) Operands() []Value { return in.operands }
+
+// SetOperand replaces operand i with v, maintaining use lists.
+func (in *Inst) SetOperand(i int, v Value) {
+	if old := in.operands[i]; old != nil {
+		untrackUse(old, Use{User: in, Index: i})
+	}
+	in.operands[i] = v
+	if v != nil {
+		trackUse(v, Use{User: in, Index: i})
+	}
+}
+
+// AppendOperand adds v as the last operand, maintaining use lists.
+func (in *Inst) AppendOperand(v Value) {
+	in.operands = append(in.operands, v)
+	if v != nil {
+		trackUse(v, Use{User: in, Index: len(in.operands) - 1})
+	}
+}
+
+// dropAllOperands removes the instruction from the use lists of its operands.
+func (in *Inst) dropAllOperands() {
+	for i, v := range in.operands {
+		if v != nil {
+			untrackUse(v, Use{User: in, Index: i})
+		}
+		in.operands[i] = nil
+	}
+	in.operands = in.operands[:0]
+}
+
+// IsTerminator reports whether the instruction terminates a block.
+func (in *Inst) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// Successors returns the successor blocks of a terminator instruction.
+func (in *Inst) Successors() []*Block {
+	switch in.Op {
+	case OpBr:
+		if len(in.operands) == 1 {
+			return []*Block{in.operands[0].(*Block)}
+		}
+		return []*Block{in.operands[1].(*Block), in.operands[2].(*Block)}
+	case OpSwitch:
+		succs := []*Block{in.operands[1].(*Block)}
+		for i := 3; i < len(in.operands); i += 2 {
+			succs = append(succs, in.operands[i].(*Block))
+		}
+		return succs
+	case OpInvoke:
+		n := len(in.operands)
+		return []*Block{in.operands[n-2].(*Block), in.operands[n-1].(*Block)}
+	default:
+		return nil
+	}
+}
+
+// Callee returns the called value of a call or invoke instruction.
+func (in *Inst) Callee() Value {
+	if in.Op != OpCall && in.Op != OpInvoke {
+		panic("ir: Callee on non-call")
+	}
+	return in.operands[0]
+}
+
+// CallArgs returns the argument operands of a call or invoke instruction.
+func (in *Inst) CallArgs() []Value {
+	switch in.Op {
+	case OpCall:
+		return in.operands[1:]
+	case OpInvoke:
+		return in.operands[1 : len(in.operands)-2]
+	default:
+		panic("ir: CallArgs on non-call")
+	}
+}
+
+// InvokeNormal returns the normal-continuation block of an invoke.
+func (in *Inst) InvokeNormal() *Block {
+	return in.operands[len(in.operands)-2].(*Block)
+}
+
+// InvokeUnwind returns the unwind (landing) block of an invoke.
+func (in *Inst) InvokeUnwind() *Block {
+	return in.operands[len(in.operands)-1].(*Block)
+}
+
+// PhiIncoming returns the incoming (value, block) pair at index i of a phi.
+func (in *Inst) PhiIncoming(i int) (Value, *Block) {
+	return in.operands[2*i], in.operands[2*i+1].(*Block)
+}
+
+// NumPhiIncoming returns the number of incoming pairs of a phi.
+func (in *Inst) NumPhiIncoming() int { return len(in.operands) / 2 }
+
+// ForceSetParent overrides the instruction's parent pointer without touching
+// operand uses or block instruction slices. It exists for passes that splice
+// instructions between blocks and maintain the slice bookkeeping themselves.
+func (in *Inst) ForceSetParent(b *Block) { in.parent = b }
+
+// Detach releases the operand uses of a never-attached (synthetic)
+// instruction so it can be garbage collected without leaving stale entries
+// in use lists.
+func (in *Inst) Detach() {
+	if in.parent != nil {
+		panic("ir: Detach on attached instruction; use RemoveFromParent")
+	}
+	in.dropAllOperands()
+}
+
+// RemoveFromParent detaches the instruction from its block, dropping its
+// operand uses. The instruction must itself be unused.
+func (in *Inst) RemoveFromParent() {
+	if in.parent == nil {
+		return
+	}
+	b := in.parent
+	for i, x := range b.Insts {
+		if x == in {
+			b.Insts = append(b.Insts[:i], b.Insts[i+1:]...)
+			break
+		}
+	}
+	in.parent = nil
+	in.dropAllOperands()
+}
+
+// clausesEqual reports whether two landingpad clause lists are identical.
+func clausesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package ir
+
+import "fmt"
+
+// LinkModules combines translation units into one module, the front half of
+// the paper's monolithic-LTO pipeline (Fig. 9): declarations are resolved
+// against definitions from other units, internal symbols are renamed on
+// collision, and duplicate external definitions are rejected.
+//
+// The source modules are consumed: their functions and globals move into
+// the result and the sources must not be used afterwards.
+func LinkModules(name string, mods ...*Module) (*Module, error) {
+	linked := NewModule(name)
+
+	// First pass: move every definition, renaming internal symbols whose
+	// names collide. Track the chosen definition per external name.
+	type pending struct {
+		decls []*Func
+		def   *Func
+	}
+	funcs := map[string]*pending{}
+	var order []string // deterministic first-seen order of external names
+
+	for _, src := range mods {
+		for _, g := range append([]*Global(nil), src.Globals...) {
+			src.detachGlobal(g)
+			if g.Linkage == InternalLinkage {
+				g.SetName(linked.UniqueName(g.Name()))
+				linked.AddGlobal(g)
+				continue
+			}
+			if prev := linked.GlobalByName(g.Name()); prev != nil {
+				return nil, fmt.Errorf("link: duplicate external global @%s", g.Name())
+			}
+			linked.AddGlobal(g)
+		}
+		for _, f := range append([]*Func(nil), src.Funcs...) {
+			src.detachFunc(f)
+			if !f.IsDecl() && f.Linkage == InternalLinkage {
+				f.SetName(linked.UniqueName(f.Name()))
+				linked.AddFunc(f)
+				continue
+			}
+			p := funcs[f.Name()]
+			if p == nil {
+				p = &pending{}
+				funcs[f.Name()] = p
+				order = append(order, f.Name())
+			}
+			if f.IsDecl() {
+				p.decls = append(p.decls, f)
+				continue
+			}
+			if p.def != nil {
+				return nil, fmt.Errorf("link: duplicate definition of @%s", f.Name())
+			}
+			p.def = f
+		}
+	}
+
+	// Second pass: install external functions, resolving declarations to
+	// the definition when one exists.
+	for _, name := range order {
+		p := funcs[name]
+		keep := p.def
+		if keep == nil {
+			// Declaration-only symbol: keep one declaration, but check
+			// signatures agree.
+			keep = p.decls[0]
+			p.decls = p.decls[1:]
+		}
+		for _, d := range p.decls {
+			if d.Sig() != keep.Sig() {
+				return nil, fmt.Errorf("link: conflicting signatures for @%s: %s vs %s",
+					name, d.Sig(), keep.Sig())
+			}
+			ReplaceAllUsesWith(d, keep)
+			if d.NumUses() > 0 {
+				return nil, fmt.Errorf("link: could not resolve all uses of @%s", name)
+			}
+		}
+		linked.AddFunc(keep)
+	}
+	return linked, nil
+}
+
+// detachFunc unlinks f from the module without touching its body, for use
+// by the linker.
+func (m *Module) detachFunc(f *Func) {
+	for i, x := range m.Funcs {
+		if x == f {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			break
+		}
+	}
+	delete(m.funcByName, f.name)
+	f.parent = nil
+}
+
+// detachGlobal unlinks g from the module without touching its initializer.
+func (m *Module) detachGlobal(g *Global) {
+	for i, x := range m.Globals {
+		if x == g {
+			m.Globals = append(m.Globals[:i], m.Globals[i+1:]...)
+			break
+		}
+	}
+	delete(m.globalByName, g.name)
+	g.parent = nil
+}

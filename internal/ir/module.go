@@ -1,0 +1,128 @@
+package ir
+
+import "fmt"
+
+// Module is a translation unit: an ordered list of globals and functions
+// with a symbol table.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+
+	funcByName   map[string]*Func
+	globalByName map[string]*Global
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:         name,
+		funcByName:   map[string]*Func{},
+		globalByName: map[string]*Global{},
+	}
+}
+
+// AddFunc attaches f to the module. Function names must be unique.
+func (m *Module) AddFunc(f *Func) {
+	if f.parent != nil {
+		panic("ir: function already attached")
+	}
+	if _, dup := m.funcByName[f.name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %q", f.name))
+	}
+	f.parent = m
+	m.Funcs = append(m.Funcs, f)
+	m.funcByName[f.name] = f
+}
+
+// NewFuncIn creates a function with the given name and signature and
+// attaches it to the module.
+func (m *Module) NewFuncIn(name string, sig *Type) *Func {
+	f := NewFunc(name, sig)
+	m.AddFunc(f)
+	return f
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Func { return m.funcByName[name] }
+
+// RemoveFunc detaches f from the module. The function must be unused.
+func (m *Module) RemoveFunc(f *Func) {
+	if f.parent != m {
+		panic("ir: RemoveFunc of foreign function")
+	}
+	if f.NumUses() > 0 {
+		panic(fmt.Sprintf("ir: RemoveFunc of used function %s", f.name))
+	}
+	f.DropBody()
+	for i, x := range m.Funcs {
+		if x == f {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			break
+		}
+	}
+	delete(m.funcByName, f.name)
+	f.parent = nil
+}
+
+// AddGlobal attaches g to the module. Global names must be unique.
+func (m *Module) AddGlobal(g *Global) {
+	if g.parent != nil {
+		panic("ir: global already attached")
+	}
+	if _, dup := m.globalByName[g.name]; dup {
+		panic(fmt.Sprintf("ir: duplicate global %q", g.name))
+	}
+	g.parent = m
+	m.Globals = append(m.Globals, g)
+	m.globalByName[g.name] = g
+}
+
+// NewGlobalIn creates a global with the given name and value type and
+// attaches it to the module.
+func (m *Module) NewGlobalIn(name string, typ *Type) *Global {
+	g := NewGlobal(name, typ)
+	m.AddGlobal(g)
+	return g
+}
+
+// GlobalByName returns the global with the given name, or nil.
+func (m *Module) GlobalByName(name string) *Global { return m.globalByName[name] }
+
+// UniqueName returns base if it is unused, otherwise base with a numeric
+// suffix that makes it unique among function and global names.
+func (m *Module) UniqueName(base string) string {
+	if _, f := m.funcByName[base]; !f {
+		if _, g := m.globalByName[base]; !g {
+			return base
+		}
+	}
+	for i := 1; ; i++ {
+		name := fmt.Sprintf("%s.%d", base, i)
+		_, f := m.funcByName[name]
+		_, g := m.globalByName[name]
+		if !f && !g {
+			return name
+		}
+	}
+}
+
+// Definitions returns the functions that have bodies, in module order.
+func (m *Module) Definitions() []*Func {
+	var defs []*Func
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			defs = append(defs, f)
+		}
+	}
+	return defs
+}
+
+// NumInsts returns the total instruction count across all definitions.
+func (m *Module) NumInsts() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInsts()
+	}
+	return n
+}

@@ -1,0 +1,1137 @@
+package ir
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModule parses textual IR in the format produced by FormatModule.
+func ParseModule(name, src string) (*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, mod: NewModule(name)}
+	if err := p.scanHeaders(); err != nil {
+		return nil, err
+	}
+	p.pos = 0
+	if err := p.parseBodies(); err != nil {
+		return nil, err
+	}
+	return p.mod, nil
+}
+
+// MustParseModule is ParseModule that panics on error; intended for tests
+// and examples with literal IR.
+func MustParseModule(name, src string) *Module {
+	m, err := ParseModule(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tLocal  // %name
+	tGlobal // @name
+	tInt
+	tFloat
+	tString
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tLocal:
+		return "%" + t.text
+	case tGlobal:
+		return "@" + t.text
+	case tString:
+		return strconv.Quote(t.text)
+	default:
+		return t.text
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-'
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '%' || c == '@':
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("line %d: empty identifier after %q", line, string(c))
+			}
+			kind := tLocal
+			if c == '@' {
+				kind = tGlobal
+			}
+			toks = append(toks, token{kind, src[i+1 : j], line})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j == len(src) {
+				return nil, fmt.Errorf("line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tString, src[i+1 : j], line})
+			i = j + 1
+		case c == '-' || c == '+' || (c >= '0' && c <= '9'):
+			if strings.HasPrefix(src[i:], "+inf") || strings.HasPrefix(src[i:], "-inf") {
+				toks = append(toks, token{tFloat, src[i : i+4], line})
+				i += 4
+				break
+			}
+			j := i
+			if c == '-' || c == '+' {
+				j++
+			}
+			isFloat := false
+			for j < len(src) {
+				d := src[j]
+				if d >= '0' && d <= '9' {
+					j++
+				} else if d == '.' || d == 'e' || d == 'E' {
+					isFloat = true
+					j++
+					if j < len(src) && (src[j] == '-' || src[j] == '+') && (d == 'e' || d == 'E') {
+						j++
+					}
+				} else {
+					break
+				}
+			}
+			kind := tInt
+			if isFloat {
+				kind = tFloat
+			}
+			toks = append(toks, token{kind, src[i:j], line})
+			i = j
+		case strings.HasPrefix(src[i:], "..."):
+			toks = append(toks, token{tPunct, "...", line})
+			i += 3
+		case strings.IndexByte("(){}[],=:*", c) >= 0:
+			toks = append(toks, token{tPunct, string(c), line})
+			i++
+		default:
+			if isIdentStart(c) {
+				j := i + 1
+				for j < len(src) && isIdentChar(src[j]) {
+					j++
+				}
+				toks = append(toks, token{tIdent, src[i:j], line})
+				i = j
+				break
+			}
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	mod  *Module
+
+	// per-function state
+	fn      *Func
+	locals  map[string]Value
+	blocks  map[string]*Block
+	fixups  []fixup
+	namePfx map[string]bool
+}
+
+// fixup records a forward reference to a not-yet-defined local value.
+type fixup struct {
+	inst  *Inst
+	index int
+	name  string
+	line  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return fmt.Errorf("line %d: expected %q, got %s", t.line, s, t)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptIdent(s string) bool {
+	if p.cur().kind == tIdent && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("line %d: expected identifier, got %s", t.line, t)
+	}
+	return t.text, nil
+}
+
+// scanHeaders walks the token stream creating function shells and globals so
+// bodies can reference symbols defined later in the file.
+func (p *parser) scanHeaders() error {
+	for p.cur().kind != tEOF {
+		switch {
+		case p.cur().kind == tGlobal:
+			if err := p.parseGlobal(); err != nil {
+				return err
+			}
+		case p.cur().kind == tIdent && (p.cur().text == "define" || p.cur().text == "declare"):
+			if err := p.parseFuncHeader(true); err != nil {
+				return err
+			}
+			p.skipBody()
+		default:
+			return p.errf("expected global or function, got %s", p.cur())
+		}
+	}
+	return nil
+}
+
+// skipBody advances past a balanced '{' ... '}' body if one follows.
+func (p *parser) skipBody() {
+	if !(p.cur().kind == tPunct && p.cur().text == "{") {
+		return
+	}
+	depth := 0
+	for p.cur().kind != tEOF {
+		t := p.next()
+		if t.kind == tPunct && t.text == "{" {
+			depth++
+		} else if t.kind == tPunct && t.text == "}" {
+			depth--
+			if depth == 0 {
+				return
+			}
+		}
+	}
+}
+
+func (p *parser) parseBodies() error {
+	for p.cur().kind != tEOF {
+		switch {
+		case p.cur().kind == tGlobal:
+			// Already handled in scanHeaders; skip to end of line item.
+			p.skipGlobal()
+		case p.cur().kind == tIdent && p.cur().text == "declare":
+			if err := p.parseFuncHeader(false); err != nil {
+				return err
+			}
+		case p.cur().kind == tIdent && p.cur().text == "define":
+			if err := p.parseFuncHeader(false); err != nil {
+				return err
+			}
+			if err := p.parseBody(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected global or function, got %s", p.cur())
+		}
+	}
+	return nil
+}
+
+func (p *parser) skipGlobal() {
+	p.next() // @name
+	p.expectPunct("=")
+	p.acceptIdent("internal")
+	p.acceptIdent("global")
+	p.parseType()
+	if !p.acceptIdent("zeroinitializer") {
+		p.acceptIdent("bytes")
+		if p.cur().kind == tString {
+			p.next()
+		}
+	}
+}
+
+func (p *parser) parseGlobal() error {
+	name := p.next().text
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	linkage := ExternalLinkage
+	if p.acceptIdent("internal") {
+		linkage = InternalLinkage
+	}
+	if !p.acceptIdent("global") {
+		return p.errf("expected 'global'")
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	g := NewGlobal(name, ty)
+	g.Linkage = linkage
+	if p.acceptIdent("zeroinitializer") {
+		g.Init = nil
+	} else if p.acceptIdent("bytes") {
+		t := p.next()
+		if t.kind != tString {
+			return p.errf("expected hex byte string")
+		}
+		data, err := hex.DecodeString(t.text)
+		if err != nil {
+			return p.errf("bad hex initializer: %v", err)
+		}
+		g.Init = data
+	} else {
+		return p.errf("expected initializer")
+	}
+	p.mod.AddGlobal(g)
+	return nil
+}
+
+// parseFuncHeader parses "define|declare [internal] <ret> @name(<params>)".
+// In header-scan mode it registers the function; otherwise it re-parses the
+// header and installs parameter bindings for the body parse.
+func (p *parser) parseFuncHeader(scan bool) error {
+	kw, _ := p.expectIdent() // define | declare
+	isDef := kw == "define"
+	linkage := ExternalLinkage
+	if isDef && p.acceptIdent("internal") {
+		linkage = InternalLinkage
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	t := p.next()
+	if t.kind != tGlobal {
+		return fmt.Errorf("line %d: expected function name, got %s", t.line, t)
+	}
+	fname := t.text
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var ptypes []*Type
+	var pnames []string
+	variadic := false
+	for !p.acceptPunct(")") {
+		if len(ptypes) > 0 || variadic {
+			if err := p.expectPunct(","); err != nil {
+				return err
+			}
+		}
+		if p.acceptPunct("...") {
+			variadic = true
+			continue
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		ptypes = append(ptypes, pt)
+		if p.cur().kind == tLocal {
+			pnames = append(pnames, p.next().text)
+		} else {
+			pnames = append(pnames, "")
+		}
+	}
+	if scan {
+		if p.mod.FuncByName(fname) != nil {
+			return fmt.Errorf("line %d: duplicate function @%s", t.line, fname)
+		}
+		sig := FuncOf(ret, ptypes...)
+		if variadic {
+			sig = VarFuncOf(ret, ptypes...)
+		}
+		f := NewFunc(fname, sig)
+		f.Linkage = linkage
+		p.mod.AddFunc(f)
+		return nil
+	}
+	f := p.mod.FuncByName(fname)
+	p.fn = f
+	p.locals = map[string]Value{}
+	p.blocks = map[string]*Block{}
+	p.fixups = nil
+	for i, nm := range pnames {
+		if nm != "" {
+			f.Params[i].SetName(nm)
+			p.locals[nm] = f.Params[i]
+		}
+	}
+	return nil
+}
+
+func (p *parser) getBlock(name string) *Block {
+	if b, ok := p.blocks[name]; ok {
+		return b
+	}
+	b := NewBlock(name)
+	p.blocks[name] = b
+	return b
+}
+
+func (p *parser) parseBody() error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var cur *Block
+	for !p.acceptPunct("}") {
+		t := p.cur()
+		if t.kind == tIdent && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == ":" {
+			// Label.
+			p.pos += 2
+			cur = p.getBlock(t.text)
+			if cur.parent != nil {
+				return fmt.Errorf("line %d: duplicate label %q", t.line, t.text)
+			}
+			p.fn.AppendBlock(cur)
+			continue
+		}
+		if cur == nil {
+			return p.errf("instruction outside block")
+		}
+		in, err := p.parseInst()
+		if err != nil {
+			return err
+		}
+		cur.Append(in)
+	}
+	// Resolve forward references.
+	for _, fx := range p.fixups {
+		v, ok := p.locals[fx.name]
+		if !ok {
+			return fmt.Errorf("line %d: undefined value %%%s", fx.line, fx.name)
+		}
+		fx.inst.SetOperand(fx.index, v)
+	}
+	// Blocks referenced but never defined are an error.
+	for name, b := range p.blocks {
+		if b.parent == nil {
+			return fmt.Errorf("in %s: branch to undefined label %%%s", p.fn.Name(), name)
+		}
+	}
+	p.fn = nil
+	return nil
+}
+
+// parseType parses a type. Base types: void, label, token, iN, fN, arrays,
+// structs; any type may be suffixed with '*'.
+func (p *parser) parseType() (*Type, error) {
+	var ty *Type
+	t := p.cur()
+	switch {
+	case t.kind == tIdent:
+		p.pos++
+		switch {
+		case t.text == "void":
+			ty = Void()
+		case t.text == "label":
+			ty = Label()
+		case t.text == "token":
+			ty = Token()
+		case len(t.text) > 1 && t.text[0] == 'i':
+			bits, err := strconv.Atoi(t.text[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad type %q", t.line, t.text)
+			}
+			ty = Int(bits)
+		case len(t.text) > 1 && t.text[0] == 'f':
+			bits, err := strconv.Atoi(t.text[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad type %q", t.line, t.text)
+			}
+			ty = Float(bits)
+		default:
+			return nil, fmt.Errorf("line %d: unknown type %q", t.line, t.text)
+		}
+	case t.kind == tPunct && t.text == "[":
+		p.pos++
+		nTok := p.next()
+		if nTok.kind != tInt {
+			return nil, fmt.Errorf("line %d: expected array length", nTok.line)
+		}
+		n, _ := strconv.Atoi(nTok.text)
+		if !p.acceptIdent("x") {
+			return nil, p.errf("expected 'x' in array type")
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		ty = ArrayOf(n, elem)
+	case t.kind == tPunct && t.text == "{":
+		p.pos++
+		var fields []*Type
+		for !p.acceptPunct("}") {
+			if len(fields) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			f, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+		}
+		ty = StructOf(fields...)
+	default:
+		return nil, fmt.Errorf("line %d: expected type, got %s", t.line, t)
+	}
+	// Function type suffix: "<ret> (<params>)".
+	if p.cur().kind == tPunct && p.cur().text == "(" {
+		p.pos++
+		var params []*Type
+		variadic := false
+		for !p.acceptPunct(")") {
+			if len(params) > 0 || variadic {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			if p.acceptPunct("...") {
+				variadic = true
+				continue
+			}
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pt)
+		}
+		if variadic {
+			ty = VarFuncOf(ty, params...)
+		} else {
+			ty = FuncOf(ty, params...)
+		}
+	}
+	for p.acceptPunct("*") {
+		ty = PointerTo(ty)
+	}
+	return ty, nil
+}
+
+// parseValueRef parses a value reference of known type ty, returning the
+// value or recording a fixup on inst/index for forward local references.
+func (p *parser) parseValueRef(ty *Type, inst *Inst, index int) (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tLocal:
+		if v, ok := p.locals[t.text]; ok {
+			return v, nil
+		}
+		p.fixups = append(p.fixups, fixup{inst: inst, index: index, name: t.text, line: t.line})
+		return nil, nil
+	case tGlobal:
+		if f := p.mod.FuncByName(t.text); f != nil {
+			return f, nil
+		}
+		if g := p.mod.GlobalByName(t.text); g != nil {
+			return g, nil
+		}
+		return nil, fmt.Errorf("line %d: undefined symbol @%s", t.line, t.text)
+	case tInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			// Large unsigned literal: reparse as unsigned bits.
+			u, uerr := strconv.ParseUint(t.text, 10, 64)
+			if uerr != nil {
+				return nil, fmt.Errorf("line %d: bad integer %q", t.line, t.text)
+			}
+			v = int64(u)
+		}
+		if ty.IsFloat() {
+			return NewConstFloat(ty, float64(v)), nil
+		}
+		if !ty.IsInt() {
+			return nil, fmt.Errorf("line %d: integer literal for non-integer type %s", t.line, ty)
+		}
+		return NewConstInt(ty, v), nil
+	case tFloat:
+		var v float64
+		switch t.text {
+		case "+inf":
+			v = inf(1)
+		case "-inf":
+			v = inf(-1)
+		default:
+			var err error
+			v, err = strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad float %q", t.line, t.text)
+			}
+		}
+		if !ty.IsFloat() {
+			return nil, fmt.Errorf("line %d: float literal for non-float type %s", t.line, ty)
+		}
+		return NewConstFloat(ty, v), nil
+	case tIdent:
+		switch t.text {
+		case "undef":
+			return NewUndef(ty), nil
+		case "null":
+			return NewConstNull(ty), nil
+		case "true":
+			return NewConstInt(Bool(), 1), nil
+		case "false":
+			return NewConstInt(Bool(), 0), nil
+		case "nan":
+			return NewConstFloat(ty, nan()), nil
+		}
+	}
+	return nil, fmt.Errorf("line %d: expected value, got %s", t.line, t)
+}
+
+// parseTypedValue parses "<type> <valueref>".
+func (p *parser) parseTypedValue(inst *Inst, index int) (*Type, Value, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := p.parseValueRef(ty, inst, index)
+	return ty, v, err
+}
+
+// parseLabelRef parses "label %name".
+func (p *parser) parseLabelRef() (*Block, error) {
+	if !p.acceptIdent("label") {
+		return nil, p.errf("expected 'label'")
+	}
+	t := p.next()
+	if t.kind != tLocal {
+		return nil, fmt.Errorf("line %d: expected block name, got %s", t.line, t)
+	}
+	return p.getBlock(t.text), nil
+}
+
+func (p *parser) define(name string, v Value) error {
+	if name == "" {
+		return nil
+	}
+	if _, dup := p.locals[name]; dup {
+		return p.errf("redefinition of %%%s", name)
+	}
+	p.locals[name] = v
+	if nv, ok := v.(Named); ok {
+		nv.SetName(name)
+	}
+	return nil
+}
+
+func (p *parser) parseInst() (*Inst, error) {
+	resultName := ""
+	if p.cur().kind == tLocal {
+		resultName = p.next().text
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+	}
+	opTok := p.next()
+	if opTok.kind != tIdent {
+		return nil, fmt.Errorf("line %d: expected opcode, got %s", opTok.line, opTok)
+	}
+	in, err := p.parseInstBody(opTok.text, opTok.line)
+	if err != nil {
+		return nil, err
+	}
+	if resultName != "" {
+		if in.Type().IsVoid() {
+			return nil, fmt.Errorf("line %d: void instruction cannot have a result name", opTok.line)
+		}
+		if err := p.define(resultName, in); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// setOrFix attaches v (or its pending fixup) as operand index of in. The
+// operand slot must already exist.
+func (p *parser) attach(in *Inst, index int, v Value) {
+	if v != nil {
+		in.SetOperand(index, v)
+	}
+}
+
+// reserve appends a nil operand slot to in and returns its index.
+func reserve(in *Inst) int {
+	in.operands = append(in.operands, nil)
+	return len(in.operands) - 1
+}
+
+func (p *parser) parseInstBody(op string, line int) (*Inst, error) {
+	if bop, ok := binaryOps[op]; ok {
+		in := NewInst(bop, nil)
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.typ = ty
+		i0 := reserve(in)
+		v0, err := p.parseValueRef(ty, in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v0)
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		i1 := reserve(in)
+		v1, err := p.parseValueRef(ty, in, i1)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i1, v1)
+		return in, nil
+	}
+	if cop, ok := castOps[op]; ok {
+		in := NewInst(cop, nil)
+		i0 := reserve(in)
+		_, v, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v)
+		if !p.acceptIdent("to") {
+			return nil, p.errf("expected 'to' in cast")
+		}
+		to, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.typ = to
+		return in, nil
+	}
+
+	switch op {
+	case "ret":
+		if p.acceptIdent("void") {
+			return NewInst(OpRet, Void()), nil
+		}
+		in := NewInst(OpRet, Void())
+		i0 := reserve(in)
+		_, v, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v)
+		return in, nil
+
+	case "br":
+		if p.cur().kind == tIdent && p.cur().text == "label" {
+			b, err := p.parseLabelRef()
+			if err != nil {
+				return nil, err
+			}
+			return NewInst(OpBr, Void(), b), nil
+		}
+		in := NewInst(OpBr, Void())
+		i0 := reserve(in)
+		_, v, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v)
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		thenB, err := p.parseLabelRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		elseB, err := p.parseLabelRef()
+		if err != nil {
+			return nil, err
+		}
+		in.AppendOperand(thenB)
+		in.AppendOperand(elseB)
+		return in, nil
+
+	case "switch":
+		in := NewInst(OpSwitch, Void())
+		i0 := reserve(in)
+		condTy, v, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v)
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		def, err := p.parseLabelRef()
+		if err != nil {
+			return nil, err
+		}
+		in.AppendOperand(def)
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		for !p.acceptPunct("]") {
+			cty, cv, err := p.parseTypedValue(nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			if cty != condTy {
+				return nil, p.errf("switch case type %s does not match condition %s", cty, condTy)
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			dest, err := p.parseLabelRef()
+			if err != nil {
+				return nil, err
+			}
+			in.AppendOperand(cv)
+			in.AppendOperand(dest)
+		}
+		return in, nil
+
+	case "unreachable":
+		return NewInst(OpUnreachable, Void()), nil
+
+	case "resume":
+		in := NewInst(OpResume, Void())
+		i0 := reserve(in)
+		_, v, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v)
+		return in, nil
+
+	case "alloca":
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in := NewInst(OpAlloca, PointerTo(ty))
+		in.Alloc = ty
+		return in, nil
+
+	case "load":
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		in := NewInst(OpLoad, ty)
+		i0 := reserve(in)
+		_, v, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v)
+		return in, nil
+
+	case "store":
+		in := NewInst(OpStore, Void())
+		i0 := reserve(in)
+		_, v0, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v0)
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		i1 := reserve(in)
+		_, v1, err := p.parseTypedValue(in, i1)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i1, v1)
+		return in, nil
+
+	case "getelementptr":
+		_, err := p.parseType() // pointee type, redundant with pointer operand
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		in := NewInst(OpGEP, nil)
+		i0 := reserve(in)
+		baseTy, v0, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v0)
+		var idxVals []Value
+		for p.acceptPunct(",") {
+			ii := reserve(in)
+			_, iv, err := p.parseTypedValue(in, ii)
+			if err != nil {
+				return nil, err
+			}
+			p.attach(in, ii, iv)
+			idxVals = append(idxVals, iv)
+		}
+		in.typ = GEPResultType(baseTy, idxVals)
+		return in, nil
+
+	case "icmp", "fcmp":
+		predName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		pred, ok := PredByName[predName]
+		if !ok {
+			return nil, p.errf("unknown predicate %q", predName)
+		}
+		o := OpICmp
+		if op == "fcmp" {
+			o = OpFCmp
+		}
+		in := NewInst(o, Bool())
+		in.Pred = pred
+		i0 := reserve(in)
+		ty, v0, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, v0)
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		i1 := reserve(in)
+		v1, err := p.parseValueRef(ty, in, i1)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i1, v1)
+		return in, nil
+
+	case "phi":
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in := NewInst(OpPhi, ty)
+		first := true
+		for first || p.acceptPunct(",") {
+			first = false
+			if err := p.expectPunct("["); err != nil {
+				return nil, err
+			}
+			iv := reserve(in)
+			v, err := p.parseValueRef(ty, in, iv)
+			if err != nil {
+				return nil, err
+			}
+			p.attach(in, iv, v)
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			t := p.next()
+			if t.kind != tLocal {
+				return nil, fmt.Errorf("line %d: expected block name in phi, got %s", t.line, t)
+			}
+			in.AppendOperand(p.getBlock(t.text))
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+		}
+		return in, nil
+
+	case "select":
+		in := NewInst(OpSelect, nil)
+		i0 := reserve(in)
+		_, c, err := p.parseTypedValue(in, i0)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i0, c)
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		i1 := reserve(in)
+		ty, v1, err := p.parseTypedValue(in, i1)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i1, v1)
+		in.typ = ty
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		i2 := reserve(in)
+		_, v2, err := p.parseTypedValue(in, i2)
+		if err != nil {
+			return nil, err
+		}
+		p.attach(in, i2, v2)
+		return in, nil
+
+	case "call", "invoke":
+		o := OpCall
+		if op == "invoke" {
+			o = OpInvoke
+		}
+		retTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in := NewInst(o, retTy)
+		// Callee: global or local (indirect).
+		t := p.next()
+		var callee Value
+		switch t.kind {
+		case tGlobal:
+			if f := p.mod.FuncByName(t.text); f != nil {
+				callee = f
+			} else {
+				return nil, fmt.Errorf("line %d: call of undefined function @%s", t.line, t.text)
+			}
+		case tLocal:
+			v, ok := p.locals[t.text]
+			if !ok {
+				return nil, fmt.Errorf("line %d: indirect callee %%%s must be defined before use", t.line, t.text)
+			}
+			callee = v
+		default:
+			return nil, fmt.Errorf("line %d: expected callee, got %s", t.line, t)
+		}
+		in.AppendOperand(callee)
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		narg := 0
+		for !p.acceptPunct(")") {
+			if narg > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			ia := reserve(in)
+			_, av, err := p.parseTypedValue(in, ia)
+			if err != nil {
+				return nil, err
+			}
+			p.attach(in, ia, av)
+			narg++
+		}
+		if o == OpInvoke {
+			if !p.acceptIdent("to") {
+				return nil, p.errf("expected 'to' in invoke")
+			}
+			normal, err := p.parseLabelRef()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptIdent("unwind") {
+				return nil, p.errf("expected 'unwind' in invoke")
+			}
+			lpad, err := p.parseLabelRef()
+			if err != nil {
+				return nil, err
+			}
+			in.AppendOperand(normal)
+			in.AppendOperand(lpad)
+		}
+		return in, nil
+
+	case "landingpad":
+		in := NewInst(OpLandingPad, Token())
+		for {
+			if p.acceptIdent("cleanup") {
+				in.Clauses = append(in.Clauses, "cleanup")
+				continue
+			}
+			if p.acceptIdent("catch") {
+				t := p.next()
+				if t.kind != tGlobal {
+					return nil, fmt.Errorf("line %d: expected @typeinfo after catch", t.line)
+				}
+				in.Clauses = append(in.Clauses, t.text)
+				continue
+			}
+			break
+		}
+		return in, nil
+	}
+	return nil, fmt.Errorf("line %d: unknown instruction %q", line, op)
+}
+
+var binaryOps = map[string]Opcode{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul,
+	"sdiv": OpSDiv, "udiv": OpUDiv, "srem": OpSRem, "urem": OpURem,
+	"fadd": OpFAdd, "fsub": OpFSub, "fmul": OpFMul, "fdiv": OpFDiv, "frem": OpFRem,
+	"shl": OpShl, "lshr": OpLShr, "ashr": OpAShr,
+	"and": OpAnd, "or": OpOr, "xor": OpXor,
+}
+
+var castOps = map[string]Opcode{
+	"trunc": OpTrunc, "zext": OpZExt, "sext": OpSExt,
+	"fptrunc": OpFPTrunc, "fpext": OpFPExt,
+	"fptosi": OpFPToSI, "fptoui": OpFPToUI,
+	"sitofp": OpSIToFP, "uitofp": OpUIToFP,
+	"ptrtoint": OpPtrToInt, "inttoptr": OpIntToPtr,
+	"bitcast": OpBitCast,
+}

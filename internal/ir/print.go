@@ -1,0 +1,294 @@
+package ir
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// namer assigns unique printable names to local values within a function.
+// Anonymous values receive sequential numbers; explicitly named values keep
+// their name unless it collides, in which case a numeric suffix is added.
+type namer struct {
+	names map[Value]string
+	used  map[string]bool
+	next  int
+}
+
+func newNamer() *namer {
+	return &namer{names: map[Value]string{}, used: map[string]bool{}}
+}
+
+func (n *namer) assign(v Named) string {
+	if s, ok := n.names[v]; ok {
+		return s
+	}
+	want := v.Name()
+	if want == "" {
+		// Blocks need identifier-shaped names: bare numbers cannot appear
+		// as label definitions in the textual syntax.
+		if _, isBlock := v.(*Block); isBlock {
+			want = fmt.Sprintf("bb%d", n.next)
+		} else {
+			want = fmt.Sprintf("%d", n.next)
+		}
+		n.next++
+	}
+	name := want
+	for i := 1; n.used[name]; i++ {
+		name = fmt.Sprintf("%s.%d", want, i)
+	}
+	n.used[name] = true
+	n.names[v] = name
+	return name
+}
+
+func (n *namer) ref(v Value) string {
+	switch x := v.(type) {
+	case *Param:
+		return "%" + n.assign(x)
+	case *Inst:
+		return "%" + n.assign(x)
+	case *Block:
+		return "%" + n.assign(x)
+	case *Func, *Global:
+		return v.Ident()
+	case Constant:
+		return v.Ident()
+	default:
+		return v.Ident()
+	}
+}
+
+// typedRef renders an operand as "<type> <ref>".
+func (n *namer) typedRef(v Value) string {
+	if b, ok := v.(*Block); ok {
+		return "label %" + n.assign(b)
+	}
+	return v.Type().String() + " " + n.ref(v)
+}
+
+// FormatModule renders the module in the textual IR format accepted by
+// ParseModule.
+func FormatModule(m *Module) string {
+	var sb strings.Builder
+	if m.Name != "" {
+		fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	}
+	for _, g := range m.Globals {
+		sb.WriteString(formatGlobal(g))
+		sb.WriteByte('\n')
+	}
+	if len(m.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(FormatFunc(f))
+	}
+	return sb.String()
+}
+
+func formatGlobal(g *Global) string {
+	var sb strings.Builder
+	sb.WriteString(g.Ident())
+	sb.WriteString(" = ")
+	if g.Linkage == InternalLinkage {
+		sb.WriteString("internal ")
+	}
+	sb.WriteString("global ")
+	sb.WriteString(g.ValueType().String())
+	if g.Init == nil {
+		sb.WriteString(" zeroinitializer")
+	} else {
+		sb.WriteString(" bytes \"")
+		sb.WriteString(hex.EncodeToString(g.Init))
+		sb.WriteString("\"")
+	}
+	return sb.String()
+}
+
+// FormatFunc renders a single function (definition or declaration).
+func FormatFunc(f *Func) string {
+	var sb strings.Builder
+	n := newNamer()
+	sig := f.Sig()
+	if f.IsDecl() {
+		sb.WriteString("declare ")
+	} else {
+		sb.WriteString("define ")
+		if f.Linkage == InternalLinkage {
+			sb.WriteString("internal ")
+		}
+	}
+	sb.WriteString(sig.Ret.String())
+	sb.WriteString(" @")
+	sb.WriteString(f.Name())
+	sb.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Type().String())
+		if !f.IsDecl() {
+			sb.WriteString(" %")
+			sb.WriteString(n.assign(p))
+		}
+	}
+	if sig.Variadic {
+		if len(f.Params) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("...")
+	}
+	sb.WriteString(")")
+	if f.IsDecl() {
+		sb.WriteString("\n")
+		return sb.String()
+	}
+	sb.WriteString(" {\n")
+	// Pre-assign block names so forward branch references are stable.
+	for _, b := range f.Blocks {
+		n.assign(b)
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", n.names[b])
+		for _, in := range b.Insts {
+			sb.WriteString("  ")
+			sb.WriteString(formatInst(in, n))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// FormatInst renders one instruction using a throwaway namer; intended for
+// debugging output.
+func FormatInst(in *Inst) string { return formatInst(in, newNamer()) }
+
+// Namer assigns stable, unique names to the values of one function for
+// human-readable listings (alignment views, diffs). Unlike FormatInst, the
+// same value keeps the same name across calls.
+type Namer struct {
+	n *namer
+}
+
+// NewNamer returns an empty namer. Use one per function.
+func NewNamer() *Namer { return &Namer{n: newNamer()} }
+
+// Inst renders an instruction with this namer's stable names.
+func (nm *Namer) Inst(in *Inst) string { return formatInst(in, nm.n) }
+
+// Label returns the display label of a block (without the trailing colon).
+func (nm *Namer) Label(b *Block) string { return nm.n.assign(b) }
+
+func formatInst(in *Inst, n *namer) string {
+	var sb strings.Builder
+	if !in.Type().IsVoid() {
+		sb.WriteString("%")
+		sb.WriteString(n.assign(in))
+		sb.WriteString(" = ")
+	}
+	switch in.Op {
+	case OpRet:
+		if in.NumOperands() == 0 {
+			sb.WriteString("ret void")
+		} else {
+			sb.WriteString("ret ")
+			sb.WriteString(n.typedRef(in.Operand(0)))
+		}
+	case OpBr:
+		if in.NumOperands() == 1 {
+			sb.WriteString("br ")
+			sb.WriteString(n.typedRef(in.Operand(0)))
+		} else {
+			fmt.Fprintf(&sb, "br %s, %s, %s",
+				n.typedRef(in.Operand(0)), n.typedRef(in.Operand(1)), n.typedRef(in.Operand(2)))
+		}
+	case OpSwitch:
+		fmt.Fprintf(&sb, "switch %s, %s [", n.typedRef(in.Operand(0)), n.typedRef(in.Operand(1)))
+		for i := 2; i < in.NumOperands(); i += 2 {
+			if i > 2 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, " %s, %s", n.typedRef(in.Operand(i)), n.typedRef(in.Operand(i+1)))
+		}
+		sb.WriteString(" ]")
+	case OpUnreachable:
+		sb.WriteString("unreachable")
+	case OpInvoke:
+		args := in.CallArgs()
+		fmt.Fprintf(&sb, "invoke %s %s(", in.Type(), n.ref(in.Callee()))
+		for i, a := range args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(n.typedRef(a))
+		}
+		fmt.Fprintf(&sb, ") to %s unwind %s",
+			n.typedRef(in.InvokeNormal()), n.typedRef(in.InvokeUnwind()))
+	case OpResume:
+		sb.WriteString("resume ")
+		sb.WriteString(n.typedRef(in.Operand(0)))
+	case OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s", in.Alloc)
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", in.Type(), n.typedRef(in.Operand(0)))
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s, %s", n.typedRef(in.Operand(0)), n.typedRef(in.Operand(1)))
+	case OpGEP:
+		base := in.Operand(0)
+		fmt.Fprintf(&sb, "getelementptr %s, %s", base.Type().Elem, n.typedRef(base))
+		for _, idx := range in.Operands()[1:] {
+			sb.WriteString(", ")
+			sb.WriteString(n.typedRef(idx))
+		}
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Pred,
+			n.typedRef(in.Operand(0)), n.ref(in.Operand(1)))
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Type())
+		for i := 0; i < in.NumPhiIncoming(); i++ {
+			v, b := in.PhiIncoming(i)
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[ %s, %%%s ]", n.ref(v), n.assign(b))
+		}
+	case OpSelect:
+		fmt.Fprintf(&sb, "select %s, %s, %s",
+			n.typedRef(in.Operand(0)), n.typedRef(in.Operand(1)), n.typedRef(in.Operand(2)))
+	case OpCall:
+		fmt.Fprintf(&sb, "call %s %s(", in.Type(), n.ref(in.Callee()))
+		for i, a := range in.CallArgs() {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(n.typedRef(a))
+		}
+		sb.WriteString(")")
+	case OpLandingPad:
+		sb.WriteString("landingpad")
+		for _, c := range in.Clauses {
+			if c == "cleanup" {
+				sb.WriteString(" cleanup")
+			} else {
+				fmt.Fprintf(&sb, " catch @%s", c)
+			}
+		}
+	default:
+		if in.Op.IsBinary() {
+			fmt.Fprintf(&sb, "%s %s, %s", in.Op,
+				n.typedRef(in.Operand(0)), n.ref(in.Operand(1)))
+		} else if in.Op.IsCast() {
+			fmt.Fprintf(&sb, "%s %s to %s", in.Op,
+				n.typedRef(in.Operand(0)), in.Type())
+		} else {
+			fmt.Fprintf(&sb, "<unknown op %s>", in.Op)
+		}
+	}
+	return sb.String()
+}

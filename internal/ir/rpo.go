@@ -1,0 +1,172 @@
+package ir
+
+import "math"
+
+func inf(sign int) float64 { return math.Inf(sign) }
+func nan() float64         { return math.NaN() }
+
+// ReversePostOrder returns the blocks of f reachable from the entry in
+// reverse post-order. Successor edges are visited in their syntactic order
+// (the canonical successor ordering used by linearization).
+func ReversePostOrder(f *Func) []*Block {
+	if f.IsDecl() {
+		return nil
+	}
+	seen := map[*Block]bool{}
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		// Visit successors right-to-left so the reversed post-order lists
+		// them in their canonical (syntactic) order.
+		succs := b.Successors()
+		for i := len(succs) - 1; i >= 0; i-- {
+			visit(succs[i])
+		}
+		post = append(post, b)
+	}
+	visit(f.Entry())
+	// Reverse.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// PostOrder returns reachable blocks in post-order.
+func PostOrder(f *Func) []*Block {
+	rpo := ReversePostOrder(f)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	return rpo
+}
+
+// DomTree is a dominator tree over the reachable blocks of a function,
+// computed with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	fn    *Func
+	idom  map[*Block]*Block
+	index map[*Block]int // RPO index
+}
+
+// ComputeDomTree builds the dominator tree of f.
+func ComputeDomTree(f *Func) *DomTree {
+	rpo := ReversePostOrder(f)
+	index := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := make(map[*Block]*Block, len(rpo))
+	entry := f.Entry()
+	idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds() {
+				if _, reachable := index[p]; !reachable {
+					continue
+				}
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom, idom, index)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{fn: f, idom: idom, index: index}
+}
+
+func intersect(a, b *Block, idom map[*Block]*Block, index map[*Block]int) *Block {
+	for a != b {
+		for index[a] > index[b] {
+			a = idom[a]
+		}
+		for index[b] > index[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (the entry block dominates
+// itself). Unreachable blocks return nil.
+func (dt *DomTree) IDom(b *Block) *Block {
+	if b == dt.fn.Entry() {
+		return nil
+	}
+	return dt.idom[b]
+}
+
+// Dominates reports whether block a dominates block b. Every block dominates
+// itself. Unreachable blocks are dominated by nothing and dominate nothing
+// (except themselves).
+func (dt *DomTree) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	if _, ok := dt.index[b]; !ok {
+		return false
+	}
+	entry := dt.fn.Entry()
+	for b != entry {
+		b = dt.idom[b]
+		if b == nil {
+			return false
+		}
+		if b == a {
+			return true
+		}
+	}
+	return a == entry
+}
+
+// Reachable reports whether b is reachable from the entry block.
+func (dt *DomTree) Reachable(b *Block) bool {
+	_, ok := dt.index[b]
+	return ok
+}
+
+// InstDominates reports whether instruction def dominates the use of a value
+// at operand position useIdx of instruction user. Phi uses are considered to
+// occur at the end of the corresponding incoming block.
+func (dt *DomTree) InstDominates(def *Inst, user *Inst, useIdx int) bool {
+	defB := def.Parent()
+	var useB *Block
+	if user.Op == OpPhi {
+		// The incoming block is the operand immediately after the value.
+		useB = user.Operand(useIdx + 1).(*Block)
+		// Use occurs at the end of useB; def just needs to dominate useB.
+		return dt.Dominates(defB, useB)
+	}
+	useB = user.Parent()
+	if defB != useB {
+		return dt.Dominates(defB, useB)
+	}
+	// Same block: def must come first.
+	for _, in := range defB.Insts {
+		if in == def {
+			return true
+		}
+		if in == user {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package ir
+
+import "fmt"
+
+// SplitModule partitions a module's function definitions round-robin into n
+// translation units, the inverse of LinkModules. Cross-unit references
+// become declarations in the referring unit; internal functions that end up
+// referenced across units are promoted to external linkage (with a unique
+// name) so the units link back together. @main, when present, stays in the
+// first unit.
+//
+// Together with LinkModules this models the paper's Fig. 9 pipeline: a
+// program split into per-file units, compiled separately, then linked and
+// optimized as one module. Modules with globals are not supported (the
+// textual IR has no global declarations).
+func SplitModule(m *Module, n int) ([]*Module, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("split: need at least one unit")
+	}
+	if len(m.Globals) > 0 {
+		return nil, fmt.Errorf("split: modules with globals are not supported")
+	}
+
+	// Assign definitions to units.
+	unitOf := map[*Func]int{}
+	next := 0
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if f.Name() == "main" {
+			unitOf[f] = 0
+			continue
+		}
+		unitOf[f] = next % n
+		next++
+	}
+
+	// Promote internal functions referenced from another unit.
+	for _, f := range m.Funcs {
+		if f.IsDecl() || f.Linkage != InternalLinkage {
+			continue
+		}
+		crossUnit := false
+		for _, u := range f.Uses() {
+			user := u.User.Parent().Parent()
+			if unitOf[user] != unitOf[f] {
+				crossUnit = true
+				break
+			}
+		}
+		if crossUnit {
+			f.Linkage = ExternalLinkage
+		}
+	}
+
+	units := make([]*Module, n)
+	for k := range units {
+		units[k] = NewModule(fmt.Sprintf("%s.unit%d", m.Name, k))
+	}
+
+	for k, unit := range units {
+		// Base value map: every module-level function maps to this unit's
+		// instance — a clone shell for assigned definitions, a declaration
+		// otherwise (pruned later if unused).
+		base := map[Value]Value{}
+		clones := map[*Func]*Func{}
+		for _, f := range m.Funcs {
+			var local *Func
+			if !f.IsDecl() && unitOf[f] == k {
+				local = NewFunc(f.Name(), f.Sig())
+				local.Linkage = f.Linkage
+				local.Hotness = f.Hotness
+				clones[f] = local
+			} else {
+				local = NewFunc(f.Name(), f.Sig())
+				local.Linkage = ExternalLinkage
+			}
+			unit.AddFunc(local)
+			base[f] = local
+		}
+		// Clone assigned bodies.
+		for _, f := range m.Funcs {
+			dst, ok := clones[f]
+			if !ok {
+				continue
+			}
+			vmap := make(map[Value]Value, len(base)+f.NumInsts())
+			for key, v := range base {
+				vmap[key] = v
+			}
+			for i, p := range f.Params {
+				dst.Params[i].SetName(p.Name())
+				vmap[p] = dst.Params[i]
+			}
+			CloneBody(f, dst, vmap)
+		}
+		// Prune unused declarations.
+		for _, f := range append([]*Func(nil), unit.Funcs...) {
+			if f.IsDecl() && f.NumUses() == 0 {
+				unit.RemoveFunc(f)
+			}
+		}
+	}
+	return units, nil
+}

@@ -1,0 +1,101 @@
+package ir_test
+
+import (
+	"testing"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+func buildSplitFixture(t *testing.T, seed int64) *ir.Module {
+	t.Helper()
+	p := workload.Profile{
+		Name: "split", NumFuncs: 12, AvgSize: 20, MaxSize: 60,
+		Identical: 0.2, TypeVar: 0.1, InternalFrac: 0.6, Seed: seed,
+	}
+	return workload.Build(p)
+}
+
+func runMain(t *testing.T, m *ir.Module) uint64 {
+	t.Helper()
+	mc := interp.NewMachine(m)
+	workload.RegisterIntrinsics(mc)
+	v, err := mc.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSplitLinkRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 3, 7} {
+		want := runMain(t, buildSplitFixture(t, 5))
+
+		src := buildSplitFixture(t, 5)
+		units, err := ir.SplitModule(src, n)
+		if err != nil {
+			t.Fatalf("split(%d): %v", n, err)
+		}
+		if len(units) != n {
+			t.Fatalf("units = %d, want %d", len(units), n)
+		}
+		for _, u := range units {
+			if err := ir.VerifyModule(u); err != nil {
+				t.Fatalf("split(%d) unit invalid: %v\n%s", n, err, ir.FormatModule(u))
+			}
+		}
+		// Units must be independently parseable (real translation units).
+		for _, u := range units {
+			text := ir.FormatModule(u)
+			if _, err := ir.ParseModule(u.Name, text); err != nil {
+				t.Fatalf("split(%d) unit unparseable: %v", n, err)
+			}
+		}
+
+		linked, err := ir.LinkModules("relinked", units...)
+		if err != nil {
+			t.Fatalf("link after split(%d): %v", n, err)
+		}
+		if err := ir.VerifyModule(linked); err != nil {
+			t.Fatalf("relinked invalid: %v", err)
+		}
+		if got := runMain(t, linked); got != want {
+			t.Fatalf("split(%d)+link changed semantics: %d vs %d", n, got, want)
+		}
+	}
+}
+
+func TestSplitDistributesFunctions(t *testing.T) {
+	src := buildSplitFixture(t, 6)
+	defs := len(src.Definitions())
+	units, err := ir.SplitModule(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for k, u := range units {
+		d := len(u.Definitions())
+		total += d
+		if k > 0 && u.FuncByName("main") != nil && !u.FuncByName("main").IsDecl() {
+			t.Error("main must live in unit 0")
+		}
+	}
+	if total != defs {
+		t.Errorf("definitions across units = %d, want %d", total, defs)
+	}
+}
+
+func TestSplitRejectsGlobals(t *testing.T) {
+	m := ir.MustParseModule("g", `
+@g = global i64 zeroinitializer
+
+define void @f() {
+entry:
+  ret void
+}
+`)
+	if _, err := ir.SplitModule(m, 2); err == nil {
+		t.Error("modules with globals must be rejected")
+	}
+}

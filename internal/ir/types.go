@@ -1,0 +1,289 @@
+// Package ir implements a typed, LLVM-flavoured intermediate representation:
+// interned types, SSA values, instructions grouped into basic blocks and
+// functions, modules, a textual format with printer and parser, a verifier,
+// dominator trees and a function cloner.
+//
+// The IR is the substrate on which the function-merging optimization from
+// "Function Merging by Sequence Alignment" (Rocha et al., CGO 2019) operates.
+// It deliberately mirrors the granularity of LLVM IR: a few tens of opcodes,
+// structural types, explicit basic blocks and use-def chains.
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TypeKind discriminates the structural kinds of IR types.
+type TypeKind int
+
+// Type kinds.
+const (
+	VoidKind TypeKind = iota
+	IntKind
+	FloatKind
+	PointerKind
+	ArrayKind
+	StructKind
+	FuncKind
+	LabelKind
+	TokenKind // result of landingpad instructions
+)
+
+// Type is an interned IR type. Two types are equal if and only if their
+// pointers are equal; obtain types through Void, Int, Float, PointerTo,
+// ArrayOf, StructOf and FuncOf.
+type Type struct {
+	Kind TypeKind
+	// Bits is the width for IntKind (1..64) and FloatKind (32 or 64).
+	Bits int
+	// Elem is the element type for PointerKind and ArrayKind.
+	Elem *Type
+	// Len is the element count for ArrayKind.
+	Len int
+	// Fields are the member types for StructKind and the parameter types
+	// for FuncKind.
+	Fields []*Type
+	// Ret is the return type for FuncKind.
+	Ret *Type
+	// Variadic marks a FuncKind type as variadic.
+	Variadic bool
+
+	str string // cached textual form
+}
+
+var (
+	internMu  sync.Mutex
+	internTab = map[string]*Type{}
+
+	voidType  = &Type{Kind: VoidKind, str: "void"}
+	labelType = &Type{Kind: LabelKind, str: "label"}
+	tokenType = &Type{Kind: TokenKind, str: "token"}
+)
+
+func intern(t *Type) *Type {
+	key := t.computeString()
+	internMu.Lock()
+	defer internMu.Unlock()
+	if got, ok := internTab[key]; ok {
+		return got
+	}
+	t.str = key
+	internTab[key] = t
+	return t
+}
+
+// Void returns the void type.
+func Void() *Type { return voidType }
+
+// Label returns the label type carried by basic-block values.
+func Label() *Type { return labelType }
+
+// Token returns the token type produced by landingpad instructions.
+func Token() *Type { return tokenType }
+
+// Int returns the integer type of the given bit width (1..64).
+func Int(bits int) *Type {
+	if bits < 1 || bits > 64 {
+		panic(fmt.Sprintf("ir: invalid integer width %d", bits))
+	}
+	return intern(&Type{Kind: IntKind, Bits: bits})
+}
+
+// Bool returns the 1-bit integer type.
+func Bool() *Type { return Int(1) }
+
+// I8 returns the 8-bit integer type.
+func I8() *Type { return Int(8) }
+
+// I16 returns the 16-bit integer type.
+func I16() *Type { return Int(16) }
+
+// I32 returns the 32-bit integer type.
+func I32() *Type { return Int(32) }
+
+// I64 returns the 64-bit integer type.
+func I64() *Type { return Int(64) }
+
+// Float returns the floating-point type of the given width (32 or 64).
+func Float(bits int) *Type {
+	if bits != 32 && bits != 64 {
+		panic(fmt.Sprintf("ir: invalid float width %d", bits))
+	}
+	return intern(&Type{Kind: FloatKind, Bits: bits})
+}
+
+// F32 returns the 32-bit floating-point type.
+func F32() *Type { return Float(32) }
+
+// F64 returns the 64-bit floating-point type.
+func F64() *Type { return Float(64) }
+
+// PointerTo returns the pointer type with element type elem.
+func PointerTo(elem *Type) *Type {
+	if elem == nil {
+		panic("ir: PointerTo(nil)")
+	}
+	return intern(&Type{Kind: PointerKind, Elem: elem})
+}
+
+// ArrayOf returns the array type with n elements of type elem.
+func ArrayOf(n int, elem *Type) *Type {
+	if n < 0 || elem == nil {
+		panic("ir: invalid array type")
+	}
+	return intern(&Type{Kind: ArrayKind, Len: n, Elem: elem})
+}
+
+// StructOf returns the struct type with the given field types.
+func StructOf(fields ...*Type) *Type {
+	cp := make([]*Type, len(fields))
+	copy(cp, fields)
+	return intern(&Type{Kind: StructKind, Fields: cp})
+}
+
+// FuncOf returns the function type with the given return and parameter types.
+func FuncOf(ret *Type, params ...*Type) *Type {
+	cp := make([]*Type, len(params))
+	copy(cp, params)
+	return intern(&Type{Kind: FuncKind, Ret: ret, Fields: cp})
+}
+
+// VarFuncOf returns a variadic function type.
+func VarFuncOf(ret *Type, params ...*Type) *Type {
+	cp := make([]*Type, len(params))
+	copy(cp, params)
+	return intern(&Type{Kind: FuncKind, Ret: ret, Fields: cp, Variadic: true})
+}
+
+func (t *Type) computeString() string {
+	switch t.Kind {
+	case VoidKind:
+		return "void"
+	case LabelKind:
+		return "label"
+	case TokenKind:
+		return "token"
+	case IntKind:
+		return fmt.Sprintf("i%d", t.Bits)
+	case FloatKind:
+		return fmt.Sprintf("f%d", t.Bits)
+	case PointerKind:
+		return t.Elem.String() + "*"
+	case ArrayKind:
+		return fmt.Sprintf("[%d x %s]", t.Len, t.Elem)
+	case StructKind:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case FuncKind:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.String()
+		}
+		if t.Variadic {
+			parts = append(parts, "...")
+		}
+		return t.Ret.String() + " (" + strings.Join(parts, ", ") + ")"
+	default:
+		panic(fmt.Sprintf("ir: unknown type kind %d", t.Kind))
+	}
+}
+
+// String returns the textual form of the type, e.g. "i32" or "{i32, f64}*".
+func (t *Type) String() string {
+	if t.str == "" {
+		t.str = t.computeString()
+	}
+	return t.str
+}
+
+// IsVoid reports whether t is the void type.
+func (t *Type) IsVoid() bool { return t.Kind == VoidKind }
+
+// IsInt reports whether t is an integer type.
+func (t *Type) IsInt() bool { return t.Kind == IntKind }
+
+// IsBool reports whether t is the 1-bit integer type.
+func (t *Type) IsBool() bool { return t.Kind == IntKind && t.Bits == 1 }
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == FloatKind }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t.Kind == PointerKind }
+
+// IsAggregate reports whether t is an array or struct type.
+func (t *Type) IsAggregate() bool { return t.Kind == ArrayKind || t.Kind == StructKind }
+
+// IsFirstClass reports whether a value of type t can be produced by an
+// instruction or passed as an operand (everything except void and function
+// types).
+func (t *Type) IsFirstClass() bool {
+	return t.Kind != VoidKind && t.Kind != FuncKind
+}
+
+// PointerSizeBits is the width of pointers on all modelled targets.
+const PointerSizeBits = 64
+
+// SizeBits returns the number of bits occupied by a value of type t in
+// memory, with natural (packed-to-byte) layout. Void and label types have
+// size zero.
+func (t *Type) SizeBits() int {
+	switch t.Kind {
+	case VoidKind, LabelKind, TokenKind:
+		return 0
+	case IntKind, FloatKind:
+		return t.Bits
+	case PointerKind, FuncKind:
+		return PointerSizeBits
+	case ArrayKind:
+		return t.Len * t.Elem.SizeBytes() * 8
+	case StructKind:
+		n := 0
+		for _, f := range t.Fields {
+			n += f.SizeBytes()
+		}
+		return n * 8
+	default:
+		panic("ir: unknown type kind")
+	}
+}
+
+// SizeBytes returns the byte size of t, rounding sub-byte scalars up.
+func (t *Type) SizeBytes() int {
+	return (t.SizeBits() + 7) / 8
+}
+
+// FieldOffset returns the byte offset of field i in struct type t.
+func (t *Type) FieldOffset(i int) int {
+	if t.Kind != StructKind {
+		panic("ir: FieldOffset on non-struct")
+	}
+	off := 0
+	for j := 0; j < i; j++ {
+		off += t.Fields[j].SizeBytes()
+	}
+	return off
+}
+
+// LosslesslyBitcastable reports whether values of type a can be bitcast to
+// type b without loss of information, the type-equivalence relation used by
+// the merger (paper §III-D): identical types, or scalar types of identical
+// bit width, or pointer types (which always have the same representation).
+func LosslesslyBitcastable(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a.IsPointer() && b.IsPointer() {
+		return true
+	}
+	scalar := func(t *Type) bool { return t.IsInt() || t.IsFloat() || t.IsPointer() }
+	if scalar(a) && scalar(b) && a.SizeBits() == b.SizeBits() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package ir
+
+import "fmt"
+
+// Value is anything that can appear as an instruction operand: parameters,
+// instructions, basic blocks (as labels), functions, globals and constants.
+type Value interface {
+	// Type returns the type of the value.
+	Type() *Type
+	// Ident returns the reference form of the value as it appears in
+	// operand position, e.g. "%x", "@f", "42", "label %bb1".
+	Ident() string
+}
+
+// Named is implemented by values that carry an assignable name.
+type Named interface {
+	Value
+	Name() string
+	SetName(string)
+}
+
+// Use records a single use of a value: the using instruction and the operand
+// index within it.
+type Use struct {
+	User  *Inst
+	Index int
+}
+
+// usable is embedded by definitions that track their uses (parameters,
+// instructions, blocks, functions, globals). Constants are interned/shared
+// and do not track uses.
+type usable struct {
+	uses []Use
+}
+
+func (u *usable) addUse(use Use) { u.uses = append(u.uses, use) }
+
+func (u *usable) removeUse(use Use) {
+	for i, x := range u.uses {
+		if x == use {
+			u.uses[i] = u.uses[len(u.uses)-1]
+			u.uses = u.uses[:len(u.uses)-1]
+			return
+		}
+	}
+}
+
+// Uses returns the active uses of the value. The returned slice is owned by
+// the value and must not be mutated.
+func (u *usable) Uses() []Use { return u.uses }
+
+// NumUses returns the number of recorded uses.
+func (u *usable) NumUses() int { return len(u.uses) }
+
+// userTracked is the internal interface for definitions with use lists.
+type userTracked interface {
+	Value
+	addUse(Use)
+	removeUse(Use)
+	Uses() []Use
+}
+
+// trackUse registers u as a use of v if v tracks uses.
+func trackUse(v Value, u Use) {
+	if t, ok := v.(userTracked); ok {
+		t.addUse(u)
+	}
+}
+
+// untrackUse removes u from v's use list if v tracks uses.
+func untrackUse(v Value, u Use) {
+	if t, ok := v.(userTracked); ok {
+		t.removeUse(u)
+	}
+}
+
+// ReplaceAllUsesWith rewrites every use of old to refer to new instead.
+// old and new must have the same type unless new is a constant of a
+// bitcast-compatible type.
+func ReplaceAllUsesWith(old userTracked, newV Value) {
+	uses := append([]Use(nil), old.Uses()...)
+	for _, u := range uses {
+		u.User.SetOperand(u.Index, newV)
+	}
+}
+
+// Param is a formal parameter of a function.
+type Param struct {
+	usable
+	name   string
+	typ    *Type
+	parent *Func
+	// Index is the position of the parameter in the function signature.
+	Index int
+}
+
+// Type returns the parameter type.
+func (p *Param) Type() *Type { return p.typ }
+
+// Name returns the parameter name (may be empty before printing).
+func (p *Param) Name() string { return p.name }
+
+// SetName sets the parameter name.
+func (p *Param) SetName(s string) { p.name = s }
+
+// Parent returns the function owning the parameter.
+func (p *Param) Parent() *Func { return p.parent }
+
+// Ident returns the reference form "%name".
+func (p *Param) Ident() string {
+	if p.name == "" {
+		return fmt.Sprintf("%%arg%d", p.Index)
+	}
+	return "%" + p.name
+}

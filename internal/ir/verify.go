@@ -1,0 +1,316 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyModule checks structural and type invariants of every definition in
+// the module and returns all violations found.
+func VerifyModule(m *Module) error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			errs = append(errs, fmt.Errorf("function @%s: %w", f.Name(), err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// VerifyFunc checks structural invariants of a function definition:
+//
+//   - every block ends with exactly one terminator, and terminators appear
+//     only at the end;
+//   - the entry block has no predecessors;
+//   - phi instructions appear only at block starts and their incoming blocks
+//     match the block's predecessors;
+//   - landingpad instructions appear only as the first instruction of blocks
+//     that are invoke unwind destinations;
+//   - operand types obey opcode constraints;
+//   - every use of an instruction result is dominated by its definition.
+func VerifyFunc(f *Func) error {
+	if f.IsDecl() {
+		return nil
+	}
+	var errs []error
+	errf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	for _, b := range f.Blocks {
+		if b.Parent() != f {
+			errf("block %%%s has wrong parent", b.Name())
+		}
+		if len(b.Insts) == 0 {
+			errf("block %%%s is empty", b.Name())
+			continue
+		}
+		for i, in := range b.Insts {
+			if in.Parent() != b {
+				errf("instruction %s has wrong parent", FormatInst(in))
+			}
+			if in.IsTerminator() != (i == len(b.Insts)-1) {
+				if in.IsTerminator() {
+					errf("block %%%s: terminator %s not at end", b.Name(), in.Op)
+				} else {
+					errf("block %%%s: ends with non-terminator %s", b.Name(), in.Op)
+				}
+			}
+			if in.Op == OpPhi && i > b.FirstNonPhi() {
+				errf("block %%%s: phi after non-phi", b.Name())
+			}
+			if in.Op == OpLandingPad && i != 0 {
+				errf("block %%%s: landingpad not first instruction", b.Name())
+			}
+			if err := checkInstTypes(in); err != nil {
+				errf("block %%%s: %s: %v", b.Name(), FormatInst(in), err)
+			}
+		}
+	}
+
+	if len(f.Entry().Preds()) > 0 {
+		errf("entry block has predecessors")
+	}
+
+	// Phi incoming blocks must exactly cover predecessors.
+	for _, b := range f.Blocks {
+		preds := b.Preds()
+		predSet := map[*Block]int{}
+		for _, p := range preds {
+			predSet[p]++
+		}
+		for _, phi := range b.Phis() {
+			seen := map[*Block]int{}
+			for i := 0; i < phi.NumPhiIncoming(); i++ {
+				_, pb := phi.PhiIncoming(i)
+				seen[pb]++
+			}
+			for p := range predSet {
+				if seen[p] == 0 {
+					errf("block %%%s: phi missing incoming for predecessor %%%s", b.Name(), p.Name())
+				}
+			}
+			for p := range seen {
+				if predSet[p] == 0 {
+					errf("block %%%s: phi has incoming for non-predecessor %%%s", b.Name(), p.Name())
+				}
+			}
+		}
+	}
+
+	// Invoke unwind destinations must be landing blocks; landing blocks must
+	// only be reached by invoke unwind edges.
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t != nil && t.Op == OpInvoke {
+			if !t.InvokeUnwind().IsLandingBlock() {
+				errf("invoke unwind destination %%%s is not a landing block", t.InvokeUnwind().Name())
+			}
+		}
+		if b.IsLandingBlock() {
+			for _, p := range b.Preds() {
+				pt := p.Terminator()
+				if pt.Op != OpInvoke || pt.InvokeUnwind() != b {
+					errf("landing block %%%s reached by non-unwind edge from %%%s", b.Name(), p.Name())
+				}
+			}
+		}
+	}
+
+	// Dominance of uses.
+	if len(errs) == 0 {
+		dt := ComputeDomTree(f)
+		f.Insts(func(in *Inst) {
+			if !dt.Reachable(in.Parent()) {
+				return
+			}
+			for i, op := range in.Operands() {
+				def, ok := op.(*Inst)
+				if !ok {
+					continue
+				}
+				if def.Parent() == nil || def.Parent().Parent() != f {
+					errf("%s: operand %d defined outside function", FormatInst(in), i)
+					continue
+				}
+				if !dt.Reachable(def.Parent()) {
+					continue
+				}
+				if !dt.InstDominates(def, in, i) {
+					errf("%s: use of %s not dominated by its definition", FormatInst(in), def.Ident())
+				}
+			}
+		})
+	}
+
+	return errors.Join(errs...)
+}
+
+// checkInstTypes validates operand and result types against the opcode.
+func checkInstTypes(in *Inst) error {
+	switch {
+	case in.Op.IsBinary():
+		a, b := in.Operand(0), in.Operand(1)
+		if a.Type() != b.Type() || a.Type() != in.Type() {
+			return fmt.Errorf("binary operand/result type mismatch")
+		}
+		isFP := in.Op >= OpFAdd && in.Op <= OpFRem
+		if isFP && !in.Type().IsFloat() {
+			return fmt.Errorf("float opcode on %s", in.Type())
+		}
+		if !isFP && !in.Type().IsInt() {
+			return fmt.Errorf("integer opcode on %s", in.Type())
+		}
+	case in.Op.IsCast():
+		return checkCastTypes(in)
+	}
+
+	switch in.Op {
+	case OpRet:
+		fn := in.Parent().Parent()
+		want := fn.ReturnType()
+		if want.IsVoid() {
+			if in.NumOperands() != 0 {
+				return fmt.Errorf("ret with value in void function")
+			}
+		} else if in.NumOperands() != 1 || in.Operand(0).Type() != want {
+			return fmt.Errorf("ret type does not match function return type %s", want)
+		}
+	case OpBr:
+		if in.NumOperands() == 3 && !in.Operand(0).Type().IsBool() {
+			return fmt.Errorf("conditional branch on non-i1")
+		}
+	case OpSwitch:
+		if !in.Operand(0).Type().IsInt() {
+			return fmt.Errorf("switch on non-integer")
+		}
+	case OpLoad:
+		pt := in.Operand(0).Type()
+		if !pt.IsPointer() || pt.Elem != in.Type() {
+			return fmt.Errorf("load type mismatch")
+		}
+		if in.Type().IsAggregate() {
+			return fmt.Errorf("aggregate loads are not supported; use getelementptr to access fields")
+		}
+	case OpStore:
+		pt := in.Operand(1).Type()
+		if !pt.IsPointer() || pt.Elem != in.Operand(0).Type() {
+			return fmt.Errorf("store type mismatch")
+		}
+		if in.Operand(0).Type().IsAggregate() {
+			return fmt.Errorf("aggregate stores are not supported; use getelementptr to access fields")
+		}
+	case OpICmp:
+		a, b := in.Operand(0), in.Operand(1)
+		if a.Type() != b.Type() {
+			return fmt.Errorf("icmp operand mismatch")
+		}
+		if !a.Type().IsInt() && !a.Type().IsPointer() {
+			return fmt.Errorf("icmp on %s", a.Type())
+		}
+	case OpFCmp:
+		a, b := in.Operand(0), in.Operand(1)
+		if a.Type() != b.Type() || !a.Type().IsFloat() {
+			return fmt.Errorf("fcmp operand mismatch")
+		}
+	case OpSelect:
+		if !in.Operand(0).Type().IsBool() {
+			return fmt.Errorf("select condition not i1")
+		}
+		if in.Operand(1).Type() != in.Type() || in.Operand(2).Type() != in.Type() {
+			return fmt.Errorf("select arm type mismatch")
+		}
+	case OpCall, OpInvoke:
+		ct := in.Callee().Type()
+		if !ct.IsPointer() || ct.Elem.Kind != FuncKind {
+			return fmt.Errorf("call of non-function")
+		}
+		sig := ct.Elem
+		args := in.CallArgs()
+		if sig.Variadic {
+			if len(args) < len(sig.Fields) {
+				return fmt.Errorf("too few args")
+			}
+		} else if len(args) != len(sig.Fields) {
+			return fmt.Errorf("wrong arg count: have %d, want %d", len(args), len(sig.Fields))
+		}
+		for i := range sig.Fields {
+			if args[i].Type() != sig.Fields[i] {
+				return fmt.Errorf("arg %d type %s, want %s", i, args[i].Type(), sig.Fields[i])
+			}
+		}
+		if in.Type() != sig.Ret {
+			return fmt.Errorf("call result type %s, want %s", in.Type(), sig.Ret)
+		}
+	case OpResume:
+		if in.Operand(0).Type() != Token() {
+			return fmt.Errorf("resume of non-token")
+		}
+	case OpPhi:
+		if in.NumOperands()%2 != 0 || in.NumOperands() == 0 {
+			return fmt.Errorf("malformed phi")
+		}
+		for i := 0; i < in.NumPhiIncoming(); i++ {
+			v, _ := in.PhiIncoming(i)
+			if v.Type() != in.Type() {
+				return fmt.Errorf("phi incoming type mismatch")
+			}
+		}
+	case OpGEP:
+		if !in.Operand(0).Type().IsPointer() {
+			return fmt.Errorf("gep base not a pointer")
+		}
+		for _, idx := range in.Operands()[1:] {
+			if !idx.Type().IsInt() {
+				return fmt.Errorf("gep index not an integer")
+			}
+		}
+	}
+	return nil
+}
+
+func checkCastTypes(in *Inst) error {
+	from, to := in.Operand(0).Type(), in.Type()
+	bad := func() error {
+		return fmt.Errorf("invalid %s from %s to %s", in.Op, from, to)
+	}
+	switch in.Op {
+	case OpTrunc:
+		if !from.IsInt() || !to.IsInt() || from.Bits <= to.Bits {
+			return bad()
+		}
+	case OpZExt, OpSExt:
+		if !from.IsInt() || !to.IsInt() || from.Bits >= to.Bits {
+			return bad()
+		}
+	case OpFPTrunc:
+		if !from.IsFloat() || !to.IsFloat() || from.Bits <= to.Bits {
+			return bad()
+		}
+	case OpFPExt:
+		if !from.IsFloat() || !to.IsFloat() || from.Bits >= to.Bits {
+			return bad()
+		}
+	case OpFPToSI, OpFPToUI:
+		if !from.IsFloat() || !to.IsInt() {
+			return bad()
+		}
+	case OpSIToFP, OpUIToFP:
+		if !from.IsInt() || !to.IsFloat() {
+			return bad()
+		}
+	case OpPtrToInt:
+		if !from.IsPointer() || !to.IsInt() {
+			return bad()
+		}
+	case OpIntToPtr:
+		if !from.IsInt() || !to.IsPointer() {
+			return bad()
+		}
+	case OpBitCast:
+		if !LosslesslyBitcastable(from, to) {
+			return bad()
+		}
+	}
+	return nil
+}

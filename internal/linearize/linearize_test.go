@@ -1,0 +1,158 @@
+package linearize
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+const diamondSrc = `
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %then, label %else
+then:
+  %a = add i32 1, 2
+  br label %join
+else:
+  %b = add i32 3, 4
+  br label %join
+join:
+  ret i32 0
+}
+`
+
+func parse(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	m, err := ir.ParseModule("l", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			return f
+		}
+	}
+	t.Fatal("no definition")
+	return nil
+}
+
+func TestLinearizeStructure(t *testing.T) {
+	f := parse(t, diamondSrc)
+	seq := Linearize(f)
+	// 4 labels + 6 instructions.
+	if len(seq) != 10 {
+		t.Fatalf("sequence length = %d, want 10", len(seq))
+	}
+	if !seq[0].IsLabel() || seq[0].Block != f.Entry() {
+		t.Error("sequence must start with the entry label")
+	}
+	// Each label must be followed by exactly its block's instructions in
+	// order.
+	i := 0
+	for i < len(seq) {
+		if !seq[i].IsLabel() {
+			t.Fatalf("expected label at %d", i)
+		}
+		b := seq[i].Block
+		i++
+		for _, in := range b.Insts {
+			if seq[i].Inst != in {
+				t.Fatalf("instruction order broken in block %s", b.Name())
+			}
+			i++
+		}
+	}
+}
+
+func TestLinearizeRPOOrder(t *testing.T) {
+	f := parse(t, diamondSrc)
+	seq := Linearize(f)
+	var labels []string
+	for _, e := range seq {
+		if e.IsLabel() {
+			labels = append(labels, e.Block.Name())
+		}
+	}
+	want := []string{"entry", "then", "else", "join"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("RPO label order = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestLinearizeSkipsUnreachable(t *testing.T) {
+	f := parse(t, `
+define void @f() {
+entry:
+  ret void
+dead:
+  ret void
+}
+`)
+	seq := Linearize(f)
+	for _, e := range seq {
+		if e.IsLabel() && e.Block.Name() == "dead" {
+			t.Error("unreachable block linearized")
+		}
+	}
+	if len(seq) != 2 {
+		t.Errorf("sequence length = %d, want 2", len(seq))
+	}
+}
+
+func TestOrdersDiffer(t *testing.T) {
+	// A function whose layout order differs from RPO.
+	f := parse(t, `
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %b, label %a
+a:
+  br label %end
+b:
+  br label %end
+end:
+  ret void
+}
+`)
+	rpo := LinearizeOrder(f, OrderRPO)
+	layout := LinearizeOrder(f, OrderLayout)
+	dfs := LinearizeOrder(f, OrderDFS)
+	if len(rpo) != len(layout) || len(rpo) != len(dfs) {
+		t.Fatal("orders must cover the same entries")
+	}
+	labelSeq := func(seq []Entry) string {
+		s := ""
+		for _, e := range seq {
+			if e.IsLabel() {
+				s += e.Block.Name() + ";"
+			}
+		}
+		return s
+	}
+	if labelSeq(rpo) == labelSeq(layout) {
+		t.Error("expected RPO and layout order to differ on this CFG")
+	}
+	if labelSeq(rpo) != "entry;b;a;end;" {
+		t.Errorf("RPO order = %s", labelSeq(rpo))
+	}
+	if labelSeq(layout) != "entry;a;b;end;" {
+		t.Errorf("layout order = %s", labelSeq(layout))
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	if OrderRPO.String() != "rpo" || OrderDFS.String() != "dfs" || OrderLayout.String() != "layout" {
+		t.Error("order names wrong")
+	}
+}
+
+func TestDeclarationLinearizesEmpty(t *testing.T) {
+	m, err := ir.ParseModule("l", "declare void @d()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := Linearize(m.FuncByName("d")); len(seq) != 0 {
+		t.Errorf("declaration sequence length = %d, want 0", len(seq))
+	}
+}

@@ -1,0 +1,176 @@
+package passes
+
+import "fmsa/internal/ir"
+
+// CanonicalizeOrder reorders the instructions inside every basic block of f
+// into a canonical schedule: a topological sort of the block's dependence
+// graph that breaks ties by (opcode, result type, operand shape) keys.
+// Semantically equivalent blocks whose instructions merely appear in
+// different orders become textually aligned, increasing the matches the
+// sequence aligner can find — the instruction-reordering extension the
+// paper leaves as future work (§VII).
+//
+// The schedule preserves:
+//   - data dependences (an instruction follows its in-block operands);
+//   - the relative order of all memory-touching and side-effecting
+//     instructions (loads, stores, calls, invokes) — a conservative
+//     memory model;
+//   - the block terminator's final position and the leading position of
+//     landingpads.
+//
+// It returns true if any block's order changed.
+func CanonicalizeOrder(f *ir.Func) bool {
+	if f.IsDecl() {
+		return false
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		if canonicalizeBlock(b) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// CanonicalizeOrderModule runs CanonicalizeOrder on every definition.
+func CanonicalizeOrderModule(m *ir.Module) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		changed = CanonicalizeOrder(f) || changed
+	}
+	return changed
+}
+
+// orderClass returns true for instructions whose relative order must be
+// preserved under the conservative memory model.
+func orderClass(in *ir.Inst) bool {
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore, ir.OpCall, ir.OpInvoke, ir.OpResume:
+		return true
+	}
+	return in.Op.HasSideEffects()
+}
+
+// sortKey produces the canonical tie-breaking key of an instruction.
+func sortKey(in *ir.Inst) string {
+	key := in.Op.String() + "|" + in.Type().String()
+	if in.Pred != ir.PredInvalid {
+		key += "|" + in.Pred.String()
+	}
+	if in.Alloc != nil {
+		key += "|" + in.Alloc.String()
+	}
+	for _, op := range in.Operands() {
+		switch v := op.(type) {
+		case *ir.ConstInt:
+			key += "|#" + v.Ident()
+		case *ir.ConstFloat:
+			key += "|#" + v.Ident()
+		default:
+			key += "|%" + op.Type().String()
+		}
+	}
+	return key
+}
+
+func canonicalizeBlock(b *ir.Block) bool {
+	n := len(b.Insts)
+	if n < 3 { // nothing reorderable besides the terminator
+		return false
+	}
+	// The terminator stays last; a leading landingpad stays first.
+	body := b.Insts[:n-1]
+	start := 0
+	if body[0].Op == ir.OpLandingPad || body[0].Op == ir.OpPhi {
+		// Keep leading pads/phis pinned (phis must head the block).
+		for start < len(body) && (body[start].Op == ir.OpLandingPad || body[start].Op == ir.OpPhi) {
+			start++
+		}
+	}
+	body = body[start:]
+	if len(body) < 2 {
+		return false
+	}
+
+	pos := make(map[*ir.Inst]int, len(body))
+	for i, in := range body {
+		pos[in] = i
+	}
+
+	// Dependence edges: preds[i] counts unscheduled prerequisites of
+	// body[i]; succs[i] lists dependents.
+	preds := make([]int, len(body))
+	succs := make([][]int, len(body))
+	addEdge := func(from, to int) {
+		succs[from] = append(succs[from], to)
+		preds[to]++
+	}
+	lastOrdered := -1
+	for i, in := range body {
+		for _, op := range in.Operands() {
+			if def, ok := op.(*ir.Inst); ok {
+				if j, inBlock := pos[def]; inBlock {
+					addEdge(j, i)
+				}
+			}
+		}
+		if orderClass(in) {
+			if lastOrdered >= 0 {
+				addEdge(lastOrdered, i)
+			}
+			lastOrdered = i
+		}
+	}
+
+	// Kahn's algorithm with a deterministic priority queue: among ready
+	// instructions pick the smallest (key, original position).
+	type cand struct {
+		idx int
+		key string
+	}
+	var ready []cand
+	push := func(i int) {
+		ready = append(ready, cand{idx: i, key: sortKey(body[i])})
+	}
+	for i := range body {
+		if preds[i] == 0 {
+			push(i)
+		}
+	}
+	schedule := make([]*ir.Inst, 0, len(body))
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i].key < ready[best].key ||
+				(ready[i].key == ready[best].key && ready[i].idx < ready[best].idx) {
+				best = i
+			}
+		}
+		c := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		schedule = append(schedule, body[c.idx])
+		for _, s := range succs[c.idx] {
+			preds[s]--
+			if preds[s] == 0 {
+				push(s)
+			}
+		}
+	}
+	if len(schedule) != len(body) {
+		// Cycle would mean broken IR; leave the block untouched.
+		return false
+	}
+
+	changed := false
+	for i, in := range schedule {
+		if body[i] != in {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return false
+	}
+	copy(body, schedule)
+	return true
+}

@@ -1,0 +1,137 @@
+package passes
+
+import (
+	"testing"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+func TestCanonicalizeReordersIndependentOps(t *testing.T) {
+	// Two blocks computing the same values in different orders must
+	// canonicalize to identical instruction sequences.
+	m := parse(t, `
+define i64 @a(i64 %x, i64 %y) {
+entry:
+  %m = mul i64 %x, %y
+  %s = add i64 %x, %y
+  %r = xor i64 %m, %s
+  ret i64 %r
+}
+
+define i64 @b(i64 %x, i64 %y) {
+entry:
+  %s = add i64 %x, %y
+  %m = mul i64 %x, %y
+  %r = xor i64 %m, %s
+  ret i64 %r
+}
+`)
+	fa, fb := m.FuncByName("a"), m.FuncByName("b")
+	CanonicalizeOrderModule(m)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	opsOf := func(f *ir.Func) []ir.Opcode {
+		var ops []ir.Opcode
+		f.Insts(func(in *ir.Inst) { ops = append(ops, in.Op) })
+		return ops
+	}
+	oa, ob := opsOf(fa), opsOf(fb)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("canonical orders differ: %v vs %v", oa, ob)
+		}
+	}
+	mc := interp.NewMachine(m)
+	va, _ := mc.Run("a", 6, 7)
+	vb, _ := mc.Run("b", 6, 7)
+	if va != vb || va != (42^13) {
+		t.Errorf("results: a=%d b=%d, want %d", va, vb, 42^13)
+	}
+}
+
+func TestCanonicalizePreservesMemoryOrder(t *testing.T) {
+	m := parse(t, `
+define i64 @f(i64* %p) {
+entry:
+  store i64 1, i64* %p
+  %v1 = load i64, i64* %p
+  store i64 2, i64* %p
+  %v2 = load i64, i64* %p
+  %r = add i64 %v1, %v2
+  ret i64 %r
+}
+`)
+	CanonicalizeOrder(m.FuncByName("f"))
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	mc := interp.NewMachine(m)
+	buf, err := mc.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.Run("f", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("f() = %d, want 3 (store/load order must be preserved)", got)
+	}
+}
+
+func TestCanonicalizePreservesSemanticsOnWorkload(t *testing.T) {
+	p := workload.Profile{
+		Name: "canon", NumFuncs: 15, AvgSize: 30, MaxSize: 90,
+		TypeVar: 0.1, CFGVar: 0.1, InternalFrac: 0.5, Seed: 55,
+	}
+	run := func(canon bool) uint64 {
+		m := workload.Build(p)
+		if canon {
+			CanonicalizeOrderModule(m)
+			if err := ir.VerifyModule(m); err != nil {
+				t.Fatalf("verify after canon: %v", err)
+			}
+		}
+		mc := interp.NewMachine(m)
+		workload.RegisterIntrinsics(mc)
+		v, err := mc.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if run(false) != run(true) {
+		t.Error("canonicalization changed program behaviour")
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	p := workload.Profile{
+		Name: "idem", NumFuncs: 8, AvgSize: 25, MaxSize: 60,
+		InternalFrac: 0.5, Seed: 77,
+	}
+	m := workload.Build(p)
+	CanonicalizeOrderModule(m)
+	text1 := ir.FormatModule(m)
+	if CanonicalizeOrderModule(m) {
+		t.Error("second canonicalization reported changes")
+	}
+	if ir.FormatModule(m) != text1 {
+		t.Error("canonicalization not idempotent")
+	}
+}
+
+func TestCanonicalizeSkipsTinyBlocks(t *testing.T) {
+	m := parse(t, `
+define void @tiny() {
+entry:
+  ret void
+}
+`)
+	if CanonicalizeOrder(m.FuncByName("tiny")) {
+		t.Error("nothing to reorder in a tiny block")
+	}
+}

@@ -1,0 +1,292 @@
+package passes
+
+import (
+	"testing"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule("p", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const phiSrc = `
+define i32 @pick(i1 %c, i32 %a, i32 %b) {
+entry:
+  br i1 %c, label %t, label %f
+t:
+  %ta = add i32 %a, 10
+  br label %join
+f:
+  %fb = add i32 %b, 20
+  br label %join
+join:
+  %p = phi i32 [ %ta, %t ], [ %fb, %f ]
+  ret i32 %p
+}
+`
+
+func TestDemotePhis(t *testing.T) {
+	m := parse(t, phiSrc)
+	f := m.FuncByName("pick")
+	DemotePhis(f)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify after demotion: %v\n%s", err, ir.FormatModule(m))
+	}
+	f.Insts(func(in *ir.Inst) {
+		if in.Op == ir.OpPhi {
+			t.Error("phi survived demotion")
+		}
+	})
+	// Semantics preserved.
+	mc := interp.NewMachine(m)
+	got, err := mc.Run("pick", 1, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Errorf("pick(true,5,7) = %d, want 15", got)
+	}
+	got, err = mc.Run("pick", 0, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 27 {
+		t.Errorf("pick(false,5,7) = %d, want 27", got)
+	}
+}
+
+func TestDemotePhisLoop(t *testing.T) {
+	m := parse(t, `
+define i64 @sum(i64 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %acc2 = add i64 %acc, %i
+  %i2 = add i64 %i, 1
+  br label %head
+done:
+  ret i64 %acc
+}
+`)
+	DemotePhisModule(m)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v\n%s", err, ir.FormatModule(m))
+	}
+	mc := interp.NewMachine(m)
+	got, err := mc.Run("sum", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 45 {
+		t.Errorf("sum(10) = %d, want 45", got)
+	}
+}
+
+func TestDCE(t *testing.T) {
+	m := parse(t, `
+define i32 @f(i32 %x) {
+entry:
+  %dead1 = add i32 %x, 1
+  %dead2 = mul i32 %dead1, 2
+  %live = add i32 %x, 5
+  ret i32 %live
+}
+`)
+	f := m.FuncByName("f")
+	if n := DCE(f); n != 2 {
+		t.Errorf("DCE removed %d, want 2 (chain of dead ops)", n)
+	}
+	if f.NumInsts() != 2 {
+		t.Errorf("instructions after DCE = %d, want 2", f.NumInsts())
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := parse(t, `
+declare i32 @effectful()
+
+define void @f(i32* %p) {
+entry:
+  %r = call i32 @effectful()
+  store i32 1, i32* %p
+  ret void
+}
+`)
+	if n := DCE(m.FuncByName("f")); n != 0 {
+		t.Errorf("DCE removed %d side-effecting instructions", n)
+	}
+}
+
+func TestSimplifyCFGConstantBranch(t *testing.T) {
+	m := parse(t, `
+define i32 @f() {
+entry:
+  br i1 true, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+`)
+	f := m.FuncByName("f")
+	if !SimplifyCFG(f) {
+		t.Fatal("expected simplification")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks after simplify = %d, want 1", len(f.Blocks))
+	}
+	mc := interp.NewMachine(m)
+	if got, _ := mc.Run("f"); got != 1 {
+		t.Errorf("f() = %d, want 1", got)
+	}
+}
+
+func TestSimplifyCFGForwarding(t *testing.T) {
+	m := parse(t, `
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %fwd, label %other
+fwd:
+  br label %target
+other:
+  ret i32 2
+target:
+  ret i32 1
+}
+`)
+	f := m.FuncByName("f")
+	SimplifyCFG(f)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3 (forwarding block folded)", len(f.Blocks))
+	}
+	mc := interp.NewMachine(m)
+	if got, _ := mc.Run("f", 1); got != 1 {
+		t.Errorf("f(true) = %d, want 1", got)
+	}
+}
+
+func TestSimplifyCFGConstSwitch(t *testing.T) {
+	m := parse(t, `
+define i32 @f() {
+entry:
+  switch i32 2, label %def [ i32 1, label %one i32 2, label %two ]
+one:
+  ret i32 10
+two:
+  ret i32 20
+def:
+  ret i32 0
+}
+`)
+	f := m.FuncByName("f")
+	SimplifyCFG(f)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	mc := interp.NewMachine(m)
+	if got, _ := mc.Run("f"); got != 20 {
+		t.Errorf("f() = %d, want 20", got)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(f.Blocks))
+	}
+}
+
+func TestSimplifyCFGPreservesLoops(t *testing.T) {
+	src := `
+define i64 @spinsum(i64 %n) {
+entry:
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %c = icmp slt i64 %iv, %n
+  br i1 %c, label %body, label %done
+body:
+  %iv2 = add i64 %iv, 1
+  store i64 %iv2, i64* %i
+  br label %head
+done:
+  ret i64 %iv
+}
+`
+	m := parse(t, src)
+	SimplifyCFG(m.FuncByName("spinsum"))
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	mc := interp.NewMachine(m)
+	if got, _ := mc.Run("spinsum", 5); got != 5 {
+		t.Errorf("spinsum(5) = %d, want 5", got)
+	}
+}
+
+func TestStripDeadFunctions(t *testing.T) {
+	m := parse(t, `
+define internal void @deadleaf() {
+entry:
+  ret void
+}
+
+define internal void @deadcaller() {
+entry:
+  call void @deadleaf()
+  ret void
+}
+
+define internal i32 @live(i32 %x) {
+entry:
+  ret i32 %x
+}
+
+define i32 @root(i32 %x) {
+entry:
+  %r = call i32 @live(i32 %x)
+  ret i32 %r
+}
+`)
+	n := StripDeadFunctions(m)
+	if n != 2 {
+		t.Errorf("stripped %d, want 2 (dead chain)", n)
+	}
+	if m.FuncByName("live") == nil || m.FuncByName("root") == nil {
+		t.Error("live functions must survive")
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyCFGSkipsPhiRewrites(t *testing.T) {
+	m := parse(t, phiSrc)
+	f := m.FuncByName("pick")
+	SimplifyCFG(f)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("simplify broke phi function: %v", err)
+	}
+}

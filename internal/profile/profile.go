@@ -1,0 +1,69 @@
+// Package profile derives function hotness from interpreter runs, the
+// stand-in for the paper's profiling information (§V-D): "through
+// profiling, we discovered that a handful of them contain hot code...
+// if we prevent these hot functions from merging, all performance impact
+// is removed".
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+)
+
+// Collect executes entry (usually "main") under a profiling interpreter and
+// stores each function's total executed-block count in Func.Hotness.
+// setup, when non-nil, registers workload intrinsics on the machine.
+func Collect(m *ir.Module, entry string, setup func(*interp.Machine)) error {
+	mc := interp.NewMachine(m)
+	mc.Profile = true
+	if setup != nil {
+		setup(mc)
+	}
+	if _, err := mc.Run(entry); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	Apply(m, mc.BlockCounts)
+	return nil
+}
+
+// Apply aggregates block counts into per-function hotness values.
+func Apply(m *ir.Module, counts map[*ir.Block]uint64) {
+	for _, f := range m.Funcs {
+		var total uint64
+		for _, b := range f.Blocks {
+			total += counts[b] * uint64(len(b.Insts))
+		}
+		f.Hotness = total
+	}
+}
+
+// HotThreshold returns a hotness cutoff excluding roughly the given top
+// fraction of functions by hotness (e.g. 0.1 excludes the hottest 10%).
+// It returns 0 (no exclusion) for an empty module or fraction <= 0.
+func HotThreshold(m *ir.Module, topFraction float64) uint64 {
+	if topFraction <= 0 {
+		return 0
+	}
+	var hot []uint64
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			hot = append(hot, f.Hotness)
+		}
+	}
+	if len(hot) == 0 {
+		return 0
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i] > hot[j] })
+	idx := int(float64(len(hot)) * topFraction)
+	if idx >= len(hot) {
+		idx = len(hot) - 1
+	}
+	t := hot[idx]
+	if t == 0 {
+		t = 1
+	}
+	return t
+}

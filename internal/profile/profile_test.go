@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+func TestCollectAssignsHotness(t *testing.T) {
+	m := ir.MustParseModule("p", `
+define internal i64 @hotloop(i64 %n) {
+entry:
+  %i = alloca i64
+  store i64 0, i64* %i
+  br label %head
+head:
+  %iv = load i64, i64* %i
+  %c = icmp slt i64 %iv, %n
+  br i1 %c, label %body, label %done
+body:
+  %iv2 = add i64 %iv, 1
+  store i64 %iv2, i64* %i
+  br label %head
+done:
+  ret i64 %iv
+}
+
+define internal i64 @coldleaf(i64 %x) {
+entry:
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+
+define i64 @main() {
+entry:
+  %h = call i64 @hotloop(i64 1000)
+  %c = call i64 @coldleaf(i64 %h)
+  ret i64 %c
+}
+`)
+	if err := Collect(m, "main", nil); err != nil {
+		t.Fatal(err)
+	}
+	hot := m.FuncByName("hotloop").Hotness
+	cold := m.FuncByName("coldleaf").Hotness
+	if hot <= cold {
+		t.Errorf("hotloop (%d) must be hotter than coldleaf (%d)", hot, cold)
+	}
+	if cold == 0 {
+		t.Error("executed function must have nonzero hotness")
+	}
+}
+
+func TestHotThreshold(t *testing.T) {
+	m := ir.NewModule("h")
+	for i, h := range []uint64{1000, 100, 10, 5, 1} {
+		f := m.NewFuncIn(string(rune('a'+i)), ir.FuncOf(ir.Void()))
+		b := f.NewBlockIn("entry")
+		ir.NewBuilder(b).Ret(nil)
+		f.Hotness = h
+	}
+	// Excluding the top 20% (1 of 5) should produce a cutoff below 1000.
+	cut := HotThreshold(m, 0.2)
+	if cut >= 1000 || cut < 100 {
+		t.Errorf("cutoff = %d, want in [100, 1000)", cut)
+	}
+	if HotThreshold(m, 0) != 0 {
+		t.Error("zero fraction must disable exclusion")
+	}
+}
+
+func TestCollectOnWorkload(t *testing.T) {
+	p := workload.Profile{
+		Name: "prof", NumFuncs: 10, AvgSize: 20, MaxSize: 60,
+		InternalFrac: 0.5, Seed: 3,
+	}
+	m := workload.Build(p)
+	if err := Collect(m, "main", workload.RegisterIntrinsics); err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, f := range m.Funcs {
+		if f.Hotness > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("no function received hotness")
+	}
+}

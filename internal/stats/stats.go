@@ -1,0 +1,99 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: means, geometric means and the cumulative
+// distribution of rank positions (Fig. 8).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which must all be positive
+// (0 for empty input).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min and Max return the extrema of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CDF computes the cumulative coverage of integer rank positions up to
+// maxPos: out[i] is the fraction (in percent) of values ≤ i+1. Values above
+// maxPos are counted in the total but never covered (Fig. 8's x-axis is the
+// top-10 rank).
+func CDF(positions []int, maxPos int) []float64 {
+	out := make([]float64, maxPos)
+	if len(positions) == 0 {
+		return out
+	}
+	counts := make([]int, maxPos+1)
+	for _, p := range positions {
+		if p >= 1 && p <= maxPos {
+			counts[p]++
+		}
+	}
+	cum := 0
+	for i := 1; i <= maxPos; i++ {
+		cum += counts[i]
+		out[i-1] = 100 * float64(cum) / float64(len(positions))
+	}
+	return out
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,226 @@
+// Package tti provides target-specific code-size cost models, standing in
+// for LLVM's target transformation interface (TTI). The merging pass
+// queries it to estimate the object-code size of IR instructions, functions
+// and modules when lowered to a particular instruction set (paper §IV-A).
+//
+// Two targets are modelled, mirroring the paper's evaluation platforms: an
+// x86-64-like CISC encoding with variable-length instructions, and an ARM
+// Thumb-like compact RISC encoding mixing 16- and 32-bit instructions.
+// The byte counts are calibrated approximations — profitability decisions
+// only need relative accuracy, not exact encodings.
+package tti
+
+import "fmsa/internal/ir"
+
+// Target estimates code-size costs for one instruction set.
+type Target interface {
+	// Name identifies the target ("x86-64" or "thumb").
+	Name() string
+	// InstSize returns the estimated lowered size of one instruction in
+	// bytes. Instructions that typically fold away (allocas merged into
+	// the frame, bitcasts) cost zero or near zero.
+	InstSize(in *ir.Inst) int
+	// FuncOverhead returns the fixed per-function cost in bytes:
+	// prologue, epilogue and linker alignment padding. Merging two
+	// functions into one recovers this overhead once.
+	FuncOverhead() int
+}
+
+// FuncSize returns the estimated object-code size of a function definition
+// in bytes, including per-function overhead. Declarations cost nothing.
+func FuncSize(t Target, f *ir.Func) int {
+	if f.IsDecl() {
+		return 0
+	}
+	size := t.FuncOverhead()
+	f.Insts(func(in *ir.Inst) {
+		size += t.InstSize(in)
+	})
+	return size
+}
+
+// ModuleSize returns the estimated total object-code size of all function
+// definitions in the module, in bytes.
+func ModuleSize(t Target, m *ir.Module) int {
+	size := 0
+	for _, f := range m.Funcs {
+		size += FuncSize(t, f)
+	}
+	return size
+}
+
+// ByName returns the target with the given name, or nil.
+func ByName(name string) Target {
+	switch name {
+	case "x86-64", "x86", "intel":
+		return X86{}
+	case "thumb", "arm":
+		return Thumb{}
+	default:
+		return nil
+	}
+}
+
+// Targets returns all modelled targets in a stable order.
+func Targets() []Target { return []Target{X86{}, Thumb{}} }
+
+// X86 models an x86-64-like variable-length CISC encoding.
+type X86 struct{}
+
+// Name returns "x86-64".
+func (X86) Name() string { return "x86-64" }
+
+// FuncOverhead returns the prologue/epilogue/padding cost.
+func (X86) FuncOverhead() int { return 12 }
+
+// InstSize estimates the lowered byte size of in for x86-64.
+func (X86) InstSize(in *ir.Inst) int {
+	wide := 0 // REX-prefix style penalty for 64-bit operations
+	if in.Type().IsInt() && in.Type().Bits == 64 {
+		wide = 1
+	}
+	switch in.Op {
+	case ir.OpRet:
+		return 1
+	case ir.OpBr:
+		if in.NumOperands() == 1 {
+			return 2 // jmp rel8
+		}
+		return 4 // test + jcc (cmp usually fused with the icmp)
+	case ir.OpSwitch:
+		// cmp+jcc chain (small switches) / jump table dispatch.
+		cases := (in.NumOperands() - 2) / 2
+		return 6 + 5*cases
+	case ir.OpUnreachable:
+		return 1 // ud2 fits in 2, but trailing; keep it cheap
+	case ir.OpInvoke:
+		return 5 + 2*len(in.CallArgs()) // call + arg moves + EH tables amortized
+	case ir.OpResume:
+		return 5
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor:
+		return 3 + wide
+	case ir.OpMul:
+		return 4 + wide
+	case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+		return 6 + wide // cdq + idiv + moves
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFRem:
+		return 4 // SSE scalar op
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		return 3 + wide
+	case ir.OpAlloca:
+		return 0 // folded into frame setup
+	case ir.OpLoad:
+		return 3 + wide
+	case ir.OpStore:
+		return 3 + wide
+	case ir.OpGEP:
+		// lea with complex addressing; extra indices need arithmetic.
+		extra := in.NumOperands() - 2
+		if extra < 0 {
+			extra = 0
+		}
+		return 4 + 2*extra
+	case ir.OpTrunc:
+		return 2
+	case ir.OpZExt, ir.OpSExt:
+		return 3
+	case ir.OpFPTrunc, ir.OpFPExt, ir.OpFPToSI, ir.OpFPToUI, ir.OpSIToFP, ir.OpUIToFP:
+		return 4 // cvt* instructions
+	case ir.OpPtrToInt, ir.OpIntToPtr, ir.OpBitCast:
+		return 0 // no-op moves, usually coalesced
+	case ir.OpICmp:
+		return 3 + wide
+	case ir.OpFCmp:
+		return 4 // ucomiss/ucomisd
+	case ir.OpPhi:
+		return 2 // register shuffles on edges, amortized
+	case ir.OpSelect:
+		return 4 // cmov
+	case ir.OpCall:
+		return 5 + 2*len(in.CallArgs()) // call rel32 + arg moves
+	case ir.OpLandingPad:
+		return 4 // EH table entries amortized into text estimate
+	default:
+		return 4
+	}
+}
+
+// Thumb models an ARM Thumb-2-like encoding with freeform mixing of 16- and
+// 32-bit instructions.
+type Thumb struct{}
+
+// Name returns "thumb".
+func (Thumb) Name() string { return "thumb" }
+
+// FuncOverhead returns the prologue/epilogue/padding cost.
+func (Thumb) FuncOverhead() int { return 8 }
+
+// InstSize estimates the lowered byte size of in for Thumb.
+func (Thumb) InstSize(in *ir.Inst) int {
+	wide := 0 // 64-bit integer ops need instruction pairs
+	if in.Type().IsInt() && in.Type().Bits == 64 {
+		wide = 2
+	}
+	switch in.Op {
+	case ir.OpRet:
+		return 2 // bx lr / pop {pc}
+	case ir.OpBr:
+		if in.NumOperands() == 1 {
+			return 2
+		}
+		return 4 // cmp + bcc
+	case ir.OpSwitch:
+		cases := (in.NumOperands() - 2) / 2
+		return 4 + 4*cases
+	case ir.OpUnreachable:
+		return 2
+	case ir.OpInvoke:
+		return 4 + 2*len(in.CallArgs())
+	case ir.OpResume:
+		return 4
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor:
+		return 2 + wide
+	case ir.OpMul:
+		return 4 + wide
+	case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+		return 4 + wide // sdiv + mls for rem
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFRem:
+		return 4 // VFP
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		return 2 + wide
+	case ir.OpAlloca:
+		return 0
+	case ir.OpLoad:
+		return 2 + wide
+	case ir.OpStore:
+		return 2 + wide
+	case ir.OpGEP:
+		extra := in.NumOperands() - 2
+		if extra < 0 {
+			extra = 0
+		}
+		return 2 + 2*extra
+	case ir.OpTrunc:
+		return 2
+	case ir.OpZExt, ir.OpSExt:
+		return 2 // uxt*/sxt*
+	case ir.OpFPTrunc, ir.OpFPExt, ir.OpFPToSI, ir.OpFPToUI, ir.OpSIToFP, ir.OpUIToFP:
+		return 4
+	case ir.OpPtrToInt, ir.OpIntToPtr, ir.OpBitCast:
+		return 0
+	case ir.OpICmp:
+		return 2 + wide
+	case ir.OpFCmp:
+		return 4
+	case ir.OpPhi:
+		return 2
+	case ir.OpSelect:
+		return 6 // IT block + conditional moves
+	case ir.OpCall:
+		return 4 + 2*len(in.CallArgs()) // bl + arg moves
+	case ir.OpLandingPad:
+		return 4
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,271 @@
+package tti
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+func parse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const costSrc = `
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %p = alloca i64
+  store i64 %a, i64* %p
+  %v = load i64, i64* %p
+  %s = add i64 %v, %b
+  %q = mul i64 %s, 3
+  %c = icmp slt i64 %q, 100
+  %r = select i1 %c, i64 %q, i64 %s
+  ret i64 %r
+}
+`
+
+func TestFuncSizePositive(t *testing.T) {
+	m := parse(t, costSrc)
+	f := m.FuncByName("f")
+	for _, tgt := range Targets() {
+		size := FuncSize(tgt, f)
+		if size <= tgt.FuncOverhead() {
+			t.Errorf("%s: FuncSize = %d, must exceed overhead %d", tgt.Name(), size, tgt.FuncOverhead())
+		}
+	}
+}
+
+func TestDeclarationsCostNothing(t *testing.T) {
+	m := parse(t, "declare void @ext(i64)")
+	for _, tgt := range Targets() {
+		if s := FuncSize(tgt, m.FuncByName("ext")); s != 0 {
+			t.Errorf("%s: declaration size = %d, want 0", tgt.Name(), s)
+		}
+	}
+}
+
+func TestModuleSizeIsSumOfFuncs(t *testing.T) {
+	m := parse(t, costSrc+`
+define void @g() {
+entry:
+  ret void
+}
+`)
+	for _, tgt := range Targets() {
+		sum := 0
+		for _, f := range m.Funcs {
+			sum += FuncSize(tgt, f)
+		}
+		if got := ModuleSize(tgt, m); got != sum {
+			t.Errorf("%s: ModuleSize = %d, want %d", tgt.Name(), got, sum)
+		}
+	}
+}
+
+func TestThumbDenserThanX86(t *testing.T) {
+	// Thumb is a compact encoding: on integer-heavy straight-line code it
+	// should not be larger than x86-64.
+	m := parse(t, costSrc)
+	f := m.FuncByName("f")
+	x := FuncSize(X86{}, f)
+	th := FuncSize(Thumb{}, f)
+	if th > x {
+		t.Errorf("thumb (%d) larger than x86-64 (%d) on integer code", th, x)
+	}
+}
+
+func TestFreeCastsAndAllocas(t *testing.T) {
+	m := parse(t, `
+define i64 @f(i64 %a) {
+entry:
+  %p = alloca f64
+  %b = bitcast i64 %a to f64
+  store f64 %b, f64* %p
+  %i = ptrtoint f64* %p to i64
+  ret i64 %i
+}
+`)
+	var frees int
+	m.FuncByName("f").Insts(func(in *ir.Inst) {
+		for _, tgt := range Targets() {
+			switch in.Op {
+			case ir.OpAlloca, ir.OpBitCast, ir.OpPtrToInt:
+				if tgt.InstSize(in) != 0 {
+					t.Errorf("%s: %s should fold to zero bytes", tgt.Name(), in.Op)
+				}
+				frees++
+			}
+		}
+	})
+	if frees == 0 {
+		t.Fatal("test matched no instructions")
+	}
+}
+
+func TestCallCostScalesWithArity(t *testing.T) {
+	m := parse(t, `
+declare void @few(i64)
+declare void @many(i64, i64, i64, i64, i64)
+
+define void @f(i64 %a) {
+entry:
+  call void @few(i64 %a)
+  call void @many(i64 %a, i64 %a, i64 %a, i64 %a, i64 %a)
+  ret void
+}
+`)
+	var callFew, callMany *ir.Inst
+	m.FuncByName("f").Insts(func(in *ir.Inst) {
+		if in.Op == ir.OpCall {
+			if len(in.CallArgs()) == 1 {
+				callFew = in
+			} else {
+				callMany = in
+			}
+		}
+	})
+	for _, tgt := range Targets() {
+		if tgt.InstSize(callMany) <= tgt.InstSize(callFew) {
+			t.Errorf("%s: call cost must grow with arity", tgt.Name())
+		}
+	}
+}
+
+func TestWideOpsCostMore(t *testing.T) {
+	m := parse(t, `
+define void @f(i32 %a, i64 %b) {
+entry:
+  %x = add i32 %a, 1
+  %y = add i64 %b, 1
+  ret void
+}
+`)
+	var add32, add64 *ir.Inst
+	m.FuncByName("f").Insts(func(in *ir.Inst) {
+		if in.Op == ir.OpAdd {
+			if in.Type() == ir.I32() {
+				add32 = in
+			} else {
+				add64 = in
+			}
+		}
+	})
+	for _, tgt := range Targets() {
+		if tgt.InstSize(add64) <= tgt.InstSize(add32) {
+			t.Errorf("%s: 64-bit add should cost more than 32-bit", tgt.Name())
+		}
+	}
+}
+
+// exhaustiveIR exercises every opcode the cost models size.
+const exhaustiveIR = `
+declare void @may_throw()
+declare void @h(i64)
+
+define i64 @everything(i64 %a, i64 %b, f64 %x, f32 %y, i64* %p, i1 %c) {
+entry:
+  %t01 = add i64 %a, %b
+  %t02 = sub i64 %a, %b
+  %t03 = mul i64 %a, %b
+  %t04 = sdiv i64 %a, 3
+  %t05 = udiv i64 %a, 3
+  %t06 = srem i64 %a, 3
+  %t07 = urem i64 %a, 3
+  %t08 = shl i64 %a, 2
+  %t09 = lshr i64 %a, 2
+  %t10 = ashr i64 %a, 2
+  %t11 = and i64 %a, %b
+  %t12 = or i64 %a, %b
+  %t13 = xor i64 %a, %b
+  %f01 = fadd f64 %x, %x
+  %f02 = fsub f64 %x, %x
+  %f03 = fmul f64 %x, %x
+  %f04 = fdiv f64 %x, %x
+  %f05 = frem f64 %x, %x
+  %m1 = alloca {i64, f64}
+  %g1 = getelementptr {i64, f64}, {i64, f64}* %m1, i64 0, i32 1
+  store f64 %f01, f64* %g1
+  %l1 = load f64, f64* %g1
+  %c1 = trunc i64 %a to i32
+  %c2 = zext i32 %c1 to i64
+  %c3 = sext i32 %c1 to i64
+  %c4 = fptrunc f64 %x to f32
+  %c5 = fpext f32 %y to f64
+  %c6 = fptosi f64 %x to i64
+  %c7 = fptoui f64 %x to i64
+  %c8 = sitofp i64 %a to f64
+  %c9 = uitofp i64 %a to f64
+  %ca = ptrtoint i64* %p to i64
+  %cb = inttoptr i64 %ca to i64*
+  %cc = bitcast f64 %x to i64
+  %i1 = icmp slt i64 %a, %b
+  %fc = fcmp olt f64 %x, %f01
+  %s1 = select i1 %c, i64 %a, i64 %b
+  call void @h(i64 %s1)
+  invoke void @may_throw() to label %mid unwind label %lpad
+mid:
+  switch i64 %a, label %def [ i64 1, label %one i64 2, label %two ]
+one:
+  br label %def
+two:
+  br i1 %c, label %def, label %dead
+dead:
+  unreachable
+def:
+  ret i64 %t01
+lpad:
+  %lp = landingpad cleanup
+  resume token %lp
+}
+`
+
+func TestEveryOpcodeHasACost(t *testing.T) {
+	m := parse(t, exhaustiveIR)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	f := m.FuncByName("everything")
+	seen := map[ir.Opcode]bool{}
+	for _, tgt := range Targets() {
+		f.Insts(func(in *ir.Inst) {
+			seen[in.Op] = true
+			size := tgt.InstSize(in)
+			if size < 0 {
+				t.Errorf("%s: negative size for %s", tgt.Name(), in.Op)
+			}
+			// Only known-free instructions may cost zero.
+			switch in.Op {
+			case ir.OpAlloca, ir.OpBitCast, ir.OpPtrToInt, ir.OpIntToPtr:
+			default:
+				if size == 0 {
+					t.Errorf("%s: %s costs zero", tgt.Name(), in.Op)
+				}
+			}
+		})
+	}
+	// The fixture must cover nearly the whole opcode space (phi is absent
+	// by construction).
+	covered := 0
+	for op := ir.OpRet; op < ir.NumOpcodes; op++ {
+		if seen[op] {
+			covered++
+		}
+	}
+	if covered < int(ir.NumOpcodes)-2 {
+		t.Errorf("fixture covers %d/%d opcodes", covered, int(ir.NumOpcodes)-1)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("x86-64") == nil || ByName("thumb") == nil || ByName("intel") == nil || ByName("arm") == nil {
+		t.Error("known target names must resolve")
+	}
+	if ByName("riscv") != nil {
+		t.Error("unknown target must return nil")
+	}
+}

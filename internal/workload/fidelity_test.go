@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+// TestSuiteStatsTrackTableI verifies the generated populations track the
+// scaled Table I statistics: function counts exactly, average sizes within
+// a factor of the target (size draws are lognormal, so exact matches are
+// not expected).
+func TestSuiteStatsTrackTableI(t *testing.T) {
+	for _, p := range SPECLike() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if p.NumFuncs > 600 {
+				t.Skip("large population; covered by the bench harness")
+			}
+			m := Build(p)
+			defs := 0
+			total := 0
+			for _, f := range m.Funcs {
+				if f.IsDecl() || f.Name() == "main" {
+					continue
+				}
+				defs++
+				total += f.NumInsts()
+			}
+			if defs != p.NumFuncs {
+				t.Errorf("definitions = %d, want %d", defs, p.NumFuncs)
+			}
+			if defs == 0 {
+				return
+			}
+			avg := float64(total) / float64(defs)
+			// The generator's entry scaffolding (slots, driver wiring)
+			// imposes a floor of roughly 20 instructions per function.
+			target := math.Max(float64(p.AvgSize), 20)
+			ratio := avg / target
+			if ratio < 0.4 || ratio > 2.5 {
+				t.Errorf("average size %.1f vs target %.0f (ratio %.2f)", avg, target, ratio)
+			}
+		})
+	}
+}
+
+// TestRijndaelTwinsDominate mirrors §V-B: rijndael's twin pair must hold
+// most of the program's code.
+func TestRijndaelTwinsDominate(t *testing.T) {
+	var rij Profile
+	for _, p := range MiBenchLike() {
+		if p.Name == "rijndael" {
+			rij = p
+		}
+	}
+	if rij.TwinSize == 0 {
+		t.Fatal("rijndael profile missing twins")
+	}
+	m := Build(rij)
+	enc, dec := m.FuncByName("encrypt"), m.FuncByName("decrypt")
+	if enc == nil || dec == nil {
+		t.Fatal("twins missing")
+	}
+	twinSize := enc.NumInsts() + dec.NumInsts()
+	total := 0
+	for _, f := range m.Funcs {
+		if !f.IsDecl() && f.Name() != "main" {
+			total += f.NumInsts()
+		}
+	}
+	frac := float64(twinSize) / float64(total)
+	if frac < 0.5 {
+		t.Errorf("twins hold %.0f%% of code, want the majority (paper: >70%%)", frac*100)
+	}
+	// The twins differ only by guard+salt: sizes should be close.
+	diff := math.Abs(float64(enc.NumInsts()) - float64(dec.NumInsts()))
+	if diff/float64(enc.NumInsts()) > 0.2 {
+		t.Errorf("twin sizes diverge: %d vs %d", enc.NumInsts(), dec.NumInsts())
+	}
+}
+
+// TestUnscaledSmallProfiles checks the paper-scale profiles carry the
+// exact Table I numbers.
+func TestUnscaledSmallProfiles(t *testing.T) {
+	want := map[string][3]int{ // #Fns, avg, max from Table I
+		"429.mcf":        {24, 87, 297},
+		"433.milc":       {235, 68, 416},
+		"462.libquantum": {95, 57, 626},
+		"482.sphinx3":    {326, 80, 924},
+	}
+	got := UnscaledSmall()
+	if len(got) != len(want) {
+		t.Fatalf("profiles = %d, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %s", p.Name)
+			continue
+		}
+		if p.NumFuncs != w[0] || p.AvgSize != w[1] || p.MaxSize != w[2] {
+			t.Errorf("%s: (%d, %d, %d), want %v", p.Name, p.NumFuncs, p.AvgSize, p.MaxSize, w)
+		}
+	}
+}
+
+// TestCallWeightDistribution pins the hot/cold skew the runtime experiments
+// rely on.
+func TestCallWeightDistribution(t *testing.T) {
+	veryHot, warm, cold := 0, 0, 0
+	n := 1000
+	for i := 0; i < n; i++ {
+		switch CallWeight(i) {
+		case 200:
+			veryHot++
+		case 40:
+			warm++
+		case 1:
+			cold++
+		default:
+			t.Fatalf("unexpected weight %d", CallWeight(i))
+		}
+	}
+	if veryHot == 0 || warm == 0 {
+		t.Error("hot classes missing")
+	}
+	if frac := float64(cold) / float64(n); frac < 0.8 || frac > 0.95 {
+		t.Errorf("cold fraction %.2f outside [0.8, 0.95]", frac)
+	}
+}
+
+// TestDriverLiveness: every generated function is reachable from @main, so
+// dead-function stripping cannot trivialize the suites.
+func TestDriverLiveness(t *testing.T) {
+	p := Profile{
+		Name: "live", NumFuncs: 12, AvgSize: 20, MaxSize: 60,
+		Identical: 0.2, InternalFrac: 0.9, Seed: 9,
+	}
+	m := Build(p)
+	for _, f := range m.Funcs {
+		if f.IsDecl() || f.Name() == "main" {
+			continue
+		}
+		if f.NumUses() == 0 {
+			t.Errorf("%s has no uses", f.Name())
+		}
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}

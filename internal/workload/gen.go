@@ -1,0 +1,510 @@
+// Package workload synthesizes deterministic IR modules that stand in for
+// the paper's benchmark suites (SPEC CPU2006 and MiBench). The generator
+// controls exactly the variable the evaluation measures — how much
+// mergeable similarity a program contains — by emitting families of
+// function clones with parameterized differences:
+//
+//   - identical clones (what LLVM's MergeFunctions can already merge);
+//   - type-variant clones (different parameter/payload types, Fig. 1);
+//   - CFG-variant clones (extra early-exit blocks, Fig. 2);
+//   - constant-variant and dropped-operation clones (partial similarity);
+//   - reordered-parameter clones;
+//   - unrelated functions (no similarity).
+//
+// Every function is generated from a seeded template, so variants of the
+// same template align structurally exactly the way the paper's real-world
+// clone pairs do, and the whole suite is reproducible bit for bit.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+)
+
+// FuncSpec is a deterministic recipe for one generated function. Two specs
+// sharing Seed and structure parameters but differing in Scalar, ConstSalt,
+// Guard, DropMod or ReorderParams produce structurally aligned variants.
+type FuncSpec struct {
+	// Name of the generated function.
+	Name string
+	// Seed drives all structural randomness of the template.
+	Seed int64
+	// Scalar is the payload scalar type (i32/i64/f32/f64).
+	Scalar *ir.Type
+	// NumParams is the number of parameters (at least 1).
+	NumParams int
+	// Regions is the number of structured control-flow regions.
+	Regions int
+	// OpsPerBlock is the straight-line operation budget per block.
+	OpsPerBlock int
+	// ConstSalt perturbs constants without changing structure.
+	ConstSalt int64
+	// Guard adds an early-exit block at the entry (CFG variant).
+	Guard bool
+	// ReorderParams rotates the parameter list by one position.
+	ReorderParams bool
+	// DropMod, when positive, drops roughly 1/DropMod of the operations
+	// (insertion/deletion variant).
+	DropMod int
+	// Internal marks the function as module-private.
+	Internal bool
+	// VoidRet forces a void return type.
+	VoidRet bool
+}
+
+// RegisterIntrinsics installs deterministic interpreter implementations of
+// the externs declared by Externs.
+func RegisterIntrinsics(mc *interp.Machine) {
+	mc.Register("ext_i64", func(_ *interp.Machine, args []interp.Word) (interp.Word, error) {
+		return args[0]*2 + 1, nil
+	})
+	mc.Register("ext_f64", func(_ *interp.Machine, args []interp.Word) (interp.Word, error) {
+		return interp.F64(interp.ToF64(args[0])*1.5 + 0.25), nil
+	})
+	mc.Register("sink_i64", func(_ *interp.Machine, args []interp.Word) (interp.Word, error) {
+		return 0, nil
+	})
+}
+
+// Externs returns the external declarations generated modules rely on.
+// Callers running modules under the interpreter must register matching
+// intrinsics (interp.RegisterDefaultIntrinsics covers them).
+func Externs(m *ir.Module) {
+	if m.FuncByName("ext_i64") == nil {
+		m.AddFunc(ir.NewFunc("ext_i64", ir.FuncOf(ir.I64(), ir.I64())))
+	}
+	if m.FuncByName("ext_f64") == nil {
+		m.AddFunc(ir.NewFunc("ext_f64", ir.FuncOf(ir.F64(), ir.F64())))
+	}
+	if m.FuncByName("sink_i64") == nil {
+		m.AddFunc(ir.NewFunc("sink_i64", ir.FuncOf(ir.Void(), ir.I64())))
+	}
+}
+
+// Generate emits the function described by spec into m.
+func Generate(m *ir.Module, spec FuncSpec) *ir.Func {
+	Externs(m)
+	g := &bodyGen{
+		mod:  m,
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+	}
+	return g.run()
+}
+
+// bodyGen carries the state of one function's generation.
+type bodyGen struct {
+	mod  *ir.Module
+	spec FuncSpec
+	rng  *rand.Rand
+
+	fn  *ir.Func
+	bd  *ir.Builder
+	cur *ir.Block
+
+	// slots are entry-block allocas used for cross-region dataflow, in the
+	// φ-demoted style the merger expects.
+	slotI *ir.Inst // i64 accumulator
+	slotS *ir.Inst // scalar accumulator
+	arr   *ir.Inst // [16 x i64] scratch array
+
+	// pool holds values available in the current block, by type.
+	pool map[*ir.Type][]ir.Value
+
+	opIndex int // counts generated ops for DropMod decisions
+	blockID int
+}
+
+func (g *bodyGen) scalar() *ir.Type { return g.spec.Scalar }
+
+// paramTypes derives the deterministic parameter list.
+func (g *bodyGen) paramTypes() []*ir.Type {
+	base := []*ir.Type{g.scalar(), ir.I64(), ir.PointerTo(ir.I64())}
+	var types []*ir.Type
+	for i := 0; i < g.spec.NumParams; i++ {
+		types = append(types, base[i%len(base)])
+	}
+	if g.spec.ReorderParams && len(types) > 1 {
+		types = append(types[1:], types[0])
+	}
+	return types
+}
+
+func (g *bodyGen) run() *ir.Func {
+	ret := ir.I64()
+	if g.spec.VoidRet {
+		ret = ir.Void()
+	}
+	sig := ir.FuncOf(ret, g.paramTypes()...)
+	g.fn = g.mod.NewFuncIn(g.mod.UniqueName(g.spec.Name), sig)
+	if g.spec.Internal {
+		g.fn.Linkage = ir.InternalLinkage
+	}
+	for i, p := range g.fn.Params {
+		p.SetName(fmt.Sprintf("p%d", i))
+	}
+
+	entry := g.fn.NewBlockIn("entry")
+	g.bd = ir.NewBuilder(entry)
+	g.cur = entry
+
+	// Entry allocas and initial stores (φ-demoted style).
+	g.slotI = g.bd.Alloca(ir.I64())
+	g.slotS = g.bd.Alloca(g.scalar())
+	g.arr = g.bd.Alloca(ir.ArrayOf(16, ir.I64()))
+	g.bd.Store(g.seedI64(), g.slotI)
+	g.bd.Store(g.seedScalar(), g.slotS)
+
+	if g.spec.Guard {
+		g.emitGuard()
+	}
+
+	g.resetPool()
+	for r := 0; r < g.spec.Regions; r++ {
+		switch g.rng.Intn(3) {
+		case 0:
+			g.emitStraight()
+		case 1:
+			g.emitDiamond()
+		case 2:
+			g.emitLoop()
+		}
+	}
+
+	// Final block: combine accumulators and return.
+	acc := g.bd.Load(g.slotI)
+	if g.spec.VoidRet {
+		sink := g.mod.FuncByName("sink_i64")
+		g.bd.Call(sink, acc)
+		g.bd.Ret(nil)
+	} else {
+		sv := g.bd.Load(g.slotS)
+		si := g.toI64(sv)
+		sum := g.bd.Add(acc, si)
+		g.bd.Ret(sum)
+	}
+	return g.fn
+}
+
+// seedI64 returns the first available i64 seed value (an i64 parameter or a
+// salted constant).
+func (g *bodyGen) seedI64() ir.Value {
+	for _, p := range g.fn.Params {
+		if p.Type() == ir.I64() {
+			return p
+		}
+	}
+	return ir.NewConstInt(ir.I64(), 17+g.spec.ConstSalt)
+}
+
+// seedScalar returns a scalar-typed seed value.
+func (g *bodyGen) seedScalar() ir.Value {
+	for _, p := range g.fn.Params {
+		if p.Type() == g.scalar() {
+			return p
+		}
+	}
+	return g.constScalar(3)
+}
+
+func (g *bodyGen) constScalar(base int64) ir.Value {
+	v := base + g.spec.ConstSalt
+	if g.scalar().IsFloat() {
+		return ir.NewConstFloat(g.scalar(), float64(v)+0.5)
+	}
+	return ir.NewConstInt(g.scalar(), v)
+}
+
+// toI64 widens or reinterprets a scalar value to i64.
+func (g *bodyGen) toI64(v ir.Value) ir.Value {
+	t := v.Type()
+	switch {
+	case t == ir.I64():
+		return v
+	case t.IsInt():
+		return g.bd.Cast(ir.OpZExt, v, ir.I64())
+	case t == ir.F64():
+		return g.bd.Cast(ir.OpBitCast, v, ir.I64())
+	case t == ir.F32():
+		i32 := g.bd.Cast(ir.OpBitCast, v, ir.I32())
+		return g.bd.Cast(ir.OpZExt, i32, ir.I64())
+	default:
+		return ir.NewConstInt(ir.I64(), 0)
+	}
+}
+
+// emitGuard inserts an early-exit block: if the i64 seed equals a sentinel,
+// return immediately (the Fig. 2 shape).
+func (g *bodyGen) emitGuard() {
+	seed := g.bd.Load(g.slotI)
+	cmp := g.bd.ICmp(ir.PredEQ, seed, ir.NewConstInt(ir.I64(), -9999))
+	earlyB := g.fn.NewBlockIn(fmt.Sprintf("early%d", g.blockID))
+	contB := g.fn.NewBlockIn(fmt.Sprintf("cont%d", g.blockID))
+	g.blockID++
+	g.bd.CondBr(cmp, earlyB, contB)
+	g.bd.SetBlock(earlyB)
+	if g.spec.VoidRet {
+		g.bd.Ret(nil)
+	} else {
+		g.bd.Ret(ir.NewConstInt(ir.I64(), 0))
+	}
+	g.bd.SetBlock(contB)
+	g.cur = contB
+}
+
+// resetPool clears per-block available values (cross-block dataflow goes
+// through the slots, keeping the generated code φ-demotion-shaped).
+func (g *bodyGen) resetPool() {
+	g.pool = map[*ir.Type][]ir.Value{}
+	for _, p := range g.fn.Params {
+		g.addPool(p)
+	}
+}
+
+func (g *bodyGen) addPool(v ir.Value) {
+	t := v.Type()
+	g.pool[t] = append(g.pool[t], v)
+}
+
+// pick returns a pool value of type t, or a fresh constant.
+func (g *bodyGen) pick(t *ir.Type) ir.Value {
+	vs := g.pool[t]
+	if len(vs) > 0 && g.rng.Intn(4) != 0 {
+		return vs[g.rng.Intn(len(vs))]
+	}
+	switch {
+	case t.IsInt():
+		return ir.NewConstInt(t, int64(g.rng.Intn(90)+1)+g.spec.ConstSalt)
+	case t.IsFloat():
+		return ir.NewConstFloat(t, float64(g.rng.Intn(50)+1)/4+float64(g.spec.ConstSalt))
+	default:
+		if len(vs) > 0 {
+			return vs[g.rng.Intn(len(vs))]
+		}
+		return ir.NewConstNull(t)
+	}
+}
+
+// dropOp decides whether the current operation should be skipped in this
+// variant. The RNG consumption happens regardless, keeping variants aligned.
+func (g *bodyGen) dropOp() bool {
+	g.opIndex++
+	if g.spec.DropMod <= 0 {
+		return false
+	}
+	return (g.opIndex*2654435761)%g.spec.DropMod == 0
+}
+
+// emitOps generates the straight-line operation mix of one block.
+func (g *bodyGen) emitOps(n int) {
+	for i := 0; i < n; i++ {
+		kind := g.rng.Intn(100)
+		drop := g.dropOp()
+		switch {
+		case kind < 30:
+			g.opIntArith(drop)
+		case kind < 45:
+			g.opScalarArith(drop)
+		case kind < 55:
+			g.opCmpSelect(drop)
+		case kind < 70:
+			g.opSlotUpdate(drop)
+		case kind < 85:
+			g.opArray(drop)
+		case kind < 93:
+			g.opCast(drop)
+		default:
+			g.opCall(drop)
+		}
+	}
+}
+
+func (g *bodyGen) opIntArith(drop bool) {
+	ops := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr}
+	op := ops[g.rng.Intn(len(ops))]
+	a := g.pick(ir.I64())
+	b := g.pick(ir.I64())
+	if drop {
+		return
+	}
+	if op == ir.OpShl || op == ir.OpLShr {
+		b = ir.NewConstInt(ir.I64(), int64(g.rng.Intn(8)))
+	}
+	g.addPool(g.bd.Binary(op, a, b))
+}
+
+func (g *bodyGen) opScalarArith(drop bool) {
+	t := g.scalar()
+	a := g.pick(t)
+	b := g.pick(t)
+	var op ir.Opcode
+	if t.IsFloat() {
+		ops := []ir.Opcode{ir.OpFAdd, ir.OpFSub, ir.OpFMul}
+		op = ops[g.rng.Intn(len(ops))]
+	} else {
+		ops := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul}
+		op = ops[g.rng.Intn(len(ops))]
+	}
+	if drop {
+		return
+	}
+	g.addPool(g.bd.Binary(op, a, b))
+}
+
+func (g *bodyGen) opCmpSelect(drop bool) {
+	a := g.pick(ir.I64())
+	b := g.pick(ir.I64())
+	preds := []ir.CmpPred{ir.PredSLT, ir.PredSGT, ir.PredEQ, ir.PredULE}
+	pred := preds[g.rng.Intn(len(preds))]
+	if drop {
+		return
+	}
+	c := g.bd.ICmp(pred, a, b)
+	x := g.pick(ir.I64())
+	y := g.pick(ir.I64())
+	g.addPool(g.bd.Select(c, x, y))
+}
+
+func (g *bodyGen) opSlotUpdate(drop bool) {
+	if g.rng.Intn(2) == 0 {
+		v := g.pick(ir.I64())
+		if drop {
+			return
+		}
+		old := g.bd.Load(g.slotI)
+		sum := g.bd.Add(old, v)
+		g.bd.Store(sum, g.slotI)
+		g.addPool(sum)
+	} else {
+		t := g.scalar()
+		v := g.pick(t)
+		if drop {
+			return
+		}
+		old := g.bd.Load(g.slotS)
+		var upd *ir.Inst
+		if t.IsFloat() {
+			upd = g.bd.Binary(ir.OpFAdd, old, v)
+		} else {
+			upd = g.bd.Binary(ir.OpAdd, old, v)
+		}
+		g.bd.Store(upd, g.slotS)
+		g.addPool(upd)
+	}
+}
+
+func (g *bodyGen) opArray(drop bool) {
+	idx := g.rng.Intn(16)
+	write := g.rng.Intn(2) == 0
+	v := g.pick(ir.I64())
+	if drop {
+		return
+	}
+	p := g.bd.GEP(g.arr, ir.NewConstInt(ir.I64(), 0), ir.NewConstInt(ir.I64(), int64(idx)))
+	if write {
+		g.bd.Store(v, p)
+	} else {
+		g.addPool(g.bd.Load(p))
+	}
+}
+
+func (g *bodyGen) opCast(drop bool) {
+	v := g.pick(ir.I64())
+	choice := g.rng.Intn(3)
+	if drop {
+		return
+	}
+	switch choice {
+	case 0:
+		g.addPool(g.bd.Cast(ir.OpTrunc, v, ir.I32()))
+	case 1:
+		tr := g.bd.Cast(ir.OpTrunc, v, ir.I32()) // keep i64 dominant
+		g.addPool(g.bd.Cast(ir.OpSExt, tr, ir.I64()))
+	case 2:
+		g.addPool(g.bd.Cast(ir.OpSIToFP, v, ir.F64()))
+	}
+}
+
+func (g *bodyGen) opCall(drop bool) {
+	v := g.pick(ir.I64())
+	if drop {
+		return
+	}
+	ext := g.mod.FuncByName("ext_i64")
+	g.addPool(g.bd.Call(ext, v))
+}
+
+// newBlock starts a new block, resetting the per-block value pool.
+func (g *bodyGen) newBlock(prefix string) *ir.Block {
+	b := g.fn.NewBlockIn(fmt.Sprintf("%s%d", prefix, g.blockID))
+	g.blockID++
+	return b
+}
+
+func (g *bodyGen) emitStraight() {
+	next := g.newBlock("s")
+	g.bd.Br(next)
+	g.bd.SetBlock(next)
+	g.cur = next
+	g.resetPool()
+	g.emitOps(g.spec.OpsPerBlock)
+}
+
+func (g *bodyGen) emitDiamond() {
+	v := g.bd.Load(g.slotI)
+	bit := ir.NewConstInt(ir.I64(), int64(g.rng.Intn(8)))
+	masked := g.bd.Binary(ir.OpAnd, g.bd.Binary(ir.OpLShr, v, bit), ir.NewConstInt(ir.I64(), 1))
+	c := g.bd.ICmp(ir.PredNE, masked, ir.NewConstInt(ir.I64(), 0))
+	thenB := g.newBlock("then")
+	elseB := g.newBlock("else")
+	joinB := g.newBlock("join")
+	g.bd.CondBr(c, thenB, elseB)
+
+	g.bd.SetBlock(thenB)
+	g.cur = thenB
+	g.resetPool()
+	g.emitOps(g.spec.OpsPerBlock / 2)
+	g.bd.Br(joinB)
+
+	g.bd.SetBlock(elseB)
+	g.cur = elseB
+	g.resetPool()
+	g.emitOps(g.spec.OpsPerBlock / 2)
+	g.bd.Br(joinB)
+
+	g.bd.SetBlock(joinB)
+	g.cur = joinB
+	g.resetPool()
+}
+
+func (g *bodyGen) emitLoop() {
+	n := int64(g.rng.Intn(12) + 2)
+	ctr := g.bd.Alloca(ir.I64())
+	g.bd.Store(ir.NewConstInt(ir.I64(), 0), ctr)
+	head := g.newBlock("head")
+	body := g.newBlock("body")
+	exit := g.newBlock("exit")
+	g.bd.Br(head)
+
+	g.bd.SetBlock(head)
+	iv := g.bd.Load(ctr)
+	c := g.bd.ICmp(ir.PredSLT, iv, ir.NewConstInt(ir.I64(), n))
+	g.bd.CondBr(c, body, exit)
+
+	g.bd.SetBlock(body)
+	g.cur = body
+	g.resetPool()
+	iv2 := g.bd.Load(ctr) // reload the counter: φ-demoted loop style
+	g.addPool(iv2)
+	g.emitOps(g.spec.OpsPerBlock)
+	next := g.bd.Add(iv2, ir.NewConstInt(ir.I64(), 1))
+	g.bd.Store(next, ctr)
+	g.bd.Br(head)
+
+	g.bd.SetBlock(exit)
+	g.cur = exit
+	g.resetPool()
+}

@@ -1,0 +1,79 @@
+package fmsa_test
+
+// Facade-level semantic property: Optimize never changes what the program
+// computes, for any technique, threshold and target, across randomized
+// clone-rich modules.
+
+import (
+	"testing"
+
+	"fmsa"
+
+	"fmsa/internal/interp"
+	"fmsa/internal/workload"
+)
+
+func runDriver(t *testing.T, m *fmsa.Module) uint64 {
+	t.Helper()
+	mc := fmsa.NewMachine(m)
+	workload.RegisterIntrinsics(mc)
+	v, err := mc.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestOptimizePreservesSemanticsProperty(t *testing.T) {
+	configs := []fmsa.Options{
+		{Technique: fmsa.TechniqueIdentical},
+		{Technique: fmsa.TechniqueSOA},
+		{Technique: fmsa.TechniqueFMSA, Threshold: 1},
+		{Technique: fmsa.TechniqueFMSA, Threshold: 5, Target: "thumb"},
+		{Technique: fmsa.TechniqueFMSA, Threshold: 3, Oracle: true},
+	}
+	for seed := int64(100); seed < 106; seed++ {
+		p := workload.Profile{
+			Name: "prop", NumFuncs: 18, AvgSize: 26, MaxSize: 90,
+			Identical: 0.12, ConstVar: 0.06, TypeVar: 0.12, CFGVar: 0.1, Partial: 0.08,
+			InternalFrac: 0.65, Seed: seed,
+		}
+		want := runDriver(t, workload.Build(p))
+		for _, cfg := range configs {
+			m := workload.Build(p)
+			rep, err := fmsa.Optimize(m, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %+v: %v", seed, cfg, err)
+			}
+			if err := fmsa.Verify(m); err != nil {
+				t.Fatalf("seed %d %+v: verify: %v", seed, cfg, err)
+			}
+			if got := runDriver(t, m); got != want {
+				t.Fatalf("seed %d %+v: output changed %d -> %d (%d merges)",
+					seed, cfg, want, got, rep.MergeOps)
+			}
+		}
+	}
+}
+
+// TestInterpDeterminism pins that repeated runs of the same module produce
+// identical dynamic statistics (the basis of the Fig. 14 measurements).
+func TestInterpDeterminism(t *testing.T) {
+	p := workload.Profile{
+		Name: "det", NumFuncs: 10, AvgSize: 24, MaxSize: 70,
+		TypeVar: 0.2, InternalFrac: 0.5, Seed: 8,
+	}
+	stats := func() interp.Stats {
+		m := workload.Build(p)
+		mc := fmsa.NewMachine(m)
+		workload.RegisterIntrinsics(mc)
+		if _, err := mc.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+		return mc.Stats()
+	}
+	a, b := stats(), stats()
+	if a != b {
+		t.Errorf("dynamic stats differ across identical runs: %+v vs %+v", a, b)
+	}
+}
