@@ -6,14 +6,23 @@
 //	fmsa-bench -exp all -csv results/
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
-// ablation, hotexclusion, all.
+// ablation, hotexclusion, perf, all.
+//
+// The perf experiment measures the exploration pipeline itself (serial vs
+// parallel) and emits one machine-readable JSON line per configuration —
+// ns/op, merges/s and the per-phase breakdown — for tracking the
+// performance trajectory across revisions:
+//
+//	fmsa-bench -exp perf -workers 8 -json BENCH_explore.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"fmsa/internal/experiments"
 	"fmsa/internal/tti"
@@ -22,10 +31,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run")
-		target  = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
-		csvDir  = flag.String("csv", "", "also write CSV files to this directory")
-		quickly = flag.Bool("quick", false, "subsample the suites for a fast smoke run")
+		exp      = flag.String("exp", "all", "experiment to run")
+		target   = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
+		csvDir   = flag.String("csv", "", "also write CSV files to this directory")
+		quickly  = flag.Bool("quick", false, "subsample the suites for a fast smoke run")
+		workers  = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores)")
+		jsonPath = flag.String("json", "", "append perf-experiment JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -154,9 +165,43 @@ func main() {
 		fmt.Print(experiments.FormatSizeTable(rows, experiments.TechNames(techs)))
 	}
 
+	if run("perf") {
+		ran = true
+		section("Exploration pipeline performance: serial vs parallel (t=10)")
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		serial := experiments.Perf(spec, tgt, 10, 1, 1)
+		emitPerf(serial, *jsonPath)
+		if w > 1 {
+			par := experiments.Perf(spec, tgt, 10, w, 1)
+			if par.NsPerOp > 0 {
+				par.SpeedupVsSerial = float64(serial.NsPerOp) / float64(par.NsPerOp)
+			}
+			emitPerf(par, *jsonPath)
+		}
+	}
+
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+}
+
+// emitPerf prints one machine-readable JSON line and optionally appends it
+// to path (the BENCH_*.json trajectory file).
+func emitPerf(r experiments.PerfResult, path string) {
+	line, err := json.Marshal(r)
+	fatalIf(err)
+	fmt.Println(string(line))
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	fatalIf(err)
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	fatalIf(err)
 }
 
 func subsample(ps []workload.Profile) []workload.Profile {

@@ -30,6 +30,7 @@ func main() {
 		threshold = flag.Int("threshold", 1, "FMSA exploration threshold (t)")
 		target    = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
 		oracle    = flag.Bool("oracle", false, "use exhaustive (oracle) exploration")
+		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores; results are identical for any value)")
 		mergePair = flag.String("merge", "", "merge exactly this comma-separated function pair")
 		out       = flag.String("o", "", "write the optimized module to this file (default: stdout)")
 		quiet     = flag.Bool("q", false, "suppress the statistics report")
@@ -86,6 +87,7 @@ func main() {
 		Threshold: *threshold,
 		Target:    *target,
 		Oracle:    *oracle,
+		Workers:   *workers,
 	})
 	fatal(err)
 	fatal(fmsa.Verify(mod))

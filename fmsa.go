@@ -105,6 +105,11 @@ type Options struct {
 	// MaxHotness, when positive, excludes functions with a higher profile
 	// weight from merging (profile-guided mode, §V-D).
 	MaxHotness uint64
+	// Workers bounds the goroutines used by FMSA's exploration pipeline
+	// (fingerprinting, ranking, speculative candidate evaluation). Zero
+	// uses all available cores; one runs fully serial. The optimized
+	// module and the report are identical for every value.
+	Workers int
 }
 
 // Optimize runs a whole-module function-merging pipeline in place and
@@ -133,6 +138,7 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		}
 		eopts.Oracle = opts.Oracle
 		eopts.MaxHotness = opts.MaxHotness
+		eopts.Workers = opts.Workers
 		rep.Add(explore.Run(m, eopts))
 		return rep, nil
 	default:

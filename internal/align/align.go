@@ -101,12 +101,16 @@ func NeedlemanWunsch(n, m int, eq EqFunc, sc Scoring) []Step {
 		return steps
 	}
 
-	// Rolling score rows plus a full direction matrix for traceback.
-	prev := make([]int32, m+1)
-	cur := make([]int32, m+1)
-	dirs := make([]byte, (n+1)*(m+1))
+	// Rolling score rows plus a full direction matrix for traceback, all
+	// recycled scratch. Every cell the traceback can reach is written below
+	// — dirs[at(0,0)] is the only unwritten cell, and the traceback stops
+	// before reading it — so stale pooled contents are harmless.
+	prev := getInt32(m + 1)
+	cur := getInt32(m + 1)
+	dirs := getBytes((n + 1) * (m + 1))
 	at := func(i, j int) int { return i*(m+1) + j }
 
+	prev[0] = 0
 	for j := 1; j <= m; j++ {
 		prev[j] = int32(j * sc.Gap)
 		dirs[at(0, j)] = dirLeft
@@ -160,6 +164,9 @@ func NeedlemanWunsch(n, m int, eq EqFunc, sc Scoring) []Step {
 			panic("align: corrupt traceback")
 		}
 	}
+	putInt32(prev)
+	putInt32(cur)
+	putBytes(dirs)
 	// Reverse in place.
 	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
 		rev[a], rev[b] = rev[b], rev[a]

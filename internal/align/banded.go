@@ -40,9 +40,13 @@ func Banded(n, m int, eq EqFunc, sc Scoring, band int) []Step {
 	const negInf = int32(-1 << 29)
 	width := 2*band + 1
 	// score[i][k] holds the score of cell (i, j) with j = i - band + k,
-	// clipped to valid j.
-	score := make([]int32, (n+1)*width)
-	dirs := make([]byte, (n+1)*width)
+	// clipped to valid j. Both matrices are recycled scratch: score is
+	// explicitly initialized to negInf below, and dirs cells are only read
+	// at cells the traceback reaches — all of which were written, because
+	// unwritten cells keep score negInf and negInf cells are never chosen
+	// as predecessors.
+	score := getInt32((n + 1) * width)
+	dirs := getBytes((n + 1) * width)
 	at := func(i, k int) int { return i*width + k }
 	jOf := func(i, k int) int { return i - band + k }
 	kOf := func(i, j int) int { return j - i + band }
@@ -131,6 +135,8 @@ func Banded(n, m int, eq EqFunc, sc Scoring, band int) []Step {
 			panic("align: corrupt banded traceback")
 		}
 	}
+	putInt32(score)
+	putBytes(dirs)
 	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
 		rev[a], rev[b] = rev[b], rev[a]
 	}

@@ -32,13 +32,17 @@ func Gotoh(n, m int, eq EqFunc, sc AffineScoring) []Step {
 	// M[i][j]: best score ending in a match/mismatch column.
 	// X[i][j]: best score ending in a gap in B (consuming A[i-1]).
 	// Y[i][j]: best score ending in a gap in A (consuming B[j-1]).
-	M := make([]int32, (n+1)*w)
-	X := make([]int32, (n+1)*w)
-	Y := make([]int32, (n+1)*w)
+	// All six matrices are recycled scratch: the score matrices are fully
+	// written (borders in the init loops, the rest in the DP loop), and the
+	// traceback never reads the unwritten border cells of tbM because no
+	// optimal path enters a negInf score cell.
+	M := getInt32((n + 1) * w)
+	X := getInt32((n + 1) * w)
+	Y := getInt32((n + 1) * w)
 	// Traceback: for each matrix, where did the value come from.
-	tbM := make([]byte, (n+1)*w) // 1=M, 2=X, 3=Y (diagonal predecessor)
-	tbX := make([]byte, (n+1)*w) // 1=M-open, 2=X-extend
-	tbY := make([]byte, (n+1)*w) // 1=M-open, 3=Y-extend
+	tbM := getBytes((n + 1) * w) // 1=M, 2=X, 3=Y (diagonal predecessor)
+	tbX := getBytes((n + 1) * w) // 1=M-open, 2=X-extend
+	tbY := getBytes((n + 1) * w) // 1=M-open, 3=Y-extend
 	at := func(i, j int) int { return i*w + j }
 
 	open := int32(sc.GapOpen + sc.GapExtend)
@@ -136,6 +140,12 @@ func Gotoh(n, m int, eq EqFunc, sc AffineScoring) []Step {
 			panic("align: corrupt gotoh traceback")
 		}
 	}
+	putInt32(M)
+	putInt32(X)
+	putInt32(Y)
+	putBytes(tbM)
+	putBytes(tbX)
+	putBytes(tbY)
 	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
 		rev[a], rev[b] = rev[b], rev[a]
 	}

@@ -53,17 +53,22 @@ func hirschRec(aLo, aHi, bLo, bHi int, eq EqFunc, sc Scoring, out *[]Step) {
 			best, bestJ = s, j
 		}
 	}
+	putInt32(scoreL)
+	putInt32(scoreR)
 	hirschRec(aLo, mid, bLo, bLo+bestJ, eq, sc, out)
 	hirschRec(mid, aHi, bLo+bestJ, bHi, eq, sc, out)
 }
 
 // nwLastRow computes the final row of the NW score matrix for
 // A[aLo:aHi] × B[bLo:bHi]. When rev is true, both ranges are processed in
-// reverse (suffix alignment scores).
+// reverse (suffix alignment scores). The returned row is pooled scratch —
+// the caller passes it to putInt32 when done; the second scratch row is
+// recycled here.
 func nwLastRow(aLo, aHi, bLo, bHi int, eq EqFunc, sc Scoring, rev bool) []int32 {
 	n, m := aHi-aLo, bHi-bLo
-	prev := make([]int32, m+1)
-	cur := make([]int32, m+1)
+	prev := getInt32(m + 1)
+	cur := getInt32(m + 1)
+	prev[0] = 0
 	for j := 1; j <= m; j++ {
 		prev[j] = int32(j * sc.Gap)
 	}
@@ -91,6 +96,7 @@ func nwLastRow(aLo, aHi, bLo, bHi int, eq EqFunc, sc Scoring, rev bool) []int32 
 		}
 		prev, cur = cur, prev
 	}
+	putInt32(cur)
 	return prev
 }
 

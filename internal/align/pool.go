@@ -1,0 +1,51 @@
+package align
+
+import "sync"
+
+// Whole-module exploration runs thousands of merge attempts, and every
+// attempt allocates dynamic-programming scratch proportional to the product
+// (or sum) of the sequence lengths. The pools below recycle that scratch
+// across attempts — and across the goroutines of a parallel evaluation wave.
+//
+// Pooled buffers come back dirty: each algorithm explicitly writes every
+// cell it will later read (see the prev[0] and border initializations in
+// the DP loops) instead of relying on make() zeroing. SmithWaterman is the
+// one algorithm whose recurrence depends on an all-zero initial matrix; it
+// is used only by the alignment ablation, so it keeps plain allocation.
+var (
+	i32Pool  sync.Pool // *[]int32
+	bytePool sync.Pool // *[]byte
+)
+
+// getInt32 returns an int32 scratch slice of length n with arbitrary
+// contents.
+func getInt32(n int) []int32 {
+	if p, ok := i32Pool.Get().(*[]int32); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int32, n)
+}
+
+// putInt32 recycles a slice obtained from getInt32.
+func putInt32(s []int32) {
+	if cap(s) == 0 {
+		return
+	}
+	i32Pool.Put(&s)
+}
+
+// getBytes returns a byte scratch slice of length n with arbitrary contents.
+func getBytes(n int) []byte {
+	if p, ok := bytePool.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+// putBytes recycles a slice obtained from getBytes.
+func putBytes(s []byte) {
+	if cap(s) == 0 {
+		return
+	}
+	bytePool.Put(&s)
+}

@@ -64,12 +64,13 @@ func Merge(f1, f2 *ir.Func, opts Options) (*Result, error) {
 		opts.Align = align.Align
 	}
 
-	// Step 1: linearization (§III-B).
+	// Step 1: linearization (§III-B). The sequences are scratch: they are
+	// recycled through the package pool once code generation is done.
 	tLin := time.Now()
 	seq1 := linearize.LinearizeOrder(f1, opts.Order)
 	seq2 := linearize.LinearizeOrder(f2, opts.Order)
 	if opts.Timings != nil {
-		opts.Timings.Linearize += time.Since(tLin)
+		opts.Timings.AddLinearize(time.Since(tLin))
 	}
 
 	// Step 2: sequence alignment (§III-C). Mismatch columns are decomposed
@@ -81,18 +82,21 @@ func Merge(f1, f2 *ir.Func, opts Options) (*Result, error) {
 	steps = align.DecomposeMismatches(steps)
 	steps = normalizePads(steps, seq1, seq2)
 	if opts.Timings != nil {
-		opts.Timings.Align += time.Since(tAlign)
+		opts.Timings.AddAlign(time.Since(tAlign))
 	}
 	tGen := time.Now()
 	defer func() {
 		if opts.Timings != nil {
-			opts.Timings.CodeGen += time.Since(tGen)
+			opts.Timings.AddCodeGen(time.Since(tGen))
 		}
 	}()
 
 	// Step 3: code generation (§III-E).
 	plan := buildParamPlan(f1, f2, seq1, seq2, steps, opts.ReuseParams)
-	return generate(f1, f2, seq1, seq2, steps, plan, retTy, opts)
+	res, err := generate(f1, f2, seq1, seq2, steps, plan, retTy, opts)
+	linearize.Recycle(seq1)
+	linearize.Recycle(seq2)
+	return res, err
 }
 
 // generate runs code generation with a panic boundary: an internal

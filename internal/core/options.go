@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"fmsa/internal/align"
@@ -9,10 +10,32 @@ import (
 
 // Timings accumulates wall-clock time per merge phase, feeding the Fig. 13
 // compile-time breakdown.
+//
+// Concurrency contract: one Timings value may be shared by any number of
+// concurrent Merge calls — Merge only ever accumulates through the atomic
+// Add* methods. Reading the fields directly is safe only once every merge
+// sharing the value has returned (the exploration framework reads them once,
+// after its final commit). Under parallel exploration the fields sum CPU
+// time across workers, so per-phase totals can exceed wall-clock time.
 type Timings struct {
 	Linearize time.Duration
 	Align     time.Duration
 	CodeGen   time.Duration
+}
+
+// AddLinearize atomically accumulates linearization time.
+func (t *Timings) AddLinearize(d time.Duration) {
+	atomic.AddInt64((*int64)(&t.Linearize), int64(d))
+}
+
+// AddAlign atomically accumulates alignment time.
+func (t *Timings) AddAlign(d time.Duration) {
+	atomic.AddInt64((*int64)(&t.Align), int64(d))
+}
+
+// AddCodeGen atomically accumulates code-generation time.
+func (t *Timings) AddCodeGen(d time.Duration) {
+	atomic.AddInt64((*int64)(&t.CodeGen), int64(d))
 }
 
 // AlignFunc is the signature of a pairwise global-alignment algorithm.

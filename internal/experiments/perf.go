@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+// PerfResult is the machine-readable summary of one exploration performance
+// measurement, serialized as a JSON line by cmd/fmsa-bench -exp perf so the
+// performance trajectory can be tracked across revisions (BENCH_*.json).
+type PerfResult struct {
+	// Suite names the workload suite measured.
+	Suite string `json:"suite"`
+	// Workers is the exploration worker-pool size (1 = serial).
+	Workers int `json:"workers"`
+	// Threshold is the exploration threshold t.
+	Threshold int `json:"threshold"`
+	// Runs is how many times the whole suite was explored.
+	Runs int `json:"runs"`
+	// MergeOps and CandidatesEvaluated sum over one pass of the suite.
+	MergeOps            int `json:"merge_ops"`
+	CandidatesEvaluated int `json:"candidates_evaluated"`
+	// NsPerOp is wall-clock nanoseconds per suite exploration pass.
+	NsPerOp int64 `json:"ns_per_op"`
+	// MergesPerSec is committed merges per wall-clock second.
+	MergesPerSec float64 `json:"merges_per_sec"`
+	// PhaseNs breaks one pass down by pipeline phase. Fingerprint, Ranking
+	// and UpdateCalls are wall-clock; Linearize, Align and CodeGen sum
+	// per-attempt time across workers.
+	PhaseNs map[string]int64 `json:"phase_ns"`
+	// SpeedupVsSerial is the serial wall-clock divided by this
+	// configuration's wall-clock (0 when no serial baseline was measured).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// Perf measures whole-suite exploration at the given worker count: modules
+// are rebuilt outside the timed region, so NsPerOp isolates the exploration
+// pipeline itself. workers <= 0 selects GOMAXPROCS.
+func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, runs int) PerfResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	res := PerfResult{
+		Suite:   suiteName(profiles),
+		Workers: workers, Threshold: threshold, Runs: runs,
+		PhaseNs: map[string]int64{},
+	}
+	var wall time.Duration
+	var phases explore.Phases
+	for r := 0; r < runs; r++ {
+		mods := make([]*ir.Module, len(profiles))
+		for i, p := range profiles {
+			mods[i] = workload.Build(p)
+		}
+		start := time.Now()
+		ops, cands := 0, 0
+		for _, m := range mods {
+			opts := explore.DefaultOptions()
+			opts.Threshold = threshold
+			opts.Target = target
+			opts.Workers = workers
+			rep := explore.Run(m, opts)
+			ops += rep.MergeOps
+			cands += rep.CandidatesEvaluated
+			phases.Fingerprint += rep.Phases.Fingerprint
+			phases.Ranking += rep.Phases.Ranking
+			phases.Linearize += rep.Phases.Linearize
+			phases.Align += rep.Phases.Align
+			phases.CodeGen += rep.Phases.CodeGen
+			phases.UpdateCalls += rep.Phases.UpdateCalls
+		}
+		wall += time.Since(start)
+		res.MergeOps, res.CandidatesEvaluated = ops, cands
+	}
+	res.NsPerOp = wall.Nanoseconds() / int64(runs)
+	if wall > 0 {
+		res.MergesPerSec = float64(res.MergeOps*runs) / wall.Seconds()
+	}
+	res.PhaseNs["fingerprint"] = phases.Fingerprint.Nanoseconds() / int64(runs)
+	res.PhaseNs["ranking"] = phases.Ranking.Nanoseconds() / int64(runs)
+	res.PhaseNs["linearize"] = phases.Linearize.Nanoseconds() / int64(runs)
+	res.PhaseNs["align"] = phases.Align.Nanoseconds() / int64(runs)
+	res.PhaseNs["codegen"] = phases.CodeGen.Nanoseconds() / int64(runs)
+	res.PhaseNs["update_calls"] = phases.UpdateCalls.Nanoseconds() / int64(runs)
+	return res
+}
+
+func suiteName(profiles []workload.Profile) string {
+	if len(profiles) == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("%s+%d", profiles[0].Name, len(profiles))
+}

@@ -1,0 +1,156 @@
+package explore
+
+import (
+	"fmsa/internal/fingerprint"
+	"fmsa/internal/ir"
+)
+
+// rankCache maintains, for every function awaiting its worklist pop, the
+// top-t candidate list a full pool scan would produce — without performing
+// that scan on every pop. The sequential framework rescanned the whole pool
+// per pop (O(n) each, O(n²) per run); the cache builds all lists once, in
+// parallel, and afterwards touches only the entries a commit actually
+// invalidates:
+//
+//   - the two consumed functions' own lists are dropped (they will never be
+//     popped again);
+//   - lists containing a consumed function are marked dirty — their stored
+//     top-t lost a member, so the true top-t may now admit a pool member
+//     that was never stored — and are rebuilt by one full scan if and when
+//     their owner is popped;
+//   - clean lists receive the merged function as a candidate offer, a
+//     single similarity computation plus a bounded sorted insert.
+//
+// Invariant: a clean list always equals scanTop over the current pool. The
+// ordering (similarity desc, size desc, pool-insertion order asc) is
+// identical to the sequential bounded-insertion scan, so exploration
+// results are bit-for-bit unchanged.
+type rankCache struct {
+	r *runner
+	t int
+	// lists maps each not-yet-popped pool member to its candidate list.
+	// Entries are removed at pop (each function pops at most once) and on
+	// consumption by a commit.
+	lists map[*ir.Func]*rankList
+}
+
+type rankList struct {
+	cands []candidate
+	dirty bool
+}
+
+// newRankCache builds the initial candidate list of every pool member, in
+// parallel across the run's worker pool.
+func newRankCache(r *runner, t int) *rankCache {
+	c := &rankCache{r: r, t: t, lists: make(map[*ir.Func]*rankList, len(r.pool))}
+	built := make([]*rankList, len(r.pool))
+	parallelFor(len(r.pool), r.workers, func(i int) {
+		built[i] = &rankList{cands: c.scanTop(r.pool[i])}
+	})
+	for i, f := range r.pool {
+		c.lists[f] = built[i]
+	}
+	return c
+}
+
+// take returns f's candidate ranking, rebuilding it when a commit left it
+// dirty, and drops it from the cache — a worklist entry is popped at most
+// once, so the list has no further readers.
+func (c *rankCache) take(f *ir.Func) []candidate {
+	rl := c.lists[f]
+	delete(c.lists, f)
+	if rl != nil && !rl.dirty {
+		return rl.cands
+	}
+	return c.scanTop(f)
+}
+
+// applyCommit updates pending rankings after f1 and f2 left the pool and
+// entered (nil when the merged function is ineligible) joined it.
+func (c *rankCache) applyCommit(f1, f2, entered *ir.Func) {
+	delete(c.lists, f1)
+	delete(c.lists, f2)
+	for owner, rl := range c.lists {
+		if rl.dirty {
+			continue
+		}
+		if containsFn(rl.cands, f1) || containsFn(rl.cands, f2) {
+			rl.dirty = true
+			rl.cands = nil
+			continue
+		}
+		if entered != nil {
+			c.offer(owner, rl, entered)
+		}
+	}
+	// The merged function's own ranking is built lazily at its pop: take
+	// finds no cache entry and falls back to a full scan.
+}
+
+// scanTop selects the top-t pool members most similar to f with a bounded
+// insertion scan over the pool in insertion order (the paper's priority
+// queue). Safe for concurrent use against a frozen pool.
+func (c *rankCache) scanTop(f *ir.Func) []candidate {
+	r := c.r
+	fp := r.fps[f]
+	best := make([]candidate, 0, min(c.t, 16)+1)
+	for _, g := range r.pool {
+		if g == f || !r.inPool[g] || !samePartition(r.opts, f, g) {
+			continue
+		}
+		s := fingerprint.Similarity(fp, r.fps[g])
+		if s < r.opts.MinSimilarity {
+			continue
+		}
+		best = insertRanked(best, candidate{fn: g, sim: s, size: r.fps[g].Total}, c.t)
+	}
+	return best
+}
+
+// offer considers g (which just joined the pool, and therefore carries the
+// highest insertion number) as a candidate for owner's clean list. Because
+// the list was the exact top-t before g joined, a bounded sorted insert of
+// g keeps it the exact top-t afterwards.
+func (c *rankCache) offer(owner *ir.Func, rl *rankList, g *ir.Func) {
+	r := c.r
+	if !samePartition(r.opts, owner, g) {
+		return
+	}
+	s := fingerprint.Similarity(r.fps[owner], r.fps[g])
+	if s < r.opts.MinSimilarity {
+		return
+	}
+	rl.cands = insertRanked(rl.cands, candidate{fn: g, sim: s, size: r.fps[g].Total}, c.t)
+}
+
+// insertRanked inserts cand into best — sorted by (similarity desc, size
+// desc, insertion order asc) — keeping at most t entries. cand must be the
+// latest pool insertion among the entries, which the bounded scan and the
+// commit offer both guarantee, so placing it after equal keys preserves the
+// insertion-order tie-break.
+func insertRanked(best []candidate, cand candidate, t int) []candidate {
+	pos := len(best)
+	for pos > 0 && (best[pos-1].sim < cand.sim ||
+		(best[pos-1].sim == cand.sim && best[pos-1].size < cand.size)) {
+		pos--
+	}
+	if pos >= t {
+		return best
+	}
+	best = append(best, candidate{})
+	copy(best[pos+1:], best[pos:])
+	best[pos] = cand
+	if len(best) > t {
+		best = best[:t]
+	}
+	return best
+}
+
+func containsFn(cands []candidate, f *ir.Func) bool {
+	for _, c := range cands {
+		if c.fn == f {
+			return true
+		}
+	}
+	return false
+}

@@ -4,6 +4,13 @@
 // attempted greedily in rank order, and committed merges feed back into the
 // work list so merged functions can merge again. An oracle mode performs
 // the exhaustive quadratic exploration the ranking replaces.
+//
+// The pipeline is parallel and incremental: fingerprinting, the initial
+// ranking build and the per-pop candidate evaluations fan out across a
+// bounded worker pool (Options.Workers), and rankings are maintained by an
+// incremental cache instead of rescanning the whole pool on every worklist
+// pop (see cache.go). Results are bit-identical for every Workers value —
+// see parallel.go for the determinism rules.
 package explore
 
 import (
@@ -45,10 +52,16 @@ type Options struct {
 	// of whole-program LTO (§IV-B). Functions missing from the map share
 	// partition 0. Merged functions inherit their pair's partition.
 	Partition map[*ir.Func]int
+	// Workers bounds the goroutines used for fingerprinting, ranking and
+	// speculative candidate evaluation. Zero means runtime.GOMAXPROCS(0);
+	// one runs fully serial. Workers is purely an execution knob: the
+	// committed merge sequence, the report and the final module are
+	// identical for every value.
+	Workers int
 }
 
 // DefaultOptions returns the paper's default configuration (t=1, Intel
-// target).
+// target) with parallelism across all available cores.
 func DefaultOptions() Options {
 	return Options{
 		Threshold:     1,
@@ -58,8 +71,10 @@ func DefaultOptions() Options {
 	}
 }
 
-// Phases is the per-phase wall-clock breakdown of an exploration run
-// (Fig. 13).
+// Phases is the per-phase breakdown of an exploration run (Fig. 13).
+// Fingerprint, Ranking and UpdateCalls are wall-clock; Linearize, Align and
+// CodeGen sum per-attempt time across workers, so under parallel
+// exploration they can exceed the run's wall-clock time.
 type Phases struct {
 	Fingerprint time.Duration
 	Ranking     time.Duration
@@ -91,7 +106,10 @@ type Report struct {
 	MergeOps int
 	// FullyRemoved counts original functions deleted outright.
 	FullyRemoved int
-	// CandidatesEvaluated counts attempted (aligned+generated) merges.
+	// CandidatesEvaluated counts attempted (aligned+generated) merges. In
+	// greedy mode the count follows the sequential semantics — ranks up to
+	// and including the committed one — even when speculative parallel
+	// attempts evaluated further ranks that were then discarded.
 	CandidatesEvaluated int
 	// RankPositions holds, for each committed merge, the rank of the
 	// successful candidate (Fig. 8 data).
@@ -100,7 +118,7 @@ type Report struct {
 	Records []MergeRecord
 	// SizeBefore and SizeAfter are cost-model module sizes.
 	SizeBefore, SizeAfter int
-	// Phases is the wall-clock breakdown.
+	// Phases is the per-phase time breakdown.
 	Phases Phases
 }
 
@@ -140,6 +158,25 @@ type candidate struct {
 	size int32
 }
 
+// runner carries the mutable state of one exploration run: the candidate
+// pool, the FIFO worklist, the incremental ranking cache and the report
+// under construction.
+type runner struct {
+	m       *ir.Module
+	opts    Options
+	workers int
+	rep     *Report
+
+	// pool lists every function that ever entered the candidate pool, in
+	// insertion order — the deterministic tie-break order of the ranking.
+	// Consumed functions stay in the slice and are skipped via inPool.
+	pool     []*ir.Func
+	inPool   map[*ir.Func]bool
+	fps      map[*ir.Func]*fingerprint.Fingerprint
+	cache    *rankCache
+	worklist []*ir.Func
+}
+
 // Run executes the exploration framework on m, committing every profitable
 // merge it finds.
 func Run(m *ir.Module, opts Options) *Report {
@@ -149,43 +186,51 @@ func Run(m *ir.Module, opts Options) *Report {
 	if opts.Target == nil {
 		opts.Target = tti.X86{}
 	}
-	rep := &Report{SizeBefore: tti.ModuleSize(opts.Target, m)}
-	opts.Merge.Timings = &core.Timings{}
+	r := &runner{
+		m:       m,
+		opts:    opts,
+		workers: workerCount(opts.Workers),
+		rep:     &Report{SizeBefore: tti.ModuleSize(opts.Target, m)},
+	}
+	r.opts.Merge.Timings = &core.Timings{}
 
 	// Pre-processing: the merger requires φ-free input (§III-A).
 	passes.DemotePhisModule(m)
 
-	// Fingerprint extraction for all eligible functions.
+	// Fingerprint extraction for all eligible functions, fanned out across
+	// the worker pool (each function is independent).
 	tFP := time.Now()
-	fps := map[*ir.Func]*fingerprint.Fingerprint{}
-	var pool []*ir.Func
-	var worklist []*ir.Func
 	for _, f := range m.Funcs {
-		if !eligible(f, opts) {
-			continue
+		if eligible(f, r.opts) {
+			r.pool = append(r.pool, f)
 		}
-		fps[f] = fingerprint.Compute(f)
-		pool = append(pool, f)
-		worklist = append(worklist, f)
 	}
-	rep.Phases.Fingerprint += time.Since(tFP)
+	fpByIdx := make([]*fingerprint.Fingerprint, len(r.pool))
+	parallelFor(len(r.pool), r.workers, func(i int) {
+		fpByIdx[i] = fingerprint.Compute(r.pool[i])
+	})
+	r.fps = make(map[*ir.Func]*fingerprint.Fingerprint, len(r.pool))
+	r.inPool = make(map[*ir.Func]bool, len(r.pool))
+	for i, f := range r.pool {
+		r.fps[f] = fpByIdx[i]
+		r.inPool[f] = true
+	}
+	r.worklist = append(r.worklist, r.pool...)
+	r.rep.Phases.Fingerprint += time.Since(tFP)
 
-	inPool := map[*ir.Func]bool{}
-	for _, f := range pool {
-		inPool[f] = true
-	}
-	removeFromPool := func(f *ir.Func) {
-		if !inPool[f] {
-			return
-		}
-		delete(inPool, f)
-		delete(fps, f)
+	// Initial ranking: build every pool member's top-t list up front, in
+	// parallel. From here on the cache is maintained incrementally; the
+	// unbounded oracle ranks nothing, so it skips the cache entirely.
+	if t := r.cacheThreshold(); t > 0 {
+		tRank := time.Now()
+		r.cache = newRankCache(r, t)
+		r.rep.Phases.Ranking += time.Since(tRank)
 	}
 
-	for len(worklist) > 0 {
-		f := worklist[0]
-		worklist = worklist[1:]
-		if !inPool[f] {
+	for len(r.worklist) > 0 {
+		f := r.worklist[0]
+		r.worklist = r.worklist[1:]
+		if !r.inPool[f] {
 			continue // already consumed by an earlier merge
 		}
 
@@ -193,48 +238,101 @@ func Run(m *ir.Module, opts Options) *Report {
 		// every pool member in oracle mode.
 		tRank := time.Now()
 		var cands []candidate
-		if opts.Oracle && opts.OracleCap > 0 {
-			capped := opts
-			capped.Threshold = opts.OracleCap
-			cands = topCandidates(f, pool, inPool, fps, capped)
-		} else if opts.Oracle {
-			for _, g := range pool {
-				if g != f && inPool[g] && samePartition(opts, f, g) {
+		if r.cache != nil {
+			cands = r.cache.take(f)
+		} else {
+			for _, g := range r.pool {
+				if g != f && r.inPool[g] && samePartition(r.opts, f, g) {
 					cands = append(cands, candidate{fn: g})
 				}
 			}
-		} else {
-			cands = topCandidates(f, pool, inPool, fps, opts)
 		}
-		rep.Phases.Ranking += time.Since(tRank)
+		r.rep.Phases.Ranking += time.Since(tRank)
 
-		if opts.Oracle {
-			exploreOracle(m, f, cands, opts, rep, &worklist, &pool, inPool, fps, removeFromPool)
+		// Candidate evaluation: speculative merge attempts fan out across
+		// the worker pool; the winner is selected deterministically (first
+		// profitable rank in greedy mode, best profit in oracle mode).
+		win, evaluated := evalCandidates(f, cands, r.opts, r.workers, !r.opts.Oracle)
+		r.rep.CandidatesEvaluated += evaluated
+		if win.res == nil {
 			continue
 		}
-
-		// Greedy: commit the first profitable candidate (§IV).
-		for rank, c := range cands {
-			res, err := core.Merge(f, c.fn, opts.Merge)
-			rep.CandidatesEvaluated++
-			if err != nil {
-				continue
-			}
-			profit := res.Profit(opts.Target)
-			if profit <= 0 {
-				res.Discard()
-				continue
-			}
-			commit(m, res, profit, rank+1, opts, rep, &worklist, &pool, inPool, fps, removeFromPool)
-			break
+		if r.opts.Oracle {
+			r.commit(win.res, win.profit, 0)
+		} else {
+			r.commit(win.res, win.profit, win.rank+1)
 		}
 	}
 
-	rep.SizeAfter = tti.ModuleSize(opts.Target, m)
-	rep.Phases.Linearize = opts.Merge.Timings.Linearize
-	rep.Phases.Align = opts.Merge.Timings.Align
-	rep.Phases.CodeGen = opts.Merge.Timings.CodeGen
-	return rep
+	r.rep.SizeAfter = tti.ModuleSize(r.opts.Target, m)
+	r.rep.Phases.Linearize = r.opts.Merge.Timings.Linearize
+	r.rep.Phases.Align = r.opts.Merge.Timings.Align
+	r.rep.Phases.CodeGen = r.opts.Merge.Timings.CodeGen
+	return r.rep
+}
+
+// cacheThreshold returns the ranking depth maintained by the incremental
+// cache, or 0 when ranking is disabled (unbounded oracle).
+func (r *runner) cacheThreshold() int {
+	if r.opts.Oracle {
+		return r.opts.OracleCap // 0 disables the cache
+	}
+	return r.opts.Threshold
+}
+
+// commit installs a profitable merge and maintains the exploration state:
+// the consumed functions leave the pool, the merged function joins both the
+// pool and the work list (the Fig. 7 feedback loop), and the ranking cache
+// invalidates exactly the entries the commit touched.
+func (r *runner) commit(res *core.Result, profit, rank int) {
+	tUp := time.Now()
+	removed := res.Commit()
+	r.rep.Phases.UpdateCalls += time.Since(tUp)
+
+	r.rep.MergeOps++
+	r.rep.FullyRemoved += removed
+	if rank > 0 {
+		r.rep.RankPositions = append(r.rep.RankPositions, rank)
+	}
+	r.rep.Records = append(r.rep.Records, MergeRecord{
+		Merged: res.Merged.Name(),
+		F1:     res.F1.Name(),
+		F2:     res.F2.Name(),
+		Rank:   rank,
+		Profit: profit,
+	})
+
+	r.removeFromPool(res.F1)
+	r.removeFromPool(res.F2)
+
+	merged := res.Merged
+	merged.Hotness = res.F1.Hotness + res.F2.Hotness
+	if r.opts.Partition != nil {
+		r.opts.Partition[merged] = r.opts.Partition[res.F1]
+	}
+	var entered *ir.Func
+	if eligible(merged, r.opts) {
+		tFP := time.Now()
+		r.fps[merged] = fingerprint.Compute(merged)
+		r.rep.Phases.Fingerprint += time.Since(tFP)
+		r.pool = append(r.pool, merged)
+		r.inPool[merged] = true
+		r.worklist = append(r.worklist, merged)
+		entered = merged
+	}
+	if r.cache != nil {
+		tRank := time.Now()
+		r.cache.applyCommit(res.F1, res.F2, entered)
+		r.rep.Phases.Ranking += time.Since(tRank)
+	}
+}
+
+func (r *runner) removeFromPool(f *ir.Func) {
+	if !r.inPool[f] {
+		return
+	}
+	delete(r.inPool, f)
+	delete(r.fps, f)
 }
 
 // samePartition reports whether two functions may merge under the
@@ -255,112 +353,4 @@ func eligible(f *ir.Func, opts Options) bool {
 		return false
 	}
 	return true
-}
-
-// topCandidates selects the top-t pool members by fingerprint similarity
-// using a bounded insertion (the paper's priority queue).
-func topCandidates(f *ir.Func, pool []*ir.Func, inPool map[*ir.Func]bool, fps map[*ir.Func]*fingerprint.Fingerprint, opts Options) []candidate {
-	fp := fps[f]
-	t := opts.Threshold
-	best := make([]candidate, 0, t+1)
-	for _, g := range pool {
-		if g == f || !inPool[g] || !samePartition(opts, f, g) {
-			continue
-		}
-		s := fingerprint.Similarity(fp, fps[g])
-		if s < opts.MinSimilarity {
-			continue
-		}
-		sz := fps[g].Total
-		// Insert in descending (similarity, size) order, keeping at most
-		// t entries.
-		pos := len(best)
-		for pos > 0 && (best[pos-1].sim < s ||
-			(best[pos-1].sim == s && best[pos-1].size < sz)) {
-			pos--
-		}
-		if pos >= t {
-			continue
-		}
-		best = append(best, candidate{})
-		copy(best[pos+1:], best[pos:])
-		best[pos] = candidate{fn: g, sim: s, size: sz}
-		if len(best) > t {
-			best = best[:t]
-		}
-	}
-	return best
-}
-
-// exploreOracle evaluates every candidate and commits the best profitable
-// one.
-func exploreOracle(m *ir.Module, f *ir.Func, cands []candidate, opts Options, rep *Report,
-	worklist *[]*ir.Func, pool *[]*ir.Func, inPool map[*ir.Func]bool,
-	fps map[*ir.Func]*fingerprint.Fingerprint, removeFromPool func(*ir.Func)) {
-
-	bestProfit := 0
-	var bestRes *core.Result
-	for _, c := range cands {
-		res, err := core.Merge(f, c.fn, opts.Merge)
-		rep.CandidatesEvaluated++
-		if err != nil {
-			continue
-		}
-		profit := res.Profit(opts.Target)
-		if profit > bestProfit {
-			if bestRes != nil {
-				bestRes.Discard()
-			}
-			bestProfit = profit
-			bestRes = res
-		} else {
-			res.Discard()
-		}
-	}
-	if bestRes == nil {
-		return
-	}
-	commit(m, bestRes, bestProfit, 0, opts, rep, worklist, pool, inPool, fps, removeFromPool)
-}
-
-// commit installs a profitable merge and maintains the exploration state:
-// the consumed functions leave the pool, the merged function joins both the
-// pool and the work list (the Fig. 7 feedback loop).
-func commit(m *ir.Module, res *core.Result, profit, rank int, opts Options, rep *Report,
-	worklist *[]*ir.Func, pool *[]*ir.Func, inPool map[*ir.Func]bool,
-	fps map[*ir.Func]*fingerprint.Fingerprint, removeFromPool func(*ir.Func)) {
-
-	tUp := time.Now()
-	removed := res.Commit()
-	rep.Phases.UpdateCalls += time.Since(tUp)
-
-	rep.MergeOps++
-	rep.FullyRemoved += removed
-	if rank > 0 {
-		rep.RankPositions = append(rep.RankPositions, rank)
-	}
-	rep.Records = append(rep.Records, MergeRecord{
-		Merged: res.Merged.Name(),
-		F1:     res.F1.Name(),
-		F2:     res.F2.Name(),
-		Rank:   rank,
-		Profit: profit,
-	})
-
-	removeFromPool(res.F1)
-	removeFromPool(res.F2)
-
-	merged := res.Merged
-	merged.Hotness = res.F1.Hotness + res.F2.Hotness
-	if opts.Partition != nil {
-		opts.Partition[merged] = opts.Partition[res.F1]
-	}
-	if eligible(merged, opts) {
-		tFP := time.Now()
-		fps[merged] = fingerprint.Compute(merged)
-		rep.Phases.Fingerprint += time.Since(tFP)
-		*pool = append(*pool, merged)
-		inPool[merged] = true
-		*worklist = append(*worklist, merged)
-	}
 }

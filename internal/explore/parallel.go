@@ -1,0 +1,204 @@
+package explore
+
+// Parallel execution of the exploration pipeline. Three stages fan out
+// across a bounded worker pool: fingerprint extraction, the initial ranking
+// build (both embarrassingly parallel over a frozen pool) and the per-pop
+// speculative evaluation wave implemented here.
+//
+// Determinism is a hard requirement: Workers=1 and Workers=N must commit
+// the same merge sequence and produce the same module. The wave guarantees
+// it by construction:
+//
+//   - Caller-facing cost-model inputs (caller counts, address-taken bits)
+//     are snapshotted before the wave, so Profit never observes the
+//     transient uses other in-flight attempts add and remove
+//     (core.CallerStats).
+//   - Shared use lists are mutex-guarded in the IR layer and removal is
+//     order-preserving, so a discarded attempt leaves the module exactly as
+//     it found it.
+//   - The winner is a pure function of the per-rank outcomes: first
+//     profitable rank in greedy mode, best (profit, then lowest rank) in
+//     oracle mode. Speculative attempts beyond the greedy winner are
+//     discarded and excluded from CandidatesEvaluated, matching the
+//     sequential early-exit semantics.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fmsa/internal/core"
+	"fmsa/internal/ir"
+)
+
+// workerCount resolves the Options.Workers knob.
+func workerCount(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on up to w goroutines. Work
+// is claimed from an atomic counter, so uneven item costs balance
+// themselves. fn must be safe for concurrent invocation with distinct i.
+func parallelFor(n, w int, fn func(int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// attempt is one speculative merge outcome. rank is -1 when the worker
+// found no profitable candidate.
+type attempt struct {
+	rank   int
+	profit int
+	res    *core.Result
+}
+
+// evalCandidates speculatively evaluates f against cands on up to w
+// workers and returns the deterministic winner (res == nil when no
+// candidate is profitable) plus the number of candidates counted as
+// evaluated under sequential semantics.
+//
+// In greedy mode each worker stops at its first profitable rank and
+// publishes it; ranks above the lowest published one are skipped, so the
+// wave converges on the same early exit the sequential loop takes. In
+// oracle mode every candidate is evaluated and each worker keeps only its
+// local best, so at most w merged bodies are alive at once.
+func evalCandidates(f *ir.Func, cands []candidate, opts Options, w int, greedy bool) (attempt, int) {
+	n := len(cands)
+	if n == 0 {
+		return attempt{rank: -1}, 0
+	}
+	// Snapshot the cost-model inputs while no attempt is in flight.
+	fStats := core.SnapshotCallerStats(f)
+	cStats := make([]core.CallerStats, n)
+	for i := range cands {
+		cStats[i] = core.SnapshotCallerStats(cands[i].fn)
+	}
+
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	var next int64
+	best := int64(n) // lowest profitable rank published so far (greedy)
+	locals := make([]attempt, w)
+
+	work := func(slot int) {
+		local := attempt{rank: -1}
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				break
+			}
+			if greedy && int64(i) > atomic.LoadInt64(&best) {
+				continue // a lower profitable rank already won
+			}
+			res, err := core.Merge(f, cands[i].fn, opts.Merge)
+			if err != nil {
+				continue
+			}
+			profit := res.ProfitWithStats(opts.Target, fStats, cStats[i])
+			if profit <= 0 {
+				res.Discard()
+				continue
+			}
+			if greedy {
+				local = attempt{rank: i, profit: profit, res: res}
+				// Publish the rank so other workers stop claiming above
+				// it, then stop: every rank below i is already claimed.
+				for {
+					b := atomic.LoadInt64(&best)
+					if int64(i) >= b || atomic.CompareAndSwapInt64(&best, b, int64(i)) {
+						break
+					}
+				}
+				break
+			}
+			// Oracle: keep the local best by (profit desc, rank asc).
+			// Claims arrive in increasing rank order, so on a tie the
+			// held attempt already has the lower rank.
+			if local.res == nil || profit > local.profit {
+				if local.res != nil {
+					local.res.Discard()
+				}
+				local = attempt{rank: i, profit: profit, res: res}
+			} else {
+				res.Discard()
+			}
+		}
+		locals[slot] = local
+	}
+
+	if w == 1 {
+		work(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func(slot int) {
+				defer wg.Done()
+				work(slot)
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic reduction over the per-worker winners.
+	win := attempt{rank: -1}
+	for _, a := range locals {
+		if a.res == nil {
+			continue
+		}
+		better := win.res == nil
+		if !better {
+			if greedy {
+				better = a.rank < win.rank
+			} else {
+				better = a.profit > win.profit ||
+					(a.profit == win.profit && a.rank < win.rank)
+			}
+		}
+		if better {
+			if win.res != nil {
+				win.res.Discard()
+			}
+			win = a
+		} else {
+			a.res.Discard()
+		}
+	}
+
+	evaluated := n
+	if greedy && win.res != nil {
+		// Sequential semantics: the loop would have stopped at the winner.
+		evaluated = win.rank + 1
+	}
+	return win, evaluated
+}

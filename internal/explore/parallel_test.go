@@ -1,0 +1,192 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"fmsa/internal/fingerprint"
+	"fmsa/internal/ir"
+	"fmsa/internal/passes"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+// exploreWith builds the demo module and runs one exploration at the given
+// worker count, returning the report and the final module text.
+func exploreWith(t *testing.T, opts Options, workers int, seed int64) (*Report, string) {
+	t.Helper()
+	m := workload.Build(demoProfile(seed))
+	opts.Workers = workers
+	rep := Run(m, opts)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("post-verify (workers=%d): %v", workers, err)
+	}
+	return rep, ir.FormatModule(m)
+}
+
+// TestParallelDeterminism is the hard requirement of the parallel pipeline:
+// Workers=1 and Workers=8 must commit the identical merge sequence and
+// produce the identical module, across greedy and oracle configurations.
+// Run under -race this also exercises the shared-use-list locking and the
+// speculative evaluation wave for data races.
+func TestParallelDeterminism(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"greedy-t1", func() Options { o := DefaultOptions(); o.Threshold = 1; return o }()},
+		{"greedy-t10", func() Options { o := DefaultOptions(); o.Threshold = 10; return o }()},
+		{"greedy-thumb", func() Options {
+			o := DefaultOptions()
+			o.Threshold = 5
+			o.Target = tti.Thumb{}
+			return o
+		}()},
+		{"oracle-cap8", func() Options {
+			o := DefaultOptions()
+			o.Oracle = true
+			o.OracleCap = 8
+			return o
+		}()},
+		{"oracle-unbounded", func() Options { o := DefaultOptions(); o.Oracle = true; return o }()},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			serial, serialMod := exploreWith(t, cfg.opts, 1, 7)
+			par, parMod := exploreWith(t, cfg.opts, 8, 7)
+
+			if !reflect.DeepEqual(serial.Records, par.Records) {
+				t.Errorf("merge records diverge:\nserial: %+v\nparallel: %+v",
+					serial.Records, par.Records)
+			}
+			if !reflect.DeepEqual(serial.RankPositions, par.RankPositions) {
+				t.Errorf("rank positions diverge: %v vs %v",
+					serial.RankPositions, par.RankPositions)
+			}
+			if serial.CandidatesEvaluated != par.CandidatesEvaluated {
+				t.Errorf("candidates evaluated diverge: %d vs %d",
+					serial.CandidatesEvaluated, par.CandidatesEvaluated)
+			}
+			if serial.MergeOps != par.MergeOps || serial.FullyRemoved != par.FullyRemoved {
+				t.Errorf("counters diverge: ops %d vs %d, removed %d vs %d",
+					serial.MergeOps, par.MergeOps, serial.FullyRemoved, par.FullyRemoved)
+			}
+			if serial.SizeAfter != par.SizeAfter {
+				t.Errorf("final size diverges: %d vs %d", serial.SizeAfter, par.SizeAfter)
+			}
+			if serialMod != parMod {
+				t.Error("final module text diverges between Workers=1 and Workers=8")
+			}
+		})
+	}
+}
+
+// TestWorkersDefaultMatchesSerial checks the Workers=0 (all cores) default
+// also reproduces the serial result.
+func TestWorkersDefaultMatchesSerial(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Threshold = 10
+	serial, serialMod := exploreWith(t, opts, 1, 11)
+	auto, autoMod := exploreWith(t, opts, 0, 11)
+	if !reflect.DeepEqual(serial.Records, auto.Records) || serialMod != autoMod {
+		t.Error("Workers=0 default diverges from Workers=1")
+	}
+}
+
+// TestRankCacheMatchesFullRescan cross-checks the incremental ranking cache
+// against a from-scratch scan after every commit: a clean cached list must
+// equal scanTop over the live pool at the moment it is consumed.
+func TestRankCacheMatchesFullRescan(t *testing.T) {
+	m := workload.Build(demoProfile(13))
+	passes.DemotePhisModule(m)
+	opts := DefaultOptions()
+	opts.Threshold = 10
+	r := &runner{m: m, opts: opts, workers: 1, rep: &Report{},
+		inPool: map[*ir.Func]bool{}, fps: map[*ir.Func]*fingerprint.Fingerprint{}}
+	for _, f := range m.Funcs {
+		if !eligible(f, opts) {
+			continue
+		}
+		r.fps[f] = fingerprint.Compute(f)
+		r.pool = append(r.pool, f)
+		r.inPool[f] = true
+	}
+	r.cache = newRankCache(r, opts.Threshold)
+	r.worklist = append([]*ir.Func(nil), r.pool...)
+
+	pops := 0
+	for len(r.worklist) > 0 {
+		f := r.worklist[0]
+		r.worklist = r.worklist[1:]
+		if !r.inPool[f] {
+			continue
+		}
+		// Reference: what a full rescan of the current pool would rank.
+		want := r.cache.scanTop(f)
+		got := r.cache.take(f)
+		if len(want) != len(got) {
+			t.Fatalf("pop %d: cache returned %d candidates, rescan %d", pops, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].fn != got[i].fn {
+				t.Fatalf("pop %d rank %d: cache has %s, rescan has %s",
+					pops, i, got[i].fn.Name(), want[i].fn.Name())
+			}
+		}
+		win, evaluated := evalCandidates(f, got, r.opts, 1, true)
+		r.rep.CandidatesEvaluated += evaluated
+		if win.res != nil {
+			r.commit(win.res, win.profit, win.rank+1)
+		}
+		pops++
+	}
+	if r.rep.MergeOps == 0 {
+		t.Fatal("expected merges on a clone-rich module")
+	}
+}
+
+// TestReportAddAccumulatesRanking is a regression test: Add must fold the
+// later stage's Ranking phase time (and every other phase) into the
+// combined report.
+func TestReportAddAccumulatesRanking(t *testing.T) {
+	a := &Report{Phases: Phases{Fingerprint: 1, Ranking: 10, Linearize: 100, Align: 1000, CodeGen: 10000, UpdateCalls: 100000}}
+	b := &Report{Phases: Phases{Fingerprint: 2, Ranking: 20, Linearize: 200, Align: 2000, CodeGen: 20000, UpdateCalls: 200000}}
+	a.Add(b)
+	want := Phases{Fingerprint: 3, Ranking: 30, Linearize: 300, Align: 3000, CodeGen: 30000, UpdateCalls: 300000}
+	if a.Phases != want {
+		t.Errorf("Add phase accumulation: got %+v, want %+v", a.Phases, want)
+	}
+}
+
+// BenchmarkExplore measures the serial exploration pipeline end to end on
+// the demo workload (t=10 so each pop ranks and evaluates many candidates).
+func BenchmarkExplore(b *testing.B) {
+	benchmarkExplore(b, 1)
+}
+
+// BenchmarkExploreParallel is the same workload at Workers=GOMAXPROCS; the
+// ratio to BenchmarkExplore is the parallel speedup on this host.
+func BenchmarkExploreParallel(b *testing.B) {
+	benchmarkExplore(b, 0)
+}
+
+func benchmarkExplore(b *testing.B, workers int) {
+	b.ReportAllocs()
+	opts := DefaultOptions()
+	opts.Threshold = 10
+	opts.Workers = workers
+	mods := make([]*ir.Module, b.N)
+	for i := range mods {
+		mods[i] = workload.Build(demoProfile(3))
+	}
+	b.ResetTimer()
+	merges := 0
+	for i := 0; i < b.N; i++ {
+		rep := Run(mods[i], opts)
+		merges += rep.MergeOps
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(merges)/b.Elapsed().Seconds(), "merges/s")
+	}
+}

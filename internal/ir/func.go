@@ -1,6 +1,73 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// sharedUseMu serializes use-list updates on module-level values (functions
+// and globals). Instruction, block and parameter use lists are private to a
+// single function body and are only ever mutated by one goroutine at a time,
+// so they stay lock-free; functions and globals, however, are referenced
+// from many bodies at once, and concurrent speculative merge attempts (the
+// exploration framework's parallel candidate wave) all add and remove uses
+// of the same shared callees and globals while building and discarding
+// trial bodies. One process-wide mutex keeps those updates safe; use-list
+// order stays deterministic because removal is order-preserving, so a
+// discarded attempt leaves no trace.
+var sharedUseMu sync.Mutex
+
+func (f *Func) addUse(u Use) {
+	sharedUseMu.Lock()
+	f.usable.addUse(u)
+	sharedUseMu.Unlock()
+}
+
+func (f *Func) removeUse(u Use) {
+	sharedUseMu.Lock()
+	f.usable.removeUse(u)
+	sharedUseMu.Unlock()
+}
+
+// Uses returns a snapshot of the active uses of the function value.
+func (f *Func) Uses() []Use {
+	sharedUseMu.Lock()
+	defer sharedUseMu.Unlock()
+	return append([]Use(nil), f.uses...)
+}
+
+// NumUses returns the number of recorded uses.
+func (f *Func) NumUses() int {
+	sharedUseMu.Lock()
+	defer sharedUseMu.Unlock()
+	return len(f.uses)
+}
+
+func (g *Global) addUse(u Use) {
+	sharedUseMu.Lock()
+	g.usable.addUse(u)
+	sharedUseMu.Unlock()
+}
+
+func (g *Global) removeUse(u Use) {
+	sharedUseMu.Lock()
+	g.usable.removeUse(u)
+	sharedUseMu.Unlock()
+}
+
+// Uses returns a snapshot of the active uses of the global value.
+func (g *Global) Uses() []Use {
+	sharedUseMu.Lock()
+	defer sharedUseMu.Unlock()
+	return append([]Use(nil), g.uses...)
+}
+
+// NumUses returns the number of recorded uses.
+func (g *Global) NumUses() int {
+	sharedUseMu.Lock()
+	defer sharedUseMu.Unlock()
+	return len(g.uses)
+}
 
 // Linkage describes symbol visibility of a function or global.
 type Linkage int
@@ -126,6 +193,8 @@ func (f *Func) Insts(fn func(*Inst)) {
 // anywhere other than as the direct callee of a call or invoke. Such
 // functions cannot be fully deleted after merging (paper §III-A).
 func (f *Func) HasAddressTaken() bool {
+	sharedUseMu.Lock()
+	defer sharedUseMu.Unlock()
 	for _, u := range f.uses {
 		if (u.User.Op == OpCall || u.User.Op == OpInvoke) && u.Index == 0 {
 			continue
@@ -137,6 +206,8 @@ func (f *Func) HasAddressTaken() bool {
 
 // Callers returns the call/invoke instructions that directly call f.
 func (f *Func) Callers() []*Inst {
+	sharedUseMu.Lock()
+	defer sharedUseMu.Unlock()
 	var calls []*Inst
 	for _, u := range f.uses {
 		if (u.User.Op == OpCall || u.User.Op == OpInvoke) && u.Index == 0 {

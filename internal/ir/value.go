@@ -38,8 +38,12 @@ func (u *usable) addUse(use Use) { u.uses = append(u.uses, use) }
 func (u *usable) removeUse(use Use) {
 	for i, x := range u.uses {
 		if x == use {
-			u.uses[i] = u.uses[len(u.uses)-1]
-			u.uses = u.uses[:len(u.uses)-1]
+			// Removal preserves the order of the remaining uses: passes
+			// (caller rewriting, thunk elision) iterate use lists, and the
+			// exploration framework requires identical iteration order no
+			// matter how many speculative merges were attempted and
+			// discarded in between.
+			u.uses = append(u.uses[:i], u.uses[i+1:]...)
 			return
 		}
 	}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 gate plus the race-enabled suite. The parallel exploration
+# pipeline must stay deterministic and data-race-free; run this before
+# every commit that touches internal/explore, internal/ir or
+# internal/align.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
