@@ -6,7 +6,7 @@
 //	fmsa-bench -exp all -csv results/
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
-// ablation, hotexclusion, perf, all.
+// ablation, hotexclusion, perf, audit, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
@@ -25,18 +25,20 @@ import (
 	"runtime"
 
 	"fmsa/internal/experiments"
+	"fmsa/internal/explore"
 	"fmsa/internal/tti"
 	"fmsa/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run")
-		target   = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
-		csvDir   = flag.String("csv", "", "also write CSV files to this directory")
-		quickly  = flag.Bool("quick", false, "subsample the suites for a fast smoke run")
-		workers  = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores)")
-		jsonPath = flag.String("json", "", "append perf-experiment JSON lines to this file")
+		exp       = flag.String("exp", "all", "experiment to run")
+		target    = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
+		csvDir    = flag.String("csv", "", "also write CSV files to this directory")
+		quickly   = flag.Bool("quick", false, "subsample the suites for a fast smoke run")
+		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores)")
+		jsonPath  = flag.String("json", "", "append experiment JSON lines (perf, audit) to this file")
+		auditMode = flag.String("audit", "committed", "audit experiment mode: committed or deep")
 	)
 	flag.Parse()
 
@@ -165,6 +167,24 @@ func main() {
 		fmt.Print(experiments.FormatSizeTable(rows, experiments.TechNames(techs)))
 	}
 
+	if run("audit") {
+		ran = true
+		section("Merge-audit sweep: static soundness checks over every committed merge")
+		mode, err := explore.ParseAuditMode(*auditMode)
+		fatalIf(err)
+		if mode == explore.AuditOff {
+			mode = explore.AuditCommitted
+		}
+		suites := append(append([]workload.Profile{}, workload.UnscaledSmall()...), spec...)
+		suites = append(suites, mibench...)
+		res := experiments.AuditSweep(suites, tgt, 2, mode)
+		fmt.Print(experiments.FormatAuditTable(res))
+		emitJSON(res, *jsonPath)
+		if res.Flagged > 0 {
+			fatal(fmt.Errorf("audit flagged %d of %d merges", res.Flagged, res.Audited))
+		}
+	}
+
 	if run("perf") {
 		ran = true
 		section("Exploration pipeline performance: serial vs parallel (t=10)")
@@ -190,7 +210,11 @@ func main() {
 
 // emitPerf prints one machine-readable JSON line and optionally appends it
 // to path (the BENCH_*.json trajectory file).
-func emitPerf(r experiments.PerfResult, path string) {
+func emitPerf(r experiments.PerfResult, path string) { emitJSON(r, path) }
+
+// emitJSON prints any experiment result as one JSON line and optionally
+// appends it to path.
+func emitJSON(r any, path string) {
 	line, err := json.Marshal(r)
 	fatalIf(err)
 	fmt.Println(string(line))

@@ -18,6 +18,7 @@ import (
 
 	"fmsa"
 
+	"fmsa/internal/analysis"
 	"fmsa/internal/callgraph"
 	"fmsa/internal/core"
 	"fmsa/internal/ir"
@@ -31,6 +32,7 @@ func main() {
 		target    = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
 		oracle    = flag.Bool("oracle", false, "use exhaustive (oracle) exploration")
 		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores; results are identical for any value)")
+		audit     = flag.String("audit", "off", "merge auditing: off, committed (static checks, diagnostics reported) or deep (reject merges whose behavior diverges)")
 		mergePair = flag.String("merge", "", "merge exactly this comma-separated function pair")
 		out       = flag.String("o", "", "write the optimized module to this file (default: stdout)")
 		quiet     = flag.Bool("q", false, "suppress the statistics report")
@@ -88,6 +90,7 @@ func main() {
 		Target:    *target,
 		Oracle:    *oracle,
 		Workers:   *workers,
+		Audit:     *audit,
 	})
 	fatal(err)
 	fatal(fmsa.Verify(mod))
@@ -99,6 +102,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fully removed:    %d\n", rep.FullyRemoved)
 		fmt.Fprintf(os.Stderr, "size (%s):    %d -> %d bytes (%.2f%% reduction)\n",
 			tgt.Name(), before, after, 100*float64(before-after)/float64(max(before, 1)))
+		if rep.AuditedMerges > 0 {
+			fmt.Fprintf(os.Stderr, "audited merges:   %d (%d flagged, %d escalated, %d rejected)\n",
+				rep.AuditedMerges, rep.AuditFlagged, rep.AuditEscalated, rep.AuditRejected)
+		}
+	}
+	if len(rep.AuditDiags) > 0 {
+		fmt.Fprint(os.Stderr, analysis.FormatDiagnostics(rep.AuditDiags))
 	}
 	emit(mod, *out)
 }

@@ -110,6 +110,13 @@ type Options struct {
 	// uses all available cores; one runs fully serial. The optimized
 	// module and the report are identical for every value.
 	Workers int
+	// Audit selects merge auditing: "" or "off" (none, the default),
+	// "committed" (statically audit every committed merge and record
+	// diagnostics in the report), or "deep" (additionally escalate flagged
+	// merges to differential execution and reject confirmed miscompiles).
+	// Only TechniqueFMSA audits; the baselines have no merge bodies to
+	// check.
+	Audit string
 }
 
 // Optimize runs a whole-module function-merging pipeline in place and
@@ -130,6 +137,10 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		rep.Add(baseline.RunSOA(m, target))
 		return rep, nil
 	case TechniqueFMSA, "":
+		audit, err := explore.ParseAuditMode(opts.Audit)
+		if err != nil {
+			return nil, fmt.Errorf("fmsa: %w", err)
+		}
 		rep := baseline.RunIdentical(m, target)
 		eopts := explore.DefaultOptions()
 		eopts.Target = target
@@ -139,6 +150,7 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		eopts.Oracle = opts.Oracle
 		eopts.MaxHotness = opts.MaxHotness
 		eopts.Workers = opts.Workers
+		eopts.Audit = audit
 		rep.Add(explore.Run(m, eopts))
 		return rep, nil
 	default:

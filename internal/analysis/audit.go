@@ -1,0 +1,487 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"fmsa/internal/ir"
+)
+
+// MergeAudit describes one merged function to audit. Merged is required;
+// the originals and parameter maps sharpen the checks when present (the
+// explorer audits before Commit, while the original bodies are intact).
+type MergeAudit struct {
+	// Merged is the generated function (committed or about to be).
+	Merged *ir.Func
+	// F1 and F2 are the pre-merge originals identified by func_id true and
+	// false respectively. Optional; nil originals are assumed to return.
+	F1, F2 *ir.Func
+	// HasFuncID reports whether Merged takes the function-id discriminator
+	// in parameter slot 0.
+	HasFuncID bool
+	// ParamMap1 and ParamMap2 map original parameter indices to merged
+	// slots (see core.Result). Optional; without them every unused
+	// non-discriminator parameter is flagged.
+	ParamMap1, ParamMap2 []int
+}
+
+// AuditMerge statically checks a merged function for the soundness
+// properties the merge transform must preserve:
+//
+//   - the discriminator parameter is well-formed and only ever selects
+//     variants (FM003, FM006);
+//   - each original's return paths survive under its func_id value (FM004);
+//   - no demoted alloca slot is read before being stored on a
+//     variant-consistent path with the value observable (FM001);
+//   - no block is unreachable (FM002) and no mapped parameter went dead
+//     (FM005).
+//
+// The checks are per-variant: branches conditioned on a discriminator are
+// followed one-sided (enumerating assignments of every stacked
+// discriminator an iterated merge accumulates), so facts that only hold on
+// paths another variant takes (e.g. a demoted slot read whose value feeds a
+// discarded select arm) do not produce false alarms. A clean merge yields
+// no diagnostics.
+func AuditMerge(a MergeAudit) []Diagnostic {
+	f := a.Merged
+	if f == nil || f.IsDecl() {
+		return nil
+	}
+	au := &auditor{a: a, fn: f}
+	if a.HasFuncID {
+		au.checkDiscriminator()
+	}
+	au.checkUnreachable()
+	au.checkReturnPaths()
+	au.checkUninitLoads()
+	au.checkDeadParams()
+	return au.diags
+}
+
+type auditor struct {
+	a      MergeAudit
+	fn     *ir.Func
+	funcID *ir.Param // nil when the merge dropped the discriminator
+	diags  []Diagnostic
+}
+
+func (au *auditor) report(code Code, b *ir.Block, in *ir.Inst, format string, args ...any) {
+	d := Diagnostic{
+		Code:  code,
+		Fn:    au.fn.Name(),
+		Block: blockName(b),
+		Msg:   fmt.Sprintf(format, args...),
+	}
+	if in != nil {
+		d.Inst = ir.FormatInst(in)
+	}
+	au.diags = append(au.diags, d)
+}
+
+// checkDiscriminator validates the func_id parameter: present, i1, used,
+// and only ever used as a branch or select condition (FM003). Individual
+// conditioned branches with identical arms are legitimate — both variants'
+// targets can merge into one block — but if NO use distinguishes its arms
+// the discriminator selects nothing while HasFuncID promises the variants
+// differ (FM006).
+func (au *auditor) checkDiscriminator() {
+	if len(au.fn.Params) == 0 {
+		au.report(CodeBadDiscriminator, nil, nil, "HasFuncID set but the function has no parameters")
+		return
+	}
+	p := au.fn.Params[0]
+	if !p.Type().IsBool() {
+		au.report(CodeBadDiscriminator, nil, nil, "discriminator %s has type %s, want i1", p.Ident(), p.Type())
+		return
+	}
+	au.funcID = p
+	uses := p.Uses()
+	if len(uses) == 0 {
+		au.report(CodeBadDiscriminator, nil, nil, "discriminator %s is declared but never used; identical functions should merge without it", p.Ident())
+		return
+	}
+	effective := 0
+	for _, u := range uses {
+		in := u.User
+		cond := (in.Op == ir.OpBr && in.NumOperands() == 3 && u.Index == 0) ||
+			(in.Op == ir.OpSelect && u.Index == 0)
+		if !cond {
+			au.report(CodeBadDiscriminator, in.Parent(), in,
+				"discriminator %s used as a data operand (operand %d)", p.Ident(), u.Index)
+			effective++ // malformed, but not FM006's concern
+			continue
+		}
+		if in.Operand(1) != in.Operand(2) && !ir.ConstantsEqual(in.Operand(1), in.Operand(2)) {
+			effective++
+		}
+	}
+	if effective > 0 {
+		return
+	}
+	// A fully degenerate discriminator is legitimate when the variant
+	// distinction is carried by a stacked discriminator from an earlier
+	// merge, or when the originals' differences normalized away entirely
+	// (label-only divergence whose dispatch arms collapsed). Flag it only
+	// when neither escape applies: no other discriminator-like parameter
+	// exists and the originals provably compute different operations.
+	for _, d := range discriminators(au.fn) {
+		if d != p {
+			return
+		}
+	}
+	if opcodesDiffer(au.a.F1, au.a.F2) {
+		au.report(CodeDegenerateBranch, nil, nil,
+			"every use of discriminator %s has identical arms; it no longer selects a variant", p.Ident())
+	}
+}
+
+// opcodesDiffer reports whether the two originals have provably different
+// opcode multisets — a cheap witness that their computations differ, so a
+// variant-independent merged body cannot implement both. Branches are
+// ignored: block structure is exactly what merging normalizes away (a
+// single-br block threaded by SimplifyCFG leaves the computation intact).
+func opcodesDiffer(f1, f2 *ir.Func) bool {
+	if f1 == nil || f2 == nil || f1.IsDecl() || f2.IsDecl() {
+		return false
+	}
+	counts := map[ir.Opcode]int{}
+	tally := func(d int) func(*ir.Inst) {
+		return func(in *ir.Inst) {
+			if in.Op != ir.OpBr {
+				counts[in.Op] += d
+			}
+		}
+	}
+	f1.Insts(tally(1))
+	f2.Insts(tally(-1))
+	for _, n := range counts {
+		if n != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// variantView restricts the CFG to the paths variant id can execute:
+// conditional branches on the discriminator follow only the corresponding
+// arm. With no discriminator the full graph is returned.
+func (au *auditor) variantView(id bool) View {
+	funcID := au.funcID
+	if funcID == nil {
+		return View{}
+	}
+	return View{Succs: func(b *ir.Block) []*ir.Block {
+		t := b.Terminator()
+		if t != nil && t.Op == ir.OpBr && t.NumOperands() == 3 && t.Operand(0) == ir.Value(funcID) {
+			if id {
+				return []*ir.Block{t.Operand(1).(*ir.Block)}
+			}
+			return []*ir.Block{t.Operand(2).(*ir.Block)}
+		}
+		return b.Successors()
+	}}
+}
+
+// checkUnreachable flags blocks no path from the entry reaches (FM002).
+func (au *auditor) checkUnreachable() {
+	for _, b := range UnreachableBlocks(au.fn) {
+		au.report(CodeUnreachable, b, nil, "block is unreachable from the entry")
+	}
+}
+
+// checkReturnPaths verifies each original's ability to return survived
+// under its func_id value (FM004).
+func (au *auditor) checkReturnPaths() {
+	variants := []struct {
+		id   bool
+		orig *ir.Func
+	}{{true, au.a.F1}, {false, au.a.F2}}
+	for _, v := range variants {
+		if v.orig != nil && !hasExit(v.orig, View{}) {
+			continue // the original never returned either
+		}
+		if !hasExit(au.fn, au.variantView(v.id)) {
+			au.report(CodeLostReturnPath, nil, nil,
+				"no ret or resume reachable under func_id=%s; that variant's return paths were lost", fmtID(v.id))
+		}
+		if au.funcID == nil {
+			return // one view covers both variants
+		}
+	}
+}
+
+// hasExit reports whether any block reachable under the view ends in an
+// exit terminator (ret or resume).
+func hasExit(f *ir.Func, view View) bool {
+	if f.IsDecl() {
+		return false
+	}
+	for b := range ReachableBlocks(f, view) {
+		if t := b.Terminator(); t != nil && (t.Op == ir.OpRet || t.Op == ir.OpResume) {
+			return true
+		}
+	}
+	return false
+}
+
+// maxEnumeratedDiscs caps the discriminator assignments the uninit-load
+// check enumerates (2^k views). Merge nesting rarely exceeds a handful of
+// discriminators; beyond the cap the remaining ones stay unconstrained,
+// which can only make the check more conservative, never unsound.
+const maxEnumeratedDiscs = 6
+
+// discriminators returns the i1 parameters of f used exclusively in
+// condition logic: as branch or select conditions, or as the data arms of
+// i1-typed selects (which themselves feed conditions). Iterated merges
+// stack discriminators: merging two already-merged functions demotes their
+// func_ids to ordinary parameters (%func_id.1, ...) — possibly shared into
+// one slot or muxed through selects on the outer func_id — that still gate
+// variant-specific paths. The merge invariants (uninit slot reads are
+// discarded exactly on the paths that read them) only hold relative to a
+// consistent assignment of ALL of them.
+func discriminators(f *ir.Func) []*ir.Param {
+	var out []*ir.Param
+	for _, p := range f.Params {
+		if !p.Type().IsBool() || p.NumUses() == 0 {
+			continue
+		}
+		ok := true
+		for _, u := range p.Uses() {
+			switch {
+			case u.User.Op == ir.OpBr && u.User.NumOperands() == 3 && u.Index == 0:
+			case u.User.Op == ir.OpSelect && u.Index == 0:
+			case u.User.Op == ir.OpSelect && u.User.Type().IsBool():
+				// i1 select arm: the muxed value flows into conditions.
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// assignment fixes each enumerated discriminator to a boolean.
+type assignment map[*ir.Param]bool
+
+func makeAssignment(discs []*ir.Param, bits uint) assignment {
+	a := make(assignment, len(discs))
+	for i, d := range discs {
+		a[d] = bits&(1<<i) != 0
+	}
+	return a
+}
+
+// boolVal constant-folds an i1 value under the assignment: assigned
+// parameters, boolean constants, and select chains over them. The second
+// result reports whether the value is determined.
+func (a assignment) boolVal(v ir.Value, depth int) (bool, bool) {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		if x.Type().IsBool() {
+			return x.V != 0, true
+		}
+	case *ir.Param:
+		b, ok := a[x]
+		return b, ok
+	case *ir.Inst:
+		if x.Op != ir.OpSelect || depth <= 0 {
+			break
+		}
+		if c, ok := a.boolVal(x.Operand(0), depth-1); ok {
+			if c {
+				return a.boolVal(x.Operand(1), depth-1)
+			}
+			return a.boolVal(x.Operand(2), depth-1)
+		}
+		// Unknown condition, but both arms may still agree.
+		if t, ok := a.boolVal(x.Operand(1), depth-1); ok {
+			if f, ok2 := a.boolVal(x.Operand(2), depth-1); ok2 && t == f {
+				return t, true
+			}
+		}
+	}
+	return false, false
+}
+
+// maxFoldDepth bounds select-chain folding; merge nesting adds one select
+// layer per level, so a small constant covers realistic depths.
+const maxFoldDepth = 8
+
+// view restricts the CFG to the paths consistent with the assignment: a
+// conditional branch whose condition folds to a constant under it follows
+// only that arm. Branches on anything undetermined stay two-sided.
+func (a assignment) view() View {
+	if len(a) == 0 {
+		return View{}
+	}
+	return View{Succs: func(b *ir.Block) []*ir.Block {
+		t := b.Terminator()
+		if t != nil && t.Op == ir.OpBr && t.NumOperands() == 3 {
+			if c, ok := a.boolVal(t.Operand(0), maxFoldDepth); ok {
+				if c {
+					return []*ir.Block{t.Operand(1).(*ir.Block)}
+				}
+				return []*ir.Block{t.Operand(2).(*ir.Block)}
+			}
+		}
+		return b.Successors()
+	}}
+}
+
+// checkUninitLoads runs load-before-store per discriminator assignment
+// (FM001). A flagged load is benign for an assignment when its value cannot
+// be observed under it: every use is either in a block the assignment never
+// reaches or the discarded arm of a select on an assigned discriminator.
+// φ-demotion plus merging makes such benign reads routine — the slot of a
+// value defined only in one variant's region is read in shared code but
+// discarded by func_id — so the filtering, not the dataflow, is what makes
+// the check precise.
+func (au *auditor) checkUninitLoads() {
+	discs := discriminators(au.fn)
+	if len(discs) > maxEnumeratedDiscs {
+		discs = discs[:maxEnumeratedDiscs]
+	}
+	seen := map[*ir.Inst]bool{}
+	for bits := uint(0); bits < 1<<len(discs); bits++ {
+		asg := makeAssignment(discs, bits)
+		view := asg.view()
+		rs := ComputeReachingStores(au.fn, view)
+		loads := rs.UninitLoads()
+		if len(loads) == 0 {
+			continue
+		}
+		reach := ReachableBlocks(au.fn, view)
+		for _, ul := range loads {
+			if seen[ul.Load] || benignUnder(ul.Load, asg, reach) {
+				continue
+			}
+			seen[ul.Load] = true
+			au.report(CodeUninitLoad, ul.Load.Parent(), ul.Load,
+				"load of slot %s may read uninitialized memory under %s", ul.Slot.Ident(), fmtAssign(discs, bits))
+		}
+	}
+}
+
+// benignUnder reports whether the value of load cannot be observed when the
+// discriminator assignment executes.
+func benignUnder(load *ir.Inst, asg assignment, reach map[*ir.Block]bool) bool {
+	return !observed(load, asg, reach, maxObsDepth)
+}
+
+// maxObsDepth bounds the transitive dead-use walk; each merge level adds at
+// most a couple of select/arithmetic hops, so modest depth suffices.
+const maxObsDepth = 16
+
+// observed reports whether v's value can be consumed under the assignment.
+// A use does not observe v when its user is unreachable under the
+// assignment, discards exactly v's arm of a select, or is itself a pure
+// instruction whose own value is unobserved (removable dead code on this
+// path) — the select-mux idiom of iterated merges routinely produces chains
+// like select(outer, select(inner, a, b), c) where only the transitive view
+// shows a to be dead.
+func observed(v *ir.Inst, asg assignment, reach map[*ir.Block]bool, depth int) bool {
+	for _, u := range v.Uses() {
+		user := u.User
+		if user.Parent() == nil || !reach[user.Parent()] {
+			continue // user only executes under other assignments
+		}
+		if user.Op == ir.OpSelect && discardedArm(user, asg) == u.Index {
+			continue // select arm the assignment throws away
+		}
+		if depth > 0 && !user.Op.HasSideEffects() && user.Op != ir.OpPhi &&
+			!observed(user, asg, reach, depth-1) {
+			continue // feeds only dead pure code under this assignment
+		}
+		return true
+	}
+	return false
+}
+
+// discardedArm returns the operand index sel discards when its condition
+// folds to a constant under the assignment, or 0 when it is undetermined
+// (operand 0 is the condition, never an arm).
+func discardedArm(sel *ir.Inst, asg assignment) int {
+	c, ok := asg.boolVal(sel.Operand(0), maxFoldDepth)
+	if !ok {
+		return 0
+	}
+	if c {
+		return 2 // true selects operand 1, discards 2
+	}
+	return 1
+}
+
+// fmtAssign renders a discriminator assignment for diagnostics, e.g.
+// "func_id=1" or "func_id=0, func_id.1=1".
+func fmtAssign(discs []*ir.Param, bits uint) string {
+	if len(discs) == 0 {
+		return "all paths"
+	}
+	var sb strings.Builder
+	for i, d := range discs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", d.Ident(), fmtID(bits&(1<<i) != 0))
+	}
+	return sb.String()
+}
+
+// checkDeadParams flags merged parameters that lost their uses (FM005).
+// With parameter maps, only slots fed by an original parameter that was
+// itself used are flagged — an original's legitimately dead parameter stays
+// dead in the merge without being an audit finding.
+func (au *auditor) checkDeadParams() {
+	start := 0
+	if au.a.HasFuncID {
+		start = 1 // slot 0 is the discriminator, checked separately
+	}
+	hasMaps := au.a.ParamMap1 != nil || au.a.ParamMap2 != nil
+	for s := start; s < len(au.fn.Params); s++ {
+		mp := au.fn.Params[s]
+		if mp.NumUses() > 0 {
+			continue
+		}
+		if !hasMaps {
+			au.report(CodeDeadParam, nil, nil, "parameter %s (slot %d) is never used", mp.Ident(), s)
+			continue
+		}
+		if src := au.usedSourceParam(s); src != "" {
+			au.report(CodeDeadParam, nil, nil,
+				"parameter %s (slot %d) is never used although original parameter %s was", mp.Ident(), s, src)
+		}
+	}
+}
+
+// usedSourceParam returns the identifier of an original parameter that maps
+// to merged slot s and had uses in its original body, or "".
+func (au *auditor) usedSourceParam(s int) string {
+	check := func(f *ir.Func, pmap []int, tag string) string {
+		if f == nil {
+			return ""
+		}
+		for i, slot := range pmap {
+			if slot == s && i < len(f.Params) && f.Params[i].NumUses() > 0 {
+				return fmt.Sprintf("%s of @%s (%s)", f.Params[i].Ident(), f.Name(), tag)
+			}
+		}
+		return ""
+	}
+	if src := check(au.a.F1, au.a.ParamMap1, "func_id=1"); src != "" {
+		return src
+	}
+	return check(au.a.F2, au.a.ParamMap2, "func_id=0")
+}
+
+func fmtID(id bool) string {
+	if id {
+		return "1"
+	}
+	return "0"
+}

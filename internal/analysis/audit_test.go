@@ -1,0 +1,368 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fmsa/internal/analysis"
+	"fmsa/internal/core"
+	"fmsa/internal/ir"
+	"fmsa/internal/passes"
+	"fmsa/internal/workload"
+)
+
+// divergentPairIR merges into a function with a func_id discriminator and at
+// least one CondBr diamond (the mul/udiv mismatch becomes gap columns).
+const divergentPairIR = `
+define internal i64 @fa(i64 %x, i64 %y) {
+entry:
+  %a = add i64 %x, %y
+  %b = mul i64 %a, 3
+  %r = add i64 %b, 7
+  ret i64 %r
+}
+
+define internal i64 @fb(i64 %x, i64 %y) {
+entry:
+  %a = add i64 %x, %y
+  %b = udiv i64 %a, 3
+  %r = add i64 %b, 7
+  ret i64 %r
+}
+
+define i64 @ua(i64 %x) {
+entry:
+  %r = call i64 @fa(i64 %x, i64 2)
+  ret i64 %r
+}
+
+define i64 @ub(i64 %x) {
+entry:
+  %r = call i64 @fb(i64 %x, i64 2)
+  ret i64 %r
+}
+`
+
+// mergePair merges two named functions without committing, so the originals
+// stay intact for the audit (mirroring how the explorer audits candidates).
+func mergePair(t *testing.T, src, f1, f2 string) *core.Result {
+	t.Helper()
+	m := ir.MustParseModule("audit", src)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("pre-verify: %v", err)
+	}
+	res, err := core.Merge(m.FuncByName(f1), m.FuncByName(f2), core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return res
+}
+
+func auditOf(res *core.Result) analysis.MergeAudit {
+	return analysis.MergeAudit{
+		Merged:    res.Merged,
+		F1:        res.F1,
+		F2:        res.F2,
+		HasFuncID: res.HasFuncID,
+		ParamMap1: res.ParamMap1,
+		ParamMap2: res.ParamMap2,
+	}
+}
+
+func codes(diags []analysis.Diagnostic) map[analysis.Code]int {
+	m := map[analysis.Code]int{}
+	for _, d := range diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+func TestAuditCleanMerges(t *testing.T) {
+	for _, tc := range []struct{ name, f1, f2, src string }{
+		{"divergent", "fa", "fb", divergentPairIR},
+	} {
+		res := mergePair(t, tc.src, tc.f1, tc.f2)
+		if diags := analysis.AuditMerge(auditOf(res)); len(diags) != 0 {
+			t.Errorf("%s: clean merge produced diagnostics:\n%s%s",
+				tc.name, analysis.FormatDiagnostics(diags), ir.FormatFunc(res.Merged))
+		}
+	}
+}
+
+// findDiscBranch returns the first conditional branch on the discriminator.
+func findDiscBranch(t *testing.T, res *core.Result) *ir.Inst {
+	t.Helper()
+	funcID := ir.Value(res.Merged.Params[0])
+	var br *ir.Inst
+	res.Merged.Insts(func(in *ir.Inst) {
+		if br == nil && in.Op == ir.OpBr && in.NumOperands() == 3 && in.Operand(0) == funcID {
+			br = in
+		}
+	})
+	if br == nil {
+		t.Fatalf("merged function has no discriminator branch:\n%s", ir.FormatFunc(res.Merged))
+	}
+	return br
+}
+
+func TestAuditDroppedDiscriminatorBranch(t *testing.T) {
+	res := mergePair(t, divergentPairIR, "fa", "fb")
+	if !res.HasFuncID {
+		t.Fatal("expected a discriminated merge")
+	}
+	// Corrupt: rewrite the discriminator branch into an unconditional jump
+	// to its true arm, as if control-flow surgery lost the split.
+	br := findDiscBranch(t, res)
+	blk := br.Parent()
+	dest := br.Operand(1).(*ir.Block)
+	br.RemoveFromParent()
+	bd := ir.NewBuilder(blk)
+	bd.Br(dest)
+
+	got := codes(analysis.AuditMerge(auditOf(res)))
+	// The false arm is severed: depending on layout that reads as an
+	// unreachable block, a lost variant, or (if this was the only branch)
+	// an unused discriminator. Any of the three must fire.
+	if got[analysis.CodeUnreachable]+got[analysis.CodeLostReturnPath]+got[analysis.CodeBadDiscriminator] == 0 {
+		t.Fatalf("dropped discriminator branch not detected; got %v", got)
+	}
+}
+
+func TestAuditDegenerateBranch(t *testing.T) {
+	res := mergePair(t, divergentPairIR, "fa", "fb")
+	// Corrupt: collapse the arms of EVERY discriminator use. A single
+	// identical-arm branch is legitimate (both variants' targets can merge
+	// into one block), but when no use distinguishes the variants the
+	// discriminator selects nothing.
+	funcID := ir.Value(res.Merged.Params[0])
+	for _, u := range res.Merged.Params[0].Uses() {
+		in := u.User
+		switch {
+		case in.Op == ir.OpBr && in.NumOperands() == 3 && in.Operand(0) == funcID:
+			in.SetOperand(2, in.Operand(1))
+		case in.Op == ir.OpSelect && in.Operand(0) == funcID:
+			in.SetOperand(2, in.Operand(1))
+		}
+	}
+	got := codes(analysis.AuditMerge(auditOf(res)))
+	if got[analysis.CodeDegenerateBranch] == 0 {
+		t.Fatalf("fully degenerate discriminator not detected; got %v", got)
+	}
+}
+
+func TestAuditDiscriminatorAsData(t *testing.T) {
+	res := mergePair(t, divergentPairIR, "fa", "fb")
+	// Corrupt: feed the discriminator into an arithmetic instruction.
+	funcID := res.Merged.Params[0]
+	entry := res.Merged.Entry()
+	bad := ir.NewInst(ir.OpAdd, funcID.Type(), funcID, funcID)
+	entry.InsertBefore(bad, entry.Terminator())
+	got := codes(analysis.AuditMerge(auditOf(res)))
+	if got[analysis.CodeBadDiscriminator] == 0 {
+		t.Fatalf("discriminator data use not detected; got %v", got)
+	}
+}
+
+// demotedPairIR exercises φ-demotion: DemotePhis rewrites the phi into an
+// alloca slot with stores in the arms and a load at the join, and the merge
+// keeps that shape. Deleting an arm's store then creates a variant-visible
+// uninitialized read.
+const demotedPairIR = `
+define internal i64 @ga(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 5
+  br i1 %c, label %t, label %f
+t:
+  %a = mul i64 %x, 2
+  br label %done
+f:
+  %b = add i64 %x, 9
+  br label %done
+done:
+  %r = phi i64 [ %a, %t ], [ %b, %f ]
+  ret i64 %r
+}
+
+define internal i64 @gb(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 3
+  br i1 %c, label %t, label %f
+t:
+  %a = mul i64 %x, 4
+  br label %done
+f:
+  %b = add i64 %x, 1
+  br label %done
+done:
+  %r = phi i64 [ %a, %t ], [ %b, %f ]
+  ret i64 %r
+}
+
+define i64 @ha(i64 %x) {
+entry:
+  %r = call i64 @ga(i64 %x)
+  ret i64 %r
+}
+
+define i64 @hb(i64 %x) {
+entry:
+  %r = call i64 @gb(i64 %x)
+  ret i64 %r
+}
+`
+
+func demotedMerge(t *testing.T) *core.Result {
+	t.Helper()
+	m := ir.MustParseModule("audit", demotedPairIR)
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("pre-verify: %v", err)
+	}
+	passes.DemotePhisModule(m)
+	res, err := core.Merge(m.FuncByName("ga"), m.FuncByName("gb"), core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return res
+}
+
+func TestAuditCleanDemotedMerge(t *testing.T) {
+	res := demotedMerge(t)
+	if diags := analysis.AuditMerge(auditOf(res)); len(diags) != 0 {
+		t.Errorf("clean demoted merge produced diagnostics:\n%s%s",
+			analysis.FormatDiagnostics(diags), ir.FormatFunc(res.Merged))
+	}
+}
+
+func TestAuditUninitLoadAfterDroppedStore(t *testing.T) {
+	res := demotedMerge(t)
+	// Corrupt: delete one store to a demoted slot. The load at the join now
+	// reads uninitialized memory on that arm, under both variants.
+	slots := analysis.TrackedSlots(res.Merged)
+	if len(slots) == 0 {
+		t.Fatalf("no demoted slots in merged function:\n%s", ir.FormatFunc(res.Merged))
+	}
+	var dropped bool
+	for _, slot := range slots {
+		for _, u := range slot.Uses() {
+			if u.User.Op == ir.OpStore && u.Index == 1 {
+				u.User.RemoveFromParent()
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			break
+		}
+	}
+	if !dropped {
+		t.Fatal("found no store to a demoted slot")
+	}
+	got := codes(analysis.AuditMerge(auditOf(res)))
+	if got[analysis.CodeUninitLoad] == 0 {
+		t.Fatalf("uninitialized read not detected; got %v\n%s", got, ir.FormatFunc(res.Merged))
+	}
+}
+
+func TestAuditStoreLoadReorder(t *testing.T) {
+	res := demotedMerge(t)
+	// Corrupt: hoist the join-block load of a demoted slot above everything
+	// else in the function by moving it to the top of the entry block —
+	// before any store. The classic demotion ordering violation.
+	var load *ir.Inst
+	res.Merged.Insts(func(in *ir.Inst) {
+		if load != nil || in.Op != ir.OpLoad {
+			return
+		}
+		if slot, ok := in.Operand(0).(*ir.Inst); ok && slot.Op == ir.OpAlloca {
+			// Only a tracked slot load counts.
+			for _, s := range analysis.TrackedSlots(res.Merged) {
+				if s == slot {
+					load = in
+				}
+			}
+		}
+	})
+	if load == nil {
+		t.Fatalf("no demoted-slot load found:\n%s", ir.FormatFunc(res.Merged))
+	}
+	// Splice the load (keeping its operand uses intact) to just after its
+	// alloca in the entry block, ahead of every store.
+	slot := load.Operand(0).(*ir.Inst)
+	blk := load.Parent()
+	for i, in := range blk.Insts {
+		if in == load {
+			blk.Insts = append(blk.Insts[:i], blk.Insts[i+1:]...)
+			break
+		}
+	}
+	entry := slot.Parent()
+	for i, in := range entry.Insts {
+		if in == slot {
+			rest := append([]*ir.Inst{load}, entry.Insts[i+1:]...)
+			entry.Insts = append(entry.Insts[:i+1], rest...)
+			break
+		}
+	}
+	load.ForceSetParent(entry)
+	got := codes(analysis.AuditMerge(auditOf(res)))
+	if got[analysis.CodeUninitLoad] == 0 {
+		t.Fatalf("reordered load not detected; got %v\n%s", got, ir.FormatFunc(res.Merged))
+	}
+}
+
+func TestAuditDeadParam(t *testing.T) {
+	res := mergePair(t, divergentPairIR, "fa", "fb")
+	// Corrupt: disconnect a mapped parameter from all its uses, replacing
+	// it with a constant — the merge "silently dropped an input".
+	var victim *ir.Param
+	for i, p := range res.Merged.Params {
+		if i == 0 && res.HasFuncID {
+			continue
+		}
+		if p.NumUses() > 0 {
+			victim = p
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no used non-discriminator parameter")
+	}
+	ir.ReplaceAllUsesWith(victim, ir.NewConstInt(victim.Type(), 0))
+	got := codes(analysis.AuditMerge(auditOf(res)))
+	if got[analysis.CodeDeadParam] == 0 {
+		t.Fatalf("dead parameter not detected; got %v", got)
+	}
+}
+
+// TestAuditCleanWorkloadMerges sweeps merges across a small generated module
+// and asserts the auditor stays silent on every committed-quality merge.
+func TestAuditCleanWorkloadMerges(t *testing.T) {
+	profiles := workload.UnscaledSmall()
+	for _, p := range profiles {
+		m := workload.Build(p)
+		passes.DemotePhisModule(m)
+		var defs []*ir.Func
+		for _, f := range m.Funcs {
+			if !f.IsDecl() {
+				defs = append(defs, f)
+			}
+		}
+		pairs := 0
+		for i := 0; i < len(defs) && pairs < 12; i++ {
+			for j := i + 1; j < len(defs) && pairs < 12; j++ {
+				res, err := core.Merge(defs[i], defs[j], core.DefaultOptions())
+				if err != nil {
+					continue
+				}
+				pairs++
+				if diags := analysis.AuditMerge(auditOf(res)); len(diags) != 0 {
+					t.Errorf("%s: merge %s+%s produced diagnostics:\n%s",
+						p.Name, defs[i].Name(), defs[j].Name(), analysis.FormatDiagnostics(diags))
+				}
+				res.Discard()
+			}
+		}
+		if pairs == 0 {
+			t.Errorf("%s: no mergeable pairs exercised", p.Name)
+		}
+	}
+}

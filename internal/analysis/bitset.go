@@ -1,0 +1,116 @@
+package analysis
+
+import "math/bits"
+
+// BitSet is a dense fixed-capacity bit vector, the lattice element of the
+// dataflow engine: every analysis numbers its facts (values, definitions,
+// blocks) and represents a program point as the set of facts that hold
+// there. Meet and transfer become word-parallel boolean operations.
+type BitSet struct {
+	n     int
+	words []uint64
+}
+
+// NewBitSet returns an empty set with capacity for n facts.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the capacity of the set.
+func (s *BitSet) Len() int { return s.n }
+
+// Get reports whether bit i is set.
+func (s *BitSet) Get(i int) bool {
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Set sets bit i.
+func (s *BitSet) Set(i int) { s.words[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (s *BitSet) Clear(i int) { s.words[i/64] &^= 1 << (uint(i) % 64) }
+
+// Fill sets every bit (the ⊤ element of intersect-meet problems).
+func (s *BitSet) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// Reset clears every bit.
+func (s *BitSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim zeroes the bits beyond n so Equal and Count stay exact after Fill.
+func (s *BitSet) trim() {
+	if r := uint(s.n) % 64; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << r) - 1
+	}
+}
+
+// CopyFrom makes s an exact copy of o (capacities must match).
+func (s *BitSet) CopyFrom(o *BitSet) {
+	copy(s.words, o.words)
+}
+
+// Clone returns an independent copy of s.
+func (s *BitSet) Clone() *BitSet {
+	c := NewBitSet(s.n)
+	c.CopyFrom(s)
+	return c
+}
+
+// UnionWith adds every bit of o to s.
+func (s *BitSet) UnionWith(o *BitSet) {
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes every bit of s not in o.
+func (s *BitSet) IntersectWith(o *BitSet) {
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// DiffWith removes every bit of o from s (s = s \ o).
+func (s *BitSet) DiffWith(o *BitSet) {
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and o hold exactly the same bits.
+func (s *BitSet) Equal(o *BitSet) bool {
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (s *BitSet) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *BitSet) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+// The cross-check tests recompute liveness and reaching stores with a naive
+// map-based fixed point — no bitsets, no worklist, no gen/kill precompute —
+// and compare every per-block fact against the engine on workload-generated
+// modules. Any ordering or widening bug in the worklist solver shows up as a
+// disagreement here.
+
+type valueSet map[ir.Value]bool
+
+func (s valueSet) clone() valueSet {
+	c := make(valueSet, len(s))
+	for v := range s {
+		c[v] = true
+	}
+	return c
+}
+
+func (s valueSet) equalAdd(o valueSet) bool {
+	changed := false
+	for v := range o {
+		if !s[v] {
+			s[v] = true
+			changed = true
+		}
+	}
+	return !changed
+}
+
+// naiveLiveness iterates transfer over all blocks until nothing changes.
+func naiveLiveness(f *ir.Func) (in, out map[*ir.Block]valueSet) {
+	in = map[*ir.Block]valueSet{}
+	out = map[*ir.Block]valueSet{}
+	// Phi-edge uses: value -> set at the end of the incoming predecessor.
+	phiOut := map[*ir.Block]valueSet{}
+	for _, b := range f.Blocks {
+		in[b] = valueSet{}
+		out[b] = valueSet{}
+		phiOut[b] = valueSet{}
+	}
+	f.Insts(func(inst *ir.Inst) {
+		if inst.Op != ir.OpPhi {
+			return
+		}
+		for i := 0; i < inst.NumPhiIncoming(); i++ {
+			v, pred := inst.PhiIncoming(i)
+			if liveTracked(f, v) {
+				phiOut[pred][v] = true
+			}
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			o := phiOut[b].clone()
+			for _, s := range b.Successors() {
+				for v := range in[s] {
+					o[v] = true
+				}
+			}
+			// Simulate the block backwards instruction by instruction.
+			cur := o.clone()
+			for i := len(b.Insts) - 1; i >= 0; i-- {
+				inst := b.Insts[i]
+				if !inst.Type().IsVoid() {
+					delete(cur, inst)
+				}
+				if inst.Op == ir.OpPhi {
+					continue
+				}
+				for _, op := range inst.Operands() {
+					if liveTracked(f, op) {
+						cur[op] = true
+					}
+				}
+			}
+			if !out[b].equalAdd(o) || !in[b].equalAdd(cur) {
+				changed = true
+			}
+		}
+	}
+	return in, out
+}
+
+// liveTracked mirrors the engine's value universe: parameters and
+// value-producing instructions of f.
+func liveTracked(f *ir.Func, v ir.Value) bool {
+	switch x := v.(type) {
+	case *ir.Param:
+		return x.Parent() == f
+	case *ir.Inst:
+		return !x.Type().IsVoid() && x.Parent() != nil && x.Parent().Parent() == f
+	}
+	return false
+}
+
+type def struct {
+	slot  *ir.Inst
+	store *ir.Inst // nil = the uninitialized definition
+}
+
+type defSet map[def]bool
+
+// naiveReaching iterates the forward transfer over all blocks until nothing
+// changes. Unreachable blocks keep empty in-sets, matching the engine.
+func naiveReaching(f *ir.Func, slots []*ir.Inst) (in map[*ir.Block]defSet) {
+	tracked := map[*ir.Inst]bool{}
+	for _, s := range slots {
+		tracked[s] = true
+	}
+	in = map[*ir.Block]defSet{}
+	out := map[*ir.Block]defSet{}
+	for _, b := range f.Blocks {
+		in[b] = defSet{}
+		out[b] = defSet{}
+	}
+	preds := map[*ir.Block][]*ir.Block{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Successors() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	entry := f.Entry()
+	for _, s := range slots {
+		in[entry][def{slot: s}] = true
+	}
+	reach := ReachableBlocks(f, View{})
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if !reach[b] {
+				continue
+			}
+			if b != entry {
+				for _, p := range preds[b] {
+					for d := range out[p] {
+						if !in[b][d] {
+							in[b][d] = true
+							changed = true
+						}
+					}
+				}
+			}
+			cur := in[b].clone2()
+			for _, inst := range b.Insts {
+				if inst.Op != ir.OpStore {
+					continue
+				}
+				slot, ok := inst.Operand(1).(*ir.Inst)
+				if !ok || !tracked[slot] {
+					continue
+				}
+				for d := range cur {
+					if d.slot == slot {
+						delete(cur, d)
+					}
+				}
+				cur[def{slot: slot, store: inst}] = true
+			}
+			for d := range cur {
+				if !out[b][d] {
+					out[b][d] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+func (s defSet) clone2() defSet {
+	c := make(defSet, len(s))
+	for d := range s {
+		c[d] = true
+	}
+	return c
+}
+
+// crosscheckModules yields a modest, varied sample of workload modules.
+func crosscheckModules(t *testing.T) []*ir.Module {
+	t.Helper()
+	var mods []*ir.Module
+	profiles := workload.UnscaledSmall()
+	if !testing.Short() {
+		profiles = append(profiles, workload.SPECLike()[0], workload.MiBenchLike()[0])
+	}
+	for _, p := range profiles {
+		mods = append(mods, workload.Build(p))
+	}
+	return mods
+}
+
+func TestLivenessMatchesNaiveFixedPoint(t *testing.T) {
+	for _, m := range crosscheckModules(t) {
+		for _, f := range m.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			l := ComputeLiveness(f)
+			nin, nout := naiveLiveness(f)
+			for _, b := range f.Blocks {
+				for _, v := range l.Values {
+					if got, want := l.LiveIn(b, v), nin[b][v]; got != want {
+						t.Fatalf("%s: LiveIn(%%%s, %s) = %v, naive says %v",
+							f.Name(), b.Name(), v.Ident(), got, want)
+					}
+					if got, want := l.LiveOut(b, v), nout[b][v]; got != want {
+						t.Fatalf("%s: LiveOut(%%%s, %s) = %v, naive says %v",
+							f.Name(), b.Name(), v.Ident(), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReachingMatchesNaiveFixedPoint(t *testing.T) {
+	stores := 0
+	for _, m := range crosscheckModules(t) {
+		for _, f := range m.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			rs := ComputeReachingStores(f, View{})
+			nin := naiveReaching(f, rs.Slots)
+			for _, b := range f.Blocks {
+				for _, slot := range rs.Slots {
+					if got, want := rs.Reaches(nil, slot, b), nin[b][def{slot: slot}]; got != want {
+						t.Fatalf("%s %%%s: uninit def of %s reaches = %v, naive says %v",
+							f.Name(), b.Name(), slot.Ident(), got, want)
+					}
+				}
+			}
+			f.Insts(func(inst *ir.Inst) {
+				if inst.Op != ir.OpStore {
+					return
+				}
+				slot, ok := inst.Operand(1).(*ir.Inst)
+				if !ok {
+					return
+				}
+				for _, b := range f.Blocks {
+					got := rs.Reaches(inst, slot, b)
+					want := nin[b][def{slot: slot, store: inst}]
+					if got != want {
+						t.Fatalf("%s %%%s: store reaches = %v, naive says %v",
+							f.Name(), b.Name(), got, want)
+					}
+					stores++
+				}
+			})
+		}
+	}
+	if stores == 0 {
+		t.Fatal("workload sample exercised no tracked stores; pick different profiles")
+	}
+}

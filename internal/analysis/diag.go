@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"fmsa/internal/ir"
+)
+
+// Code is a stable merge-audit diagnostic code. Codes are part of the tool
+// surface (tests, CI gates and bench counters match on them); add new codes
+// at the end and never renumber.
+type Code string
+
+// Audit diagnostic codes.
+const (
+	// CodeUninitLoad (FM001): a load of a demoted alloca slot may observe
+	// the slot's uninitialized definition on a path consistent with the
+	// variant being executed, and the loaded value is observable under
+	// that variant.
+	CodeUninitLoad Code = "FM001"
+	// CodeUnreachable (FM002): a block of the merged function is
+	// unreachable from the entry — dead weight the cost model still
+	// counts, and the symptom of a dropped discriminator branch.
+	CodeUnreachable Code = "FM002"
+	// CodeBadDiscriminator (FM003): the function-id discriminator is
+	// malformed — missing, not i1, unused despite being declared, or used
+	// as a data operand instead of a branch/select condition.
+	CodeBadDiscriminator Code = "FM003"
+	// CodeLostReturnPath (FM004): an original function could return, but
+	// under its func_id value no exit (ret/resume) is reachable in the
+	// merged body — that variant's return paths did not survive the merge.
+	CodeLostReturnPath Code = "FM004"
+	// CodeDeadParam (FM005): a merged parameter is never used although the
+	// original parameter(s) mapped onto it were — the merge silently
+	// dropped an input.
+	CodeDeadParam Code = "FM005"
+	// CodeDegenerateBranch (FM006): every branch and select conditioned on
+	// the discriminator has identical arms, so it no longer selects a
+	// variant although HasFuncID promises the variants differ. (A single
+	// identical-arm branch is legitimate: both variants' targets can merge
+	// into one block.)
+	CodeDegenerateBranch Code = "FM006"
+)
+
+// Diagnostic is one audit finding, locatable to a function and, when
+// applicable, a block and instruction.
+type Diagnostic struct {
+	// Code is the stable diagnostic code.
+	Code Code
+	// Fn is the name of the audited (merged) function.
+	Fn string
+	// Block is the enclosing block's label, "" when not block-specific.
+	Block string
+	// Inst is the offending instruction's textual form, "" when not
+	// instruction-specific.
+	Inst string
+	// Msg describes the finding.
+	Msg string
+}
+
+// String renders the diagnostic as one line:
+//
+//	FM001 @f.a.b %bb3: load of %slot may read uninitialized memory (load i64, i64* %slot)
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s @%s", d.Code, d.Fn)
+	if d.Block != "" {
+		fmt.Fprintf(&sb, " %%%s", d.Block)
+	}
+	fmt.Fprintf(&sb, ": %s", d.Msg)
+	if d.Inst != "" {
+		fmt.Fprintf(&sb, " (%s)", d.Inst)
+	}
+	return sb.String()
+}
+
+// FormatDiagnostics renders diagnostics one per line.
+func FormatDiagnostics(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// blockName returns a printable label for diagnostics.
+func blockName(b *ir.Block) string {
+	if b == nil {
+		return ""
+	}
+	if b.Name() == "" {
+		return "<anon>"
+	}
+	return b.Name()
+}

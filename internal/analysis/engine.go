@@ -1,0 +1,301 @@
+// Package analysis is the static-analysis layer of the merging pipeline: a
+// generic worklist dataflow engine over the IR CFG with concrete analyses
+// (liveness, reaching stores, unreachable code, load-before-store) and, on
+// top of them, a merge auditor (AuditMerge) that statically checks merged
+// functions for the failure modes φ-demotion and sequence-alignment merging
+// can introduce. The paper's implementation leans on LLVM's verifier for
+// this; here the IR is ours, so the soundness checks are too.
+package analysis
+
+import "fmsa/internal/ir"
+
+// Direction selects which way facts flow through the CFG.
+type Direction int
+
+// Dataflow directions.
+const (
+	// Forward propagates facts from entry toward exits, iterating blocks
+	// in reverse post-order.
+	Forward Direction = iota
+	// Backward propagates facts from exits toward the entry, iterating
+	// blocks in post-order.
+	Backward
+)
+
+// Meet selects the confluence operator applied where CFG paths join.
+type Meet int
+
+// Meet operators.
+const (
+	// Union ("may" analyses): a fact holds if it holds on any path.
+	Union Meet = iota
+	// Intersect ("must" analyses): a fact holds only if it holds on all
+	// paths.
+	Intersect
+)
+
+// View is a filtered view of a function's CFG. The zero View is the full
+// graph; a non-nil Succs replaces every block's successor edges, letting
+// clients analyse a restricted graph — the auditor uses this to follow only
+// the edges consistent with one func_id value. Blocks unreachable under the
+// view simply drop out of the iteration order.
+type View struct {
+	// Succs overrides successor edges; nil means ir.Block.Successors.
+	Succs func(*ir.Block) []*ir.Block
+}
+
+func (v View) succs(b *ir.Block) []*ir.Block {
+	if v.Succs != nil {
+		return v.Succs(b)
+	}
+	return b.Successors()
+}
+
+// Problem is a dataflow problem: a fact numbering plus a per-block transfer
+// function. Implementations are typically gen-kill (see GenKill), but the
+// interface admits arbitrary monotone transfers.
+type Problem interface {
+	// Direction reports which way facts flow.
+	Direction() Direction
+	// Meet reports the confluence operator.
+	Meet() Meet
+	// NumFacts is the bit-vector width.
+	NumFacts() int
+	// Boundary initializes the entry value (Forward) or the value flowing
+	// into every exit block (Backward). The set arrives zeroed.
+	Boundary(set *BitSet)
+	// Transfer computes out from in for block b. in must not be mutated;
+	// out arrives as a copy of in.
+	Transfer(b *ir.Block, out *BitSet)
+}
+
+// GenKill is an optional Problem refinement: when implemented, the engine
+// uses precomputed gen/kill sets (out = gen ∪ (in \ kill)) instead of
+// calling Transfer, turning each transfer into two word-parallel ops.
+type GenKill interface {
+	Problem
+	// GenKill fills the gen and kill sets of b. Called once per block.
+	GenKill(b *ir.Block, gen, kill *BitSet)
+}
+
+// Result holds the fixed point of a dataflow problem: the fact sets at the
+// entry and exit of every block reachable under the analysed view.
+type Result struct {
+	// Order is the iteration order used (RPO for forward problems,
+	// post-order for backward); it contains exactly the reachable blocks.
+	Order []*ir.Block
+	in    map[*ir.Block]*BitSet
+	out   map[*ir.Block]*BitSet
+}
+
+// In returns the fact set at the start of b (nil for blocks unreachable
+// under the analysed view).
+func (r *Result) In(b *ir.Block) *BitSet { return r.in[b] }
+
+// Out returns the fact set at the end of b (nil for unreachable blocks).
+func (r *Result) Out(b *ir.Block) *BitSet { return r.out[b] }
+
+// cfg is the per-solve flow graph: reachable blocks in RPO plus index-based
+// successor and predecessor adjacency under the view.
+type cfg struct {
+	rpo    []*ir.Block
+	index  map[*ir.Block]int
+	succs  [][]int
+	preds  [][]int
+	isExit []bool
+}
+
+// buildCFG traverses f from the entry under view, returning reachable
+// blocks in reverse post-order with adjacency lists. Successor edges keep
+// their syntactic order and multiplicity (a conditional branch with both
+// arms on one block contributes two edges).
+func buildCFG(f *ir.Func, view View) *cfg {
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		succs := view.succs(b)
+		for i := len(succs) - 1; i >= 0; i-- {
+			visit(succs[i])
+		}
+		post = append(post, b)
+	}
+	visit(f.Entry())
+	g := &cfg{index: map[*ir.Block]int{}}
+	for i := len(post) - 1; i >= 0; i-- {
+		g.index[post[i]] = len(g.rpo)
+		g.rpo = append(g.rpo, post[i])
+	}
+	n := len(g.rpo)
+	g.succs = make([][]int, n)
+	g.preds = make([][]int, n)
+	g.isExit = make([]bool, n)
+	for i, b := range g.rpo {
+		ss := view.succs(b)
+		g.isExit[i] = len(ss) == 0
+		for _, s := range ss {
+			j := g.index[s]
+			g.succs[i] = append(g.succs[i], j)
+			g.preds[j] = append(g.preds[j], i)
+		}
+	}
+	return g
+}
+
+// Solve runs p to its fixed point over the full CFG of f.
+func Solve(f *ir.Func, p Problem) *Result {
+	return SolveView(f, p, View{})
+}
+
+// SolveView runs p to its fixed point over the view of f's CFG. The solver
+// is a classic round-robin worklist: blocks are seeded in the problem
+// direction's preferred order (RPO forward, post-order backward) so most
+// acyclic problems converge in one pass, and re-queued only when a
+// predecessor's (resp. successor's) value changes.
+func SolveView(f *ir.Func, p Problem, view View) *Result {
+	g := buildCFG(f, view)
+	n := len(g.rpo)
+	nf := p.NumFacts()
+	forward := p.Direction() == Forward
+
+	in := make([]*BitSet, n)
+	out := make([]*BitSet, n)
+	for i := 0; i < n; i++ {
+		in[i] = NewBitSet(nf)
+		out[i] = NewBitSet(nf)
+	}
+
+	// Precompute gen/kill when the problem supports it.
+	var gens, kills []*BitSet
+	gk, hasGK := p.(GenKill)
+	if hasGK {
+		gens = make([]*BitSet, n)
+		kills = make([]*BitSet, n)
+		for i, b := range g.rpo {
+			gens[i] = NewBitSet(nf)
+			kills[i] = NewBitSet(nf)
+			gk.GenKill(b, gens[i], kills[i])
+		}
+	}
+
+	boundary := NewBitSet(nf)
+	p.Boundary(boundary)
+
+	// ⊤ for intersect problems is the full set; meet then only removes
+	// facts. Union problems start from ∅.
+	top := NewBitSet(nf)
+	if p.Meet() == Intersect {
+		top.Fill()
+	}
+
+	// inputs/results/deps express the solve direction uniformly: for a
+	// forward problem the input of block i meets the results of preds(i)
+	// and its result is out[i]; backward swaps the roles.
+	inputs, results := in, out
+	deps, users := g.preds, g.succs
+	if !forward {
+		inputs, results = out, in
+		deps, users = g.succs, g.preds
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if !forward {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	scratch := NewBitSet(nf)
+	apply := func(i int) bool {
+		// Meet over dependencies into inputs[i].
+		dep := deps[i]
+		boundaryIn := (forward && i == 0) || (!forward && g.isExit[i])
+		switch {
+		case len(dep) == 0 && !boundaryIn:
+			// No dependencies and not a boundary block (possible in
+			// backward problems with infinite loops): keep ⊤.
+			inputs[i].CopyFrom(top)
+		default:
+			first := true
+			if boundaryIn {
+				inputs[i].CopyFrom(boundary)
+				first = false
+			}
+			for _, d := range dep {
+				if first {
+					inputs[i].CopyFrom(results[d])
+					first = false
+					continue
+				}
+				if p.Meet() == Union {
+					inputs[i].UnionWith(results[d])
+				} else {
+					inputs[i].IntersectWith(results[d])
+				}
+			}
+		}
+		// Transfer into results[i]; report whether it changed.
+		scratch.CopyFrom(inputs[i])
+		if hasGK {
+			scratch.DiffWith(kills[i])
+			scratch.UnionWith(gens[i])
+		} else {
+			p.Transfer(g.rpo[i], scratch)
+		}
+		if scratch.Equal(results[i]) {
+			return false
+		}
+		results[i].CopyFrom(scratch)
+		return true
+	}
+
+	// Seed results with ⊤ so the first meet is sound for intersect
+	// problems, then iterate to the fixed point.
+	for i := 0; i < n; i++ {
+		results[i].CopyFrom(top)
+	}
+	queued := make([]bool, n)
+	queue := make([]int, 0, n)
+	for _, i := range order {
+		queue = append(queue, i)
+		queued[i] = true
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		queued[i] = false
+		if !apply(i) {
+			continue
+		}
+		for _, u := range users[i] {
+			if !queued[u] {
+				queue = append(queue, u)
+				queued[u] = true
+			}
+		}
+	}
+
+	res := &Result{
+		in:  make(map[*ir.Block]*BitSet, n),
+		out: make(map[*ir.Block]*BitSet, n),
+	}
+	for i, b := range g.rpo {
+		res.in[b] = in[i]
+		res.out[b] = out[i]
+	}
+	if forward {
+		res.Order = append(res.Order, g.rpo...)
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			res.Order = append(res.Order, g.rpo[i])
+		}
+	}
+	return res
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+// diamondFunc builds:
+//
+//	entry: slot = alloca i64; condbr %p, a, b
+//	a:     store 1, slot; br join
+//	b:     (storeInB? store 2, slot); br join
+//	join:  v = load slot; ret v
+func diamondFunc(storeInB bool) (*ir.Func, *ir.Inst, *ir.Inst) {
+	f := ir.NewFunc("diamond", ir.FuncOf(ir.I64(), ir.Bool()))
+	f.Params[0].SetName("p")
+	entry := f.NewBlockIn("entry")
+	a := f.NewBlockIn("a")
+	b := f.NewBlockIn("b")
+	join := f.NewBlockIn("join")
+
+	bd := ir.NewBuilder(entry)
+	slot := bd.Alloca(ir.I64())
+	bd.CondBr(f.Params[0], a, b)
+
+	bd.SetBlock(a)
+	bd.Store(ir.NewConstInt(ir.I64(), 1), slot)
+	bd.Br(join)
+
+	bd.SetBlock(b)
+	if storeInB {
+		bd.Store(ir.NewConstInt(ir.I64(), 2), slot)
+	}
+	bd.Br(join)
+
+	bd.SetBlock(join)
+	v := bd.Load(slot)
+	bd.Ret(v)
+	return f, slot, v
+}
+
+func TestReachingStoresDiamond(t *testing.T) {
+	// One arm missing its store: the uninitialized definition reaches the
+	// join, so the load is a may-uninit read.
+	f, slot, load := diamondFunc(false)
+	rs := ComputeReachingStores(f, View{})
+	if len(rs.Slots) != 1 || rs.Slots[0] != slot {
+		t.Fatalf("tracked slots = %v, want [%s]", rs.Slots, slot.Ident())
+	}
+	loads := rs.UninitLoads()
+	if len(loads) != 1 || loads[0].Load != load || loads[0].Slot != slot {
+		t.Fatalf("UninitLoads = %v, want the join load", loads)
+	}
+
+	// Both arms storing: no uninit read.
+	f2, _, _ := diamondFunc(true)
+	if loads := ComputeReachingStores(f2, View{}).UninitLoads(); len(loads) != 0 {
+		t.Fatalf("UninitLoads on fully-stored diamond = %v, want none", loads)
+	}
+}
+
+func TestReachingStoresView(t *testing.T) {
+	// Restricting the view to the storing arm hides the uninit read: the
+	// load only observes uninitialized memory on the b path.
+	f, _, _ := diamondFunc(false)
+	entry := f.Entry()
+	aArm := View{Succs: func(b *ir.Block) []*ir.Block {
+		if b == entry {
+			return []*ir.Block{f.Blocks[1]} // a only
+		}
+		return b.Successors()
+	}}
+	if loads := ComputeReachingStores(f, aArm).UninitLoads(); len(loads) != 0 {
+		t.Fatalf("UninitLoads under a-only view = %v, want none", loads)
+	}
+	bArm := View{Succs: func(b *ir.Block) []*ir.Block {
+		if b == entry {
+			return []*ir.Block{f.Blocks[2]} // b only
+		}
+		return b.Successors()
+	}}
+	if loads := ComputeReachingStores(f, bArm).UninitLoads(); len(loads) != 1 {
+		t.Fatalf("UninitLoads under b-only view = %v, want one", loads)
+	}
+}
+
+// loopFunc builds a counted loop where the slot is stored only inside the
+// body — the header load may observe uninitialized memory on iteration 0.
+//
+//	entry:  slot = alloca i64; br header
+//	header: v = load slot; c = icmp slt v, 10; condbr c, body, exit
+//	body:   store 7, slot; br header
+//	exit:   ret v
+func loopFunc(storeInEntry bool) (*ir.Func, *ir.Inst) {
+	f := ir.NewFunc("loop", ir.FuncOf(ir.I64()))
+	entry := f.NewBlockIn("entry")
+	header := f.NewBlockIn("header")
+	body := f.NewBlockIn("body")
+	exit := f.NewBlockIn("exit")
+
+	bd := ir.NewBuilder(entry)
+	slot := bd.Alloca(ir.I64())
+	if storeInEntry {
+		bd.Store(ir.NewConstInt(ir.I64(), 0), slot)
+	}
+	bd.Br(header)
+
+	bd.SetBlock(header)
+	v := bd.Load(slot)
+	c := bd.ICmp(ir.PredSLT, v, ir.NewConstInt(ir.I64(), 10))
+	bd.CondBr(c, body, exit)
+
+	bd.SetBlock(body)
+	bd.Store(ir.NewConstInt(ir.I64(), 7), slot)
+	bd.Br(header)
+
+	bd.SetBlock(exit)
+	bd.Ret(v)
+	return f, v
+}
+
+func TestReachingStoresLoop(t *testing.T) {
+	f, load := loopFunc(false)
+	loads := ComputeReachingStores(f, View{}).UninitLoads()
+	if len(loads) != 1 || loads[0].Load != load {
+		t.Fatalf("UninitLoads = %v, want the header load", loads)
+	}
+	f2, _ := loopFunc(true)
+	if loads := ComputeReachingStores(f2, View{}).UninitLoads(); len(loads) != 0 {
+		t.Fatalf("UninitLoads with entry store = %v, want none", loads)
+	}
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	f, slot, load := diamondFunc(false)
+	l := ComputeLiveness(f)
+
+	entry, a, b, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	// The slot pointer is used in a (store) and join (load): live out of
+	// entry and through both arms.
+	for _, blk := range []*ir.Block{a, b} {
+		if !l.LiveIn(blk, slot) {
+			t.Errorf("slot not live into %%%s", blk.Name())
+		}
+	}
+	if l.LiveIn(entry, slot) {
+		t.Errorf("slot live into entry before its definition")
+	}
+	// The loaded value is consumed by ret inside join: live nowhere else.
+	if l.LiveOut(join, load) || l.LiveIn(join, load) {
+		t.Errorf("load result should be block-local to join")
+	}
+	// The parameter is consumed by entry's branch: dead in the arms.
+	p := f.Params[0]
+	if !l.LiveIn(entry, p) {
+		t.Errorf("param not live into entry")
+	}
+	if l.LiveIn(a, p) || l.LiveIn(b, p) {
+		t.Errorf("param live past its only use")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	f, load := loopFunc(true)
+	l := ComputeLiveness(f)
+	header, body := f.Blocks[1], f.Blocks[2]
+	// The header load feeds the exit ret: live out of the header.
+	if !l.LiveOut(header, load) {
+		t.Errorf("header load not live out of header")
+	}
+	// But the header redefines it every iteration, so the previous value is
+	// dead across the back edge.
+	if l.LiveOut(body, ir.Value(load)) || l.LiveIn(header, load) {
+		t.Errorf("redefined value live across the back edge")
+	}
+}
+
+func TestLivenessPhi(t *testing.T) {
+	// Phi incoming values must be live at the end of their predecessor,
+	// not at the phi block's entry.
+	//
+	//	entry: condbr p, a, b
+	//	a:     x = add 1, 2; br join
+	//	b:     y = add 3, 4; br join
+	//	join:  m = phi [x, a], [y, b]; ret m
+	f := ir.NewFunc("phi", ir.FuncOf(ir.I64(), ir.Bool()))
+	entry := f.NewBlockIn("entry")
+	a := f.NewBlockIn("a")
+	b := f.NewBlockIn("b")
+	join := f.NewBlockIn("join")
+	bd := ir.NewBuilder(entry)
+	bd.CondBr(f.Params[0], a, b)
+	bd.SetBlock(a)
+	x := bd.Add(ir.NewConstInt(ir.I64(), 1), ir.NewConstInt(ir.I64(), 2))
+	bd.Br(join)
+	bd.SetBlock(b)
+	y := bd.Add(ir.NewConstInt(ir.I64(), 3), ir.NewConstInt(ir.I64(), 4))
+	bd.Br(join)
+	bd.SetBlock(join)
+	m := bd.Phi(ir.I64())
+	ir.AddIncoming(m, x, a)
+	ir.AddIncoming(m, y, b)
+	bd.Ret(m)
+
+	l := ComputeLiveness(f)
+	if !l.LiveOut(a, x) || !l.LiveOut(b, y) {
+		t.Errorf("phi incoming values not live out of their predecessors")
+	}
+	if l.LiveIn(join, x) || l.LiveIn(join, y) {
+		t.Errorf("phi incoming values live into the phi block itself")
+	}
+	if l.LiveIn(b, x) || l.LiveIn(a, y) {
+		t.Errorf("phi incoming values live on the wrong arm")
+	}
+}
+
+func TestUnreachableBlocks(t *testing.T) {
+	f, _, _ := diamondFunc(true)
+	if dead := UnreachableBlocks(f); len(dead) != 0 {
+		t.Fatalf("UnreachableBlocks on connected CFG = %v", dead)
+	}
+	// Add an orphan block.
+	orphan := f.NewBlockIn("orphan")
+	bd := ir.NewBuilder(orphan)
+	bd.Ret(ir.NewConstInt(ir.I64(), 0))
+	dead := UnreachableBlocks(f)
+	if len(dead) != 1 || dead[0] != orphan {
+		t.Fatalf("UnreachableBlocks = %v, want [orphan]", dead)
+	}
+}
+
+func TestReachingStoresInvokeEdges(t *testing.T) {
+	// A store before an invoke reaches both the normal continuation and
+	// the landing block; a store that only happens on the normal path does
+	// not reach the landing block.
+	//
+	//	entry:  slot = alloca i64; store 1, slot; invoke @ext() to normal unwind lpad
+	//	normal: store 2, slot; v = load slot; ret v
+	//	lpad:   tok = landingpad cleanup; w = load slot; ret w
+	m := ir.NewModule("t")
+	ext := m.NewFuncIn("ext", ir.FuncOf(ir.Void()))
+	f := m.NewFuncIn("inv", ir.FuncOf(ir.I64()))
+	entry := f.NewBlockIn("entry")
+	normal := f.NewBlockIn("normal")
+	lpad := f.NewBlockIn("lpad")
+
+	bd := ir.NewBuilder(entry)
+	slot := bd.Alloca(ir.I64())
+	st1 := bd.Store(ir.NewConstInt(ir.I64(), 1), slot)
+	bd.Invoke(ext, nil, normal, lpad)
+
+	bd.SetBlock(normal)
+	st2 := bd.Store(ir.NewConstInt(ir.I64(), 2), slot)
+	bd.Ret(bd.Load(slot))
+
+	bd.SetBlock(lpad)
+	bd.LandingPad("cleanup")
+	bd.Ret(bd.Load(slot))
+
+	rs := ComputeReachingStores(f, View{})
+	if loads := rs.UninitLoads(); len(loads) != 0 {
+		t.Fatalf("UninitLoads = %v, want none (entry store dominates)", loads)
+	}
+	if !rs.Reaches(st1, slot, lpad) {
+		t.Errorf("entry store does not reach the landing block")
+	}
+	if rs.Reaches(st2, slot, lpad) {
+		t.Errorf("normal-path store reaches the landing block")
+	}
+}
+
+func TestSolveUnterminatedAndDeclFunc(t *testing.T) {
+	// Analyses must tolerate declarations and not choke on exit blocks.
+	decl := ir.NewFunc("d", ir.FuncOf(ir.Void()))
+	if got := UnreachableBlocks(decl); got != nil {
+		t.Fatalf("UnreachableBlocks(decl) = %v", got)
+	}
+	if got := TrackedSlots(decl); got != nil {
+		t.Fatalf("TrackedSlots(decl) = %v", got)
+	}
+}

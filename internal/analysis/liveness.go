@@ -1,0 +1,175 @@
+package analysis
+
+import "fmsa/internal/ir"
+
+// Liveness is per-block live-value information: which SSA values (parameters
+// and instruction results) may still be read on some path from a program
+// point. A classic backward union problem; gen is the upward-exposed uses of
+// a block, kill its definitions.
+type Liveness struct {
+	// Values numbers every parameter and value-producing instruction of
+	// the function; bit i of a set talks about Values[i].
+	Values []ir.Value
+	index  map[ir.Value]int
+	phiOut map[*ir.Block][]int // value bits successor phis read on edges out of the block
+	res    *Result
+}
+
+// livenessProblem adapts a function to the engine. Phi uses are attributed
+// to the end of the incoming predecessor block (the value must be live on
+// that edge, not at the phi's own block start).
+type livenessProblem struct {
+	l       *Liveness
+	phiUses map[*ir.Block][]int // block -> value bits used by successor phis
+}
+
+func (p *livenessProblem) Direction() Direction { return Backward }
+func (p *livenessProblem) Meet() Meet           { return Union }
+func (p *livenessProblem) NumFacts() int        { return len(p.l.Values) }
+func (p *livenessProblem) Boundary(set *BitSet) {}
+func (p *livenessProblem) Transfer(b *ir.Block, out *BitSet) {
+	panic("analysis: liveness uses GenKill")
+}
+
+func (p *livenessProblem) GenKill(b *ir.Block, gen, kill *BitSet) {
+	// Phi-edge uses sit at the very end of the block, so in a backward walk
+	// they come first: a value defined inside the block and read by a
+	// successor phi must not end up upward-exposed.
+	for _, bit := range p.phiUses[b] {
+		gen.Set(bit)
+	}
+	// Walk backwards so a use before a redefinition in the same block is
+	// upward-exposed but a use after one is not.
+	for i := len(b.Insts) - 1; i >= 0; i-- {
+		in := b.Insts[i]
+		if bit, ok := p.l.index[ir.Value(in)]; ok {
+			kill.Set(bit)
+			gen.Clear(bit)
+		}
+		if in.Op == ir.OpPhi {
+			continue // incoming values live at the predecessor, not here
+		}
+		for _, op := range in.Operands() {
+			if bit, ok := p.l.index[op]; ok {
+				gen.Set(bit)
+			}
+		}
+	}
+}
+
+// ComputeLiveness solves liveness over the full CFG of f.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	l := &Liveness{index: map[ir.Value]int{}}
+	add := func(v ir.Value) {
+		if _, ok := l.index[v]; ok {
+			return
+		}
+		l.index[v] = len(l.Values)
+		l.Values = append(l.Values, v)
+	}
+	for _, p := range f.Params {
+		add(p)
+	}
+	f.Insts(func(in *ir.Inst) {
+		if !in.Type().IsVoid() {
+			add(in)
+		}
+	})
+
+	prob := &livenessProblem{l: l, phiUses: map[*ir.Block][]int{}}
+	f.Insts(func(in *ir.Inst) {
+		if in.Op != ir.OpPhi {
+			return
+		}
+		for i := 0; i < in.NumPhiIncoming(); i++ {
+			v, pred := in.PhiIncoming(i)
+			if bit, ok := l.index[v]; ok {
+				prob.phiUses[pred] = append(prob.phiUses[pred], bit)
+			}
+		}
+	})
+	l.phiOut = prob.phiUses
+	l.res = Solve(f, prob)
+	return l
+}
+
+// LiveIn reports whether v may be read on some path starting at the
+// beginning of b. Unreachable blocks report false.
+func (l *Liveness) LiveIn(b *ir.Block, v ir.Value) bool {
+	set := l.res.In(b)
+	if set == nil {
+		return false
+	}
+	bit, ok := l.index[v]
+	return ok && set.Get(bit)
+}
+
+// LiveOut reports whether v may be read on some path leaving b. The meet
+// over successor live-ins deliberately excludes phi incomings (a phi's
+// operand for this edge is not live at the successor's start), so edge uses
+// recorded per predecessor are unioned back in here.
+func (l *Liveness) LiveOut(b *ir.Block, v ir.Value) bool {
+	set := l.res.Out(b)
+	if set == nil {
+		return false
+	}
+	bit, ok := l.index[v]
+	if !ok {
+		return false
+	}
+	if set.Get(bit) {
+		return true
+	}
+	for _, pb := range l.phiOut[b] {
+		if pb == bit {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveInSet returns the values live at the start of b.
+func (l *Liveness) LiveInSet(b *ir.Block) []ir.Value {
+	return l.values(l.res.In(b))
+}
+
+// LiveOutSet returns the values live at the end of b, including values read
+// by successor phis on edges out of b.
+func (l *Liveness) LiveOutSet(b *ir.Block) []ir.Value {
+	set := l.res.Out(b)
+	if set == nil {
+		return nil
+	}
+	if phis := l.phiOut[b]; len(phis) > 0 {
+		set = set.Clone()
+		for _, bit := range phis {
+			set.Set(bit)
+		}
+	}
+	return l.values(set)
+}
+
+func (l *Liveness) values(set *BitSet) []ir.Value {
+	if set == nil {
+		return nil
+	}
+	var vs []ir.Value
+	set.ForEach(func(i int) { vs = append(vs, l.Values[i]) })
+	return vs
+}
+
+// DeadInsts returns value-producing, side-effect-free instructions whose
+// results are never used — candidates the liveness analysis proves
+// removable (the dynamic counterpart of passes.DCE's use-count test).
+func DeadInsts(f *ir.Func) []*ir.Inst {
+	var dead []*ir.Inst
+	f.Insts(func(in *ir.Inst) {
+		if in.Op.HasSideEffects() || in.IsTerminator() || in.Type().IsVoid() {
+			return
+		}
+		if in.NumUses() == 0 {
+			dead = append(dead, in)
+		}
+	})
+	return dead
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import "fmsa/internal/ir"
+
+// ReachingStores is a forward may-analysis over the stores of non-escaping
+// alloca slots: which store (or the synthetic "uninitialized" definition a
+// slot is born with) may provide the value observed at a program point.
+// It powers load-before-store detection — the failure mode φ-demotion plus
+// merging can introduce, where a demoted slot is read on a path that never
+// stored to it.
+type ReachingStores struct {
+	// Slots lists the tracked allocas: slots whose address never escapes
+	// (every use is a load from it or a store to it).
+	Slots []*ir.Inst
+
+	slotIdx    map[*ir.Inst]int
+	uninitBit  []int         // per-slot synthetic definition
+	storeBit   map[*ir.Inst]int
+	slotOfBit  []int         // fact -> slot
+	defsOfSlot [][]int       // slot -> all its fact bits
+	res        *Result
+}
+
+func (r *ReachingStores) Direction() Direction { return Forward }
+func (r *ReachingStores) Meet() Meet           { return Union }
+func (r *ReachingStores) NumFacts() int        { return len(r.slotOfBit) }
+
+// Boundary: at function entry every slot holds its uninitialized
+// definition.
+func (r *ReachingStores) Boundary(set *BitSet) {
+	for _, bit := range r.uninitBit {
+		set.Set(bit)
+	}
+}
+
+func (r *ReachingStores) Transfer(b *ir.Block, out *BitSet) {
+	panic("analysis: reaching stores uses GenKill")
+}
+
+func (r *ReachingStores) GenKill(b *ir.Block, gen, kill *BitSet) {
+	for _, in := range b.Insts {
+		slot, ok := r.storeTarget(in)
+		if !ok {
+			continue
+		}
+		// Later stores in the block overwrite earlier ones to the same
+		// slot, so clear only this slot's previously genned defs — the
+		// accumulated kill set also covers other slots whose gens must
+		// survive.
+		for _, bit := range r.defsOfSlot[slot] {
+			kill.Set(bit)
+			gen.Clear(bit)
+		}
+		gen.Set(r.storeBit[in])
+	}
+}
+
+// storeTarget returns the tracked slot index a store writes, if any.
+func (r *ReachingStores) storeTarget(in *ir.Inst) (int, bool) {
+	if in.Op != ir.OpStore {
+		return 0, false
+	}
+	slot, ok := in.Operand(1).(*ir.Inst)
+	if !ok {
+		return 0, false
+	}
+	idx, ok := r.slotIdx[slot]
+	return idx, ok
+}
+
+// loadSource returns the tracked slot index a load reads, if any.
+func (r *ReachingStores) loadSource(in *ir.Inst) (int, bool) {
+	if in.Op != ir.OpLoad {
+		return 0, false
+	}
+	slot, ok := in.Operand(0).(*ir.Inst)
+	if !ok {
+		return 0, false
+	}
+	idx, ok := r.slotIdx[slot]
+	return idx, ok
+}
+
+// TrackedSlots returns the non-escaping alloca slots of f: allocas used
+// exclusively as the pointer operand of loads and stores. A slot whose
+// address is passed to a call, stored elsewhere, GEP'd or cast may be
+// written through an alias, so it cannot be reasoned about store-by-store.
+func TrackedSlots(f *ir.Func) []*ir.Inst {
+	var slots []*ir.Inst
+	f.Insts(func(in *ir.Inst) {
+		if in.Op != ir.OpAlloca {
+			return
+		}
+		for _, u := range in.Uses() {
+			switch {
+			case u.User.Op == ir.OpLoad && u.Index == 0:
+			case u.User.Op == ir.OpStore && u.Index == 1:
+			default:
+				return // address escapes
+			}
+		}
+		slots = append(slots, in)
+	})
+	return slots
+}
+
+// ComputeReachingStores solves reaching stores for f's tracked slots over
+// the given CFG view.
+func ComputeReachingStores(f *ir.Func, view View) *ReachingStores {
+	r := &ReachingStores{
+		Slots:    TrackedSlots(f),
+		slotIdx:  map[*ir.Inst]int{},
+		storeBit: map[*ir.Inst]int{},
+	}
+	for i, s := range r.Slots {
+		r.slotIdx[s] = i
+	}
+	r.uninitBit = make([]int, len(r.Slots))
+	r.defsOfSlot = make([][]int, len(r.Slots))
+	addFact := func(slot int) int {
+		bit := len(r.slotOfBit)
+		r.slotOfBit = append(r.slotOfBit, slot)
+		r.defsOfSlot[slot] = append(r.defsOfSlot[slot], bit)
+		return bit
+	}
+	for i := range r.Slots {
+		r.uninitBit[i] = addFact(i)
+	}
+	f.Insts(func(in *ir.Inst) {
+		if in.Op != ir.OpStore {
+			return
+		}
+		if slot, ok := in.Operand(1).(*ir.Inst); ok {
+			if idx, tracked := r.slotIdx[slot]; tracked {
+				r.storeBit[in] = addFact(idx)
+			}
+		}
+	})
+	r.res = SolveView(f, r, view)
+	return r
+}
+
+// UninitLoad is a load that may observe a slot's uninitialized definition.
+type UninitLoad struct {
+	// Load reads the slot.
+	Load *ir.Inst
+	// Slot is the alloca whose synthetic definition reaches the load.
+	Slot *ir.Inst
+}
+
+// UninitLoads returns every load (in the analysed view, in layout order)
+// that the uninitialized definition of its slot may reach: on some path
+// from the entry the slot is read before any store to it.
+func (r *ReachingStores) UninitLoads() []UninitLoad {
+	var out []UninitLoad
+	cur := NewBitSet(r.NumFacts())
+	for _, b := range r.res.Order {
+		cur.CopyFrom(r.res.In(b))
+		for _, in := range b.Insts {
+			if slot, ok := r.loadSource(in); ok && cur.Get(r.uninitBit[slot]) {
+				out = append(out, UninitLoad{Load: in, Slot: r.Slots[slot]})
+			}
+			if slot, ok := r.storeTarget(in); ok {
+				for _, bit := range r.defsOfSlot[slot] {
+					cur.Clear(bit)
+				}
+				cur.Set(r.storeBit[in])
+			}
+		}
+	}
+	return out
+}
+
+// Reaches reports whether the given store (or, when store is nil, the
+// slot's uninitialized definition) may reach the start of b.
+func (r *ReachingStores) Reaches(store *ir.Inst, slot *ir.Inst, b *ir.Block) bool {
+	set := r.res.In(b)
+	if set == nil {
+		return false
+	}
+	if store == nil {
+		idx, ok := r.slotIdx[slot]
+		return ok && set.Get(r.uninitBit[idx])
+	}
+	bit, ok := r.storeBit[store]
+	return ok && set.Get(bit)
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import "fmsa/internal/ir"
+
+// ReachableBlocks returns the set of blocks reachable from f's entry under
+// the view.
+func ReachableBlocks(f *ir.Func, view View) map[*ir.Block]bool {
+	if f.IsDecl() {
+		return nil
+	}
+	seen := map[*ir.Block]bool{}
+	stack := []*ir.Block{f.Entry()}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, s := range view.succs(b) {
+			if !seen[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// UnreachableBlocks returns f's blocks that no path from the entry reaches,
+// in layout order. Such blocks are dead weight the cost model still counts
+// and a symptom of broken control-flow surgery (e.g. a dropped discriminator
+// branch disconnecting one variant's code).
+func UnreachableBlocks(f *ir.Func) []*ir.Block {
+	if f.IsDecl() {
+		return nil
+	}
+	reach := ReachableBlocks(f, View{})
+	var dead []*ir.Block
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			dead = append(dead, b)
+		}
+	}
+	return dead
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+// AuditRow is the audit sweep's per-benchmark outcome.
+type AuditRow struct {
+	// Bench names the workload profile.
+	Bench string `json:"bench"`
+	// MergeOps is how many merges the exploration committed.
+	MergeOps int `json:"merge_ops"`
+	// Audited, Flagged, Escalated and Rejected are the audit counters
+	// (see explore.Report).
+	Audited   int `json:"audited"`
+	Flagged   int `json:"flagged"`
+	Escalated int `json:"escalated,omitempty"`
+	Rejected  int `json:"rejected,omitempty"`
+	// Diags holds the rendered diagnostics, empty on a clean run.
+	Diags []string `json:"diags,omitempty"`
+	// AuditNs is the time spent in the audit phase.
+	AuditNs int64 `json:"audit_ns"`
+}
+
+// AuditResult summarizes one audit sweep for the -json trajectory file.
+type AuditResult struct {
+	// Suite names the swept workload suite.
+	Suite string `json:"suite"`
+	// Mode is the audit mode the sweep ran under.
+	Mode string `json:"mode"`
+	// Threshold is the exploration threshold t.
+	Threshold int `json:"threshold"`
+	// Rows are the per-benchmark outcomes.
+	Rows []AuditRow `json:"rows"`
+	// MergeOps, Audited, Flagged, Escalated and Rejected sum over Rows.
+	MergeOps  int `json:"merge_ops"`
+	Audited   int `json:"audited"`
+	Flagged   int `json:"flagged"`
+	Escalated int `json:"escalated,omitempty"`
+	Rejected  int `json:"rejected,omitempty"`
+}
+
+// AuditSweep explores every profile with merge auditing enabled and collects
+// the audit counters and diagnostics. A healthy merger yields Flagged == 0
+// everywhere; scripts/check.sh gates on exactly that.
+func AuditSweep(profiles []workload.Profile, target tti.Target, threshold int, mode explore.AuditMode) AuditResult {
+	res := AuditResult{Suite: suiteName(profiles), Mode: mode.String(), Threshold: threshold}
+	for _, p := range profiles {
+		m := workload.Build(p)
+		opts := explore.DefaultOptions()
+		opts.Threshold = threshold
+		opts.Target = target
+		opts.Audit = mode
+		rep := explore.Run(m, opts)
+		row := AuditRow{
+			Bench:     p.Name,
+			MergeOps:  rep.MergeOps,
+			Audited:   rep.AuditedMerges,
+			Flagged:   rep.AuditFlagged,
+			Escalated: rep.AuditEscalated,
+			Rejected:  rep.AuditRejected,
+			AuditNs:   rep.Phases.Audit.Nanoseconds(),
+		}
+		for _, d := range rep.AuditDiags {
+			row.Diags = append(row.Diags, d.String())
+		}
+		res.Rows = append(res.Rows, row)
+		res.MergeOps += row.MergeOps
+		res.Audited += row.Audited
+		res.Flagged += row.Flagged
+		res.Escalated += row.Escalated
+		res.Rejected += row.Rejected
+	}
+	return res
+}
+
+// FormatAuditTable renders an audit sweep as a text table, with any
+// diagnostics listed underneath their benchmark.
+func FormatAuditTable(res AuditResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %9s %9s %9s %9s %9s %10s\n",
+		"benchmark", "merges", "audited", "flagged", "escalated", "rejected", "audit-ms")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&sb, "%-18s %9d %9d %9d %9d %9d %10.1f\n",
+			r.Bench, r.MergeOps, r.Audited, r.Flagged, r.Escalated, r.Rejected,
+			float64(r.AuditNs)/1e6)
+		for _, d := range r.Diags {
+			fmt.Fprintf(&sb, "    %s\n", d)
+		}
+	}
+	fmt.Fprintf(&sb, "%-18s %9d %9d %9d %9d %9d\n",
+		"total", res.MergeOps, res.Audited, res.Flagged, res.Escalated, res.Rejected)
+	return sb.String()
+}

@@ -1,0 +1,185 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+
+	"fmsa/internal/analysis"
+	"fmsa/internal/core"
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+)
+
+// AuditMode selects how much merge auditing the explorer performs.
+type AuditMode int
+
+const (
+	// AuditOff performs no auditing (the default; matches the paper's
+	// pipeline and keeps timing experiments comparable).
+	AuditOff AuditMode = iota
+	// AuditCommitted statically audits every merge that is about to be
+	// committed and records the diagnostics in the report. Flagged merges
+	// still commit — the mode is an observability gate, not a filter.
+	AuditCommitted
+	// AuditDeep additionally escalates statically flagged merges to
+	// differential interpretation against the pre-merge originals; a merge
+	// whose behavior observably diverges is rejected instead of committed.
+	AuditDeep
+)
+
+// ParseAuditMode parses the -audit CLI value.
+func ParseAuditMode(s string) (AuditMode, error) {
+	switch s {
+	case "", "off":
+		return AuditOff, nil
+	case "committed":
+		return AuditCommitted, nil
+	case "deep":
+		return AuditDeep, nil
+	}
+	return AuditOff, fmt.Errorf("unknown audit mode %q (want off, committed or deep)", s)
+}
+
+func (m AuditMode) String() string {
+	switch m {
+	case AuditCommitted:
+		return "committed"
+	case AuditDeep:
+		return "deep"
+	}
+	return "off"
+}
+
+// auditInput adapts a merge result to the analysis package (which must not
+// import core). The audit runs before Commit, while the original bodies are
+// still intact.
+func auditInput(res *core.Result) analysis.MergeAudit {
+	return analysis.MergeAudit{
+		Merged:    res.Merged,
+		F1:        res.F1,
+		F2:        res.F2,
+		HasFuncID: res.HasFuncID,
+		ParamMap1: res.ParamMap1,
+		ParamMap2: res.ParamMap2,
+	}
+}
+
+// audit statically checks a winning candidate and, in deep mode, escalates
+// findings to differential execution. It reports whether the merge may be
+// committed.
+func (r *runner) audit(res *core.Result) bool {
+	r.rep.AuditedMerges++
+	diags := analysis.AuditMerge(auditInput(res))
+	if len(diags) == 0 {
+		return true
+	}
+	if os.Getenv("FMSA_DBG") != "" {
+		fmt.Println("==== flagged at audit time ====")
+		fmt.Println(analysis.FormatDiagnostics(diags))
+		fmt.Println(ir.FormatFunc(res.Merged))
+		fmt.Println("---- F1 ----")
+		fmt.Println(ir.FormatFunc(res.F1))
+		fmt.Println("---- F2 ----")
+		fmt.Println(ir.FormatFunc(res.F2))
+	}
+	r.rep.AuditFlagged++
+	r.rep.AuditDiags = append(r.rep.AuditDiags, diags...)
+	if r.opts.Audit != AuditDeep {
+		return true
+	}
+	r.rep.AuditEscalated++
+	if differentialMiscompile(r.m, res) {
+		r.rep.AuditRejected++
+		return false
+	}
+	return true
+}
+
+// differentialMiscompile interprets each original function and the merged
+// function on a small deterministic argument matrix and reports whether any
+// run observably diverges. Runs that error on either side (externals,
+// pointer dereferences of synthetic arguments, ...) are inconclusive and
+// never reject — only a confirmed behavioral difference does.
+func differentialMiscompile(m *ir.Module, res *core.Result) bool {
+	type variant struct {
+		id   bool
+		orig *ir.Func
+		pmap []int
+	}
+	for _, v := range []variant{
+		{true, res.F1, res.ParamMap1},
+		{false, res.F2, res.ParamMap2},
+	} {
+		for _, args := range argMatrix(v.orig) {
+			if divergesOn(m, res, v.id, v.orig, v.pmap, args) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// argMatrix yields a few deterministic argument vectors for f. Pointer
+// parameters are passed null: a dereference errors out in the interpreter
+// and the run counts as inconclusive.
+func argMatrix(f *ir.Func) [][]interp.Word {
+	patterns := []func(i int) interp.Word{
+		func(int) interp.Word { return 0 },
+		func(int) interp.Word { return 1 },
+		func(i int) interp.Word { return interp.Word(3 + 2*i) },
+	}
+	out := make([][]interp.Word, 0, len(patterns))
+	for _, pat := range patterns {
+		args := make([]interp.Word, len(f.Params))
+		for i, p := range f.Params {
+			switch {
+			case p.Type().IsPointer():
+				args[i] = 0
+			case p.Type().IsFloat() && p.Type().Bits == 32:
+				args[i] = uint64(interp.F32(float32(pat(i))))
+			case p.Type().IsFloat():
+				args[i] = interp.F64(float64(pat(i)))
+			default:
+				args[i] = pat(i)
+			}
+		}
+		out = append(out, args)
+	}
+	return out
+}
+
+// divergesOn runs one original/merged pair on one argument vector. Fresh
+// machines isolate global state between the two runs.
+func divergesOn(m *ir.Module, res *core.Result, id bool, orig *ir.Func, pmap []int, args []interp.Word) bool {
+	want, err := interp.NewMachine(m).CallFunc(orig, args)
+	if err != nil {
+		return false // inconclusive
+	}
+	margs := make([]interp.Word, len(res.Merged.Params))
+	if res.HasFuncID {
+		if id {
+			margs[0] = 1
+		}
+	}
+	for i, a := range args {
+		margs[pmap[i]] = a
+	}
+	got, err := interp.NewMachine(m).CallFunc(res.Merged, margs)
+	if err != nil {
+		return true // the original succeeded; the merged body must too
+	}
+	rt := orig.ReturnType()
+	if rt.IsVoid() {
+		return false
+	}
+	// Compare modulo the original's return width (the merged return type
+	// may be wider; callers truncate).
+	if rt.IsInt() && rt.Bits < 64 {
+		mask := uint64(1)<<rt.Bits - 1
+		return want&mask != got&mask
+	}
+	if rt.IsFloat() && rt.Bits == 32 {
+		return uint32(want) != uint32(got)
+	}
+	return want != got
+}

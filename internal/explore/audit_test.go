@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"testing"
+
+	"fmsa/internal/analysis"
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+func TestParseAuditMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want AuditMode
+		err  bool
+	}{
+		{"", AuditOff, false},
+		{"off", AuditOff, false},
+		{"committed", AuditCommitted, false},
+		{"deep", AuditDeep, false},
+		{"bogus", AuditOff, true},
+	} {
+		got, err := ParseAuditMode(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseAuditMode(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+		if err == nil && got.String() != "" && got != AuditOff {
+			if back, _ := ParseAuditMode(got.String()); back != got {
+				t.Errorf("AuditMode round-trip failed for %v", got)
+			}
+		}
+	}
+}
+
+// auditProfiles returns the corpus the clean-audit sweep covers: everything
+// in full runs, a fast subset under -short.
+func auditProfiles() []workload.Profile {
+	var ps []workload.Profile
+	ps = append(ps, workload.UnscaledSmall()...)
+	ps = append(ps, workload.SPECLike()...)
+	ps = append(ps, workload.MiBenchLike()...)
+	return ps
+}
+
+// TestAuditCleanCorpus is the auditor's soundness gate: committed-mode
+// exploration across the whole workload corpus must report zero diagnostics
+// — any finding is either a merger bug or an auditor false positive, and
+// both block. scripts/check.sh runs this sweep explicitly.
+func TestAuditCleanCorpus(t *testing.T) {
+	profiles := auditProfiles()
+	if testing.Short() {
+		profiles = profiles[:4]
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m := workload.Build(p)
+			opts := DefaultOptions()
+			opts.Threshold = 2
+			opts.Audit = AuditCommitted
+			rep := Run(m, opts)
+			if err := ir.VerifyModule(m); err != nil {
+				t.Fatalf("post-verify: %v", err)
+			}
+			if rep.MergeOps > 0 && rep.AuditedMerges == 0 {
+				t.Fatalf("%d merges committed but none audited", rep.MergeOps)
+			}
+			if len(rep.AuditDiags) != 0 {
+				t.Errorf("audit flagged %d/%d merges:\n%s", rep.AuditFlagged,
+					rep.AuditedMerges, analysis.FormatDiagnostics(rep.AuditDiags))
+			}
+		})
+	}
+}
+
+// TestAuditDeepMatchesCommitted: on a clean corpus sample deep mode must
+// never escalate (nothing is flagged), so its merge sequence equals
+// committed mode's.
+func TestAuditDeepMatchesCommitted(t *testing.T) {
+	build := func(mode AuditMode) *Report {
+		m := workload.Build(demoProfile(7))
+		opts := DefaultOptions()
+		opts.Threshold = 5
+		opts.Audit = mode
+		return Run(m, opts)
+	}
+	com := build(AuditCommitted)
+	deep := build(AuditDeep)
+	if com.MergeOps != deep.MergeOps || deep.AuditEscalated != 0 || deep.AuditRejected != 0 {
+		t.Errorf("deep mode diverged on a clean corpus: ops %d vs %d, escalated %d, rejected %d",
+			com.MergeOps, deep.MergeOps, deep.AuditEscalated, deep.AuditRejected)
+	}
+}

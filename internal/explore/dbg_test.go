@@ -1,0 +1,33 @@
+package explore
+
+import (
+	"os"
+	"testing"
+
+	"fmsa/internal/workload"
+)
+
+// TestDbgAuditProfile is triage scaffolding: with FMSA_DBG=1 and
+// FMSA_DBG_PROFILE=<name> it explores one corpus profile with auditing on,
+// and runner.audit dumps every flagged merge (merged body plus originals) at
+// audit time — after exploration the function may already have been consumed
+// by a later merge. Skipped in normal runs.
+func TestDbgAuditProfile(t *testing.T) {
+	if os.Getenv("FMSA_DBG") == "" {
+		t.Skip("set FMSA_DBG=1 and FMSA_DBG_PROFILE to run")
+	}
+	name := os.Getenv("FMSA_DBG_PROFILE")
+	for _, p := range auditProfiles() {
+		if p.Name != name {
+			continue
+		}
+		m := workload.Build(p)
+		opts := DefaultOptions()
+		opts.Threshold = 2
+		opts.Audit = AuditCommitted
+		rep := Run(m, opts)
+		t.Logf("profile %s: %d merges, %d flagged", name, rep.MergeOps, rep.AuditFlagged)
+		return
+	}
+	t.Fatalf("profile %q not found", name)
+}

@@ -16,6 +16,7 @@ package explore
 import (
 	"time"
 
+	"fmsa/internal/analysis"
 	"fmsa/internal/core"
 	"fmsa/internal/fingerprint"
 	"fmsa/internal/ir"
@@ -58,6 +59,12 @@ type Options struct {
 	// committed merge sequence, the report and the final module are
 	// identical for every value.
 	Workers int
+	// Audit gates winning candidates through the static merge auditor
+	// (analysis.AuditMerge) before they commit. AuditCommitted records
+	// diagnostics; AuditDeep additionally rejects merges whose flagged
+	// behavior a differential interpretation run confirms. Auditing is
+	// deterministic, so the Workers invariance holds in every mode.
+	Audit AuditMode
 }
 
 // DefaultOptions returns the paper's default configuration (t=1, Intel
@@ -82,11 +89,14 @@ type Phases struct {
 	Align       time.Duration
 	CodeGen     time.Duration
 	UpdateCalls time.Duration
+	// Audit is the time spent in the static merge auditor (plus deep-mode
+	// differential runs). Zero when Options.Audit is AuditOff.
+	Audit time.Duration
 }
 
 // Total sums all phases.
 func (p Phases) Total() time.Duration {
-	return p.Fingerprint + p.Ranking + p.Linearize + p.Align + p.CodeGen + p.UpdateCalls
+	return p.Fingerprint + p.Ranking + p.Linearize + p.Align + p.CodeGen + p.UpdateCalls + p.Audit
 }
 
 // MergeRecord describes one committed merge operation.
@@ -120,6 +130,18 @@ type Report struct {
 	SizeBefore, SizeAfter int
 	// Phases is the per-phase time breakdown.
 	Phases Phases
+	// AuditedMerges counts winning candidates run through the auditor.
+	AuditedMerges int
+	// AuditFlagged counts audited merges with at least one diagnostic.
+	AuditFlagged int
+	// AuditEscalated counts flagged merges escalated to differential
+	// interpretation (deep mode only).
+	AuditEscalated int
+	// AuditRejected counts merges rejected as confirmed miscompiles (deep
+	// mode only).
+	AuditRejected int
+	// AuditDiags lists every diagnostic the auditor produced.
+	AuditDiags []analysis.Diagnostic
 }
 
 // Add folds a later pipeline stage's report into r: counts accumulate,
@@ -139,6 +161,12 @@ func (r *Report) Add(later *Report) {
 	r.Phases.Align += later.Phases.Align
 	r.Phases.CodeGen += later.Phases.CodeGen
 	r.Phases.UpdateCalls += later.Phases.UpdateCalls
+	r.Phases.Audit += later.Phases.Audit
+	r.AuditedMerges += later.AuditedMerges
+	r.AuditFlagged += later.AuditFlagged
+	r.AuditEscalated += later.AuditEscalated
+	r.AuditRejected += later.AuditRejected
+	r.AuditDiags = append(r.AuditDiags, later.AuditDiags...)
 }
 
 // Reduction returns the relative code-size reduction in percent.
@@ -256,6 +284,17 @@ func Run(m *ir.Module, opts Options) *Report {
 		r.rep.CandidatesEvaluated += evaluated
 		if win.res == nil {
 			continue
+		}
+		// Audit gate: statically check the winner before it commits (the
+		// originals must still be intact). Deep mode may reject it.
+		if r.opts.Audit != AuditOff {
+			tAudit := time.Now()
+			ok := r.audit(win.res)
+			r.rep.Phases.Audit += time.Since(tAudit)
+			if !ok {
+				win.res.Discard()
+				continue
+			}
 		}
 		if r.opts.Oracle {
 			r.commit(win.res, win.profit, 0)

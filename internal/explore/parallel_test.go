@@ -49,6 +49,18 @@ func TestParallelDeterminism(t *testing.T) {
 			return o
 		}()},
 		{"oracle-unbounded", func() Options { o := DefaultOptions(); o.Oracle = true; return o }()},
+		{"greedy-audit", func() Options {
+			o := DefaultOptions()
+			o.Threshold = 5
+			o.Audit = AuditCommitted
+			return o
+		}()},
+		{"greedy-audit-deep", func() Options {
+			o := DefaultOptions()
+			o.Threshold = 5
+			o.Audit = AuditDeep
+			return o
+		}()},
 	}
 	for _, cfg := range configs {
 		t.Run(cfg.name, func(t *testing.T) {
@@ -73,6 +85,14 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 			if serial.SizeAfter != par.SizeAfter {
 				t.Errorf("final size diverges: %d vs %d", serial.SizeAfter, par.SizeAfter)
+			}
+			if serial.AuditedMerges != par.AuditedMerges ||
+				serial.AuditFlagged != par.AuditFlagged ||
+				serial.AuditRejected != par.AuditRejected ||
+				!reflect.DeepEqual(serial.AuditDiags, par.AuditDiags) {
+				t.Errorf("audit results diverge: %d/%d/%d vs %d/%d/%d",
+					serial.AuditedMerges, serial.AuditFlagged, serial.AuditRejected,
+					par.AuditedMerges, par.AuditFlagged, par.AuditRejected)
 			}
 			if serialMod != parMod {
 				t.Error("final module text diverges between Workers=1 and Workers=8")

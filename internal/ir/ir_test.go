@@ -387,6 +387,39 @@ func TestVerifyCatchesBadIR(t *testing.T) {
 	}
 }
 
+// TestVerifyPhiIncomingMultiplicity: a conditional branch with both arms on
+// the same target contributes TWO edges, so a phi in the target needs two
+// incoming entries for that predecessor — one is a verifier error that a
+// presence-only check would miss.
+func TestVerifyPhiIncomingMultiplicity(t *testing.T) {
+	build := func(entries int) *Func {
+		m := NewModule("phi")
+		f := m.NewFuncIn("f", FuncOf(I32(), Bool()))
+		e := f.NewBlockIn("entry")
+		join := f.NewBlockIn("join")
+		NewBuilder(e).CondBr(f.Params[0], join, join)
+		args := make([]Value, 0, 2*entries)
+		for i := 0; i < entries; i++ {
+			args = append(args, NewConstInt(I32(), int64(i)), Value(e))
+		}
+		phi := NewInst(OpPhi, I32(), args...)
+		join.Append(phi)
+		NewBuilder(join).Ret(phi)
+		return f
+	}
+	if err := VerifyFunc(build(2)); err != nil {
+		t.Errorf("two entries for a double edge should verify, got: %v", err)
+	}
+	if err := VerifyFunc(build(1)); err == nil {
+		t.Error("one incoming entry for a double edge not caught")
+	} else if !strings.Contains(err.Error(), "one per edge") {
+		t.Errorf("wrong error for under-counted phi: %v", err)
+	}
+	if err := VerifyFunc(build(3)); err == nil {
+		t.Error("three incoming entries for a double edge not caught")
+	}
+}
+
 func TestDomTree(t *testing.T) {
 	m := MustParseModule("d", `
 define void @f(i1 %c) {

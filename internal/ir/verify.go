@@ -72,7 +72,10 @@ func VerifyFunc(f *Func) error {
 		errf("entry block has predecessors")
 	}
 
-	// Phi incoming blocks must exactly cover predecessors.
+	// Phi incoming entries must exactly cover predecessors, counting
+	// multiplicity: a block reaching b through two edges (e.g. both arms of
+	// a conditional branch) needs two incoming entries, and presence alone
+	// would miss a phi with one entry too few or too many for such an edge.
 	for _, b := range f.Blocks {
 		preds := b.Preds()
 		predSet := map[*Block]int{}
@@ -85,9 +88,13 @@ func VerifyFunc(f *Func) error {
 				_, pb := phi.PhiIncoming(i)
 				seen[pb]++
 			}
-			for p := range predSet {
-				if seen[p] == 0 {
+			for p, want := range predSet {
+				switch have := seen[p]; {
+				case have == 0:
 					errf("block %%%s: phi missing incoming for predecessor %%%s", b.Name(), p.Name())
+				case have != want:
+					errf("block %%%s: phi has %d incoming entries for predecessor %%%s, want %d (one per edge)",
+						b.Name(), have, p.Name(), want)
 				}
 			}
 			for p := range seen {

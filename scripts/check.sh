@@ -1,12 +1,18 @@
 #!/bin/sh
-# Tier-1 gate plus the race-enabled suite. The parallel exploration
-# pipeline must stay deterministic and data-race-free; run this before
-# every commit that touches internal/explore, internal/ir or
-# internal/align.
+# Tier-1 gate: vet + build + repo linter + race-enabled suite + merge-audit
+# sweep. The parallel exploration pipeline must stay deterministic and
+# data-race-free; the concurrency invariants the compiler cannot see
+# (use-list locking, pool get/put pairing) are enforced by scripts/lint;
+# and the static merge auditor must report zero diagnostics across the
+# whole workload corpus — any finding is either a merger bug or an auditor
+# false positive, and both block. Run this before every commit that touches
+# internal/explore, internal/ir, internal/align or internal/analysis.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
+go run ./scripts/lint
 go test -race ./...
+go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/

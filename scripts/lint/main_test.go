@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintRepoIsClean(t *testing.T) {
+	root := "../.."
+	if bad := lintUseLists(filepath.Join(root, "internal", "ir")); len(bad) != 0 {
+		t.Errorf("use-list lint on the repo: %v", bad)
+	}
+	for _, dir := range []string{"align", "linearize"} {
+		if bad := lintPools(filepath.Join(root, "internal", dir)); len(bad) != 0 {
+			t.Errorf("pool lint on internal/%s: %v", dir, bad)
+		}
+	}
+}
+
+func TestLintUseListMutation(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "value.go", `package ir
+type usable struct{ uses []int }
+func (u *usable) addUse(x int) { u.uses = append(u.uses, x) }
+`)
+	write(t, dir, "rogue.go", `package ir
+func rogue(u *usable) {
+	u.addUse(1)
+	u.uses = nil
+	_ = &u.uses
+}
+func reader(u *usable) int { return len(u.uses) }
+`)
+	bad := lintUseLists(dir)
+	if len(bad) != 3 {
+		t.Fatalf("want 3 violations (call, assign, address-of), got %d: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if !strings.Contains(b, "rogue.go") {
+			t.Errorf("violation outside rogue.go: %s", b)
+		}
+	}
+}
+
+func TestLintPoolPairing(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "pool.go", `package p
+import "sync"
+var bufPool sync.Pool
+func getBuf(n int) []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+func putBuf(s []byte) { bufPool.Put(&s) }
+`)
+	// ok.go: paired, handed off, and transitively handed off uses.
+	write(t, dir, "ok.go", `package p
+func paired() {
+	b := getBuf(8)
+	_ = b
+	putBuf(b)
+}
+func handoff() []byte {
+	b := getBuf(8)
+	return b[:4]
+}
+func transitive() {
+	b := handoff()
+	putBuf(b)
+}
+`)
+	if bad := lintPools(dir); len(bad) != 0 {
+		t.Fatalf("clean package flagged: %v", bad)
+	}
+
+	// leak.go: a get with neither put nor return.
+	write(t, dir, "leak.go", `package p
+func leak() int {
+	b := getBuf(8)
+	return len(b)
+}
+`)
+	bad := lintPools(dir)
+	if len(bad) != 1 || !strings.Contains(bad[0], "leak") {
+		t.Fatalf("want 1 leak violation, got: %v", bad)
+	}
+}
+
+func TestLintPoolDiscardedGet(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "pool.go", `package p
+import "sync"
+var bufPool sync.Pool
+func discard() { bufPool.Get() }
+`)
+	bad := lintPools(dir)
+	if len(bad) != 1 || !strings.Contains(bad[0], "discarded") {
+		t.Fatalf("want 1 discarded-get violation, got: %v", bad)
+	}
+}
