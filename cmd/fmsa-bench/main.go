@@ -6,7 +6,7 @@
 //	fmsa-bench -exp all -csv results/
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
-// ablation, hotexclusion, perf, audit, all.
+// ablation, hotexclusion, perf, rank, audit, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
@@ -14,6 +14,13 @@
 // performance trajectory across revisions:
 //
 //	fmsa-bench -exp perf -workers 8 -json BENCH_explore.json
+//
+// The rank experiment compares the exact quadratic candidate ranking with
+// the sub-quadratic MinHash/LSH index on identical pools — per-corpus wall
+// time, probe counts and top-1 recall as JSON lines — and fails if the
+// aggregate LSH recall drops below 0.95:
+//
+//	fmsa-bench -exp rank -json BENCH_rank.json
 package main
 
 import (
@@ -37,8 +44,9 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write CSV files to this directory")
 		quickly   = flag.Bool("quick", false, "subsample the suites for a fast smoke run")
 		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores)")
-		jsonPath  = flag.String("json", "", "append experiment JSON lines (perf, audit) to this file")
+		jsonPath  = flag.String("json", "", "append experiment JSON lines (perf, rank, audit) to this file")
 		auditMode = flag.String("audit", "committed", "audit experiment mode: committed or deep")
+		ranking   = flag.String("ranking", "exact", "perf experiment candidate ranking: exact or lsh")
 	)
 	flag.Parse()
 
@@ -188,18 +196,51 @@ func main() {
 	if run("perf") {
 		ran = true
 		section("Exploration pipeline performance: serial vs parallel (t=10)")
+		mode, err := explore.ParseRankingMode(*ranking)
+		fatalIf(err)
 		w := *workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		serial := experiments.Perf(spec, tgt, 10, 1, 1)
+		serial := experiments.Perf(spec, tgt, 10, 1, 1, mode)
 		emitPerf(serial, *jsonPath)
 		if w > 1 {
-			par := experiments.Perf(spec, tgt, 10, w, 1)
+			par := experiments.Perf(spec, tgt, 10, w, 1, mode)
 			if par.NsPerOp > 0 {
 				par.SpeedupVsSerial = float64(serial.NsPerOp) / float64(par.NsPerOp)
 			}
 			emitPerf(par, *jsonPath)
+		}
+	}
+
+	if run("rank") {
+		ran = true
+		section("Candidate ranking: exact quadratic scan vs MinHash/LSH index (t=1)")
+		rankSpec := spec
+		if *quickly {
+			// The quick subsample only keeps corpora small enough to fall
+			// back to the exact scan, which would gate nothing; measure the
+			// one largest corpus instead so the index actually engages.
+			for _, p := range workload.SPECLike() {
+				if p.Name == "483.xalancbmk" {
+					rankSpec = []workload.Profile{p}
+				}
+			}
+		}
+		rows := experiments.Rank(rankSpec, 1, *workers)
+		var lshAgg experiments.RankModeResult
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+			if r.Corpus == "aggregate" && r.Mode == "lsh" {
+				lshAgg = r
+			}
+		}
+		if lshAgg.Funcs > 0 {
+			fmt.Printf("\nlsh aggregate: %.2fx ranking speedup, %.1f%% top-1 recall, %d fallbacks\n",
+				lshAgg.SpeedupVsExact, 100*lshAgg.RecallTop1, lshAgg.Fallbacks)
+		}
+		if lshAgg.RecallTop1 < 0.95 {
+			fatal(fmt.Errorf("lsh aggregate top-1 recall %.3f below the 0.95 floor", lshAgg.RecallTop1))
 		}
 	}
 

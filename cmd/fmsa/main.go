@@ -32,6 +32,7 @@ func main() {
 		target    = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
 		oracle    = flag.Bool("oracle", false, "use exhaustive (oracle) exploration")
 		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores; results are identical for any value)")
+		ranking   = flag.String("ranking", "exact", "candidate ranking: exact (quadratic scan) or lsh (MinHash index, sub-quadratic)")
 		audit     = flag.String("audit", "off", "merge auditing: off, committed (static checks, diagnostics reported) or deep (reject merges whose behavior diverges)")
 		mergePair = flag.String("merge", "", "merge exactly this comma-separated function pair")
 		out       = flag.String("o", "", "write the optimized module to this file (default: stdout)")
@@ -90,6 +91,7 @@ func main() {
 		Target:    *target,
 		Oracle:    *oracle,
 		Workers:   *workers,
+		Ranking:   *ranking,
 		Audit:     *audit,
 	})
 	fatal(err)
@@ -102,6 +104,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fully removed:    %d\n", rep.FullyRemoved)
 		fmt.Fprintf(os.Stderr, "size (%s):    %d -> %d bytes (%.2f%% reduction)\n",
 			tgt.Name(), before, after, 100*float64(before-after)/float64(max(before, 1)))
+		if *ranking == "lsh" {
+			fmt.Fprintf(os.Stderr, "lsh ranking:      %d probes, %d prefilter skips, %d fallbacks\n",
+				rep.RankProbes, rep.RankPrefilterSkips, rep.RankFallbacks)
+		}
 		if rep.AuditedMerges > 0 {
 			fmt.Fprintf(os.Stderr, "audited merges:   %d (%d flagged, %d escalated, %d rejected)\n",
 				rep.AuditedMerges, rep.AuditFlagged, rep.AuditEscalated, rep.AuditRejected)

@@ -110,6 +110,12 @@ type Options struct {
 	// uses all available cores; one runs fully serial. The optimized
 	// module and the report are identical for every value.
 	Workers int
+	// Ranking selects FMSA's candidate ranking: "" or "exact" (the paper's
+	// quadratic pool scan), or "lsh" (a sub-quadratic banded MinHash index;
+	// deterministic across Workers, though its rankings may differ from
+	// exact where the index misses a candidate). Small modules fall back to
+	// the exact scan.
+	Ranking string
 	// Audit selects merge auditing: "" or "off" (none, the default),
 	// "committed" (statically audit every committed merge and record
 	// diagnostics in the report), or "deep" (additionally escalate flagged
@@ -141,6 +147,10 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fmsa: %w", err)
 		}
+		ranking, err := explore.ParseRankingMode(opts.Ranking)
+		if err != nil {
+			return nil, fmt.Errorf("fmsa: %w", err)
+		}
 		rep := baseline.RunIdentical(m, target)
 		eopts := explore.DefaultOptions()
 		eopts.Target = target
@@ -151,6 +161,7 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		eopts.MaxHotness = opts.MaxHotness
 		eopts.Workers = opts.Workers
 		eopts.Audit = audit
+		eopts.Ranking = ranking
 		rep.Add(explore.Run(m, eopts))
 		return rep, nil
 	default:

@@ -19,6 +19,8 @@ type PerfResult struct {
 	Suite string `json:"suite"`
 	// Workers is the exploration worker-pool size (1 = serial).
 	Workers int `json:"workers"`
+	// Ranking is the candidate-ranking mode: "exact" or "lsh".
+	Ranking string `json:"ranking"`
 	// Threshold is the exploration threshold t.
 	Threshold int `json:"threshold"`
 	// Runs is how many times the whole suite was explored.
@@ -37,12 +39,17 @@ type PerfResult struct {
 	// SpeedupVsSerial is the serial wall-clock divided by this
 	// configuration's wall-clock (0 when no serial baseline was measured).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// RankProbes, RankPrefilterSkips and RankFallbacks sum the ranking
+	// counters over one pass of the suite (see explore.Report).
+	RankProbes         int64 `json:"rank_probes"`
+	RankPrefilterSkips int64 `json:"rank_prefilter_skips"`
+	RankFallbacks      int   `json:"rank_fallbacks"`
 }
 
 // Perf measures whole-suite exploration at the given worker count: modules
 // are rebuilt outside the timed region, so NsPerOp isolates the exploration
 // pipeline itself. workers <= 0 selects GOMAXPROCS.
-func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, runs int) PerfResult {
+func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, runs int, ranking explore.RankingMode) PerfResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -51,7 +58,7 @@ func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, ru
 	}
 	res := PerfResult{
 		Suite:   suiteName(profiles),
-		Workers: workers, Threshold: threshold, Runs: runs,
+		Workers: workers, Ranking: ranking.String(), Threshold: threshold, Runs: runs,
 		PhaseNs: map[string]int64{},
 	}
 	var wall time.Duration
@@ -63,14 +70,20 @@ func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, ru
 		}
 		start := time.Now()
 		ops, cands := 0, 0
+		var probes, skips int64
+		fallbacks := 0
 		for _, m := range mods {
 			opts := explore.DefaultOptions()
 			opts.Threshold = threshold
 			opts.Target = target
 			opts.Workers = workers
+			opts.Ranking = ranking
 			rep := explore.Run(m, opts)
 			ops += rep.MergeOps
 			cands += rep.CandidatesEvaluated
+			probes += rep.RankProbes
+			skips += rep.RankPrefilterSkips
+			fallbacks += rep.RankFallbacks
 			phases.Fingerprint += rep.Phases.Fingerprint
 			phases.Ranking += rep.Phases.Ranking
 			phases.Linearize += rep.Phases.Linearize
@@ -80,6 +93,7 @@ func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, ru
 		}
 		wall += time.Since(start)
 		res.MergeOps, res.CandidatesEvaluated = ops, cands
+		res.RankProbes, res.RankPrefilterSkips, res.RankFallbacks = probes, skips, fallbacks
 	}
 	res.NsPerOp = wall.Nanoseconds() / int64(runs)
 	if wall > 0 {

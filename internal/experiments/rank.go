@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"runtime"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/workload"
+)
+
+// RankModeResult is one JSON line of the -exp rank experiment: the cost and
+// quality of one ranking mode on one corpus (or, for Corpus "aggregate", over
+// every corpus where the LSH index engaged). Exact rows are the baseline:
+// their recall and speedup are 1 by definition.
+type RankModeResult struct {
+	// Suite names the workload suite measured.
+	Suite string `json:"suite"`
+	// Corpus is the profile name, or "aggregate".
+	Corpus string `json:"corpus"`
+	// Mode is "exact" or "lsh".
+	Mode string `json:"mode"`
+	// Funcs is the ranked pool size (functions with a candidate list).
+	Funcs int `json:"funcs"`
+	// RankNs is the Ranking-phase wall time: candidate-list construction,
+	// plus signature and index construction in LSH mode.
+	RankNs int64 `json:"rank_ns"`
+	// Probes counts pairwise candidate visits; PrefilterSkips counts the
+	// visits dismissed by the cheap similarity upper bound before exact
+	// scoring.
+	Probes         int64 `json:"probes"`
+	PrefilterSkips int64 `json:"prefilter_skips"`
+	// Fallbacks counts pools below the LSH size cutoff (ranked exactly).
+	Fallbacks int `json:"fallbacks"`
+	// RecallTop1 is the fraction of pool functions whose exact-mode best
+	// candidate this mode also found (or matched by similarity).
+	RecallTop1 float64 `json:"recall_top1"`
+	// SpeedupVsExact is the exact-mode RankNs divided by this mode's.
+	SpeedupVsExact float64 `json:"speedup_vs_exact"`
+}
+
+// Rank measures the initial candidate-ranking phase of every profile in both
+// ranking modes on identical pools (SnapshotRanking attempts no merges, so
+// one module serves both measurements). Profiles whose pools fall below the
+// LSH cutoff contribute fallback rows but are excluded from the aggregate,
+// which summarizes only corpora where the index actually engaged. workers <=
+// 0 selects GOMAXPROCS.
+func Rank(profiles []workload.Profile, threshold, workers int) []RankModeResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	suite := suiteName(profiles)
+	var out []RankModeResult
+	agg := map[string]*RankModeResult{
+		"exact": {Suite: suite, Corpus: "aggregate", Mode: "exact", RecallTop1: 1, SpeedupVsExact: 1},
+		"lsh":   {Suite: suite, Corpus: "aggregate", Mode: "lsh"},
+	}
+	var aggEligible, aggHits int
+	for _, p := range profiles {
+		m := workload.Build(p)
+		opts := explore.DefaultOptions()
+		opts.Threshold = threshold
+		opts.Workers = workers
+
+		exact, erep := explore.SnapshotRanking(m, opts)
+
+		opts.Ranking = explore.RankLSH
+		lshRank, lrep := explore.SnapshotRanking(m, opts)
+
+		hits, eligible := recallTop1(exact, lshRank)
+		recall := 1.0
+		if eligible > 0 {
+			recall = float64(hits) / float64(eligible)
+		}
+		rows := []RankModeResult{
+			{Suite: suite, Corpus: p.Name, Mode: "exact", Funcs: len(exact),
+				RankNs: erep.Phases.Ranking.Nanoseconds(), Probes: erep.RankProbes,
+				PrefilterSkips: erep.RankPrefilterSkips, RecallTop1: 1, SpeedupVsExact: 1},
+			{Suite: suite, Corpus: p.Name, Mode: "lsh", Funcs: len(lshRank),
+				RankNs: lrep.Phases.Ranking.Nanoseconds(), Probes: lrep.RankProbes,
+				PrefilterSkips: lrep.RankPrefilterSkips, Fallbacks: lrep.RankFallbacks,
+				RecallTop1: recall},
+		}
+		if rows[1].RankNs > 0 {
+			rows[1].SpeedupVsExact = float64(rows[0].RankNs) / float64(rows[1].RankNs)
+		}
+		out = append(out, rows...)
+		if lrep.RankFallbacks > 0 {
+			agg["lsh"].Fallbacks += lrep.RankFallbacks
+			continue
+		}
+		for _, row := range rows {
+			a := agg[row.Mode]
+			a.Funcs += row.Funcs
+			a.RankNs += row.RankNs
+			a.Probes += row.Probes
+			a.PrefilterSkips += row.PrefilterSkips
+		}
+		aggEligible += eligible
+		aggHits += hits
+	}
+	if aggEligible > 0 {
+		agg["lsh"].RecallTop1 = float64(aggHits) / float64(aggEligible)
+	} else {
+		agg["lsh"].RecallTop1 = 1
+	}
+	if agg["lsh"].RankNs > 0 {
+		agg["lsh"].SpeedupVsExact = float64(agg["exact"].RankNs) / float64(agg["lsh"].RankNs)
+	}
+	return append(out, *agg["exact"], *agg["lsh"])
+}
+
+// recallTop1 counts, over the pool functions whose exact ranking found a best
+// candidate, how many the LSH ranking preserved: the same candidate anywhere
+// in its list, or (robust to similarity ties) a top candidate at least as
+// similar. Both snapshots come from the same module, so entries align by
+// pool index.
+func recallTop1(exact, lshRank []explore.RankEntry) (hits, eligible int) {
+	for i, e := range exact {
+		if len(e.Cands) == 0 || i >= len(lshRank) {
+			continue
+		}
+		eligible++
+		top := e.Cands[0]
+		l := lshRank[i]
+		found := false
+		for _, c := range l.Cands {
+			if c.Name == top.Name {
+				found = true
+				break
+			}
+		}
+		if !found && len(l.Cands) > 0 && l.Cands[0].Sim >= top.Sim {
+			found = true
+		}
+		if found {
+			hits++
+		}
+	}
+	return hits, eligible
+}

@@ -1,14 +1,17 @@
 package explore
 
 import (
+	"sync/atomic"
+
 	"fmsa/internal/fingerprint"
 	"fmsa/internal/ir"
+	"fmsa/internal/lsh"
 )
 
 // rankCache maintains, for every function awaiting its worklist pop, the
-// top-t candidate list a full pool scan would produce — without performing
-// that scan on every pop. The sequential framework rescanned the whole pool
-// per pop (O(n) each, O(n²) per run); the cache builds all lists once, in
+// top-t candidate list a full scan would produce — without performing that
+// scan on every pop. The sequential framework rescanned the whole pool per
+// pop (O(n) each, O(n²) per run); the cache builds all lists once, in
 // parallel, and afterwards touches only the entries a commit actually
 // invalidates:
 //
@@ -21,10 +24,11 @@ import (
 //   - clean lists receive the merged function as a candidate offer, a
 //     single similarity computation plus a bounded sorted insert.
 //
-// Invariant: a clean list always equals scanTop over the current pool. The
-// ordering (similarity desc, size desc, pool-insertion order asc) is
-// identical to the sequential bounded-insertion scan, so exploration
-// results are bit-for-bit unchanged.
+// Invariant: a clean list always equals scanTop over the current pool (and,
+// in LSH mode, the current index — a commit offer applies exactly when the
+// merged function would be probed, see offer). The ordering (similarity
+// desc, size desc, pool-insertion order asc) is identical to the sequential
+// bounded-insertion scan, so exploration results are bit-for-bit unchanged.
 type rankCache struct {
 	r *runner
 	t int
@@ -40,13 +44,25 @@ type rankList struct {
 }
 
 // newRankCache builds the initial candidate list of every pool member, in
-// parallel across the run's worker pool.
+// parallel across the run's worker pool. In LSH mode the bucket probes for
+// the whole pool run first as one batched, worker-pool-parallel pass.
 func newRankCache(r *runner, t int) *rankCache {
 	c := &rankCache{r: r, t: t, lists: make(map[*ir.Func]*rankList, len(r.pool))}
 	built := make([]*rankList, len(r.pool))
-	parallelFor(len(r.pool), r.workers, func(i int) {
-		built[i] = &rankList{cands: c.scanTop(r.pool[i])}
-	})
+	if ls := r.lsh; ls != nil {
+		selves := make([]int32, len(r.pool))
+		for i := range selves {
+			selves[i] = int32(i)
+		}
+		probes := ls.idx.ProbeBatch(ls.sigs, selves, r.workers)
+		parallelFor(len(r.pool), r.workers, func(i int) {
+			built[i] = &rankList{cands: c.rankIDs(r.pool[i], probes[i])}
+		})
+	} else {
+		parallelFor(len(r.pool), r.workers, func(i int) {
+			built[i] = &rankList{cands: c.scanTopExact(r.pool[i])}
+		})
+	}
 	for i, f := range r.pool {
 		c.lists[f] = built[i]
 	}
@@ -65,8 +81,9 @@ func (c *rankCache) take(f *ir.Func) []candidate {
 	return c.scanTop(f)
 }
 
-// applyCommit updates pending rankings after f1 and f2 left the pool and
-// entered (nil when the merged function is ineligible) joined it.
+// applyCommit updates pending rankings after f1 and f2 left the pool (and
+// the index) and entered (nil when the merged function is ineligible) joined
+// it.
 func (c *rankCache) applyCommit(f1, f2, entered *ir.Func) {
 	delete(c.lists, f1)
 	delete(c.lists, f2)
@@ -87,40 +104,97 @@ func (c *rankCache) applyCommit(f1, f2, entered *ir.Func) {
 	// finds no cache entry and falls back to a full scan.
 }
 
-// scanTop selects the top-t pool members most similar to f with a bounded
-// insertion scan over the pool in insertion order (the paper's priority
-// queue). Safe for concurrent use against a frozen pool.
+// scanTop selects the top-t candidates for f from the current pool: an
+// exhaustive insertion-order scan in exact mode, a bucket probe of the
+// MinHash index in LSH mode.
 func (c *rankCache) scanTop(f *ir.Func) []candidate {
+	if ls := c.r.lsh; ls != nil {
+		return c.rankIDs(f, ls.idx.Probe(ls.sigOf(f), ls.id[f]))
+	}
+	return c.scanTopExact(f)
+}
+
+// scanTopExact selects the top-t pool members most similar to f with a
+// bounded insertion scan over the pool in insertion order (the paper's
+// priority queue). Safe for concurrent use against a frozen pool.
+func (c *rankCache) scanTopExact(f *ir.Func) []candidate {
 	r := c.r
 	fp := r.fps[f]
 	best := make([]candidate, 0, min(c.t, 16)+1)
+	var probes, skips int64
 	for _, g := range r.pool {
 		if g == f || !r.inPool[g] || !samePartition(r.opts, f, g) {
 			continue
 		}
-		s := fingerprint.Similarity(fp, r.fps[g])
-		if s < r.opts.MinSimilarity {
+		probes++
+		best = r.consider(fp, best, g, r.fps[g], c.t, &skips)
+	}
+	atomic.AddInt64(&r.rankProbes, probes)
+	atomic.AddInt64(&r.rankSkips, skips)
+	return best
+}
+
+// rankIDs ranks the probed bucket-mates of f. ids arrive sorted ascending —
+// pool insertion order — so the bounded insertion produces exactly the
+// ordering scanTopExact would give the same candidate set. The ids come from
+// a probe of the live index, which holds exactly the live pool members, so no
+// inPool check is needed; fingerprints come from the id-indexed mirror.
+func (c *rankCache) rankIDs(f *ir.Func, ids []int32) []candidate {
+	r := c.r
+	ls := r.lsh
+	fp := r.fps[f]
+	best := make([]candidate, 0, min(c.t, 16)+1)
+	var probes, skips int64
+	for _, id := range ids {
+		g := r.pool[id]
+		if g == f || !samePartition(r.opts, f, g) {
 			continue
 		}
-		best = insertRanked(best, candidate{fn: g, sim: s, size: r.fps[g].Total}, c.t)
+		probes++
+		best = r.consider(fp, best, g, ls.fps[id], c.t, &skips)
 	}
+	atomic.AddInt64(&r.rankProbes, probes)
+	atomic.AddInt64(&r.rankSkips, skips)
 	return best
+}
+
+// consider applies the alignment-avoidance prefilters to candidate g and, if
+// it survives, exactly scores it and inserts it into best. The prefilters
+// never change the outcome: SimilarityUpperBound dominates the exact score,
+// so a candidate filtered against MinSimilarity (or against the current t-th
+// entry of a full list) could not have entered the list anyway.
+func (r *runner) consider(fp *fingerprint.Fingerprint, best []candidate, g *ir.Func, fpg *fingerprint.Fingerprint, t int, skips *int64) []candidate {
+	if ub := fingerprint.SimilarityUpperBound(fp, fpg); ub < r.opts.MinSimilarity ||
+		(len(best) == t && ub < best[len(best)-1].sim) {
+		*skips++
+		return best
+	}
+	s := fingerprint.Similarity(fp, fpg)
+	if s < r.opts.MinSimilarity {
+		return best
+	}
+	return insertRanked(best, candidate{fn: g, sim: s, size: fpg.Total}, t)
 }
 
 // offer considers g (which just joined the pool, and therefore carries the
 // highest insertion number) as a candidate for owner's clean list. Because
 // the list was the exact top-t before g joined, a bounded sorted insert of
-// g keeps it the exact top-t afterwards.
+// g keeps it the exact top-t afterwards. In LSH mode the offer applies only
+// when g and owner share a band bucket — precisely the condition under
+// which a fresh probe of owner would visit g — so clean lists keep matching
+// what scanTop would rebuild.
 func (c *rankCache) offer(owner *ir.Func, rl *rankList, g *ir.Func) {
 	r := c.r
 	if !samePartition(r.opts, owner, g) {
 		return
 	}
-	s := fingerprint.Similarity(r.fps[owner], r.fps[g])
-	if s < r.opts.MinSimilarity {
+	if ls := r.lsh; ls != nil && !lsh.Collide(ls.sigOf(owner), ls.sigOf(g), ls.params) {
 		return
 	}
-	rl.cands = insertRanked(rl.cands, candidate{fn: g, sim: s, size: r.fps[g].Total}, c.t)
+	var skips int64
+	atomic.AddInt64(&r.rankProbes, 1)
+	rl.cands = r.consider(r.fps[owner], rl.cands, g, r.fps[g], c.t, &skips)
+	atomic.AddInt64(&r.rankSkips, skips)
 }
 
 // insertRanked inserts cand into best — sorted by (similarity desc, size

@@ -20,6 +20,7 @@ import (
 	"fmsa/internal/core"
 	"fmsa/internal/fingerprint"
 	"fmsa/internal/ir"
+	"fmsa/internal/lsh"
 	"fmsa/internal/passes"
 	"fmsa/internal/tti"
 )
@@ -65,6 +66,22 @@ type Options struct {
 	// behavior a differential interpretation run confirms. Auditing is
 	// deterministic, so the Workers invariance holds in every mode.
 	Audit AuditMode
+	// Ranking selects the candidate-ranking path (see ranking.go): RankExact
+	// (the default — full pool scans, the paper's mechanism) or RankLSH
+	// (banded MinHash index, sub-quadratic; falls back to exact below
+	// LSHMinPool). Like Workers, Ranking LSH is deterministic: the committed
+	// merge sequence is identical for every Workers value, though it may
+	// differ from RankExact's when a probe misses a candidate an exhaustive
+	// scan would have found. The unbounded oracle ranks nothing and ignores
+	// this knob.
+	Ranking RankingMode
+	// LSH configures the banded MinHash index used by RankLSH; the zero
+	// value selects lsh.DefaultParams.
+	LSH lsh.Params
+	// LSHMinPool is the initial-pool-size cutoff below which RankLSH falls
+	// back to the exact scan. Zero selects DefaultLSHMinPool; exploration
+	// never re-evaluates the cutoff as merges shrink the pool.
+	LSHMinPool int
 }
 
 // DefaultOptions returns the paper's default configuration (t=1, Intel
@@ -142,6 +159,16 @@ type Report struct {
 	AuditRejected int
 	// AuditDiags lists every diagnostic the auditor produced.
 	AuditDiags []analysis.Diagnostic
+	// RankProbes counts candidate pairs visited by ranking scans: pool
+	// members in exact mode, probed bucket-mates (plus commit-time offers)
+	// in LSH mode. The exact/LSH ratio is the ranking work LSH avoided.
+	RankProbes int64
+	// RankPrefilterSkips counts visited pairs dismissed by the cheap
+	// alignment-avoidance bounds before exact similarity scoring.
+	RankPrefilterSkips int64
+	// RankFallbacks counts explorations that requested LSH ranking but fell
+	// back to the exact scan because the pool was below Options.LSHMinPool.
+	RankFallbacks int
 }
 
 // Add folds a later pipeline stage's report into r: counts accumulate,
@@ -167,6 +194,9 @@ func (r *Report) Add(later *Report) {
 	r.AuditEscalated += later.AuditEscalated
 	r.AuditRejected += later.AuditRejected
 	r.AuditDiags = append(r.AuditDiags, later.AuditDiags...)
+	r.RankProbes += later.RankProbes
+	r.RankPrefilterSkips += later.RankPrefilterSkips
+	r.RankFallbacks += later.RankFallbacks
 }
 
 // Reduction returns the relative code-size reduction in percent.
@@ -187,8 +217,8 @@ type candidate struct {
 }
 
 // runner carries the mutable state of one exploration run: the candidate
-// pool, the FIFO worklist, the incremental ranking cache and the report
-// under construction.
+// pool, the FIFO worklist, the incremental ranking cache (optionally backed
+// by an LSH index) and the report under construction.
 type runner struct {
 	m       *ir.Module
 	opts    Options
@@ -203,11 +233,20 @@ type runner struct {
 	fps      map[*ir.Func]*fingerprint.Fingerprint
 	cache    *rankCache
 	worklist []*ir.Func
+	// lsh is the MinHash index state; nil when ranking is exact or the pool
+	// fell below the LSH cutoff.
+	lsh *lshState
+	// rankProbes and rankSkips accumulate scan counters atomically (scans
+	// run inside parallelFor); flushRankCounters folds them into rep. The
+	// totals are deterministic: the same set of scans runs at every Workers
+	// value.
+	rankProbes, rankSkips int64
 }
 
-// Run executes the exploration framework on m, committing every profitable
-// merge it finds.
-func Run(m *ir.Module, opts Options) *Report {
+// setup builds the runner state shared by Run and SnapshotRanking:
+// φ-demotion, pool selection, parallel fingerprinting, the optional LSH
+// index and the initial rank cache.
+func setup(m *ir.Module, opts Options) *runner {
 	if opts.Threshold <= 0 {
 		opts.Threshold = 1
 	}
@@ -247,13 +286,22 @@ func Run(m *ir.Module, opts Options) *Report {
 	r.rep.Phases.Fingerprint += time.Since(tFP)
 
 	// Initial ranking: build every pool member's top-t list up front, in
-	// parallel. From here on the cache is maintained incrementally; the
-	// unbounded oracle ranks nothing, so it skips the cache entirely.
+	// parallel — signatures and the LSH index first when requested. From
+	// here on the cache is maintained incrementally; the unbounded oracle
+	// ranks nothing, so it skips the cache (and the index) entirely.
 	if t := r.cacheThreshold(); t > 0 {
 		tRank := time.Now()
+		r.initLSH()
 		r.cache = newRankCache(r, t)
 		r.rep.Phases.Ranking += time.Since(tRank)
 	}
+	return r
+}
+
+// Run executes the exploration framework on m, committing every profitable
+// merge it finds.
+func Run(m *ir.Module, opts Options) *Report {
+	r := setup(m, opts)
 
 	for len(r.worklist) > 0 {
 		f := r.worklist[0]
@@ -307,6 +355,7 @@ func Run(m *ir.Module, opts Options) *Report {
 	r.rep.Phases.Linearize = r.opts.Merge.Timings.Linearize
 	r.rep.Phases.Align = r.opts.Merge.Timings.Align
 	r.rep.Phases.CodeGen = r.opts.Merge.Timings.CodeGen
+	r.flushRankCounters()
 	return r.rep
 }
 
@@ -361,6 +410,13 @@ func (r *runner) commit(res *core.Result, profit, rank int) {
 	}
 	if r.cache != nil {
 		tRank := time.Now()
+		if r.lsh != nil {
+			r.lsh.retire(res.F1)
+			r.lsh.retire(res.F2)
+			if entered != nil {
+				r.lsh.admit(entered, r.fps[entered], int32(len(r.pool)-1))
+			}
+		}
 		r.cache.applyCommit(res.F1, res.F2, entered)
 		r.rep.Phases.Ranking += time.Since(tRank)
 	}

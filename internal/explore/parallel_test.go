@@ -4,9 +4,7 @@ import (
 	"reflect"
 	"testing"
 
-	"fmsa/internal/fingerprint"
 	"fmsa/internal/ir"
-	"fmsa/internal/passes"
 	"fmsa/internal/tti"
 	"fmsa/internal/workload"
 )
@@ -61,6 +59,27 @@ func TestParallelDeterminism(t *testing.T) {
 			o.Audit = AuditDeep
 			return o
 		}()},
+		{"greedy-lsh-t1", func() Options {
+			o := DefaultOptions()
+			o.Ranking = RankLSH
+			o.LSHMinPool = 1 // demo pool is small; force the LSH path
+			return o
+		}()},
+		{"greedy-lsh-t10", func() Options {
+			o := DefaultOptions()
+			o.Threshold = 10
+			o.Ranking = RankLSH
+			o.LSHMinPool = 1
+			return o
+		}()},
+		{"oracle-cap8-lsh", func() Options {
+			o := DefaultOptions()
+			o.Oracle = true
+			o.OracleCap = 8
+			o.Ranking = RankLSH
+			o.LSHMinPool = 1
+			return o
+		}()},
 	}
 	for _, cfg := range configs {
 		t.Run(cfg.name, func(t *testing.T) {
@@ -94,6 +113,13 @@ func TestParallelDeterminism(t *testing.T) {
 					serial.AuditedMerges, serial.AuditFlagged, serial.AuditRejected,
 					par.AuditedMerges, par.AuditFlagged, par.AuditRejected)
 			}
+			if serial.RankProbes != par.RankProbes ||
+				serial.RankPrefilterSkips != par.RankPrefilterSkips ||
+				serial.RankFallbacks != par.RankFallbacks {
+				t.Errorf("rank counters diverge: %d/%d/%d vs %d/%d/%d",
+					serial.RankProbes, serial.RankPrefilterSkips, serial.RankFallbacks,
+					par.RankProbes, par.RankPrefilterSkips, par.RankFallbacks)
+			}
 			if serialMod != parMod {
 				t.Error("final module text diverges between Workers=1 and Workers=8")
 			}
@@ -115,53 +141,52 @@ func TestWorkersDefaultMatchesSerial(t *testing.T) {
 
 // TestRankCacheMatchesFullRescan cross-checks the incremental ranking cache
 // against a from-scratch scan after every commit: a clean cached list must
-// equal scanTop over the live pool at the moment it is consumed.
+// equal scanTop over the live pool (and, in LSH mode, the live index) at the
+// moment it is consumed.
 func TestRankCacheMatchesFullRescan(t *testing.T) {
-	m := workload.Build(demoProfile(13))
-	passes.DemotePhisModule(m)
-	opts := DefaultOptions()
-	opts.Threshold = 10
-	r := &runner{m: m, opts: opts, workers: 1, rep: &Report{},
-		inPool: map[*ir.Func]bool{}, fps: map[*ir.Func]*fingerprint.Fingerprint{}}
-	for _, f := range m.Funcs {
-		if !eligible(f, opts) {
-			continue
-		}
-		r.fps[f] = fingerprint.Compute(f)
-		r.pool = append(r.pool, f)
-		r.inPool[f] = true
-	}
-	r.cache = newRankCache(r, opts.Threshold)
-	r.worklist = append([]*ir.Func(nil), r.pool...)
-
-	pops := 0
-	for len(r.worklist) > 0 {
-		f := r.worklist[0]
-		r.worklist = r.worklist[1:]
-		if !r.inPool[f] {
-			continue
-		}
-		// Reference: what a full rescan of the current pool would rank.
-		want := r.cache.scanTop(f)
-		got := r.cache.take(f)
-		if len(want) != len(got) {
-			t.Fatalf("pop %d: cache returned %d candidates, rescan %d", pops, len(got), len(want))
-		}
-		for i := range want {
-			if want[i].fn != got[i].fn {
-				t.Fatalf("pop %d rank %d: cache has %s, rescan has %s",
-					pops, i, got[i].fn.Name(), want[i].fn.Name())
+	for _, mode := range []RankingMode{RankExact, RankLSH} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m := workload.Build(demoProfile(13))
+			opts := DefaultOptions()
+			opts.Threshold = 10
+			opts.Ranking = mode
+			opts.LSHMinPool = 1
+			opts.Workers = 1
+			r := setup(m, opts)
+			if mode == RankLSH && r.lsh == nil {
+				t.Fatal("LSH state missing despite forced cutoff")
 			}
-		}
-		win, evaluated := evalCandidates(f, got, r.opts, 1, true)
-		r.rep.CandidatesEvaluated += evaluated
-		if win.res != nil {
-			r.commit(win.res, win.profit, win.rank+1)
-		}
-		pops++
-	}
-	if r.rep.MergeOps == 0 {
-		t.Fatal("expected merges on a clone-rich module")
+
+			pops := 0
+			for len(r.worklist) > 0 {
+				f := r.worklist[0]
+				r.worklist = r.worklist[1:]
+				if !r.inPool[f] {
+					continue
+				}
+				// Reference: what a from-scratch scan would rank right now.
+				want := r.cache.scanTop(f)
+				got := r.cache.take(f)
+				if len(want) != len(got) {
+					t.Fatalf("pop %d: cache returned %d candidates, rescan %d", pops, len(got), len(want))
+				}
+				for i := range want {
+					if want[i].fn != got[i].fn {
+						t.Fatalf("pop %d rank %d: cache has %s, rescan has %s",
+							pops, i, got[i].fn.Name(), want[i].fn.Name())
+					}
+				}
+				win, evaluated := evalCandidates(f, got, r.opts, 1, true)
+				r.rep.CandidatesEvaluated += evaluated
+				if win.res != nil {
+					r.commit(win.res, win.profit, win.rank+1)
+				}
+				pops++
+			}
+			if r.rep.MergeOps == 0 {
+				t.Fatal("expected merges on a clone-rich module")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+// recallProfile mirrors the clone mix of the suite's large templated C++
+// corpora (xalancbmk/dealII) at a size large enough that the default
+// LSHMinPool cutoff does not force a fallback.
+func recallProfile(seed int64) workload.Profile {
+	return workload.Profile{
+		Name: "recall", NumFuncs: 1600, AvgSize: 30, MaxSize: 120,
+		Identical: 0.03, ConstVar: 0.02, TypeVar: 0.042, CFGVar: 0.028,
+		Partial: 0.028, Reorder: 0.01, InternalFrac: 0.7, Seed: seed,
+	}
+}
+
+// TestLSHRecallTop1 is the recall property of the LSH ranking path: at
+// default parameters, for at least 95% of pool functions whose exact scan
+// finds a best candidate, the LSH probe either ranks that same candidate or
+// one at least as similar. Snapshots do not merge, so both modes run against
+// the identical pool of the same module.
+func TestLSHRecallTop1(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		m := workload.Build(recallProfile(seed))
+
+		exactOpts := DefaultOptions()
+		exactOpts.Threshold = 1
+		exact, _ := SnapshotRanking(m, exactOpts)
+
+		lshOpts := exactOpts
+		lshOpts.Ranking = RankLSH
+		lshRank, rep := SnapshotRanking(m, lshOpts)
+
+		if rep.RankFallbacks != 0 {
+			t.Fatalf("seed %d: LSH fell back on a %d-entry pool", seed, len(exact))
+		}
+		if len(exact) != len(lshRank) {
+			t.Fatalf("seed %d: pool sizes diverge: exact %d, lsh %d", seed, len(exact), len(lshRank))
+		}
+
+		eligible, hits := 0, 0
+		for i, e := range exact {
+			if len(e.Cands) == 0 {
+				continue
+			}
+			eligible++
+			l := lshRank[i]
+			if l.Func != e.Func {
+				t.Fatalf("seed %d entry %d: pool order diverges: %s vs %s", seed, i, e.Func, l.Func)
+			}
+			top := e.Cands[0]
+			hit := false
+			for _, c := range l.Cands {
+				if c.Name == top.Name {
+					hit = true
+					break
+				}
+			}
+			// Tie-robust: a different candidate at least as similar also
+			// preserves the merge opportunity.
+			if !hit && len(l.Cands) > 0 && l.Cands[0].Sim >= top.Sim {
+				hit = true
+			}
+			if hit {
+				hits++
+			}
+		}
+		if eligible == 0 {
+			t.Fatalf("seed %d: no pool function had an exact candidate", seed)
+		}
+		recall := float64(hits) / float64(eligible)
+		t.Logf("seed %d: top-1 recall %d/%d = %.3f (probes %d, skips %d)",
+			seed, hits, eligible, recall, rep.RankProbes, rep.RankPrefilterSkips)
+		if recall < 0.95 {
+			t.Errorf("seed %d: LSH top-1 recall %.3f < 0.95", seed, recall)
+		}
+	}
+}
+
+// TestLSHFallbackBelowCutoff: on a pool smaller than LSHMinPool the LSH mode
+// must record one fallback and reproduce the exact-mode run bit for bit.
+func TestLSHFallbackBelowCutoff(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Threshold = 5
+	exactRep, exactMod := exploreWith(t, opts, 1, 19)
+
+	opts.Ranking = RankLSH // demo pool (~30 funcs) < DefaultLSHMinPool
+	lshRep, lshMod := exploreWith(t, opts, 1, 19)
+
+	if lshRep.RankFallbacks != 1 {
+		t.Errorf("RankFallbacks = %d, want 1", lshRep.RankFallbacks)
+	}
+	if !reflect.DeepEqual(exactRep.Records, lshRep.Records) {
+		t.Errorf("fallback run diverges from exact:\nexact: %+v\nlsh: %+v",
+			exactRep.Records, lshRep.Records)
+	}
+	if exactMod != lshMod {
+		t.Error("fallback module text diverges from exact mode")
+	}
+}
+
+// BenchmarkRankExact and BenchmarkRankLSH measure SnapshotRanking on the
+// recall corpus; the rank-ns/op metric isolates the Ranking-phase wall time
+// (index construction + probing vs the quadratic scan) from the shared
+// setup cost.
+func BenchmarkRankExact(b *testing.B) {
+	benchmarkRank(b, RankExact)
+}
+
+func BenchmarkRankLSH(b *testing.B) {
+	benchmarkRank(b, RankLSH)
+}
+
+func benchmarkRank(b *testing.B, mode RankingMode) {
+	b.ReportAllocs()
+	m := workload.Build(recallProfile(3))
+	opts := DefaultOptions()
+	opts.Threshold = 1
+	opts.Ranking = mode
+	opts.Workers = 1
+	var rankNS int64
+	var entries []RankEntry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rep *Report
+		entries, rep = SnapshotRanking(m, opts)
+		rankNS += int64(rep.Phases.Ranking)
+	}
+	b.StopTimer()
+	if len(entries) == 0 {
+		b.Fatal("empty ranking snapshot")
+	}
+	b.ReportMetric(float64(rankNS)/float64(b.N), "rank-ns/op")
+	if err := ir.VerifyModule(m); err != nil {
+		b.Fatalf("module corrupted by snapshot: %v", err)
+	}
+}

@@ -24,7 +24,11 @@ type Fingerprint struct {
 
 // TypeCount is one entry of the type-frequency table.
 type TypeCount struct {
-	Type  *ir.Type
+	Type *ir.Type
+	// Key is Type.String(), computed once at fingerprint construction: the
+	// table is sorted and merged by textual key, never by pointer identity,
+	// so distinct Type pointers with the same spelling still match.
+	Key   string
 	Count int32
 }
 
@@ -45,10 +49,10 @@ func Compute(f *ir.Func) *Fingerprint {
 	})
 	fp.TypeFreq = make([]TypeCount, 0, len(types))
 	for t, c := range types {
-		fp.TypeFreq = append(fp.TypeFreq, TypeCount{Type: t, Count: c})
+		fp.TypeFreq = append(fp.TypeFreq, TypeCount{Type: t, Key: t.String(), Count: c})
 	}
 	sort.Slice(fp.TypeFreq, func(i, j int) bool {
-		return fp.TypeFreq[i].Type.String() < fp.TypeFreq[j].Type.String()
+		return fp.TypeFreq[i].Key < fp.TypeFreq[j].Key
 	})
 	return fp
 }
@@ -82,7 +86,7 @@ func upperBoundTypes(a, b *Fingerprint) float64 {
 	for i < len(a.TypeFreq) && j < len(b.TypeFreq) {
 		ta, tb := a.TypeFreq[i], b.TypeFreq[j]
 		switch {
-		case ta.Type == tb.Type:
+		case ta.Key == tb.Key:
 			if ta.Count < tb.Count {
 				minSum += ta.Count
 			} else {
@@ -91,7 +95,7 @@ func upperBoundTypes(a, b *Fingerprint) float64 {
 			totSum += ta.Count + tb.Count
 			i++
 			j++
-		case ta.Type.String() < tb.Type.String():
+		case ta.Key < tb.Key:
 			totSum += ta.Count
 			i++
 		default:
@@ -120,4 +124,17 @@ func Similarity(a, b *Fingerprint) float64 {
 		return tys
 	}
 	return ops
+}
+
+// SimilarityUpperBound returns the size-ratio bound on Similarity(a, b):
+// every per-key minimum is capped by the smaller instruction count, so
+// s(a, b) ≤ min(Total_a, Total_b) / (Total_a + Total_b). The bound needs two
+// integer reads, making it a cheap alignment-avoidance prefilter: when it
+// already falls below a similarity floor the exact score cannot pass either.
+func SimilarityUpperBound(a, b *Fingerprint) float64 {
+	tot := a.Total + b.Total
+	if tot == 0 {
+		return 0
+	}
+	return float64(min(a.Total, b.Total)) / float64(tot)
 }

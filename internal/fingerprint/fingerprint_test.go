@@ -151,6 +151,66 @@ entry:
 	}
 }
 
+func TestTypeMergeMatchesByKeyNotPointer(t *testing.T) {
+	// Regression: two distinct *ir.Type pointers with the same textual form
+	// must still match during the type-table merge. (The interner normally
+	// guarantees pointer identity, but the merge must not depend on it: with
+	// pointer comparison the pair fell into the mismatch branch and was never
+	// counted, undercounting similarity.)
+	ta := &ir.Type{Kind: ir.IntKind, Bits: 32}
+	tb := &ir.Type{Kind: ir.IntKind, Bits: 32}
+	if ta == tb || ta.String() != tb.String() {
+		t.Fatalf("want distinct pointers with equal keys, got %p/%p %q/%q", ta, tb, ta, tb)
+	}
+	a := &Fingerprint{TypeFreq: []TypeCount{{Type: ta, Key: ta.String(), Count: 3}}}
+	b := &Fingerprint{TypeFreq: []TypeCount{{Type: tb, Key: tb.String(), Count: 5}}}
+	if got, want := upperBoundTypes(a, b), 3.0/8.0; got != want {
+		t.Errorf("upperBoundTypes = %v, want %v (min 3 over total 8)", got, want)
+	}
+}
+
+func TestComputePrecomputesSortedKeys(t *testing.T) {
+	m := parse(t, `
+define i64 @f(i32 %x, f64 %y) {
+entry:
+  %a = add i32 %x, 1
+  %b = fadd f64 %y, 2.0
+  %p = alloca [4 x i64]
+  %c = zext i32 %a to i64
+  ret i64 %c
+}
+`)
+	fp := Compute(m.FuncByName("f"))
+	for i, tc := range fp.TypeFreq {
+		if tc.Key != tc.Type.String() {
+			t.Errorf("entry %d: Key %q != Type.String() %q", i, tc.Key, tc.Type)
+		}
+		if i > 0 && fp.TypeFreq[i-1].Key >= tc.Key {
+			t.Errorf("type table not strictly sorted by key: %q !< %q",
+				fp.TypeFreq[i-1].Key, tc.Key)
+		}
+	}
+}
+
+func TestSimilarityUpperBoundDominatesSimilarity(t *testing.T) {
+	f := func(seedA, seedB int64, szA, szB uint8) bool {
+		m := ir.NewModule("ub")
+		fa := workload.Generate(m, workload.FuncSpec{
+			Name: "a", Seed: seedA, Scalar: ir.I32(),
+			NumParams: 2, Regions: int(szA%4) + 1, OpsPerBlock: int(szA%6) + 2,
+		})
+		fb := workload.Generate(m, workload.FuncSpec{
+			Name: "b", Seed: seedB, Scalar: ir.I64(),
+			NumParams: 1, Regions: int(szB%4) + 1, OpsPerBlock: int(szB%6) + 2,
+		})
+		pa, pb := Compute(fa), Compute(fb)
+		return SimilarityUpperBound(pa, pb) >= Similarity(pa, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkSimilarity(b *testing.B) {
 	m := ir.NewModule("bench")
 	fa := workload.Generate(m, workload.FuncSpec{

@@ -1,0 +1,122 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+func genPair(seedA, seedB int64) (*ir.Func, *ir.Func) {
+	m := ir.NewModule("mh")
+	fa := workload.Generate(m, workload.FuncSpec{
+		Name: "a", Seed: seedA, Scalar: ir.I64(), NumParams: 2, Regions: 4, OpsPerBlock: 8,
+	})
+	fb := workload.Generate(m, workload.FuncSpec{
+		Name: "b", Seed: seedB, Scalar: ir.F32(), NumParams: 3, Regions: 3, OpsPerBlock: 6,
+	})
+	return fa, fb
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	fa, _ := genPair(3, 4)
+	s1 := ComputeSignature(fa)
+	s2 := ComputeSignature(fa)
+	if *s1 != *s2 {
+		t.Error("recomputed signature differs for the same function")
+	}
+	// A fresh, structurally identical module must reproduce it too: the
+	// signature depends only on content, never on pointers or map order.
+	fa2, _ := genPair(3, 4)
+	if s3 := ComputeSignature(fa2); *s1 != *s3 {
+		t.Error("signature differs across identical rebuilds")
+	}
+}
+
+func TestSignatureSeparatesCloneFromStranger(t *testing.T) {
+	m := ir.NewModule("mh")
+	spec := workload.FuncSpec{
+		Name: "orig", Seed: 11, Scalar: ir.I64(), NumParams: 2, Regions: 4, OpsPerBlock: 8,
+	}
+	orig := workload.Generate(m, spec)
+	spec.Name = "clone"
+	spec.ConstSalt += 3 // constants are invisible to (opcode, type) shingles
+	clone := workload.Generate(m, spec)
+	spec.Name = "stranger"
+	spec.Seed = 999
+	spec.Scalar = ir.F64()
+	stranger := workload.Generate(m, spec)
+
+	so, sc, ss := ComputeSignature(orig), ComputeSignature(clone), ComputeSignature(stranger)
+	if j := EstimateJaccard(so, sc); j != 1 {
+		t.Errorf("const-variant clone estimates J=%v, want 1 (identical shingles)", j)
+	}
+	if j := EstimateJaccard(so, ss); j > 0.8 {
+		t.Errorf("unrelated function estimates J=%v, want clearly below the clone", j)
+	}
+}
+
+func TestSignatureTracksJaccard(t *testing.T) {
+	// The lane-agreement estimate should land near the true weighted Jaccard
+	// of the shingle multisets. Compare against an exact computation on a
+	// partial clone (a strict sub-multiset of its template).
+	m := ir.NewModule("mh")
+	spec := workload.FuncSpec{
+		Name: "big", Seed: 21, Scalar: ir.I32(), NumParams: 2, Regions: 6, OpsPerBlock: 10,
+	}
+	big := workload.Generate(m, spec)
+	spec.Name = "part"
+	spec.DropMod = 5 // drop roughly every fifth instruction
+	part := workload.Generate(m, spec)
+
+	exact := exactWeightedJaccard(big, part)
+	est := EstimateJaccard(ComputeSignature(big), ComputeSignature(part))
+	if math.Abs(est-exact) > 0.15 {
+		t.Errorf("estimate %v too far from exact weighted Jaccard %v", est, exact)
+	}
+}
+
+// exactWeightedJaccard computes Σmin/Σmax over the (opcode, type) shingle
+// multisets directly.
+func exactWeightedJaccard(a, b *ir.Func) float64 {
+	count := func(f *ir.Func) map[[2]string]int {
+		c := map[[2]string]int{}
+		f.Insts(func(in *ir.Inst) {
+			t := in.Type()
+			if in.Op == ir.OpAlloca {
+				t = in.Alloc
+			}
+			c[[2]string{in.Op.String(), t.String()}]++
+		})
+		return c
+	}
+	ca, cb := count(a), count(b)
+	var minSum, maxSum int
+	for k, va := range ca {
+		vb := cb[k]
+		minSum += min(va, vb)
+		maxSum += max(va, vb)
+	}
+	for k, vb := range cb {
+		if _, ok := ca[k]; !ok {
+			maxSum += vb
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return float64(minSum) / float64(maxSum)
+}
+
+func BenchmarkComputeSignature(b *testing.B) {
+	m := ir.NewModule("mh")
+	f := workload.Generate(m, workload.FuncSpec{
+		Name: "f", Seed: 1, Scalar: ir.I64(), NumParams: 3, Regions: 6, OpsPerBlock: 10,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeSignature(f)
+	}
+}

@@ -1,0 +1,269 @@
+// Package lsh implements a banded MinHash index over function signatures
+// (fingerprint.Signature): the classic locality-sensitive-hashing scheme for
+// Jaccard similarity. The signature's lanes are split into Bands bands of
+// Rows consecutive lanes each; two members land in the same bucket of a band
+// exactly when all Rows lanes of that band agree, which happens with
+// probability J^Rows for weighted Jaccard J. Probing returns every member
+// sharing at least one band bucket — probability 1-(1-J^Rows)^Bands — so
+// similar pairs are found near-certainly while dissimilar pairs are almost
+// never touched, replacing the quadratic all-pairs scan of the exact ranking
+// with per-bucket work.
+//
+// The index is deliberately deterministic: members are integer ids (the
+// exploration pool assigns pool-insertion indices), buckets preserve
+// insertion order, and probe results are returned sorted ascending. Inserts
+// and removals keep the index consistent as merges retire pool functions and
+// add merged ones.
+//
+// The index itself is not safe for concurrent mutation; ProbeBatch performs
+// read-only probes for many queries across a bounded worker pool.
+package lsh
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"fmsa/internal/fingerprint"
+)
+
+// Params configures the banding: Bands bands of Rows consecutive signature
+// lanes. Bands×Rows must not exceed fingerprint.SigLanes; the zero value
+// selects DefaultParams.
+type Params struct {
+	Bands, Rows int
+}
+
+// DefaultParams returns the banding used when Params is zero: 21 bands of 6
+// rows over the 128-lane signature. The collision s-curve crosses one half
+// near J ≈ 0.57 while the dissimilar tail stays dark (P ≈ 0.1% at J = 0.2),
+// and top-ranked candidate pairs — clone families with high shingle overlap —
+// are recalled near-certainly. Measured on the largest synthetic corpus this
+// banding probes under a quarter of the pairs the exact scan visits for ≈99%
+// top-1 recall; flatter bandings (more bands, fewer rows) push recall
+// marginally higher but probe several times more of the pool.
+func DefaultParams() Params { return Params{Bands: 21, Rows: 6} }
+
+// normalized resolves the zero value and validates the banding.
+func (p Params) normalized() Params {
+	if p.Bands == 0 && p.Rows == 0 {
+		return DefaultParams()
+	}
+	if p.Bands <= 0 || p.Rows <= 0 || p.Bands*p.Rows > fingerprint.SigLanes {
+		panic(fmt.Sprintf("lsh: invalid banding %d×%d over %d lanes", p.Bands, p.Rows, fingerprint.SigLanes))
+	}
+	return p
+}
+
+// bandKey condenses one band's rows into a bucket key.
+func bandKey(sig *fingerprint.Signature, band, rows int) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, lane := range sig[band*rows : (band+1)*rows] {
+		h = (h ^ lane) * prime
+	}
+	return h
+}
+
+// Collide reports whether two signatures share at least one band — the
+// bucket-mate relation Probe realizes, computed directly from the signatures
+// without touching an index. The exploration cache uses it to decide whether
+// a newly merged function would be probed by a pending ranking.
+func Collide(a, b *fingerprint.Signature, p Params) bool {
+	p = p.normalized()
+	for band := 0; band < p.Bands; band++ {
+		match := true
+		for r := 0; r < p.Rows; r++ {
+			if a[band*p.Rows+r] != b[band*p.Rows+r] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Index is the banded MinHash index.
+type Index struct {
+	p Params
+	// buckets[band] maps a band key to member ids in insertion order.
+	buckets []map[uint64][]int32
+	// keys remembers each member's band keys for removal.
+	keys map[int32][]uint64
+	// scratches pools per-probe dedup state so concurrent ProbeBatch
+	// goroutines never share one.
+	scratches sync.Pool
+}
+
+// probeScratch deduplicates one probe's bucket members without a map: ids are
+// dense pool indices, so an id is visited iff stamp[id] holds the current
+// generation. Bumping gen invalidates the whole array in O(1).
+type probeScratch struct {
+	stamp []uint32
+	gen   uint32
+}
+
+// New returns an empty index with the given banding.
+func New(p Params) *Index {
+	p = p.normalized()
+	ix := &Index{p: p, buckets: make([]map[uint64][]int32, p.Bands), keys: map[int32][]uint64{}}
+	for i := range ix.buckets {
+		ix.buckets[i] = map[uint64][]int32{}
+	}
+	ix.scratches.New = func() any { return &probeScratch{} }
+	return ix
+}
+
+// Params returns the index's banding.
+func (ix *Index) Params() Params { return ix.p }
+
+// Len returns the number of members.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// Insert adds a member. Ids must be unique across the index's lifetime.
+func (ix *Index) Insert(id int32, sig *fingerprint.Signature) {
+	if _, dup := ix.keys[id]; dup {
+		panic(fmt.Sprintf("lsh: duplicate insert of id %d", id))
+	}
+	keys := make([]uint64, ix.p.Bands)
+	for band := 0; band < ix.p.Bands; band++ {
+		k := bandKey(sig, band, ix.p.Rows)
+		keys[band] = k
+		ix.buckets[band][k] = append(ix.buckets[band][k], id)
+	}
+	ix.keys[id] = keys
+}
+
+// Remove deletes a member; unknown ids are a no-op. Bucket order of the
+// remaining members is preserved.
+func (ix *Index) Remove(id int32) {
+	keys, ok := ix.keys[id]
+	if !ok {
+		return
+	}
+	delete(ix.keys, id)
+	for band, k := range keys {
+		b := ix.buckets[band][k]
+		for i, m := range b {
+			if m == id {
+				b = append(b[:i], b[i+1:]...)
+				break
+			}
+		}
+		if len(b) == 0 {
+			delete(ix.buckets[band], k)
+		} else {
+			ix.buckets[band][k] = b
+		}
+	}
+}
+
+// Probe returns the ids of every member sharing at least one band bucket
+// with sig, excluding self, deduplicated and sorted ascending (pool
+// insertion order — the deterministic tie-break order of the ranking).
+func (ix *Index) Probe(sig *fingerprint.Signature, self int32) []int32 {
+	sc := ix.scratches.Get().(*probeScratch)
+	sc.gen++
+	if sc.gen == 0 { // generation wrapped: the stale stamps are ambiguous
+		clear(sc.stamp)
+		sc.gen = 1
+	}
+	var out []int32
+	for band := 0; band < ix.p.Bands; band++ {
+		for _, id := range ix.buckets[band][bandKey(sig, band, ix.p.Rows)] {
+			if id == self {
+				continue
+			}
+			if int(id) >= len(sc.stamp) {
+				grown := make([]uint32, int(id)+1)
+				copy(grown, sc.stamp)
+				sc.stamp = grown
+			}
+			if sc.stamp[id] == sc.gen {
+				continue
+			}
+			sc.stamp[id] = sc.gen
+			out = append(out, id)
+		}
+	}
+	// Results must come back ascending (pool insertion order). When the
+	// probe touched a large fraction of the id space an in-order sweep of
+	// the stamp array is cheaper than comparison sorting; otherwise sort.
+	if len(out)*8 >= len(sc.stamp) {
+		out = out[:0]
+		for id, g := range sc.stamp {
+			if g == sc.gen {
+				out = append(out, int32(id))
+			}
+		}
+	} else {
+		slices.Sort(out)
+	}
+	ix.scratches.Put(sc)
+	return out
+}
+
+// ProbeBatch probes many queries across up to workers goroutines. The index
+// must not be mutated concurrently; probes themselves are read-only.
+// selves[i] is excluded from result i the way Probe excludes self.
+func (ix *Index) ProbeBatch(sigs []*fingerprint.Signature, selves []int32, workers int) [][]int32 {
+	if len(sigs) != len(selves) {
+		panic("lsh: ProbeBatch length mismatch")
+	}
+	out := make([][]int32, len(sigs))
+	n := len(sigs)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range sigs {
+			out[i] = ix.Probe(sigs[i], selves[i])
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = ix.Probe(sigs[i], selves[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats summarizes the index occupancy (experiment reporting).
+type Stats struct {
+	// Members is the number of indexed functions.
+	Members int
+	// Buckets is the number of non-empty buckets across all bands.
+	Buckets int
+	// MaxBucket is the largest single bucket.
+	MaxBucket int
+}
+
+// ComputeStats walks the buckets and summarizes them.
+func (ix *Index) ComputeStats() Stats {
+	st := Stats{Members: len(ix.keys)}
+	for _, band := range ix.buckets {
+		st.Buckets += len(band)
+		for _, b := range band {
+			if len(b) > st.MaxBucket {
+				st.MaxBucket = len(b)
+			}
+		}
+	}
+	return st
+}

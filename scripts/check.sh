@@ -5,8 +5,10 @@
 # (use-list locking, pool get/put pairing) are enforced by scripts/lint;
 # and the static merge auditor must report zero diagnostics across the
 # whole workload corpus — any finding is either a merger bug or an auditor
-# false positive, and both block. Run this before every commit that touches
-# internal/explore, internal/ir, internal/align or internal/analysis.
+# false positive, and both block; and the LSH candidate-ranking index must
+# keep >= 95% top-1 recall against the exact scan (-exp rank -quick).
+# Run this before every commit that touches internal/explore, internal/ir,
+# internal/align or internal/analysis.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -16,3 +18,4 @@ go build ./...
 go run ./scripts/lint
 go test -race ./...
 go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/
+go run ./cmd/fmsa-bench -exp rank -quick
