@@ -6,14 +6,24 @@
 //	fmsa-bench -exp all -csv results/
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
-// ablation, hotexclusion, perf, rank, audit, all.
+// ablation, hotexclusion, perf, rank, audit, kernels, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
-// ns/op, merges/s and the per-phase breakdown — for tracking the
-// performance trajectory across revisions:
+// ns/op, merges/s, DP-cell and cache-hit counters, and the per-phase
+// breakdown — for tracking the performance trajectory across revisions.
+// -alignkernel and -nocaches select the alignment kernel (coded or closure)
+// and toggle the linearization cache plus alignment memo; -percorpus emits
+// one line per corpus instead of one per suite:
 //
 //	fmsa-bench -exp perf -workers 8 -json BENCH_explore.json
+//	fmsa-bench -exp perf -percorpus -alignkernel closure -nocaches -json BENCH_PR4.json
+//
+// The kernels experiment cross-checks the coded kernel (caches on) against
+// the closure kernel (caches off) corpus by corpus and fails on the first
+// divergence in merge records or final module text:
+//
+//	fmsa-bench -exp kernels -quick
 //
 // The rank experiment compares the exact quadratic candidate ranking with
 // the sub-quadratic MinHash/LSH index on identical pools — per-corpus wall
@@ -47,6 +57,9 @@ func main() {
 		jsonPath  = flag.String("json", "", "append experiment JSON lines (perf, rank, audit) to this file")
 		auditMode = flag.String("audit", "committed", "audit experiment mode: committed or deep")
 		ranking   = flag.String("ranking", "exact", "perf experiment candidate ranking: exact or lsh")
+		kernel    = flag.String("alignkernel", "coded", "alignment kernel: coded or closure")
+		noCaches  = flag.Bool("nocaches", false, "disable the linearization cache and alignment memo")
+		perCorpus = flag.Bool("percorpus", false, "perf experiment: emit one JSON line per corpus")
 	)
 	flag.Parse()
 
@@ -198,19 +211,42 @@ func main() {
 		section("Exploration pipeline performance: serial vs parallel (t=10)")
 		mode, err := explore.ParseRankingMode(*ranking)
 		fatalIf(err)
+		km, err := explore.ParseKernelMode(*kernel)
+		fatalIf(err)
 		w := *workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		serial := experiments.Perf(spec, tgt, 10, 1, 1, mode)
-		emitPerf(serial, *jsonPath)
-		if w > 1 {
-			par := experiments.Perf(spec, tgt, 10, w, 1, mode)
-			if par.NsPerOp > 0 {
-				par.SpeedupVsSerial = float64(serial.NsPerOp) / float64(par.NsPerOp)
-			}
-			emitPerf(par, *jsonPath)
+		cfg := experiments.PerfConfig{
+			Threshold: 10, Workers: 1, Runs: 1,
+			Ranking: mode, Kernel: km, NoCaches: *noCaches,
 		}
+		if *perCorpus {
+			for _, r := range experiments.PerfCorpora(spec, tgt, cfg) {
+				emitPerf(r, *jsonPath)
+			}
+		} else {
+			serial := experiments.Perf(spec, tgt, cfg)
+			emitPerf(serial, *jsonPath)
+			if w > 1 {
+				cfg.Workers = w
+				par := experiments.Perf(spec, tgt, cfg)
+				if par.NsPerOp > 0 {
+					par.SpeedupVsSerial = float64(serial.NsPerOp) / float64(par.NsPerOp)
+				}
+				emitPerf(par, *jsonPath)
+			}
+		}
+	}
+
+	if run("kernels") {
+		ran = true
+		section("Kernel cross-check: coded+caches vs closure+nocaches, bit-identical merges (t=5)")
+		rows, err := experiments.KernelCrossCheck(spec, tgt, 5, *workers)
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+		}
+		fatalIf(err)
 	}
 
 	if run("rank") {

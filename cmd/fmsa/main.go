@@ -27,17 +27,20 @@ import (
 
 func main() {
 	var (
-		technique = flag.String("technique", "fmsa", "merging technique: identical, soa, fmsa")
-		threshold = flag.Int("threshold", 1, "FMSA exploration threshold (t)")
-		target    = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
-		oracle    = flag.Bool("oracle", false, "use exhaustive (oracle) exploration")
-		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores; results are identical for any value)")
-		ranking   = flag.String("ranking", "exact", "candidate ranking: exact (quadratic scan) or lsh (MinHash index, sub-quadratic)")
-		audit     = flag.String("audit", "off", "merge auditing: off, committed (static checks, diagnostics reported) or deep (reject merges whose behavior diverges)")
-		mergePair = flag.String("merge", "", "merge exactly this comma-separated function pair")
-		out       = flag.String("o", "", "write the optimized module to this file (default: stdout)")
-		quiet     = flag.Bool("q", false, "suppress the statistics report")
-		cgDot     = flag.Bool("callgraph", false, "print the call graph as Graphviz DOT instead of optimizing")
+		technique   = flag.String("technique", "fmsa", "merging technique: identical, soa, fmsa")
+		threshold   = flag.Int("threshold", 1, "FMSA exploration threshold (t)")
+		target      = flag.String("target", "x86-64", "cost-model target: x86-64 or thumb")
+		oracle      = flag.Bool("oracle", false, "use exhaustive (oracle) exploration")
+		workers     = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores; results are identical for any value)")
+		ranking     = flag.String("ranking", "exact", "candidate ranking: exact (quadratic scan) or lsh (MinHash index, sub-quadratic)")
+		audit       = flag.String("audit", "off", "merge auditing: off, committed (static checks, diagnostics reported) or deep (reject merges whose behavior diverges)")
+		kernel      = flag.String("alignkernel", "coded", "alignment kernel: coded (interned codes, default) or closure (reference); results are bit-identical")
+		noSeqCache  = flag.Bool("noseqcache", false, "disable the per-function linearization cache (measurement/debugging only)")
+		noAlignMemo = flag.Bool("noalignmemo", false, "disable the alignment-result memo (measurement/debugging only)")
+		mergePair   = flag.String("merge", "", "merge exactly this comma-separated function pair")
+		out         = flag.String("o", "", "write the optimized module to this file (default: stdout)")
+		quiet       = flag.Bool("q", false, "suppress the statistics report")
+		cgDot       = flag.Bool("callgraph", false, "print the call graph as Graphviz DOT instead of optimizing")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -86,13 +89,16 @@ func main() {
 
 	before, _ := fmsa.ModuleSize(mod, *target)
 	rep, err := fmsa.Optimize(mod, fmsa.Options{
-		Technique: fmsa.Technique(*technique),
-		Threshold: *threshold,
-		Target:    *target,
-		Oracle:    *oracle,
-		Workers:   *workers,
-		Ranking:   *ranking,
-		Audit:     *audit,
+		Technique:   fmsa.Technique(*technique),
+		Threshold:   *threshold,
+		Target:      *target,
+		Oracle:      *oracle,
+		Workers:     *workers,
+		Ranking:     *ranking,
+		Audit:       *audit,
+		AlignKernel: *kernel,
+		NoSeqCache:  *noSeqCache,
+		NoAlignMemo: *noAlignMemo,
 	})
 	fatal(err)
 	fatal(fmsa.Verify(mod))

@@ -123,6 +123,17 @@ type Options struct {
 	// Only TechniqueFMSA audits; the baselines have no merge bodies to
 	// check.
 	Audit string
+	// AlignKernel selects FMSA's alignment kernel: "" or "coded" (interned
+	// equivalence codes, flat integer inner loops — the default), or
+	// "closure" (the per-cell equivalence-predicate kernels). Both produce
+	// bit-identical merges; closure exists as the cross-check reference.
+	AlignKernel string
+	// NoSeqCache disables the per-function linearization+encoding cache and
+	// NoAlignMemo the alignment-result memo. Both caches are semantically
+	// invisible — results are identical either way — and exist to be turned
+	// off only for measurement and debugging.
+	NoSeqCache  bool
+	NoAlignMemo bool
 }
 
 // Optimize runs a whole-module function-merging pipeline in place and
@@ -151,6 +162,10 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fmsa: %w", err)
 		}
+		kernel, err := explore.ParseKernelMode(opts.AlignKernel)
+		if err != nil {
+			return nil, fmt.Errorf("fmsa: %w", err)
+		}
 		rep := baseline.RunIdentical(m, target)
 		eopts := explore.DefaultOptions()
 		eopts.Target = target
@@ -162,6 +177,9 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		eopts.Workers = opts.Workers
 		eopts.Audit = audit
 		eopts.Ranking = ranking
+		eopts.Kernel = kernel
+		eopts.NoSeqCache = opts.NoSeqCache
+		eopts.NoAlignMemo = opts.NoAlignMemo
 		rep.Add(explore.Run(m, eopts))
 		return rep, nil
 	default:

@@ -70,10 +70,22 @@ const maxDirectCells = 1 << 24 // 16M cells ≈ 16 MiB of direction bytes
 // and m, choosing between direct Needleman–Wunsch and the linear-space
 // Hirschberg variant based on problem size.
 func Align(n, m int, eq EqFunc, sc Scoring) []Step {
-	if n == 0 || m == 0 || n*m <= maxDirectCells {
+	if useDirect(n, m) {
 		return NeedlemanWunsch(n, m, eq, sc)
 	}
 	return Hirschberg(n, m, eq, sc)
+}
+
+// useDirect reports whether an n×m problem fits the direct Needleman–Wunsch
+// traceback matrix. The bound is checked by division rather than as
+// n*m <= maxDirectCells: for very long sequences the product can overflow
+// int and wrap to a small (or negative) value, which would route a
+// multi-gigabyte problem to the direct kernel. For every non-overflowing
+// pair the two forms agree exactly, so the routing of all realistic inputs
+// is unchanged. AlignCodes shares this predicate so both dispatchers always
+// pick twin kernels.
+func useDirect(n, m int) bool {
+	return n == 0 || m == 0 || n <= maxDirectCells/m
 }
 
 // Direction codes for the traceback matrix.

@@ -32,13 +32,14 @@ func Banded(n, m int, eq EqFunc, sc Scoring, band int) []Step {
 	}
 	// Very different lengths force a band so wide the banded matrix stops
 	// paying off (and can exceed memory); fall back to the standard
-	// dispatcher, which routes oversized problems to Hirschberg.
-	if (n+1)*(2*band+1) > maxDirectCells {
+	// dispatcher, which routes oversized problems to Hirschberg. Checked by
+	// division for the same overflow reason as useDirect.
+	width := 2*band + 1
+	if n+1 > maxDirectCells/width {
 		return Align(n, m, eq, sc)
 	}
 
 	const negInf = int32(-1 << 29)
-	width := 2*band + 1
 	// score[i][k] holds the score of cell (i, j) with j = i - band + k,
 	// clipped to valid j. Both matrices are recycled scratch: score is
 	// explicitly initialized to negInf below, and dirs cells are only read

@@ -131,6 +131,7 @@ func RunSOA(m *ir.Module, target tti.Target) *explore.Report {
 
 	mergeOpts := core.DefaultOptions()
 	mergeOpts.Align = lockstepAlign
+	mergeOpts.AlignCoded = nil // no coded twin for the lockstep aligner
 	mergeOpts.NamePrefix = "__soa_merged"
 	mergeOpts.ReuseParams = true
 

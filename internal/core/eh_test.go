@@ -198,6 +198,7 @@ func TestNormalizePadsDegenerateAlignment(t *testing.T) {
 	f2 := m.FuncByName("guard_mul")
 
 	opts := DefaultOptions()
+	opts.AlignCoded = nil // the degenerate closure aligner below must run
 	opts.Align = func(n, mm int, eq align.EqFunc, sc align.Scoring) []align.Step {
 		steps := align.Align(n, mm, eq, sc)
 		// Degenerate rewrite: split every matched landingpad column into

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fmsa/internal/align"
+	"fmsa/internal/encode"
 	"fmsa/internal/ir"
 	"fmsa/internal/linearize"
 	"fmsa/internal/passes"
@@ -64,21 +65,25 @@ func Merge(f1, f2 *ir.Func, opts Options) (*Result, error) {
 		opts.Align = align.Align
 	}
 
-	// Step 1: linearization (§III-B). The sequences are scratch: they are
-	// recycled through the package pool once code generation is done.
+	// Step 1: linearization (§III-B), through the provider cache when the
+	// caller wired one. Owned (inline-linearized) sequences are scratch,
+	// recycled through the package pool once code generation is done;
+	// borrowed cache entries are left untouched.
 	tLin := time.Now()
-	seq1 := linearize.LinearizeOrder(f1, opts.Order)
-	seq2 := linearize.LinearizeOrder(f2, opts.Order)
+	enc1, own1 := obtainSeq(f1, &opts)
+	enc2, own2 := obtainSeq(f2, &opts)
+	seq1, seq2 := enc1.Seq, enc2.Seq
 	if opts.Timings != nil {
 		opts.Timings.AddLinearize(time.Since(tLin))
 	}
 
-	// Step 2: sequence alignment (§III-C). Mismatch columns are decomposed
-	// into gap pairs so that every column is either an exact match or code
-	// unique to one function.
+	// Step 2: sequence alignment (§III-C) — the coded integer kernel when
+	// both sequences carry equivalence codes, the EqFunc closure walk
+	// otherwise; both produce bit-identical steps. Mismatch columns are then
+	// decomposed into gap pairs so that every column is either an exact
+	// match or code unique to one function.
 	tAlign := time.Now()
-	eq := func(i, j int) bool { return EntriesEquivalent(seq1[i], seq2[j]) }
-	steps := opts.Align(len(seq1), len(seq2), eq, opts.Scoring)
+	steps := alignSeqs(enc1, enc2, &opts)
 	steps = align.DecomposeMismatches(steps)
 	steps = normalizePads(steps, seq1, seq2)
 	if opts.Timings != nil {
@@ -94,9 +99,70 @@ func Merge(f1, f2 *ir.Func, opts Options) (*Result, error) {
 	// Step 3: code generation (§III-E).
 	plan := buildParamPlan(f1, f2, seq1, seq2, steps, opts.ReuseParams)
 	res, err := generate(f1, f2, seq1, seq2, steps, plan, retTy, opts)
-	linearize.Recycle(seq1)
-	linearize.Recycle(seq2)
+	if own1 {
+		linearize.Recycle(seq1)
+	}
+	if own2 {
+		linearize.Recycle(seq2)
+	}
 	return res, err
+}
+
+// obtainSeq resolves one function's linearization (and, on the coded path,
+// its equivalence-code encoding): from the provider cache when wired and
+// warm, inline otherwise. The boolean reports ownership — inline sequences
+// are the merge's scratch to recycle, cache entries are borrowed.
+func obtainSeq(f *ir.Func, opts *Options) (*encode.Encoded, bool) {
+	// The provider counts its own hits and misses (Timings.CountSeqCache):
+	// a compute-on-miss provider returns non-nil either way, so counting
+	// here would misread every miss as a hit.
+	if opts.SeqProvider != nil {
+		if enc := opts.SeqProvider(f); enc != nil {
+			return enc, false
+		}
+	}
+	seq := linearize.LinearizeOrder(f, opts.Order)
+	if opts.AlignCoded == nil {
+		return &encode.Encoded{Seq: seq}, true
+	}
+	in := opts.Interner
+	if in == nil {
+		in = encode.Default()
+	}
+	return in.Encode(seq), true
+}
+
+// alignSeqs runs the alignment kernel: the coded fast path (with optional
+// memoization) when both encodings carry codes, the closure path otherwise.
+func alignSeqs(enc1, enc2 *encode.Encoded, opts *Options) []align.Step {
+	if opts.AlignCoded != nil && enc1.Codes != nil && enc2.Codes != nil {
+		if opts.AlignMemo != nil {
+			if steps, ok := opts.AlignMemo.Lookup(enc1, enc2); ok {
+				if opts.Timings != nil {
+					opts.Timings.CountAlignMemo(true)
+				}
+				return steps
+			}
+			if opts.Timings != nil {
+				opts.Timings.CountAlignMemo(false)
+			}
+		}
+		steps := opts.AlignCoded(enc1.Codes, enc2.Codes, opts.Scoring)
+		if opts.Timings != nil {
+			opts.Timings.AddAlignCells(int64(len(enc1.Codes)) * int64(len(enc2.Codes)))
+		}
+		if opts.AlignMemo != nil {
+			opts.AlignMemo.Store(enc1, enc2, steps)
+		}
+		return steps
+	}
+	seq1, seq2 := enc1.Seq, enc2.Seq
+	eq := func(i, j int) bool { return EntriesEquivalent(seq1[i], seq2[j]) }
+	steps := opts.Align(len(seq1), len(seq2), eq, opts.Scoring)
+	if opts.Timings != nil {
+		opts.Timings.AddAlignCells(int64(len(seq1)) * int64(len(seq2)))
+	}
+	return steps
 }
 
 // generate runs code generation with a panic boundary: an internal

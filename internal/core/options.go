@@ -5,11 +5,14 @@ import (
 	"time"
 
 	"fmsa/internal/align"
+	"fmsa/internal/encode"
+	"fmsa/internal/ir"
 	"fmsa/internal/linearize"
 )
 
 // Timings accumulates wall-clock time per merge phase, feeding the Fig. 13
-// compile-time breakdown.
+// compile-time breakdown, plus the alignment-kernel counters behind the
+// fmsa-bench perf lines.
 //
 // Concurrency contract: one Timings value may be shared by any number of
 // concurrent Merge calls — Merge only ever accumulates through the atomic
@@ -21,6 +24,16 @@ type Timings struct {
 	Linearize time.Duration
 	Align     time.Duration
 	CodeGen   time.Duration
+
+	// AlignCells counts dynamic-programming cells actually computed (n·m per
+	// kernel invocation; memo hits add nothing). With caches on, the counters
+	// below depend on speculative-attempt scheduling, so their values may
+	// vary with the worker count even though the merge results never do.
+	AlignCells int64
+	// SeqCacheHits/Misses count Options.SeqProvider lookups.
+	SeqCacheHits, SeqCacheMisses int64
+	// AlignMemoHits/Misses count Options.AlignMemo lookups.
+	AlignMemoHits, AlignMemoMisses int64
 }
 
 // AddLinearize atomically accumulates linearization time.
@@ -38,8 +51,45 @@ func (t *Timings) AddCodeGen(d time.Duration) {
 	atomic.AddInt64((*int64)(&t.CodeGen), int64(d))
 }
 
+// AddAlignCells atomically accumulates computed DP cells.
+func (t *Timings) AddAlignCells(n int64) {
+	atomic.AddInt64(&t.AlignCells, n)
+}
+
+// CountSeqCache atomically records one linearization-cache lookup.
+func (t *Timings) CountSeqCache(hit bool) {
+	if hit {
+		atomic.AddInt64(&t.SeqCacheHits, 1)
+	} else {
+		atomic.AddInt64(&t.SeqCacheMisses, 1)
+	}
+}
+
+// CountAlignMemo atomically records one alignment-memo lookup.
+func (t *Timings) CountAlignMemo(hit bool) {
+	if hit {
+		atomic.AddInt64(&t.AlignMemoHits, 1)
+	} else {
+		atomic.AddInt64(&t.AlignMemoMisses, 1)
+	}
+}
+
 // AlignFunc is the signature of a pairwise global-alignment algorithm.
 type AlignFunc func(n, m int, eq align.EqFunc, sc align.Scoring) []align.Step
+
+// AlignMemo caches raw kernel results keyed by the content of the two code
+// sequences. Implementations must be safe for concurrent use and must verify
+// full code equality on hash hits (hash equality is only a hint); the steps
+// they return are shared read-only across merges (Merge never mutates them —
+// DecomposeMismatches allocates a fresh slice).
+type AlignMemo interface {
+	// Lookup returns the memoized steps for the pair, if present.
+	Lookup(a, b *encode.Encoded) ([]align.Step, bool)
+	// Store memoizes the steps for the pair. Implementations must copy
+	// a.Codes and b.Codes if they retain them — the caller may recycle the
+	// Encoded values after the merge.
+	Store(a, b *encode.Encoded, steps []align.Step)
+}
 
 // Options configures a merge operation. The zero value is not usable; start
 // from DefaultOptions.
@@ -49,6 +99,13 @@ type Options struct {
 	// Align is the alignment algorithm (defaults to align.Align, which
 	// picks Needleman–Wunsch or Hirschberg by problem size).
 	Align AlignFunc
+	// AlignCoded, when non-nil, is the coded fast path used instead of Align
+	// whenever both sequences carry equivalence codes: no per-cell closure
+	// calls, and alignment-memo eligibility. It MUST be the exact coded twin
+	// of Align (bit-identical []Step on equivalent inputs) — callers that
+	// override Align with an algorithm lacking a coded twin must set
+	// AlignCoded to nil, or the override is silently bypassed.
+	AlignCoded align.CodedFunc
 	// Order is the linearization traversal order (paper default: RPO).
 	Order linearize.Order
 	// ReuseParams enables sharing parameters of identical type between the
@@ -59,6 +116,19 @@ type Options struct {
 	NamePrefix string
 	// Timings, when non-nil, accumulates per-phase wall-clock time.
 	Timings *Timings
+	// SeqProvider, when non-nil, returns a cached linearization (and, on the
+	// coded path, encoding) of f under Order, or nil to make Merge linearize
+	// inline; a caching provider may also compute on miss and never return
+	// nil. Returned values are borrowed: Merge never mutates or recycles
+	// them, so one cache entry may serve many concurrent merges. The
+	// provider accounts its own SeqCacheHits/Misses (Timings.CountSeqCache).
+	SeqProvider func(f *ir.Func) *encode.Encoded
+	// Interner supplies equivalence codes for inline (provider-miss)
+	// encoding on the coded path. Nil means the shared process-wide table.
+	Interner *encode.Interner
+	// AlignMemo, when non-nil, caches coded-kernel results across merges.
+	// Only consulted on the coded path — memo keys are code contents.
+	AlignMemo AlignMemo
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -66,6 +136,7 @@ func DefaultOptions() Options {
 	return Options{
 		Scoring:     align.DefaultScoring,
 		Align:       align.Align,
+		AlignCoded:  align.AlignCodes,
 		Order:       linearize.OrderRPO,
 		ReuseParams: true,
 		NamePrefix:  "__merged",

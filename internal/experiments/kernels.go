@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/workload"
+)
+
+// KernelCheckResult summarizes one corpus of the coded-vs-closure
+// cross-check, serialized as a JSON line by cmd/fmsa-bench -exp kernels.
+type KernelCheckResult struct {
+	Corpus string `json:"corpus"`
+	// MergeOps is the (identical) number of merges both pipelines commit.
+	MergeOps int `json:"merge_ops"`
+	// Match reports bit-identical records and final module text.
+	Match bool `json:"match"`
+	// Detail names the first divergence when Match is false.
+	Detail string `json:"detail,omitempty"`
+}
+
+// KernelCrossCheck runs every corpus through the closure kernel with caches
+// disabled (the pre-encoding reference pipeline) and through the default
+// coded kernel with both caches on, on identically built modules, and
+// compares the committed merge records and the final module text. This is
+// the executable form of the bit-identical guarantee: an encoding bug, a
+// kernel tie-break divergence or a stale cache entry all surface here as a
+// mismatch. Returns an error naming the first diverging corpus.
+func KernelCrossCheck(profiles []workload.Profile, target tti.Target, threshold, workers int) ([]KernelCheckResult, error) {
+	runOne := func(p workload.Profile, kernel explore.KernelMode, noCaches bool) (*explore.Report, string) {
+		m := workload.Build(p)
+		opts := explore.DefaultOptions()
+		opts.Threshold = threshold
+		opts.Target = target
+		opts.Workers = workers
+		opts.Kernel = kernel
+		opts.NoSeqCache = noCaches
+		opts.NoAlignMemo = noCaches
+		rep := explore.Run(m, opts)
+		return rep, ir.FormatModule(m)
+	}
+
+	var out []KernelCheckResult
+	var firstErr error
+	for _, p := range profiles {
+		ref, refMod := runOne(p, explore.KernelClosure, true)
+		got, gotMod := runOne(p, explore.KernelCoded, false)
+		r := KernelCheckResult{Corpus: p.Name, MergeOps: got.MergeOps, Match: true}
+		switch {
+		case !reflect.DeepEqual(ref.Records, got.Records):
+			r.Match, r.Detail = false, "merge records diverge"
+		case ref.SizeAfter != got.SizeAfter:
+			r.Match, r.Detail = false,
+				fmt.Sprintf("final size diverges: closure %d, coded %d", ref.SizeAfter, got.SizeAfter)
+		case refMod != gotMod:
+			r.Match, r.Detail = false, "final module text diverges"
+		}
+		if !r.Match && firstErr == nil {
+			firstErr = fmt.Errorf("kernel cross-check failed on %s: %s", p.Name, r.Detail)
+		}
+		out = append(out, r)
+	}
+	return out, firstErr
+}

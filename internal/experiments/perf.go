@@ -15,12 +15,17 @@ import (
 // measurement, serialized as a JSON line by cmd/fmsa-bench -exp perf so the
 // performance trajectory can be tracked across revisions (BENCH_*.json).
 type PerfResult struct {
-	// Suite names the workload suite measured.
+	// Suite names the workload suite (or single corpus) measured.
 	Suite string `json:"suite"`
 	// Workers is the exploration worker-pool size (1 = serial).
 	Workers int `json:"workers"`
 	// Ranking is the candidate-ranking mode: "exact" or "lsh".
 	Ranking string `json:"ranking"`
+	// Kernel is the alignment kernel: "coded" or "closure".
+	Kernel string `json:"kernel"`
+	// Caches reports whether the linearization cache and alignment memo
+	// were enabled.
+	Caches bool `json:"caches"`
 	// Threshold is the exploration threshold t.
 	Threshold int `json:"threshold"`
 	// Runs is how many times the whole suite was explored.
@@ -44,26 +49,58 @@ type PerfResult struct {
 	RankProbes         int64 `json:"rank_probes"`
 	RankPrefilterSkips int64 `json:"rank_prefilter_skips"`
 	RankFallbacks      int   `json:"rank_fallbacks"`
+	// AlignCells counts dynamic-programming cells across all alignments of
+	// one pass — the kernel-independent measure of alignment work actually
+	// performed (memo hits skip their cells entirely).
+	AlignCells int64 `json:"align_cells"`
+	// SeqCacheHits/Misses count linearization-cache lookups; hit rates are
+	// scheduling-dependent under Workers > 1.
+	SeqCacheHits   int64 `json:"seq_cache_hits"`
+	SeqCacheMisses int64 `json:"seq_cache_misses"`
+	// AlignMemoHits/Misses count alignment-memo lookups.
+	AlignMemoHits   int64 `json:"align_memo_hits"`
+	AlignMemoMisses int64 `json:"align_memo_misses"`
 }
 
-// Perf measures whole-suite exploration at the given worker count: modules
-// are rebuilt outside the timed region, so NsPerOp isolates the exploration
-// pipeline itself. workers <= 0 selects GOMAXPROCS.
-func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, runs int, ranking explore.RankingMode) PerfResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// PerfConfig selects one exploration configuration to measure.
+type PerfConfig struct {
+	Threshold int
+	Workers   int // <= 0 selects GOMAXPROCS
+	Runs      int // <= 0 means 1
+	Ranking   explore.RankingMode
+	Kernel    explore.KernelMode
+	NoCaches  bool // disable both the linearization cache and the align memo
+}
+
+// apply copies the configuration onto exploration options.
+func (c PerfConfig) apply(opts *explore.Options) {
+	opts.Threshold = c.Threshold
+	opts.Ranking = c.Ranking
+	opts.Kernel = c.Kernel
+	opts.NoSeqCache = c.NoCaches
+	opts.NoAlignMemo = c.NoCaches
+}
+
+// Perf measures whole-suite exploration under one configuration: modules are
+// rebuilt outside the timed region, so NsPerOp isolates the exploration
+// pipeline itself.
+func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if runs <= 0 {
-		runs = 1
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
 	}
 	res := PerfResult{
 		Suite:   suiteName(profiles),
-		Workers: workers, Ranking: ranking.String(), Threshold: threshold, Runs: runs,
+		Workers: cfg.Workers, Ranking: cfg.Ranking.String(),
+		Kernel: cfg.Kernel.String(), Caches: !cfg.NoCaches,
+		Threshold: cfg.Threshold, Runs: cfg.Runs,
 		PhaseNs: map[string]int64{},
 	}
 	var wall time.Duration
 	var phases explore.Phases
-	for r := 0; r < runs; r++ {
+	for r := 0; r < cfg.Runs; r++ {
 		mods := make([]*ir.Module, len(profiles))
 		for i, p := range profiles {
 			mods[i] = workload.Build(p)
@@ -72,18 +109,23 @@ func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, ru
 		ops, cands := 0, 0
 		var probes, skips int64
 		fallbacks := 0
+		var cells, seqHits, seqMisses, memoHits, memoMisses int64
 		for _, m := range mods {
 			opts := explore.DefaultOptions()
-			opts.Threshold = threshold
 			opts.Target = target
-			opts.Workers = workers
-			opts.Ranking = ranking
+			opts.Workers = cfg.Workers
+			cfg.apply(&opts)
 			rep := explore.Run(m, opts)
 			ops += rep.MergeOps
 			cands += rep.CandidatesEvaluated
 			probes += rep.RankProbes
 			skips += rep.RankPrefilterSkips
 			fallbacks += rep.RankFallbacks
+			cells += rep.AlignCells
+			seqHits += rep.SeqCacheHits
+			seqMisses += rep.SeqCacheMisses
+			memoHits += rep.AlignMemoHits
+			memoMisses += rep.AlignMemoMisses
 			phases.Fingerprint += rep.Phases.Fingerprint
 			phases.Ranking += rep.Phases.Ranking
 			phases.Linearize += rep.Phases.Linearize
@@ -94,18 +136,33 @@ func Perf(profiles []workload.Profile, target tti.Target, threshold, workers, ru
 		wall += time.Since(start)
 		res.MergeOps, res.CandidatesEvaluated = ops, cands
 		res.RankProbes, res.RankPrefilterSkips, res.RankFallbacks = probes, skips, fallbacks
+		res.AlignCells = cells
+		res.SeqCacheHits, res.SeqCacheMisses = seqHits, seqMisses
+		res.AlignMemoHits, res.AlignMemoMisses = memoHits, memoMisses
 	}
-	res.NsPerOp = wall.Nanoseconds() / int64(runs)
+	res.NsPerOp = wall.Nanoseconds() / int64(cfg.Runs)
 	if wall > 0 {
-		res.MergesPerSec = float64(res.MergeOps*runs) / wall.Seconds()
+		res.MergesPerSec = float64(res.MergeOps*cfg.Runs) / wall.Seconds()
 	}
-	res.PhaseNs["fingerprint"] = phases.Fingerprint.Nanoseconds() / int64(runs)
-	res.PhaseNs["ranking"] = phases.Ranking.Nanoseconds() / int64(runs)
-	res.PhaseNs["linearize"] = phases.Linearize.Nanoseconds() / int64(runs)
-	res.PhaseNs["align"] = phases.Align.Nanoseconds() / int64(runs)
-	res.PhaseNs["codegen"] = phases.CodeGen.Nanoseconds() / int64(runs)
-	res.PhaseNs["update_calls"] = phases.UpdateCalls.Nanoseconds() / int64(runs)
+	res.PhaseNs["fingerprint"] = phases.Fingerprint.Nanoseconds() / int64(cfg.Runs)
+	res.PhaseNs["ranking"] = phases.Ranking.Nanoseconds() / int64(cfg.Runs)
+	res.PhaseNs["linearize"] = phases.Linearize.Nanoseconds() / int64(cfg.Runs)
+	res.PhaseNs["align"] = phases.Align.Nanoseconds() / int64(cfg.Runs)
+	res.PhaseNs["codegen"] = phases.CodeGen.Nanoseconds() / int64(cfg.Runs)
+	res.PhaseNs["update_calls"] = phases.UpdateCalls.Nanoseconds() / int64(cfg.Runs)
 	return res
+}
+
+// PerfCorpora measures each corpus of the suite separately under one
+// configuration — the per-corpus rows of BENCH_PR4.json.
+func PerfCorpora(profiles []workload.Profile, target tti.Target, cfg PerfConfig) []PerfResult {
+	out := make([]PerfResult, 0, len(profiles))
+	for _, p := range profiles {
+		r := Perf([]workload.Profile{p}, target, cfg)
+		r.Suite = p.Name
+		out = append(out, r)
+	}
+	return out
 }
 
 func suiteName(profiles []workload.Profile) string {

@@ -82,6 +82,22 @@ type Options struct {
 	// back to the exact scan. Zero selects DefaultLSHMinPool; exploration
 	// never re-evaluates the cutoff as merges shrink the pool.
 	LSHMinPool int
+	// Kernel selects the alignment kernel (see kernel.go): KernelCoded (the
+	// default — flat integer kernels over interned equivalence codes) or
+	// KernelClosure (the EqFunc structural walk, the cross-check baseline).
+	// Both produce bit-identical merges; only speed differs. When
+	// Merge.AlignCoded was explicitly set to nil (a custom closure aligner
+	// without a coded twin), the closure path runs regardless of this knob.
+	Kernel KernelMode
+	// NoSeqCache disables the per-function linearization+encoding cache:
+	// every merge attempt re-linearizes both inputs, as before PR 4.
+	NoSeqCache bool
+	// NoAlignMemo disables the content-keyed alignment-result memo (only
+	// active on the coded kernel to begin with).
+	NoAlignMemo bool
+	// AlignMemoCap bounds the memo's entry count; zero selects
+	// DefaultAlignMemoCap.
+	AlignMemoCap int
 }
 
 // DefaultOptions returns the paper's default configuration (t=1, Intel
@@ -169,6 +185,18 @@ type Report struct {
 	// RankFallbacks counts explorations that requested LSH ranking but fell
 	// back to the exact scan because the pool was below Options.LSHMinPool.
 	RankFallbacks int
+	// AlignCells counts dynamic-programming cells the alignment kernels
+	// actually computed (memo hits add nothing). Like the four cache
+	// counters below, with Workers > 1 the value depends on how many
+	// speculative attempts ran before each winner was found, so it may vary
+	// across worker counts — the merge results above never do.
+	AlignCells int64
+	// SeqCacheHits and SeqCacheMisses count linearization-cache lookups by
+	// merge attempts (two per attempt when the cache is enabled).
+	SeqCacheHits, SeqCacheMisses int64
+	// AlignMemoHits and AlignMemoMisses count alignment-memo lookups; a hit
+	// skips the pair's entire DP run.
+	AlignMemoHits, AlignMemoMisses int64
 }
 
 // Add folds a later pipeline stage's report into r: counts accumulate,
@@ -197,6 +225,11 @@ func (r *Report) Add(later *Report) {
 	r.RankProbes += later.RankProbes
 	r.RankPrefilterSkips += later.RankPrefilterSkips
 	r.RankFallbacks += later.RankFallbacks
+	r.AlignCells += later.AlignCells
+	r.SeqCacheHits += later.SeqCacheHits
+	r.SeqCacheMisses += later.SeqCacheMisses
+	r.AlignMemoHits += later.AlignMemoHits
+	r.AlignMemoMisses += later.AlignMemoMisses
 }
 
 // Reduction returns the relative code-size reduction in percent.
@@ -236,6 +269,9 @@ type runner struct {
 	// lsh is the MinHash index state; nil when ranking is exact or the pool
 	// fell below the LSH cutoff.
 	lsh *lshState
+	// seqs is the per-function linearization+encoding cache; nil when
+	// Options.NoSeqCache is set or the runner only snapshots rankings.
+	seqs *seqCache
 	// rankProbes and rankSkips accumulate scan counters atomically (scans
 	// run inside parallelFor); flushRankCounters folds them into rep. The
 	// totals are deterministic: the same set of scans runs at every Workers
@@ -260,6 +296,7 @@ func setup(m *ir.Module, opts Options) *runner {
 		rep:     &Report{SizeBefore: tti.ModuleSize(opts.Target, m)},
 	}
 	r.opts.Merge.Timings = &core.Timings{}
+	r.setupKernel()
 
 	// Pre-processing: the merger requires φ-free input (§III-A).
 	passes.DemotePhisModule(m)
@@ -302,6 +339,7 @@ func setup(m *ir.Module, opts Options) *runner {
 // merge it finds.
 func Run(m *ir.Module, opts Options) *Report {
 	r := setup(m, opts)
+	r.setupCaches()
 
 	for len(r.worklist) > 0 {
 		f := r.worklist[0]
@@ -352,9 +390,15 @@ func Run(m *ir.Module, opts Options) *Report {
 	}
 
 	r.rep.SizeAfter = tti.ModuleSize(r.opts.Target, m)
-	r.rep.Phases.Linearize = r.opts.Merge.Timings.Linearize
-	r.rep.Phases.Align = r.opts.Merge.Timings.Align
-	r.rep.Phases.CodeGen = r.opts.Merge.Timings.CodeGen
+	tm := r.opts.Merge.Timings
+	r.rep.Phases.Linearize = tm.Linearize
+	r.rep.Phases.Align = tm.Align
+	r.rep.Phases.CodeGen = tm.CodeGen
+	r.rep.AlignCells = tm.AlignCells
+	r.rep.SeqCacheHits = tm.SeqCacheHits
+	r.rep.SeqCacheMisses = tm.SeqCacheMisses
+	r.rep.AlignMemoHits = tm.AlignMemoHits
+	r.rep.AlignMemoMisses = tm.AlignMemoMisses
 	r.flushRankCounters()
 	return r.rep
 }
@@ -373,6 +417,13 @@ func (r *runner) cacheThreshold() int {
 // pool and the work list (the Fig. 7 feedback loop), and the ranking cache
 // invalidates exactly the entries the commit touched.
 func (r *runner) commit(res *core.Result, profit, rank int) {
+	// Gather the linearization-cache invalidation set before committing:
+	// Commit rewrites caller call sites and then drains the originals' use
+	// lists, so the caller set is only visible now.
+	var stale []*ir.Func
+	if r.seqs != nil {
+		stale = staleAfterCommit(res)
+	}
 	tUp := time.Now()
 	removed := res.Commit()
 	r.rep.Phases.UpdateCalls += time.Since(tUp)
@@ -420,6 +471,7 @@ func (r *runner) commit(res *core.Result, profit, rank int) {
 		r.cache.applyCommit(res.F1, res.F2, entered)
 		r.rep.Phases.Ranking += time.Since(tRank)
 	}
+	r.refreshSeqs(stale)
 }
 
 func (r *runner) removeFromPool(f *ir.Func) {

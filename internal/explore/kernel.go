@@ -1,0 +1,285 @@
+package explore
+
+// Alignment-kernel selection and the two exploration-scoped caches feeding
+// it: a per-function linearization+encoding cache (so the O(pool·t)
+// speculative merge attempts stop re-linearizing and re-encoding the same
+// functions) and a bounded alignment-result memo keyed by sequence content
+// (so the workload's identical-clone populations collapse to one DP run per
+// class).
+//
+// Determinism: both caches are semantically invisible. A cache hit returns
+// exactly what recomputation would — the linearization cache stores the
+// deterministic LinearizeOrder output and is invalidated whenever a commit
+// mutates a function (the merged inputs and every caller whose call sites
+// Commit rewrites), and the memo verifies full code equality on every hash
+// hit before trusting it, so a collision degrades to a miss, never a wrong
+// alignment. Which attempts hit is scheduling-dependent under Workers > 1,
+// so the hit/miss counters may vary across worker counts — the committed
+// merges, the report records and the final module never do
+// (TestParallelDeterminism runs with both caches on).
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fmsa/internal/align"
+	"fmsa/internal/core"
+	"fmsa/internal/encode"
+	"fmsa/internal/ir"
+	"fmsa/internal/linearize"
+)
+
+// KernelMode selects the alignment kernel driving each merge attempt.
+type KernelMode int
+
+const (
+	// KernelCoded (the default) interns linearization entries into
+	// equivalence-class codes once per function and runs the flat-slice
+	// integer kernels (align.AlignCodes and friends) — no per-cell closure
+	// calls, and alignment-memo eligibility. Bit-identical output to
+	// KernelClosure.
+	KernelCoded KernelMode = iota
+	// KernelClosure drives the EqFunc closure kernels, the pre-encoding
+	// baseline and the cross-check reference.
+	KernelClosure
+)
+
+// String names the mode the way the -alignkernel flags spell it.
+func (m KernelMode) String() string {
+	if m == KernelClosure {
+		return "closure"
+	}
+	return "coded"
+}
+
+// ParseKernelMode parses the -alignkernel flag values: "" or "coded", or
+// "closure".
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "", "coded":
+		return KernelCoded, nil
+	case "closure":
+		return KernelClosure, nil
+	default:
+		return KernelCoded, errors.New(`unknown align kernel "` + s + `" (want coded or closure)`)
+	}
+}
+
+// DefaultAlignMemoCap bounds the alignment memo: at most this many cached
+// results (a few hundred bytes each). A full memo stops inserting — older
+// entries are not evicted, so hit patterns stay deterministic for a fixed
+// schedule and results stay identical regardless.
+const DefaultAlignMemoCap = 1 << 14
+
+// setupKernel resolves the kernel mode and wires the per-run interning
+// table. Called from setup before any merge attempt.
+func (r *runner) setupKernel() {
+	if r.opts.Kernel == KernelClosure {
+		r.opts.Merge.AlignCoded = nil
+		r.opts.Merge.AlignMemo = nil
+	}
+	if r.opts.Merge.Interner == nil {
+		// Per-run table: its lifetime (and memory) matches the module's.
+		r.opts.Merge.Interner = encode.NewInterner()
+	}
+}
+
+// setupCaches builds the linearization cache for the initial pool (in
+// parallel — each function is independent) and the alignment memo. Called
+// from Run, not setup, so SnapshotRanking never pays for it; the encoding
+// wall time lands in the Linearize phase via the shared Timings.
+func (r *runner) setupCaches() {
+	if !r.opts.NoSeqCache {
+		start := time.Now()
+		r.seqs = &seqCache{
+			entries: make(map[*ir.Func]*encode.Encoded, len(r.pool)),
+			encode:  r.encodeFunc,
+			timings: r.opts.Merge.Timings,
+		}
+		encs := make([]*encode.Encoded, len(r.pool))
+		parallelFor(len(r.pool), r.workers, func(i int) {
+			encs[i] = r.encodeFunc(r.pool[i])
+		})
+		for i, f := range r.pool {
+			r.seqs.entries[f] = encs[i]
+		}
+		r.opts.Merge.SeqProvider = r.seqs.lookup
+		r.opts.Merge.Timings.AddLinearize(time.Since(start))
+	}
+	if !r.opts.NoAlignMemo && r.opts.Merge.AlignCoded != nil {
+		r.opts.Merge.AlignMemo = newAlignMemo(r.opts.AlignMemoCap)
+	}
+}
+
+// encodeFunc linearizes (and, on the coded path, encodes) one function for
+// the cache.
+func (r *runner) encodeFunc(f *ir.Func) *encode.Encoded {
+	seq := linearize.LinearizeOrder(f, r.opts.Merge.Order)
+	if r.opts.Merge.AlignCoded == nil {
+		return &encode.Encoded{Seq: seq}
+	}
+	return r.opts.Merge.Interner.Encode(seq)
+}
+
+// staleAfterCommit lists every function whose cached linearization the
+// pending commit will invalidate: the two merged inputs, plus every caller
+// function — Commit rewrites their call instructions to target the merged
+// function, which changes their linearized sequences. Must run BEFORE
+// res.Commit(): committing drains the originals' use lists.
+func staleAfterCommit(res *core.Result) []*ir.Func {
+	seen := map[*ir.Func]bool{res.F1: true, res.F2: true}
+	out := []*ir.Func{res.F1, res.F2}
+	for _, fn := range []*ir.Func{res.F1, res.F2} {
+		for _, call := range fn.Callers() {
+			blk := call.Parent()
+			if blk == nil {
+				continue
+			}
+			if p := blk.Parent(); p != nil && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// refreshSeqs applies a commit's invalidations: stale entries are dropped and
+// their pooled sequences recycled. Re-encoding is deliberately lazy — the
+// next lookup of a dropped function recomputes on miss — because an eager
+// refresh is quadratic in practice: a chain-merged function that calls much
+// of the pool is a caller invalidated by nearly every subsequent commit, and
+// re-encoding its thousands of entries each time costs far more than the
+// alignment work the cache exists to feed. Runs serially between evaluation
+// waves, so dropping never recycles a sequence an in-flight attempt reads.
+func (r *runner) refreshSeqs(stale []*ir.Func) {
+	if r.seqs == nil {
+		return
+	}
+	for _, f := range stale {
+		if old := r.seqs.drop(f); old != nil {
+			linearize.Recycle(old.Seq)
+		}
+	}
+}
+
+// seqCache maps live pool functions to their cached linearization+encoding.
+// Lookups run concurrently inside evaluation waves and compute on miss; all
+// drops happen serially between waves (refreshSeqs), so a cached encoding is
+// never recycled while a wave may still read it.
+type seqCache struct {
+	mu      sync.RWMutex
+	entries map[*ir.Func]*encode.Encoded
+	encode  func(*ir.Func) *encode.Encoded
+	timings *core.Timings
+}
+
+// lookup is the core.Options.SeqProvider hook. It never returns nil: a miss
+// computes the encoding, installs it and returns it. The computation runs
+// outside the lock — linearization+encoding is pure and deterministic, so
+// when two workers race on the same function the loser's duplicate is
+// recycled and the winner's entry served; the result is identical either
+// way. The hit/miss counters live here rather than in core so a computed
+// miss is counted exactly once.
+func (c *seqCache) lookup(f *ir.Func) *encode.Encoded {
+	c.mu.RLock()
+	e := c.entries[f]
+	c.mu.RUnlock()
+	c.timings.CountSeqCache(e != nil)
+	if e != nil {
+		return e
+	}
+	enc := c.encode(f)
+	c.mu.Lock()
+	if won, ok := c.entries[f]; ok {
+		c.mu.Unlock()
+		linearize.Recycle(enc.Seq)
+		return won
+	}
+	c.entries[f] = enc
+	c.mu.Unlock()
+	return enc
+}
+
+// drop removes and returns f's entry (nil when absent).
+func (c *seqCache) drop(f *ir.Func) *encode.Encoded {
+	c.mu.Lock()
+	e := c.entries[f]
+	delete(c.entries, f)
+	c.mu.Unlock()
+	return e
+}
+
+// alignMemo is the bounded alignment-result memo (core.AlignMemo). Keys are
+// the content hashes plus lengths of the two code sequences; entries keep
+// their own copies of the codes so hash hits are verified by full equality —
+// a collision is a miss, never a wrong result — and so recycling a cache
+// entry's buffers cannot corrupt the memo.
+type alignMemo struct {
+	mu  sync.Mutex
+	cap int
+	m   map[memoKey]memoEntry
+}
+
+type memoKey struct {
+	ha, hb uint64
+	la, lb int
+}
+
+type memoEntry struct {
+	ca, cb []uint32
+	steps  []align.Step
+}
+
+func newAlignMemo(capEntries int) *alignMemo {
+	if capEntries <= 0 {
+		capEntries = DefaultAlignMemoCap
+	}
+	return &alignMemo{cap: capEntries, m: make(map[memoKey]memoEntry)}
+}
+
+// Lookup implements core.AlignMemo. The returned steps are shared read-only.
+func (am *alignMemo) Lookup(a, b *encode.Encoded) ([]align.Step, bool) {
+	k := memoKey{ha: a.Hash, hb: b.Hash, la: len(a.Codes), lb: len(b.Codes)}
+	am.mu.Lock()
+	e, ok := am.m[k]
+	am.mu.Unlock()
+	if !ok || !equalCodes(e.ca, a.Codes) || !equalCodes(e.cb, b.Codes) {
+		return nil, false
+	}
+	return e.steps, true
+}
+
+// Store implements core.AlignMemo: insert-if-absent under the capacity
+// bound. Concurrent attempts may race to insert the same key; the first
+// writer wins, and since every hit is verified against the stored codes,
+// whichever entry landed serves only the pairs it is actually correct for.
+func (am *alignMemo) Store(a, b *encode.Encoded, steps []align.Step) {
+	k := memoKey{ha: a.Hash, hb: b.Hash, la: len(a.Codes), lb: len(b.Codes)}
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	if len(am.m) >= am.cap {
+		return // bounded: a full memo stops inserting, results unaffected
+	}
+	if _, ok := am.m[k]; ok {
+		return
+	}
+	am.m[k] = memoEntry{
+		ca:    append([]uint32(nil), a.Codes...),
+		cb:    append([]uint32(nil), b.Codes...),
+		steps: steps,
+	}
+}
+
+func equalCodes(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,10 +5,13 @@
 # (use-list locking, pool get/put pairing) are enforced by scripts/lint;
 # and the static merge auditor must report zero diagnostics across the
 # whole workload corpus — any finding is either a merger bug or an auditor
-# false positive, and both block; and the LSH candidate-ranking index must
-# keep >= 95% top-1 recall against the exact scan (-exp rank -quick).
+# false positive, and both block; the LSH candidate-ranking index must
+# keep >= 95% top-1 recall against the exact scan (-exp rank -quick); and
+# the coded alignment kernel (caches on) must commit bit-identical merges
+# to the closure reference kernel (caches off) on every quick corpus
+# (-exp kernels -quick).
 # Run this before every commit that touches internal/explore, internal/ir,
-# internal/align or internal/analysis.
+# internal/align, internal/encode or internal/analysis.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -19,3 +22,4 @@ go run ./scripts/lint
 go test -race ./...
 go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/
 go run ./cmd/fmsa-bench -exp rank -quick
+go run ./cmd/fmsa-bench -exp kernels -quick

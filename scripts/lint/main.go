@@ -10,7 +10,8 @@
 // .uses elsewhere in the package are fine (block/inst/param lists are
 // goroutine-private).
 //
-// Invariant 2 — pool pairing (internal/align, internal/linearize): every
+// Invariant 2 — pool pairing (internal/align, internal/linearize,
+// internal/encode): every
 // buffer obtained from a sync.Pool getter must, within the same function,
 // either be released to the matching putter or be handed off by returning
 // it to the caller (who then inherits the obligation — e.g. nwScoreRow
@@ -41,7 +42,7 @@ func main() {
 	}
 	var bad []string
 	bad = append(bad, lintUseLists(filepath.Join(root, "internal", "ir"))...)
-	for _, dir := range []string{"align", "linearize"} {
+	for _, dir := range []string{"align", "linearize", "encode"} {
 		bad = append(bad, lintPools(filepath.Join(root, "internal", dir))...)
 	}
 	for _, v := range bad {

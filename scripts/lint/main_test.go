@@ -22,7 +22,7 @@ func TestLintRepoIsClean(t *testing.T) {
 	if bad := lintUseLists(filepath.Join(root, "internal", "ir")); len(bad) != 0 {
 		t.Errorf("use-list lint on the repo: %v", bad)
 	}
-	for _, dir := range []string{"align", "linearize"} {
+	for _, dir := range []string{"align", "linearize", "encode"} {
 		if bad := lintPools(filepath.Join(root, "internal", dir)); len(bad) != 0 {
 			t.Errorf("pool lint on internal/%s: %v", dir, bad)
 		}
@@ -97,6 +97,57 @@ func leak() int {
 	bad := lintPools(dir)
 	if len(bad) != 1 || !strings.Contains(bad[0], "leak") {
 		t.Fatalf("want 1 leak violation, got: %v", bad)
+	}
+}
+
+// TestLintPoolCodedKernelShape mirrors the coded alignment kernels' scratch
+// usage — several buffers from distinct pools in one function — and checks a
+// single missing put among them is still flagged.
+func TestLintPoolCodedKernelShape(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "pool.go", `package p
+import "sync"
+var rowPool, dirPool sync.Pool
+func getRow(n int) []int32 {
+	if p, ok := rowPool.Get().(*[]int32); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int32, n)
+}
+func putRow(s []int32) { rowPool.Put(&s) }
+func getDirs(n int) []byte {
+	if p, ok := dirPool.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+func putDirs(s []byte) { dirPool.Put(&s) }
+`)
+	write(t, dir, "kernel.go", `package p
+func kernelOK(n, m int) []int {
+	prev := getRow(m + 1)
+	cur := getRow(m + 1)
+	dirs := getDirs((n + 1) * (m + 1))
+	out := make([]int, 0)
+	putRow(prev)
+	putRow(cur)
+	putDirs(dirs)
+	return out
+}
+func kernelLeaky(n, m int) []int {
+	prev := getRow(m + 1)
+	cur := getRow(m + 1)
+	dirs := getDirs((n + 1) * (m + 1))
+	out := make([]int, 0)
+	putRow(prev)
+	putDirs(dirs)
+	_ = cur
+	return out
+}
+`)
+	bad := lintPools(dir)
+	if len(bad) != 1 || !strings.Contains(bad[0], "kernelLeaky") || !strings.Contains(bad[0], `"cur"`) {
+		t.Fatalf("want exactly the kernelLeaky cur leak, got: %v", bad)
 	}
 }
 
