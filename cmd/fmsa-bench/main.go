@@ -6,24 +6,34 @@
 //	fmsa-bench -exp all -csv results/
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
-// ablation, hotexclusion, perf, rank, audit, kernels, all.
+// ablation, hotexclusion, perf, rank, audit, kernels, bound, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
 // ns/op, merges/s, DP-cell and cache-hit counters, and the per-phase
 // breakdown — for tracking the performance trajectory across revisions.
 // -alignkernel and -nocaches select the alignment kernel (coded or closure)
-// and toggle the linearization cache plus alignment memo; -percorpus emits
-// one line per corpus instead of one per suite:
+// and toggle the linearization cache plus alignment memo; -nobound disables
+// pre-codegen profitability bounding; -runs repeats each measurement and
+// reports the median (ns_per_op) plus the minimum (ns_per_op_min);
+// -percorpus emits one line per corpus instead of one per suite:
 //
 //	fmsa-bench -exp perf -workers 8 -json BENCH_explore.json
-//	fmsa-bench -exp perf -percorpus -alignkernel closure -nocaches -json BENCH_PR4.json
+//	fmsa-bench -exp perf -percorpus -runs 3 -json BENCH_PR5.json
+//	fmsa-bench -exp perf -percorpus -runs 3 -nobound -json BENCH_PR5.json
 //
 // The kernels experiment cross-checks the coded kernel (caches on) against
 // the closure kernel (caches off) corpus by corpus and fails on the first
 // divergence in merge records or final module text:
 //
 //	fmsa-bench -exp kernels -quick
+//
+// The bound experiment is the profitability-bound differential check: each
+// corpus runs with bounding off, with pruning on (must commit bit-identical
+// merges) and with a bound-vs-exact audit on every materialized pair (zero
+// pairs may price above their bound):
+//
+//	fmsa-bench -exp bound -quick
 //
 // The rank experiment compares the exact quadratic candidate ranking with
 // the sub-quadratic MinHash/LSH index on identical pools — per-corpus wall
@@ -59,6 +69,8 @@ func main() {
 		ranking   = flag.String("ranking", "exact", "perf experiment candidate ranking: exact or lsh")
 		kernel    = flag.String("alignkernel", "coded", "alignment kernel: coded or closure")
 		noCaches  = flag.Bool("nocaches", false, "disable the linearization cache and alignment memo")
+		noBound   = flag.Bool("nobound", false, "disable pre-codegen profitability bounding")
+		runs      = flag.Int("runs", 1, "perf experiment: repeat each measurement, report median and min")
 		perCorpus = flag.Bool("percorpus", false, "perf experiment: emit one JSON line per corpus")
 	)
 	flag.Parse()
@@ -218,8 +230,8 @@ func main() {
 			w = runtime.GOMAXPROCS(0)
 		}
 		cfg := experiments.PerfConfig{
-			Threshold: 10, Workers: 1, Runs: 1,
-			Ranking: mode, Kernel: km, NoCaches: *noCaches,
+			Threshold: 10, Workers: 1, Runs: *runs,
+			Ranking: mode, Kernel: km, NoCaches: *noCaches, NoBound: *noBound,
 		}
 		if *perCorpus {
 			for _, r := range experiments.PerfCorpora(spec, tgt, cfg) {
@@ -243,6 +255,16 @@ func main() {
 		ran = true
 		section("Kernel cross-check: coded+caches vs closure+nocaches, bit-identical merges (t=5)")
 		rows, err := experiments.KernelCrossCheck(spec, tgt, 5, *workers)
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+		}
+		fatalIf(err)
+	}
+
+	if run("bound") {
+		ran = true
+		section("Bound cross-check: pruning vs exact pipeline, admissibility audit (t=5)")
+		rows, err := experiments.BoundCrossCheck(spec, tgt, 5, *workers)
 		for _, r := range rows {
 			emitJSON(r, *jsonPath)
 		}

@@ -37,6 +37,7 @@ func main() {
 		kernel      = flag.String("alignkernel", "coded", "alignment kernel: coded (interned codes, default) or closure (reference); results are bit-identical")
 		noSeqCache  = flag.Bool("noseqcache", false, "disable the per-function linearization cache (measurement/debugging only)")
 		noAlignMemo = flag.Bool("noalignmemo", false, "disable the alignment-result memo (measurement/debugging only)")
+		noBound     = flag.Bool("nobound", false, "disable pre-codegen profitability bounding (measurement/debugging only; results are identical either way)")
 		mergePair   = flag.String("merge", "", "merge exactly this comma-separated function pair")
 		out         = flag.String("o", "", "write the optimized module to this file (default: stdout)")
 		quiet       = flag.Bool("q", false, "suppress the statistics report")
@@ -99,6 +100,7 @@ func main() {
 		AlignKernel: *kernel,
 		NoSeqCache:  *noSeqCache,
 		NoAlignMemo: *noAlignMemo,
+		NoBound:     *noBound,
 	})
 	fatal(err)
 	fatal(fmsa.Verify(mod))

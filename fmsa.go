@@ -134,6 +134,11 @@ type Options struct {
 	// off only for measurement and debugging.
 	NoSeqCache  bool
 	NoAlignMemo bool
+	// NoBound disables pre-codegen profitability bounding. Bounding never
+	// changes the optimized module — it only skips materializing merge
+	// candidates the cost model would reject — so this too exists only for
+	// measurement and debugging.
+	NoBound bool
 }
 
 // Optimize runs a whole-module function-merging pipeline in place and
@@ -180,6 +185,7 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		eopts.Kernel = kernel
 		eopts.NoSeqCache = opts.NoSeqCache
 		eopts.NoAlignMemo = opts.NoAlignMemo
+		eopts.NoBound = opts.NoBound
 		rep.Add(explore.Run(m, eopts))
 		return rep, nil
 	default:

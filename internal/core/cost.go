@@ -41,7 +41,15 @@ func (r *Result) Profit(t tti.Target) int {
 // snapshots instead of the live use lists, making the result independent of
 // concurrent speculative merges (see CallerStats).
 func (r *Result) ProfitWithStats(t tti.Target, s1, s2 CallerStats) int {
-	before := tti.FuncSize(t, r.F1) + tti.FuncSize(t, r.F2)
+	return r.ProfitWithStatsMemo(t, s1, s2, nil)
+}
+
+// ProfitWithStatsMemo is ProfitWithStats with the input-function size terms
+// served from a cost memo (nil computes directly). The merged function is
+// always sized directly — it is unique to this attempt, so memoizing it
+// would only grow the memo. The result is identical to ProfitWithStats.
+func (r *Result) ProfitWithStatsMemo(t tti.Target, s1, s2 CallerStats, costs *tti.CostMemo) int {
+	before := costs.FuncSize(t, r.F1) + costs.FuncSize(t, r.F2)
 	after := tti.FuncSize(t, r.Merged)
 	eps := r.delta(t, r.F1, s1) + r.delta(t, r.F2, s2)
 	return before - (after + eps)

@@ -28,6 +28,11 @@ type Result struct {
 	HasFuncID bool
 	// Stats describes the merge.
 	Stats Stats
+
+	// scratch is the pooled merger state (value maps, dispatch memo, clone
+	// arena) retained until the caller decides the merge's fate: Discard
+	// recycles it, Commit drops it (see mergerScratch).
+	scratch *mergerScratch
 }
 
 // Merge merges two functions of the same module by sequence alignment
@@ -96,14 +101,44 @@ func Merge(f1, f2 *ir.Func, opts Options) (*Result, error) {
 		}
 	}()
 
-	// Step 3: code generation (§III-E).
+	// Pre-codegen profitability bounding (bound.go): when the admissible
+	// bound proves the pair cannot clear the profit threshold, skip code
+	// generation — the exact model would reject the merge anyway. Accounted
+	// to the CodeGen phase: it replaces code-generation work.
+	// The parameter plan is needed ahead of code generation: the bound's
+	// arity and operand-divergence floors reuse the exact slot assignment.
 	plan := buildParamPlan(f1, f2, seq1, seq2, steps, opts.ReuseParams)
+
+	auditBound, haveBound := 0, false
+	if opts.Prune != nil {
+		bound, ok := profitUpperBound(f1, f2, seq1, seq2, steps, &plan, opts.Prune)
+		pruned := ok && opts.BoundAudit == nil && bound <= opts.Prune.MinProfit
+		if opts.Timings != nil {
+			opts.Timings.CountBound(pruned)
+		}
+		if pruned {
+			if own1 {
+				linearize.Recycle(seq1)
+			}
+			if own2 {
+				linearize.Recycle(seq2)
+			}
+			return nil, ErrHopeless
+		}
+		auditBound, haveBound = bound, ok
+	}
+
+	// Step 3: code generation (§III-E).
 	res, err := generate(f1, f2, seq1, seq2, steps, plan, retTy, opts)
 	if own1 {
 		linearize.Recycle(seq1)
 	}
 	if own2 {
 		linearize.Recycle(seq2)
+	}
+	if err == nil && haveBound && opts.BoundAudit != nil {
+		exact := res.ProfitWithStatsMemo(opts.Prune.Target, opts.Prune.S1, opts.Prune.S2, opts.Prune.Costs)
+		opts.BoundAudit(f1, f2, auditBound, exact)
 	}
 	return res, err
 }
@@ -172,20 +207,21 @@ func alignSeqs(enc1, enc2 *encode.Encoded, opts *Options) []align.Step {
 func generate(f1, f2 *ir.Func, seq1, seq2 []linearize.Entry, steps []align.Step,
 	plan paramPlan, retTy *ir.Type, opts Options) (res *Result, err error) {
 
+	sc := getScratch()
 	m := &merger{
 		f1: f1, f2: f2,
 		seq1: seq1, seq2: seq2,
 		steps: steps,
 		plan:  plan,
 		retTy: retTy,
-		vmap1: map[ir.Value]ir.Value{},
-		vmap2: map[ir.Value]ir.Value{},
+		sc:    sc,
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			if m.fn != nil {
 				m.fn.DropBody()
 			}
+			putScratch(sc)
 			res, err = nil, fmt.Errorf("merging %s with %s: %v", f1.Ident(), f2.Ident(), r)
 		}
 	}()
@@ -194,6 +230,7 @@ func generate(f1, f2 *ir.Func, seq1, seq2 []linearize.Entry, steps []align.Step,
 		if m.fn != nil {
 			m.fn.DropBody()
 		}
+		putScratch(sc)
 		return nil, err
 	}
 
@@ -206,6 +243,7 @@ func generate(f1, f2 *ir.Func, seq1, seq2 []linearize.Entry, steps []align.Step,
 		HasFuncID: true,
 		Stats:     m.stats,
 	}
+	res.scratch = sc
 	res.Stats.Len1, res.Stats.Len2 = len(seq1), len(seq2)
 
 	// If the functions turned out to be identical (no divergent code, no
@@ -232,8 +270,16 @@ func checkPhiFree(f *ir.Func) error {
 }
 
 // Discard abandons a merged function that was never committed, releasing
-// its references to module symbols.
-func (r *Result) Discard() { r.Merged.DropBody() }
+// its references to module symbols and recycling the merger's pooled side
+// tables and clone storage — after DropBody every arena-allocated clone is
+// dead, so nothing retained by the scratch can reach the discarded body.
+func (r *Result) Discard() {
+	r.Merged.DropBody()
+	if r.scratch != nil {
+		putScratch(r.scratch)
+		r.scratch = nil
+	}
+}
 
 // dropFuncID rebuilds the merged function without the unused func_id
 // parameter.
@@ -326,7 +372,9 @@ type colRec struct {
 	i1, i2 *ir.Inst // source instructions (nil on the gap side)
 }
 
-// merger carries the state of one merge code generation.
+// merger carries the state of one merge code generation. The value maps,
+// dispatch memo, column records and clone arena live in the pooled scratch
+// (see mergerScratch) so discarded attempts recycle them wholesale.
 type merger struct {
 	f1, f2     *ir.Func
 	seq1, seq2 []linearize.Entry
@@ -339,10 +387,7 @@ type merger struct {
 	// cur1 and cur2 are the blocks currently receiving code for each side.
 	// They are equal inside a merged (matched) region.
 	cur1, cur2 *ir.Block
-	vmap1      map[ir.Value]ir.Value
-	vmap2      map[ir.Value]ir.Value
-	cols       []colRec
-	dispatch   map[[2]*ir.Block]*ir.Block
+	sc         *mergerScratch
 	stats      Stats
 }
 
@@ -356,15 +401,14 @@ func (m *merger) run(name string) error {
 	m.fn.Params[0].SetName("func_id")
 	m.nameParams()
 	m.entry = m.fn.NewBlockIn("entry")
-	m.dispatch = map[[2]*ir.Block]*ir.Block{}
 
 	if err := m.passOne(); err != nil {
 		return err
 	}
 
 	// Terminate the dispatch entry block.
-	e1 := m.vmap1[m.f1.Entry()].(*ir.Block)
-	e2 := m.vmap2[m.f2.Entry()].(*ir.Block)
+	e1 := m.sc.vmap1[m.f1.Entry()].(*ir.Block)
+	e2 := m.sc.vmap2[m.f2.Entry()].(*ir.Block)
 	bd := ir.NewBuilder(m.entry)
 	if e1 == e2 {
 		bd.Br(e1)
@@ -447,8 +491,8 @@ func (m *merger) passOne() error {
 func (m *merger) matchLabel(b1, b2 *ir.Block) {
 	mb := ir.NewBlock(b1.Name())
 	m.fn.AppendBlock(mb)
-	m.vmap1[b1] = mb
-	m.vmap2[b2] = mb
+	m.sc.vmap1[b1] = mb
+	m.sc.vmap2[b2] = mb
 	m.cur1, m.cur2 = mb, mb
 }
 
@@ -461,11 +505,11 @@ func (m *merger) matchInst(i1, i2 *ir.Inst) {
 		m.reconnect(m.cur2, mb)
 		m.cur1, m.cur2 = mb, mb
 	}
-	mi := cloneShallow(i1)
+	mi := m.cloneShallow(i1)
 	m.cur1.Append(mi)
-	m.vmap1[i1] = mi
-	m.vmap2[i2] = mi
-	m.cols = append(m.cols, colRec{mi: mi, i1: i1, i2: i2})
+	m.sc.vmap1[i1] = mi
+	m.sc.vmap2[i2] = mi
+	m.sc.cols = append(m.sc.cols, colRec{mi: mi, i1: i1, i2: i2})
 }
 
 // reconnect terminates b with a branch to mb if it is not yet terminated.
@@ -479,10 +523,10 @@ func (m *merger) gapLabel(side int, b *ir.Block) {
 	nb := ir.NewBlock(b.Name())
 	m.fn.AppendBlock(nb)
 	if side == 1 {
-		m.vmap1[b] = nb
+		m.sc.vmap1[b] = nb
 		m.cur1 = nb
 	} else {
-		m.vmap2[b] = nb
+		m.sc.vmap2[b] = nb
 		m.cur2 = nb
 	}
 }
@@ -498,21 +542,23 @@ func (m *merger) gapInst(side int, in *ir.Inst) {
 		shared.Append(ir.NewInst(ir.OpBr, ir.Void(), m.funcID(), b1, b2))
 		m.cur1, m.cur2 = b1, b2
 	}
-	mi := cloneShallow(in)
+	mi := m.cloneShallow(in)
 	if side == 1 {
 		m.cur1.Append(mi)
-		m.vmap1[in] = mi
-		m.cols = append(m.cols, colRec{mi: mi, i1: in})
+		m.sc.vmap1[in] = mi
+		m.sc.cols = append(m.sc.cols, colRec{mi: mi, i1: in})
 	} else {
 		m.cur2.Append(mi)
-		m.vmap2[in] = mi
-		m.cols = append(m.cols, colRec{mi: mi, i2: in})
+		m.sc.vmap2[in] = mi
+		m.sc.cols = append(m.sc.cols, colRec{mi: mi, i2: in})
 	}
 }
 
 // cloneShallow copies opcode, type, name and attributes without operands.
-func cloneShallow(in *ir.Inst) *ir.Inst {
-	ni := ir.NewInst(in.Op, in.Type())
+// Clones come from the scratch arena: most attempts are discarded, and the
+// arena recycles their instruction storage wholesale (see mergerScratch).
+func (m *merger) cloneShallow(in *ir.Inst) *ir.Inst {
+	ni := m.sc.arena.NewInst(in.Op, in.Type())
 	ni.SetName(in.Name())
 	ni.Pred = in.Pred
 	ni.Alloc = in.Alloc
@@ -527,11 +573,11 @@ func (m *merger) resolve(side int, v ir.Value) ir.Value {
 	if v == nil {
 		return nil
 	}
-	vm := m.vmap1
+	vm := m.sc.vmap1
 	f := m.f1
 	pm := m.plan.map1
 	if side == 2 {
-		vm = m.vmap2
+		vm = m.sc.vmap2
 		f = m.f2
 		pm = m.plan.map2
 	}
@@ -547,7 +593,7 @@ func (m *merger) resolve(side int, v ir.Value) ir.Value {
 // passTwo assigns operands: shared values directly, diverging values through
 // select instructions, diverging labels through dispatch blocks (§III-E).
 func (m *merger) passTwo() error {
-	for _, c := range m.cols {
+	for _, c := range m.sc.cols {
 		switch {
 		case c.i1 != nil && c.i2 != nil:
 			if err := m.fillMatched(c); err != nil {
@@ -654,7 +700,7 @@ func sameCount(a, b ir.Value) int {
 // (§III-E).
 func (m *merger) dispatchBlock(b1, b2 *ir.Block) (*ir.Block, error) {
 	key := [2]*ir.Block{b1, b2}
-	if d, ok := m.dispatch[key]; ok {
+	if d, ok := m.sc.dispatch[key]; ok {
 		return d, nil
 	}
 	landing1, landing2 := b1.IsLandingBlock(), b2.IsLandingBlock()
@@ -668,27 +714,27 @@ func (m *merger) dispatchBlock(b1, b2 *ir.Block) (*ir.Block, error) {
 		if !landingPadsIdentical(pad1, pad2) {
 			return nil, fmt.Errorf("unsupported exception shape: dispatched landing blocks with differing pads")
 		}
-		hoisted := cloneShallow(pad1)
+		hoisted := m.cloneShallow(pad1)
 		d.Append(hoisted)
 		ir.ReplaceAllUsesWith(pad1, hoisted)
 		ir.ReplaceAllUsesWith(pad2, hoisted)
 		// Future operand resolution must see the hoisted pad, not the
 		// removed clones.
-		for k, v := range m.vmap1 {
+		for k, v := range m.sc.vmap1 {
 			if v == pad1 || v == pad2 {
-				m.vmap1[k] = hoisted
+				m.sc.vmap1[k] = hoisted
 			}
 		}
-		for k, v := range m.vmap2 {
+		for k, v := range m.sc.vmap2 {
 			if v == pad1 || v == pad2 {
-				m.vmap2[k] = hoisted
+				m.sc.vmap2[k] = hoisted
 			}
 		}
 		pad1.RemoveFromParent()
 		pad2.RemoveFromParent()
 	}
 	d.Append(ir.NewInst(ir.OpBr, ir.Void(), m.funcID(), b1, b2))
-	m.dispatch[key] = d
+	m.sc.dispatch[key] = d
 	m.stats.DispatchBlocks++
 	return d, nil
 }

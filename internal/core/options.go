@@ -34,6 +34,12 @@ type Timings struct {
 	SeqCacheHits, SeqCacheMisses int64
 	// AlignMemoHits/Misses count Options.AlignMemo lookups.
 	AlignMemoHits, AlignMemoMisses int64
+	// BoundEvals counts pre-codegen profitability-bound evaluations and
+	// CodegenSkips the subset that pruned code generation (Options.Prune).
+	// Like the cache counters, with Workers > 1 the values depend on how
+	// many speculative attempts ran, so they may vary across worker counts
+	// even though the merge results never do.
+	BoundEvals, CodegenSkips int64
 }
 
 // AddLinearize atomically accumulates linearization time.
@@ -71,6 +77,15 @@ func (t *Timings) CountAlignMemo(hit bool) {
 		atomic.AddInt64(&t.AlignMemoHits, 1)
 	} else {
 		atomic.AddInt64(&t.AlignMemoMisses, 1)
+	}
+}
+
+// CountBound atomically records one profitability-bound evaluation and
+// whether it pruned code generation.
+func (t *Timings) CountBound(pruned bool) {
+	atomic.AddInt64(&t.BoundEvals, 1)
+	if pruned {
+		atomic.AddInt64(&t.CodegenSkips, 1)
 	}
 }
 
@@ -129,6 +144,20 @@ type Options struct {
 	// AlignMemo, when non-nil, caches coded-kernel results across merges.
 	// Only consulted on the coded path — memo keys are code contents.
 	AlignMemo AlignMemo
+	// Prune, when non-nil, enables pre-codegen profitability bounding:
+	// Merge evaluates the admissible profit upper bound right after
+	// alignment and returns ErrHopeless — skipping code generation — when
+	// the bound proves the profit cannot exceed Prune.MinProfit. Pruning
+	// never changes merge decisions: a pruned pair is one the exact cost
+	// model (evaluated with the same Target and CallerStats) would reject.
+	Prune *PruneSpec
+	// BoundAudit, when non-nil, turns pruning into a differential check:
+	// Merge computes the bound, still generates the merged function, and on
+	// success reports (bound, exact profit) to the hook. Requires Prune for
+	// the cost-model inputs; pairs where bounding bails (constant-branch
+	// hazard) are not reported. The hook may be called from concurrent
+	// merges and must be safe for that.
+	BoundAudit func(f1, f2 *ir.Func, bound, exact int)
 }
 
 // DefaultOptions returns the paper's configuration.

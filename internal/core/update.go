@@ -40,6 +40,12 @@ func (r *Result) Commit() int {
 		}
 		r.buildThunk(f, id, pmap)
 	}
+	// The committed body's instructions live in the scratch arena's slabs;
+	// recycle the side tables but abandon the slabs (see mergerScratch).
+	if r.scratch != nil {
+		dropScratchCommitted(r.scratch)
+		r.scratch = nil
+	}
 	return removed
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"fmsa/internal/explore"
@@ -28,19 +29,27 @@ type PerfResult struct {
 	Caches bool `json:"caches"`
 	// Threshold is the exploration threshold t.
 	Threshold int `json:"threshold"`
+	// Bound reports whether pre-codegen profitability bounding was enabled.
+	Bound bool `json:"bound"`
 	// Runs is how many times the whole suite was explored.
 	Runs int `json:"runs"`
 	// MergeOps and CandidatesEvaluated sum over one pass of the suite.
 	MergeOps            int `json:"merge_ops"`
 	CandidatesEvaluated int `json:"candidates_evaluated"`
-	// NsPerOp is wall-clock nanoseconds per suite exploration pass.
+	// NsPerOp is wall-clock nanoseconds per suite exploration pass: the
+	// median across runs (the stable central figure BENCH_*.json rows track).
 	NsPerOp int64 `json:"ns_per_op"`
-	// MergesPerSec is committed merges per wall-clock second.
+	// NsPerOpMin is the fastest run's wall-clock — the least-noise sample.
+	// Equal to NsPerOp when Runs == 1.
+	NsPerOpMin int64 `json:"ns_per_op_min"`
+	// MergesPerSec is committed merges per wall-clock second (median run).
 	MergesPerSec float64 `json:"merges_per_sec"`
-	// PhaseNs breaks one pass down by pipeline phase. Fingerprint, Ranking
-	// and UpdateCalls are wall-clock; Linearize, Align and CodeGen sum
-	// per-attempt time across workers.
-	PhaseNs map[string]int64 `json:"phase_ns"`
+	// PhaseNs breaks one pass down by pipeline phase, taking the per-phase
+	// median across runs. Fingerprint, Ranking and UpdateCalls are
+	// wall-clock; Linearize, Align and CodeGen sum per-attempt time across
+	// workers. PhaseNsMin holds the per-phase minima.
+	PhaseNs    map[string]int64 `json:"phase_ns"`
+	PhaseNsMin map[string]int64 `json:"phase_ns_min,omitempty"`
 	// SpeedupVsSerial is the serial wall-clock divided by this
 	// configuration's wall-clock (0 when no serial baseline was measured).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
@@ -60,6 +69,11 @@ type PerfResult struct {
 	// AlignMemoHits/Misses count alignment-memo lookups.
 	AlignMemoHits   int64 `json:"align_memo_hits"`
 	AlignMemoMisses int64 `json:"align_memo_misses"`
+	// BoundEvals/CodegenSkips count profitability-bound evaluations and the
+	// subset that skipped merged-function materialization. Zero when Bound
+	// is false.
+	BoundEvals   int64 `json:"bound_evals"`
+	CodegenSkips int64 `json:"codegen_skips"`
 }
 
 // PerfConfig selects one exploration configuration to measure.
@@ -70,6 +84,7 @@ type PerfConfig struct {
 	Ranking   explore.RankingMode
 	Kernel    explore.KernelMode
 	NoCaches  bool // disable both the linearization cache and the align memo
+	NoBound   bool // disable pre-codegen profitability bounding
 }
 
 // apply copies the configuration onto exploration options.
@@ -79,6 +94,7 @@ func (c PerfConfig) apply(opts *explore.Options) {
 	opts.Kernel = c.Kernel
 	opts.NoSeqCache = c.NoCaches
 	opts.NoAlignMemo = c.NoCaches
+	opts.NoBound = c.NoBound
 }
 
 // Perf measures whole-suite exploration under one configuration: modules are
@@ -95,11 +111,16 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 		Suite:   suiteName(profiles),
 		Workers: cfg.Workers, Ranking: cfg.Ranking.String(),
 		Kernel: cfg.Kernel.String(), Caches: !cfg.NoCaches,
+		Bound:     !cfg.NoBound,
 		Threshold: cfg.Threshold, Runs: cfg.Runs,
 		PhaseNs: map[string]int64{},
 	}
-	var wall time.Duration
-	var phases explore.Phases
+	// Per-run samples: the reported figures are the medians across runs
+	// (stable against scheduler noise) with the per-run minima alongside.
+	// Merge results and counters are deterministic across runs, so those are
+	// simply taken from the last run.
+	walls := make([]int64, 0, cfg.Runs)
+	phaseRuns := make([]explore.Phases, 0, cfg.Runs)
 	for r := 0; r < cfg.Runs; r++ {
 		mods := make([]*ir.Module, len(profiles))
 		for i, p := range profiles {
@@ -110,6 +131,8 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 		var probes, skips int64
 		fallbacks := 0
 		var cells, seqHits, seqMisses, memoHits, memoMisses int64
+		var boundEvals, codegenSkips int64
+		var phases explore.Phases
 		for _, m := range mods {
 			opts := explore.DefaultOptions()
 			opts.Target = target
@@ -126,6 +149,8 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 			seqMisses += rep.SeqCacheMisses
 			memoHits += rep.AlignMemoHits
 			memoMisses += rep.AlignMemoMisses
+			boundEvals += rep.BoundEvals
+			codegenSkips += rep.CodegenSkips
 			phases.Fingerprint += rep.Phases.Fingerprint
 			phases.Ranking += rep.Phases.Ranking
 			phases.Linearize += rep.Phases.Linearize
@@ -133,24 +158,62 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 			phases.CodeGen += rep.Phases.CodeGen
 			phases.UpdateCalls += rep.Phases.UpdateCalls
 		}
-		wall += time.Since(start)
+		walls = append(walls, time.Since(start).Nanoseconds())
+		phaseRuns = append(phaseRuns, phases)
 		res.MergeOps, res.CandidatesEvaluated = ops, cands
 		res.RankProbes, res.RankPrefilterSkips, res.RankFallbacks = probes, skips, fallbacks
 		res.AlignCells = cells
 		res.SeqCacheHits, res.SeqCacheMisses = seqHits, seqMisses
 		res.AlignMemoHits, res.AlignMemoMisses = memoHits, memoMisses
+		res.BoundEvals, res.CodegenSkips = boundEvals, codegenSkips
 	}
-	res.NsPerOp = wall.Nanoseconds() / int64(cfg.Runs)
-	if wall > 0 {
-		res.MergesPerSec = float64(res.MergeOps*cfg.Runs) / wall.Seconds()
+	res.NsPerOp = medianInt64(walls)
+	res.NsPerOpMin = minInt64(walls)
+	if res.NsPerOp > 0 {
+		res.MergesPerSec = float64(res.MergeOps) / (float64(res.NsPerOp) / 1e9)
 	}
-	res.PhaseNs["fingerprint"] = phases.Fingerprint.Nanoseconds() / int64(cfg.Runs)
-	res.PhaseNs["ranking"] = phases.Ranking.Nanoseconds() / int64(cfg.Runs)
-	res.PhaseNs["linearize"] = phases.Linearize.Nanoseconds() / int64(cfg.Runs)
-	res.PhaseNs["align"] = phases.Align.Nanoseconds() / int64(cfg.Runs)
-	res.PhaseNs["codegen"] = phases.CodeGen.Nanoseconds() / int64(cfg.Runs)
-	res.PhaseNs["update_calls"] = phases.UpdateCalls.Nanoseconds() / int64(cfg.Runs)
+	res.PhaseNsMin = map[string]int64{}
+	for name, get := range phaseExtractors {
+		samples := make([]int64, len(phaseRuns))
+		for i, p := range phaseRuns {
+			samples[i] = get(p).Nanoseconds()
+		}
+		res.PhaseNs[name] = medianInt64(samples)
+		res.PhaseNsMin[name] = minInt64(samples)
+	}
 	return res
+}
+
+// phaseExtractors maps the BENCH phase_ns keys to their Phases fields.
+var phaseExtractors = map[string]func(explore.Phases) time.Duration{
+	"fingerprint":  func(p explore.Phases) time.Duration { return p.Fingerprint },
+	"ranking":      func(p explore.Phases) time.Duration { return p.Ranking },
+	"linearize":    func(p explore.Phases) time.Duration { return p.Linearize },
+	"align":        func(p explore.Phases) time.Duration { return p.Align },
+	"codegen":      func(p explore.Phases) time.Duration { return p.CodeGen },
+	"update_calls": func(p explore.Phases) time.Duration { return p.UpdateCalls },
+}
+
+// medianInt64 returns the lower median of the samples (exact middle for odd
+// counts), without mutating the input.
+func medianInt64(samples []int64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+func minInt64(samples []int64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	m := samples[0]
+	for _, v := range samples[1:] {
+		m = min(m, v)
+	}
+	return m
 }
 
 // PerfCorpora measures each corpus of the suite separately under one

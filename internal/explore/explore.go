@@ -98,6 +98,12 @@ type Options struct {
 	// AlignMemoCap bounds the memo's entry count; zero selects
 	// DefaultAlignMemoCap.
 	AlignMemoCap int
+	// NoBound disables pre-codegen profitability bounding: every aligned
+	// candidate pair is materialized and priced exactly, as before PR 5.
+	// Bounding never changes merge decisions either way — a pruned pair is
+	// one the exact cost model would have rejected — so this knob only
+	// trades compile time.
+	NoBound bool
 }
 
 // DefaultOptions returns the paper's default configuration (t=1, Intel
@@ -197,6 +203,11 @@ type Report struct {
 	// AlignMemoHits and AlignMemoMisses count alignment-memo lookups; a hit
 	// skips the pair's entire DP run.
 	AlignMemoHits, AlignMemoMisses int64
+	// BoundEvals counts pre-codegen profitability-bound evaluations and
+	// CodegenSkips the subset that skipped merged-function materialization
+	// outright. Zero when Options.NoBound is set. Scheduling-dependent under
+	// Workers > 1, like the cache counters above.
+	BoundEvals, CodegenSkips int64
 }
 
 // Add folds a later pipeline stage's report into r: counts accumulate,
@@ -230,6 +241,8 @@ func (r *Report) Add(later *Report) {
 	r.SeqCacheMisses += later.SeqCacheMisses
 	r.AlignMemoHits += later.AlignMemoHits
 	r.AlignMemoMisses += later.AlignMemoMisses
+	r.BoundEvals += later.BoundEvals
+	r.CodegenSkips += later.CodegenSkips
 }
 
 // Reduction returns the relative code-size reduction in percent.
@@ -272,6 +285,10 @@ type runner struct {
 	// seqs is the per-function linearization+encoding cache; nil when
 	// Options.NoSeqCache is set or the runner only snapshots rankings.
 	seqs *seqCache
+	// costs memoizes per-function cost-model sizes for the profitability
+	// bound and the exact profit evaluation; nil when the runner only
+	// snapshots rankings. Invalidated alongside seqs (same stale set).
+	costs *tti.CostMemo
 	// rankProbes and rankSkips accumulate scan counters atomically (scans
 	// run inside parallelFor); flushRankCounters folds them into rep. The
 	// totals are deterministic: the same set of scans runs at every Workers
@@ -366,7 +383,7 @@ func Run(m *ir.Module, opts Options) *Report {
 		// Candidate evaluation: speculative merge attempts fan out across
 		// the worker pool; the winner is selected deterministically (first
 		// profitable rank in greedy mode, best profit in oracle mode).
-		win, evaluated := evalCandidates(f, cands, r.opts, r.workers, !r.opts.Oracle)
+		win, evaluated := evalCandidates(f, cands, r.opts, r.costs, r.workers, !r.opts.Oracle)
 		r.rep.CandidatesEvaluated += evaluated
 		if win.res == nil {
 			continue
@@ -399,6 +416,8 @@ func Run(m *ir.Module, opts Options) *Report {
 	r.rep.SeqCacheMisses = tm.SeqCacheMisses
 	r.rep.AlignMemoHits = tm.AlignMemoHits
 	r.rep.AlignMemoMisses = tm.AlignMemoMisses
+	r.rep.BoundEvals = tm.BoundEvals
+	r.rep.CodegenSkips = tm.CodegenSkips
 	r.flushRankCounters()
 	return r.rep
 }
@@ -421,7 +440,7 @@ func (r *runner) commit(res *core.Result, profit, rank int) {
 	// Commit rewrites caller call sites and then drains the originals' use
 	// lists, so the caller set is only visible now.
 	var stale []*ir.Func
-	if r.seqs != nil {
+	if r.seqs != nil || r.costs != nil {
 		stale = staleAfterCommit(res)
 	}
 	tUp := time.Now()

@@ -28,6 +28,7 @@ import (
 	"fmsa/internal/encode"
 	"fmsa/internal/ir"
 	"fmsa/internal/linearize"
+	"fmsa/internal/tti"
 )
 
 // KernelMode selects the alignment kernel driving each merge attempt.
@@ -110,6 +111,11 @@ func (r *runner) setupCaches() {
 	if !r.opts.NoAlignMemo && r.opts.Merge.AlignCoded != nil {
 		r.opts.Merge.AlignMemo = newAlignMemo(r.opts.AlignMemoCap)
 	}
+	// The cost memo serves ProfitWithStatsMemo even when bounding is off
+	// (Options.NoBound only disables the pre-codegen prune); invalidation
+	// shares the linearization cache's stale set — a rewritten call site
+	// changes a caller's size just like it changes its sequence.
+	r.costs = tti.NewCostMemo()
 }
 
 // encodeFunc linearizes (and, on the coded path, encodes) one function for
@@ -154,13 +160,13 @@ func staleAfterCommit(res *core.Result) []*ir.Func {
 // alignment work the cache exists to feed. Runs serially between evaluation
 // waves, so dropping never recycles a sequence an in-flight attempt reads.
 func (r *runner) refreshSeqs(stale []*ir.Func) {
-	if r.seqs == nil {
-		return
-	}
 	for _, f := range stale {
-		if old := r.seqs.drop(f); old != nil {
-			linearize.Recycle(old.Seq)
+		if r.seqs != nil {
+			if old := r.seqs.drop(f); old != nil {
+				linearize.Recycle(old.Seq)
+			}
 		}
+		r.costs.Drop(f) // nil-safe
 	}
 }
 

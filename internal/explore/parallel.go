@@ -29,6 +29,7 @@ import (
 
 	"fmsa/internal/core"
 	"fmsa/internal/ir"
+	"fmsa/internal/tti"
 )
 
 // workerCount resolves the Options.Workers knob.
@@ -88,7 +89,7 @@ type attempt struct {
 // wave converges on the same early exit the sequential loop takes. In
 // oracle mode every candidate is evaluated and each worker keeps only its
 // local best, so at most w merged bodies are alive at once.
-func evalCandidates(f *ir.Func, cands []candidate, opts Options, w int, greedy bool) (attempt, int) {
+func evalCandidates(f *ir.Func, cands []candidate, opts Options, costs *tti.CostMemo, w int, greedy bool) (attempt, int) {
 	n := len(cands)
 	if n == 0 {
 		return attempt{rank: -1}, 0
@@ -120,11 +121,25 @@ func evalCandidates(f *ir.Func, cands []candidate, opts Options, w int, greedy b
 			if greedy && int64(i) > atomic.LoadInt64(&best) {
 				continue // a lower profitable rank already won
 			}
-			res, err := core.Merge(f, cands[i].fn, opts.Merge)
+			// Pre-codegen bounding (Options.NoBound): the per-candidate
+			// prune spec carries this pair's caller snapshots, so the bound
+			// and the exact model price the same inputs. A pruned pair
+			// surfaces as core.ErrHopeless and is handled exactly like an
+			// unprofitable one — determinism is unaffected.
+			mo := opts.Merge
+			if !opts.NoBound {
+				mo.Prune = &core.PruneSpec{
+					Target: opts.Target,
+					S1:     fStats,
+					S2:     cStats[i],
+					Costs:  costs,
+				}
+			}
+			res, err := core.Merge(f, cands[i].fn, mo)
 			if err != nil {
 				continue
 			}
-			profit := res.ProfitWithStats(opts.Target, fStats, cStats[i])
+			profit := res.ProfitWithStatsMemo(opts.Target, fStats, cStats[i], costs)
 			if profit <= 0 {
 				res.Discard()
 				continue

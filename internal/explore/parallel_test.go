@@ -103,6 +103,31 @@ func TestParallelDeterminism(t *testing.T) {
 			o.AlignMemoCap = 2
 			return o
 		}()},
+		// Pre-codegen bounding must be decision-invisible: the bound-off
+		// configs here must match their bound-on twins above bit for bit
+		// (the cross-config agreement is asserted separately by
+		// TestBoundDecisionInvariance), and each must be Workers-invariant
+		// on its own.
+		{"greedy-t10-nobound", func() Options {
+			o := DefaultOptions()
+			o.Threshold = 10
+			o.NoBound = true
+			return o
+		}()},
+		{"greedy-thumb-nobound", func() Options {
+			o := DefaultOptions()
+			o.Threshold = 5
+			o.Target = tti.Thumb{}
+			o.NoBound = true
+			return o
+		}()},
+		{"oracle-cap8-nobound", func() Options {
+			o := DefaultOptions()
+			o.Oracle = true
+			o.OracleCap = 8
+			o.NoBound = true
+			return o
+		}()},
 	}
 	for _, cfg := range configs {
 		t.Run(cfg.name, func(t *testing.T) {
@@ -145,6 +170,59 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 			if serialMod != parMod {
 				t.Error("final module text diverges between Workers=1 and Workers=8")
+			}
+		})
+	}
+}
+
+// TestBoundDecisionInvariance is the transparency requirement of pre-codegen
+// profitability bounding (PR 5): bounding on and off must commit the same
+// merge sequence and produce the same module — the bound only skips
+// materializing candidates the exact cost model would reject anyway. Also
+// asserts the prune actually fires on this clone-rich workload, so the
+// equality is not vacuous.
+func TestBoundDecisionInvariance(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"greedy-t10", func() Options { o := DefaultOptions(); o.Threshold = 10; return o }()},
+		{"greedy-thumb-t5", func() Options {
+			o := DefaultOptions()
+			o.Threshold = 5
+			o.Target = tti.Thumb{}
+			return o
+		}()},
+		{"oracle-cap8", func() Options {
+			o := DefaultOptions()
+			o.Oracle = true
+			o.OracleCap = 8
+			return o
+		}()},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			on, onMod := exploreWith(t, cfg.opts, 4, 7)
+			off := cfg.opts
+			off.NoBound = true
+			noB, noBMod := exploreWith(t, off, 4, 7)
+
+			if !reflect.DeepEqual(on.Records, noB.Records) {
+				t.Errorf("merge records diverge with bounding:\non:  %+v\noff: %+v",
+					on.Records, noB.Records)
+			}
+			if on.SizeAfter != noB.SizeAfter {
+				t.Errorf("final size diverges: %d (bound) vs %d (nobound)",
+					on.SizeAfter, noB.SizeAfter)
+			}
+			if onMod != noBMod {
+				t.Error("final module text diverges between bounding on and off")
+			}
+			if on.BoundEvals == 0 {
+				t.Error("bounding enabled but no bound evaluations recorded")
+			}
+			if noB.BoundEvals != 0 || noB.CodegenSkips != 0 {
+				t.Errorf("NoBound run still counted bounds: %d evals, %d skips",
+					noB.BoundEvals, noB.CodegenSkips)
 			}
 		})
 	}
@@ -199,7 +277,7 @@ func TestRankCacheMatchesFullRescan(t *testing.T) {
 							pops, i, got[i].fn.Name(), want[i].fn.Name())
 					}
 				}
-				win, evaluated := evalCandidates(f, got, r.opts, 1, true)
+				win, evaluated := evalCandidates(f, got, r.opts, r.costs, 1, true)
 				r.rep.CandidatesEvaluated += evaluated
 				if win.res != nil {
 					r.commit(win.res, win.profit, win.rank+1)

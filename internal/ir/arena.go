@@ -1,0 +1,59 @@
+package ir
+
+// InstArena batch-allocates Inst values in slabs, cutting the per-clone
+// allocation cost of merge code generation: one speculative merge attempt
+// shallow-clones every aligned instruction, and most attempts are discarded
+// wholesale. It lives in package ir because instruction construction must
+// maintain operand use lists (trackUse is unexported).
+//
+// Lifecycle contract: Reset recycles the slabs for reuse, so it may only be
+// called once every instruction handed out since the previous Reset is dead
+// (detached from blocks, operand uses dropped, no remaining users) — the
+// state a discarded merged function's body is in after DropBody. Release
+// abandons the slabs instead, for bodies that stay live (a committed merge
+// keeps its slab-allocated instructions).
+type InstArena struct {
+	slabs [][]Inst
+	si    int // index of the active slab
+	used  int // instructions handed out from the active slab
+}
+
+// instArenaSlab is the slab granularity; large enough that typical merged
+// bodies need a handful of slabs, small enough that a pooled arena holds no
+// more than one mostly-empty slab of slack per merge size class.
+const instArenaSlab = 256
+
+// NewInst allocates a detached instruction from the arena, equivalent to the
+// package-level NewInst.
+func (a *InstArena) NewInst(op Opcode, typ *Type, operands ...Value) *Inst {
+	if a.si == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]Inst, instArenaSlab))
+	}
+	in := &a.slabs[a.si][a.used]
+	a.used++
+	if a.used == instArenaSlab {
+		a.si++
+		a.used = 0
+	}
+	// Zero any state left by a previous (dead) occupant before reuse.
+	*in = Inst{Op: op, typ: typ}
+	if len(operands) > 0 {
+		in.operands = make([]Value, len(operands))
+		for i, v := range operands {
+			if v == nil {
+				continue
+			}
+			in.operands[i] = v
+			trackUse(v, Use{User: in, Index: i})
+		}
+	}
+	return in
+}
+
+// Reset makes every slab available for reuse. Callers must guarantee all
+// previously handed-out instructions are dead (see the type comment).
+func (a *InstArena) Reset() { a.si, a.used = 0, 0 }
+
+// Release abandons the slabs so previously handed-out instructions stay
+// live independently of the arena; the arena is empty afterwards.
+func (a *InstArena) Release() { a.slabs, a.si, a.used = nil, 0, 0 }

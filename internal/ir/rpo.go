@@ -46,11 +46,18 @@ func PostOrder(f *Func) []*Block {
 }
 
 // DomTree is a dominator tree over the reachable blocks of a function,
-// computed with the Cooper–Harvey–Kennedy iterative algorithm.
+// computed with the Cooper–Harvey–Kennedy iterative algorithm. Dominance
+// queries are O(1): an Euler-style DFS numbering of the tree (pre/post
+// intervals) turns ancestry into two integer comparisons, so per-use SSA
+// validation over large merged bodies does not walk idom chains.
 type DomTree struct {
 	fn    *Func
 	idom  map[*Block]*Block
 	index map[*Block]int // RPO index
+	// pre/post are DFS entry/exit numbers of each block in the dominator
+	// tree, indexed by RPO index: a dominates b iff a's interval encloses
+	// b's.
+	pre, post []int32
 }
 
 // ComputeDomTree builds the dominator tree of f.
@@ -90,7 +97,51 @@ func ComputeDomTree(f *Func) *DomTree {
 			}
 		}
 	}
-	return &DomTree{fn: f, idom: idom, index: index}
+	dt := &DomTree{fn: f, idom: idom, index: index}
+	dt.number(rpo)
+	return dt
+}
+
+// number assigns DFS pre/post intervals over the dominator tree. Children
+// are linked through per-index sibling lists (no per-block allocation) and
+// the walk is iterative, so deep trees cannot overflow the stack.
+func (dt *DomTree) number(rpo []*Block) {
+	n := len(rpo)
+	dt.pre = make([]int32, n)
+	dt.post = make([]int32, n)
+	firstKid := make([]int32, n)
+	nextSib := make([]int32, n)
+	for i := range firstKid {
+		firstKid[i] = -1
+		nextSib[i] = -1
+	}
+	// Iterate in reverse so each child list comes out in RPO order.
+	for i := n - 1; i >= 1; i-- {
+		p := dt.index[dt.idom[rpo[i]]]
+		nextSib[i] = firstKid[p]
+		firstKid[p] = int32(i)
+	}
+	clock := int32(0)
+	// Explicit stack of (node, next child to visit).
+	type frame struct{ node, kid int32 }
+	stack := make([]frame, 1, 16)
+	stack[0] = frame{0, firstKid[0]}
+	dt.pre[0] = clock
+	clock++
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.kid < 0 {
+			dt.post[top.node] = clock
+			clock++
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		k := top.kid
+		top.kid = nextSib[k]
+		dt.pre[k] = clock
+		clock++
+		stack = append(stack, frame{k, firstKid[k]})
+	}
 }
 
 func intersect(a, b *Block, idom map[*Block]*Block, index map[*Block]int) *Block {
@@ -121,20 +172,15 @@ func (dt *DomTree) Dominates(a, b *Block) bool {
 	if a == b {
 		return true
 	}
-	if _, ok := dt.index[b]; !ok {
+	ia, ok := dt.index[a]
+	if !ok {
 		return false
 	}
-	entry := dt.fn.Entry()
-	for b != entry {
-		b = dt.idom[b]
-		if b == nil {
-			return false
-		}
-		if b == a {
-			return true
-		}
+	ib, ok := dt.index[b]
+	if !ok {
+		return false
 	}
-	return a == entry
+	return dt.pre[ia] <= dt.pre[ib] && dt.post[ib] <= dt.post[ia]
 }
 
 // Reachable reports whether b is reachable from the entry block.

@@ -1,0 +1,88 @@
+package tti
+
+import (
+	"sync"
+
+	"fmsa/internal/ir"
+)
+
+// CostMemo caches FuncSize results per function and target so repeated cost
+// evaluations of the same (unchanged) function — one per speculative merge
+// attempt it participates in — collapse to one instruction walk. It backs
+// both the pre-codegen profitability bound and the exact profit evaluation
+// in the exploration pipeline.
+//
+// Invalidation contract (drop-only, mirroring the exploration linearization
+// cache): a cached size is valid until the function's instructions change.
+// The only mutation during exploration is a merge commit, which rewrites the
+// call sites of every caller of the two merged inputs (widened argument
+// lists change call-instruction sizes) and drops/thunkifies the inputs
+// themselves — so the caller must Drop exactly the staleAfterCommit set
+// after every commit. Dropped functions are re-measured lazily on the next
+// lookup.
+//
+// Concurrency: safe for concurrent FuncSize lookups (the evaluation wave);
+// Drop must not race with lookups of the same function, which holds because
+// drops run serially between waves — the same discipline the linearization
+// cache relies on. Sizing on a miss happens outside the lock: FuncSize is a
+// pure read of the function body, so racing computations agree and the
+// first writer wins.
+type CostMemo struct {
+	mu      sync.RWMutex
+	entries map[*ir.Func]map[string]int
+}
+
+// NewCostMemo returns an empty memo.
+func NewCostMemo() *CostMemo {
+	return &CostMemo{entries: map[*ir.Func]map[string]int{}}
+}
+
+// FuncSize returns the memoized FuncSize(t, f), computing and caching it on
+// a miss. A nil receiver computes directly without caching, so callers can
+// thread an optional memo through unconditionally.
+func (m *CostMemo) FuncSize(t Target, f *ir.Func) int {
+	if m == nil {
+		return FuncSize(t, f)
+	}
+	name := t.Name()
+	m.mu.RLock()
+	size, ok := m.entries[f][name]
+	m.mu.RUnlock()
+	if ok {
+		return size
+	}
+	size = FuncSize(t, f)
+	m.mu.Lock()
+	byTarget := m.entries[f]
+	if byTarget == nil {
+		byTarget = map[string]int{}
+		m.entries[f] = byTarget
+	}
+	if won, ok := byTarget[name]; ok {
+		size = won // racing computations agree; keep the first
+	} else {
+		byTarget[name] = size
+	}
+	m.mu.Unlock()
+	return size
+}
+
+// Drop invalidates every cached size of f (all targets). Nil-safe.
+func (m *CostMemo) Drop(f *ir.Func) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	delete(m.entries, f)
+	m.mu.Unlock()
+}
+
+// Len reports the number of memoized functions (for tests).
+func (m *CostMemo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}

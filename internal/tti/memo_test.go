@@ -1,0 +1,109 @@
+package tti
+
+import (
+	"sync"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+const memoSrc = `
+define i64 @g(i64 %a) {
+entry:
+  %s = add i64 %a, 1
+  %q = mul i64 %s, 3
+  ret i64 %q
+}
+
+define void @h(i64 %a) {
+entry:
+  %r = call i64 @g(i64 %a)
+  ret void
+}
+`
+
+func TestCostMemoMatchesDirect(t *testing.T) {
+	m := parse(t, memoSrc)
+	memo := NewCostMemo()
+	for _, tgt := range Targets() {
+		for _, f := range m.Funcs {
+			want := FuncSize(tgt, f)
+			if got := memo.FuncSize(tgt, f); got != want {
+				t.Errorf("%s/%s: memo miss = %d, direct = %d", tgt.Name(), f.Name(), got, want)
+			}
+			if got := memo.FuncSize(tgt, f); got != want {
+				t.Errorf("%s/%s: memo hit = %d, direct = %d", tgt.Name(), f.Name(), got, want)
+			}
+		}
+	}
+	if memo.Len() != len(m.Funcs) {
+		t.Errorf("Len = %d, want %d", memo.Len(), len(m.Funcs))
+	}
+}
+
+// TestCostMemoDropInvalidates is the drop-only invalidation contract: a
+// stale entry survives mutation until Drop, and the next lookup after Drop
+// re-measures the changed body.
+func TestCostMemoDropInvalidates(t *testing.T) {
+	m := parse(t, memoSrc)
+	g := m.FuncByName("g")
+	tgt := X86{}
+	memo := NewCostMemo()
+	before := memo.FuncSize(tgt, g)
+
+	// Mutate g: append an instruction to the entry block.
+	entry := g.Blocks[0]
+	ret := entry.Insts[len(entry.Insts)-1]
+	entry.InsertBefore(ir.NewInst(ir.OpAdd, ir.I64(), g.Params[0], g.Params[0]), ret)
+	if got := memo.FuncSize(tgt, g); got != before {
+		t.Fatalf("pre-Drop lookup re-measured: %d, want cached %d", got, before)
+	}
+	memo.Drop(g)
+	after := memo.FuncSize(tgt, g)
+	if after <= before {
+		t.Fatalf("post-Drop size = %d, want > %d", after, before)
+	}
+	if want := FuncSize(tgt, g); after != want {
+		t.Fatalf("post-Drop size = %d, direct = %d", after, want)
+	}
+}
+
+// TestCostMemoNilSafe checks the nil receiver computes directly, so an
+// optional memo can be threaded through unconditionally.
+func TestCostMemoNilSafe(t *testing.T) {
+	m := parse(t, memoSrc)
+	g := m.FuncByName("g")
+	var memo *CostMemo
+	if got, want := memo.FuncSize(X86{}, g), FuncSize(X86{}, g); got != want {
+		t.Errorf("nil memo FuncSize = %d, want %d", got, want)
+	}
+	memo.Drop(g) // must not panic
+	if memo.Len() != 0 {
+		t.Errorf("nil memo Len = %d, want 0", memo.Len())
+	}
+}
+
+// TestCostMemoConcurrentLookups races many lookups across targets and
+// functions (run under -race): all must agree with the direct computation.
+func TestCostMemoConcurrentLookups(t *testing.T) {
+	m := parse(t, memoSrc)
+	memo := NewCostMemo()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, tgt := range Targets() {
+					for _, f := range m.Funcs {
+						if got, want := memo.FuncSize(tgt, f), FuncSize(tgt, f); got != want {
+							t.Errorf("%s/%s: concurrent lookup = %d, want %d", tgt.Name(), f.Name(), got, want)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,12 +6,15 @@
 # and the static merge auditor must report zero diagnostics across the
 # whole workload corpus — any finding is either a merger bug or an auditor
 # false positive, and both block; the LSH candidate-ranking index must
-# keep >= 95% top-1 recall against the exact scan (-exp rank -quick); and
+# keep >= 95% top-1 recall against the exact scan (-exp rank -quick);
 # the coded alignment kernel (caches on) must commit bit-identical merges
 # to the closure reference kernel (caches off) on every quick corpus
-# (-exp kernels -quick).
+# (-exp kernels -quick); and pre-codegen profitability bounding must be
+# decision-invisible — bit-identical merges with pruning on vs off, and
+# zero audited pairs whose exact profit exceeds their bound
+# (-exp bound -quick).
 # Run this before every commit that touches internal/explore, internal/ir,
-# internal/align, internal/encode or internal/analysis.
+# internal/align, internal/encode, internal/core or internal/analysis.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -23,3 +26,4 @@ go test -race ./...
 go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/
 go run ./cmd/fmsa-bench -exp rank -quick
 go run ./cmd/fmsa-bench -exp kernels -quick
+go run ./cmd/fmsa-bench -exp bound -quick

@@ -11,12 +11,15 @@
 // goroutine-private).
 //
 // Invariant 2 — pool pairing (internal/align, internal/linearize,
-// internal/encode): every
+// internal/encode, internal/core): every
 // buffer obtained from a sync.Pool getter must, within the same function,
-// either be released to the matching putter or be handed off by returning
+// either be released to the matching putter or be handed off — by returning
 // it to the caller (who then inherits the obligation — e.g. nwScoreRow
 // returns its prev row for the caller to recycle, and Linearize returns
-// the pooled sequence that exploration later passes to Recycle). Getter
+// the pooled sequence that exploration later passes to Recycle), or by
+// assigning it to a struct field (the owning object's lifecycle inherits
+// the obligation — e.g. generate parks its mergerScratch in Result.scratch,
+// which Discard and Commit release). Getter
 // and putter functions are derived from the AST: a function that calls
 // <name>Pool.Get without putting is a getter of that pool; a function
 // that calls <name>Pool.Put is a putter. Getter status propagates to
@@ -42,7 +45,7 @@ func main() {
 	}
 	var bad []string
 	bad = append(bad, lintUseLists(filepath.Join(root, "internal", "ir"))...)
-	for _, dir := range []string{"align", "linearize", "encode"} {
+	for _, dir := range []string{"align", "linearize", "encode", "core"} {
 		bad = append(bad, lintPools(filepath.Join(root, "internal", dir))...)
 	}
 	for _, v := range bad {
@@ -204,7 +207,7 @@ func lintPools(dir string) []string {
 	var bad []string
 	for _, fd := range decls {
 		for v, pool := range gotVars(fd, getters) {
-			if releases(fd, v, pool, putters) || returnsIdent(fd, v) {
+			if releases(fd, v, pool, putters) || returnsIdent(fd, v) || assignsToField(fd, v) {
 				continue
 			}
 			bad = append(bad, fmt.Sprintf("%s: %s: buffer %q from %s is neither released (Put) nor handed off (returned)",
@@ -332,6 +335,31 @@ func returnsIdent(fd *ast.FuncDecl, v string) bool {
 				if isBufferExpr(r, v) {
 					found = true
 				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// assignsToField reports whether fd hands the buffer v off by assigning it
+// to a struct field (`x.field = v`): ownership transfers to the containing
+// object, whose lifecycle inherits the release obligation (e.g. the merger
+// scratch parked in Result.scratch until Discard or Commit). Only assignments
+// whose right-hand side structurally IS the buffer count.
+func assignsToField(fd *ast.FuncDecl, v string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			if _, ok := lhs.(*ast.SelectorExpr); !ok {
+				continue
+			}
+			if i < len(as.Rhs) && isBufferExpr(as.Rhs[i], v) {
+				found = true
 			}
 		}
 		return !found
