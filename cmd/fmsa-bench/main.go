@@ -6,7 +6,7 @@
 //	fmsa-bench -exp all -csv results/
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
-// ablation, hotexclusion, perf, rank, audit, kernels, bound, all.
+// ablation, hotexclusion, perf, rank, audit, kernels, bound, ingest, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
@@ -34,6 +34,14 @@
 // pairs may price above their bound):
 //
 //	fmsa-bench -exp bound -quick
+//
+// The ingest experiment emits every corpus as textual IR and as binary fmir,
+// measures decode wall time for both paths (per corpus and whole-suite via
+// the concurrent multi-file loader), and fails unless fmir ingest produces
+// bit-identical merge records and final module text to text ingest:
+//
+//	fmsa-bench -exp ingest -json BENCH_ingest.json
+//	fmsa-bench -exp ingest -quick -workers 1
 //
 // The rank experiment compares the exact quadratic candidate ranking with
 // the sub-quadratic MinHash/LSH index on identical pools — per-corpus wall
@@ -271,6 +279,24 @@ func main() {
 		fatalIf(err)
 	}
 
+	if run("ingest") {
+		ran = true
+		section("Ingest: text vs binary fmir corpus decode, bit-identical merges gate")
+		rows, err := experiments.Ingest(spec, tgt, experiments.IngestConfig{
+			Workers: *workers, Runs: *runs, Threshold: 2,
+		})
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+		}
+		fatalIf(err)
+		for _, r := range rows {
+			if r.Corpus == "aggregate" && r.Format == "fmir" {
+				fmt.Printf("\nfmir aggregate: %.2fx ingest speedup over text (%d workers), %.1f%% of text bytes\n",
+					r.SpeedupVsText, r.Workers, 100*float64(r.Bytes)/float64(max64(rowBytes(rows, "text"), 1)))
+			}
+		}
+	}
+
 	if run("rank") {
 		ran = true
 		section("Candidate ranking: exact quadratic scan vs MinHash/LSH index (t=1)")
@@ -325,6 +351,23 @@ func emitJSON(r any, path string) {
 	defer f.Close()
 	_, err = f.Write(append(line, '\n'))
 	fatalIf(err)
+}
+
+// rowBytes returns the aggregate on-disk bytes for one ingest format.
+func rowBytes(rows []experiments.IngestResult, format string) int64 {
+	for _, r := range rows {
+		if r.Corpus == "aggregate" && r.Format == format {
+			return r.Bytes
+		}
+	}
+	return 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func subsample(ps []workload.Profile) []workload.Profile {

@@ -17,6 +17,7 @@ import (
 	"fmsa/internal/ir"
 	"fmsa/internal/linearize"
 	"fmsa/internal/passes"
+	"fmsa/internal/wire"
 )
 
 func main() {
@@ -27,14 +28,13 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || *name1 == "" || *name2 == "" {
-		fmt.Fprintln(os.Stderr, "usage: fmsa-diff -f1 <name> -f2 <name> module.ll")
+		fmt.Fprintln(os.Stderr, "usage: fmsa-diff -f1 <name> -f2 <name> module.{ll,fmir}")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	src, err := os.ReadFile(flag.Arg(0))
-	fatal(err)
-	mod, err := ir.ParseModule(flag.Arg(0), string(src))
+	// Accepts textual IR or binary fmir, sniffed by magic bytes.
+	mod, err := wire.LoadFile(flag.Arg(0), 0)
 	fatal(err)
 	fatal(ir.VerifyModule(mod))
 	passes.DemotePhisModule(mod)

@@ -1,7 +1,8 @@
 // Command fmsa-gen emits the synthetic benchmark modules used by the
-// evaluation as textual IR files.
+// evaluation, as textual IR files or binary fmir corpora.
 //
 //	fmsa-gen -suite spec -o out/          # all 19 SPEC-like modules
+//	fmsa-gen -suite spec -format fmir -o out/
 //	fmsa-gen -suite mibench -bench rijndael -o out/
 //	fmsa-gen -list                        # show available benchmarks
 package main
@@ -19,13 +20,17 @@ import (
 
 func main() {
 	var (
-		suite = flag.String("suite", "spec", "benchmark suite: spec or mibench")
-		bench = flag.String("bench", "", "emit only this benchmark (default: all)")
-		out   = flag.String("o", ".", "output directory")
-		list  = flag.Bool("list", false, "list available benchmarks and exit")
-		units = flag.Int("units", 1, "split each benchmark into this many translation units (feed them all to `fmsa` to model the Fig. 9 LTO pipeline)")
+		suite  = flag.String("suite", "spec", "benchmark suite: spec or mibench")
+		bench  = flag.String("bench", "", "emit only this benchmark (default: all)")
+		out    = flag.String("o", ".", "output directory")
+		format = flag.String("format", "ll", "output format: ll (textual IR) or fmir (binary)")
+		list   = flag.Bool("list", false, "list available benchmarks and exit")
+		units  = flag.Int("units", 1, "split each benchmark into this many translation units (feed them all to `fmsa` to model the Fig. 9 LTO pipeline)")
 	)
 	flag.Parse()
+	if *format != workload.FormatText && *format != workload.FormatFMIR {
+		fatal(fmt.Errorf("unknown format %q (want ll or fmir)", *format))
+	}
 
 	var profiles []workload.Profile
 	switch *suite {
@@ -64,8 +69,8 @@ func main() {
 				fatal(fmt.Errorf("%s: %w", p.Name, err))
 			}
 			for k, tu := range tus {
-				path := filepath.Join(*out, fmt.Sprintf("%s_unit%d.ll", base, k))
-				if err := os.WriteFile(path, []byte(ir.FormatModule(tu)), 0o644); err != nil {
+				path := filepath.Join(*out, fmt.Sprintf("%s_unit%d.%s", base, k, *format))
+				if err := workload.WriteModuleFile(path, *format, tu); err != nil {
 					fatal(err)
 				}
 				fmt.Printf("wrote %s (%d functions)\n", path, len(tu.Definitions()))
@@ -73,8 +78,8 @@ func main() {
 			emitted++
 			continue
 		}
-		path := filepath.Join(*out, base+".ll")
-		if err := os.WriteFile(path, []byte(ir.FormatModule(m)), 0o644); err != nil {
+		path := filepath.Join(*out, base+"."+*format)
+		if err := workload.WriteModuleFile(path, *format, m); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d functions, %d instructions)\n",

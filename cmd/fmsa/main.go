@@ -1,9 +1,11 @@
-// Command fmsa runs function merging by sequence alignment on a textual IR
-// module.
+// Command fmsa runs function merging by sequence alignment on an IR module
+// in either format: textual IR (.ll) or binary fmir (.fmir), sniffed by
+// magic bytes.
 //
 // Whole-module mode (default) applies one of the three techniques:
 //
 //	fmsa -technique fmsa -threshold 10 -target x86-64 module.ll
+//	fmsa -technique fmsa -threshold 10 corpus.fmir
 //
 // Pair mode merges two named functions and prints the merged function:
 //
@@ -23,6 +25,7 @@ import (
 	"fmsa/internal/core"
 	"fmsa/internal/ir"
 	"fmsa/internal/tti"
+	"fmsa/internal/wire"
 )
 
 func main() {
@@ -45,21 +48,17 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmsa [flags] module.ll [more.ll ...]")
+		fmt.Fprintln(os.Stderr, "usage: fmsa [flags] module.{ll,fmir} [more ...]")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	// Multiple translation units are linked into one module before
-	// optimizing — the paper's monolithic-LTO pipeline (Fig. 9).
-	var units []*fmsa.Module
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		fatal(err)
-		unit, err := fmsa.ParseModule(path, string(src))
-		fatal(err)
-		units = append(units, unit)
-	}
+	// optimizing — the paper's monolithic-LTO pipeline (Fig. 9). Files are
+	// loaded concurrently (bounded by -workers) in either format: textual
+	// IR or binary fmir, told apart by their magic bytes.
+	units, err := wire.LoadFiles(flag.Args(), *workers)
+	fatal(err)
 	mod := units[0]
 	if len(units) > 1 {
 		var err error

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/wire"
+	"fmsa/internal/workload"
+)
+
+// IngestResult is the machine-readable summary of one corpus-ingest
+// measurement, serialized as a JSON line by cmd/fmsa-bench -exp ingest —
+// the same trajectory-file shape as -exp perf.
+type IngestResult struct {
+	Experiment string `json:"experiment"` // always "ingest"
+	// Corpus names the measured corpus, or "aggregate" for the sum row.
+	Corpus string `json:"corpus"`
+	// Format is the on-disk encoding ingested: "text" or "fmir".
+	Format string `json:"format"`
+	// Workers bounds parallel body decode (fmir) and file-level concurrency.
+	Workers int `json:"workers"`
+	// Bytes is the on-disk corpus size in this format.
+	Bytes int64 `json:"bytes"`
+	// Funcs and Insts size the decoded module.
+	Funcs int `json:"funcs"`
+	Insts int `json:"insts"`
+	Runs  int `json:"runs"`
+	// NsIngest is wall-clock nanoseconds to load the corpus from disk into
+	// a verified-equivalent *ir.Module: the median across runs, with the
+	// fastest run alongside.
+	NsIngest    int64 `json:"ns_ingest"`
+	NsIngestMin int64 `json:"ns_ingest_min"`
+	// SpeedupVsText divides the text median by this row's median; set on
+	// fmir rows only.
+	SpeedupVsText float64 `json:"speedup_vs_text,omitempty"`
+	// BitIdentical reports that exploring the fmir-ingested module commits
+	// bit-identical merge records and final module text to exploring the
+	// text-ingested one; set on fmir rows only.
+	BitIdentical bool `json:"bit_identical,omitempty"`
+	// Detail names the first divergence when BitIdentical is false.
+	Detail string `json:"detail,omitempty"`
+}
+
+// IngestConfig selects one ingest measurement.
+type IngestConfig struct {
+	Workers int // <= 0 selects GOMAXPROCS
+	Runs    int // <= 0 means 1
+	// Threshold is the exploration threshold for the bit-identity gate.
+	Threshold int
+}
+
+// timeIngest loads path n times and returns per-run wall-clock samples plus
+// the last loaded module.
+func timeIngest(path string, workers, runs int) ([]int64, *ir.Module, error) {
+	samples := make([]int64, 0, runs)
+	var m *ir.Module
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		var err error
+		m, err = wire.LoadFile(path, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		samples = append(samples, time.Since(start).Nanoseconds())
+	}
+	return samples, m, nil
+}
+
+// exploreIngested runs the merging pipeline on m and returns its report and
+// final module text, for the bit-identity comparison between ingest paths.
+func exploreIngested(m *ir.Module, target tti.Target, threshold, workers int) (*explore.Report, string) {
+	opts := explore.DefaultOptions()
+	opts.Threshold = threshold
+	opts.Target = target
+	opts.Workers = workers
+	rep := explore.Run(m, opts)
+	return rep, ir.FormatModule(m)
+}
+
+// Ingest emits every profile's corpus in both formats into a temporary
+// directory, measures text-vs-fmir ingest wall time per corpus and in
+// aggregate, and gates the fmir path on producing bit-identical explore
+// results to text ingest. Returns an error naming the first corpus whose
+// fmir ingest diverges.
+func Ingest(profiles []workload.Profile, target tti.Target, cfg IngestConfig) ([]IngestResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2
+	}
+	dir, err := os.MkdirTemp("", "fmsa-ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	llPaths, err := workload.EmitCorpus(dir, workload.FormatText, profiles)
+	if err != nil {
+		return nil, err
+	}
+	fmirPaths, err := workload.EmitCorpus(dir, workload.FormatFMIR, profiles)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []IngestResult
+	var firstErr error
+	var aggText, aggFMIR IngestResult
+	for i, p := range profiles {
+		textSamples, textMod, err := timeIngest(llPaths[i], cfg.Workers, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		fmirSamples, fmirMod, err := timeIngest(fmirPaths[i], cfg.Workers, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		// Text ingest names the module after its file path while fmir
+		// embeds the original name; normalize so the comparison sees only
+		// real structural differences.
+		textMod.Name, fmirMod.Name = p.Name, p.Name
+		textBytes := fileSize(llPaths[i])
+		fmirBytes := fileSize(fmirPaths[i])
+		textRow := IngestResult{
+			Experiment: "ingest", Corpus: p.Name, Format: "text",
+			Workers: cfg.Workers, Runs: cfg.Runs, Bytes: textBytes,
+			Funcs: len(textMod.Funcs), Insts: textMod.NumInsts(),
+			NsIngest: medianInt64(textSamples), NsIngestMin: minInt64(textSamples),
+		}
+		fmirRow := IngestResult{
+			Experiment: "ingest", Corpus: p.Name, Format: "fmir",
+			Workers: cfg.Workers, Runs: cfg.Runs, Bytes: fmirBytes,
+			Funcs: len(fmirMod.Funcs), Insts: fmirMod.NumInsts(),
+			NsIngest: medianInt64(fmirSamples), NsIngestMin: minInt64(fmirSamples),
+		}
+		if fmirRow.NsIngest > 0 {
+			fmirRow.SpeedupVsText = float64(textRow.NsIngest) / float64(fmirRow.NsIngest)
+		}
+		// Bit-identity gate: the wire round trip must print identically to
+		// the text round trip before exploration, and both ingest paths
+		// must commit the same merges and produce the same final text.
+		fmirRow.BitIdentical = true
+		if textPrint, fmirPrint := ir.FormatModule(textMod), ir.FormatModule(fmirMod); textPrint != fmirPrint {
+			fmirRow.BitIdentical, fmirRow.Detail = false, "decoded module text diverges before exploration"
+		} else if err := ir.VerifyModule(fmirMod); err != nil {
+			fmirRow.BitIdentical, fmirRow.Detail = false, fmt.Sprintf("decoded module fails verify: %v", err)
+		} else {
+			refRep, refText := exploreIngested(textMod, target, cfg.Threshold, cfg.Workers)
+			gotRep, gotText := exploreIngested(fmirMod, target, cfg.Threshold, cfg.Workers)
+			switch {
+			case !reflect.DeepEqual(refRep.Records, gotRep.Records):
+				fmirRow.BitIdentical, fmirRow.Detail = false, "merge records diverge"
+			case refText != gotText:
+				fmirRow.BitIdentical, fmirRow.Detail = false, "final module text diverges"
+			}
+		}
+		if !fmirRow.BitIdentical && firstErr == nil {
+			firstErr = fmt.Errorf("ingest cross-check failed on %s: %s", p.Name, fmirRow.Detail)
+		}
+		out = append(out, textRow, fmirRow)
+		accumulateIngest(&aggText, textRow)
+		accumulateIngest(&aggFMIR, fmirRow)
+	}
+	if len(profiles) > 1 {
+		// The aggregate rows time the whole multi-file corpus through
+		// wire.LoadFiles — concurrent across files, bounded by Workers,
+		// with deterministic module order — rather than summing per-corpus
+		// medians, so they reflect how fmsa-bench actually ingests suites.
+		textAgg, err := timeIngestAll(llPaths, cfg.Workers, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		fmirAgg, err := timeIngestAll(fmirPaths, cfg.Workers, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		aggText.Experiment, aggText.Corpus, aggText.Format = "ingest", "aggregate", "text"
+		aggText.Workers, aggText.Runs = cfg.Workers, cfg.Runs
+		aggText.NsIngest, aggText.NsIngestMin = medianInt64(textAgg), minInt64(textAgg)
+		aggFMIR.Experiment, aggFMIR.Corpus, aggFMIR.Format = "ingest", "aggregate", "fmir"
+		aggFMIR.Workers, aggFMIR.Runs = cfg.Workers, cfg.Runs
+		aggFMIR.NsIngest, aggFMIR.NsIngestMin = medianInt64(fmirAgg), minInt64(fmirAgg)
+		if aggFMIR.NsIngest > 0 {
+			aggFMIR.SpeedupVsText = float64(aggText.NsIngest) / float64(aggFMIR.NsIngest)
+		}
+		aggFMIR.BitIdentical = firstErr == nil
+		out = append(out, aggText, aggFMIR)
+	}
+	return out, firstErr
+}
+
+// timeIngestAll loads a whole multi-file corpus with wire.LoadFiles n times
+// and returns per-run wall-clock samples.
+func timeIngestAll(paths []string, workers, runs int) ([]int64, error) {
+	samples := make([]int64, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := wire.LoadFiles(paths, workers); err != nil {
+			return nil, err
+		}
+		samples = append(samples, time.Since(start).Nanoseconds())
+	}
+	return samples, nil
+}
+
+// accumulateIngest sums one corpus row's sizes into an aggregate row.
+func accumulateIngest(agg *IngestResult, row IngestResult) {
+	agg.Bytes += row.Bytes
+	agg.Funcs += row.Funcs
+	agg.Insts += row.Insts
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

@@ -54,6 +54,61 @@ func (a *InstArena) NewInst(op Opcode, typ *Type, operands ...Value) *Inst {
 // previously handed-out instructions are dead (see the type comment).
 func (a *InstArena) Reset() { a.si, a.used = 0, 0 }
 
+// InstSlab batch-allocates instructions and their operand storage for bodies
+// whose instruction count is known up front (the wire decoder reads it from
+// the body header): one exact-size instruction allocation plus a few operand
+// slabs per body instead of several allocations per instruction. Unlike
+// InstArena a slab is never recycled — decoded bodies stay live — so it
+// retains no slack beyond the tail of the last operand slab.
+type InstSlab struct {
+	insts []Inst
+	ops   []Value
+}
+
+// instSlabOps caps the operand-slab granularity.
+const instSlabOps = 1024
+
+// NewInstSlab returns a slab with room for exactly n instructions.
+func NewInstSlab(n int) *InstSlab {
+	return &InstSlab{insts: make([]Inst, 0, n)}
+}
+
+// NewInst hands out a detached instruction with nops nil operand slots;
+// filling a slot with SetOperand tracks the use, exactly as after
+// ReserveOperands. Overflowing the slab falls back to the heap, so a
+// miscounted caller loses batching, not correctness.
+func (s *InstSlab) NewInst(op Opcode, typ *Type, nops int) *Inst {
+	var in *Inst
+	if len(s.insts) < cap(s.insts) {
+		s.insts = s.insts[:len(s.insts)+1]
+		in = &s.insts[len(s.insts)-1]
+		in.Op, in.typ = op, typ
+	} else {
+		in = &Inst{Op: op, typ: typ}
+	}
+	if nops > 0 {
+		if len(s.ops) < nops {
+			// Size operand slabs from the instructions still to come (about
+			// two operands each in practice) so small bodies do not retain a
+			// mostly-empty maximum-size slab.
+			n := 2 * (cap(s.insts) - len(s.insts))
+			if n > instSlabOps {
+				n = instSlabOps
+			}
+			if n < nops {
+				n = nops
+			}
+			s.ops = make([]Value, n)
+		}
+		// The three-index slice caps the operand storage at nops, so a later
+		// AppendOperand reallocates instead of bleeding into the next
+		// instruction's slots.
+		in.operands = s.ops[:nops:nops]
+		s.ops = s.ops[nops:]
+	}
+	return in
+}
+
 // Release abandons the slabs so previously handed-out instructions stay
 // live independently of the arena; the arena is empty afterwards.
 func (a *InstArena) Release() { a.slabs, a.si, a.used = nil, 0, 0 }

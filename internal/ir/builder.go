@@ -126,8 +126,18 @@ func (bd *Builder) GEP(ptr Value, indices ...Value) *Inst {
 // GEPResultType computes the result type of a GEP with the given base
 // pointer type and indices.
 func GEPResultType(ptrTy *Type, indices []Value) *Type {
+	rt, err := GEPResultTypeChecked(ptrTy, indices)
+	if err != nil {
+		panic("ir: " + err.Error())
+	}
+	return rt
+}
+
+// GEPResultTypeChecked is GEPResultType returning an error instead of
+// panicking, for callers typing untrusted input (the parser).
+func GEPResultTypeChecked(ptrTy *Type, indices []Value) (*Type, error) {
 	if !ptrTy.IsPointer() {
-		panic(fmt.Sprintf("ir: GEP on non-pointer %s", ptrTy))
+		return nil, fmt.Errorf("GEP on non-pointer %s", ptrTy)
 	}
 	cur := ptrTy.Elem
 	for i, idx := range indices {
@@ -140,14 +150,17 @@ func GEPResultType(ptrTy *Type, indices []Value) *Type {
 		case StructKind:
 			c, ok := idx.(*ConstInt)
 			if !ok {
-				panic("ir: GEP struct index must be constant")
+				return nil, fmt.Errorf("GEP struct index must be constant")
+			}
+			if c.V < 0 || c.V >= int64(len(cur.Fields)) {
+				return nil, fmt.Errorf("GEP struct index %d out of range for %s", c.V, cur)
 			}
 			cur = cur.Fields[c.V]
 		default:
-			panic(fmt.Sprintf("ir: GEP drills into non-aggregate %s", cur))
+			return nil, fmt.Errorf("GEP drills into non-aggregate %s", cur)
 		}
 	}
-	return PointerTo(cur)
+	return PointerTo(cur), nil
 }
 
 // Cast emits a conversion instruction of the given opcode to type to.

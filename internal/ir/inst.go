@@ -337,6 +337,19 @@ func (in *Inst) AppendOperand(v Value) {
 	}
 }
 
+// ReserveOperands appends n empty operand slots and returns the index of the
+// first, for table-driven constructors (the wire decoder, the parser) that
+// resolve forward references after the instruction exists. Fill each slot
+// with SetOperand; a nil slot tracks no use until it is set.
+func (in *Inst) ReserveOperands(n int) int {
+	start := len(in.operands)
+	if n <= 0 {
+		return start
+	}
+	in.operands = append(in.operands, make([]Value, n)...)
+	return start
+}
+
 // dropAllOperands removes the instruction from the use lists of its operands.
 func (in *Inst) dropAllOperands() {
 	for i, v := range in.operands {

@@ -428,10 +428,57 @@ func (p *parser) getBlock(name string) *Block {
 	return b
 }
 
+// bodyShape scans ahead from the token after '{' to the matching '}' and
+// returns one instruction-count estimate per label. Labels are counted
+// exactly; instructions are estimated as distinct source lines between
+// labels (exact for printer output, a harmless capacity hint otherwise).
+// The scan does not consume tokens.
+func (p *parser) bodyShape() []int {
+	depth := 1
+	var counts []int
+	lastLine := -1
+	for i := p.pos; i < len(p.toks); i++ {
+		t := p.toks[i]
+		if t.kind == tPunct {
+			switch t.text {
+			case "{":
+				depth++
+				continue
+			case "}":
+				depth--
+				if depth == 0 {
+					return counts
+				}
+				continue
+			}
+		}
+		if depth != 1 {
+			continue
+		}
+		if t.kind == tIdent && i+1 < len(p.toks) && p.toks[i+1].kind == tPunct && p.toks[i+1].text == ":" {
+			counts = append(counts, 0)
+			lastLine = t.line
+			continue
+		}
+		if len(counts) > 0 && t.line != lastLine {
+			counts[len(counts)-1]++
+			lastLine = t.line
+		}
+	}
+	return counts
+}
+
 func (p *parser) parseBody() error {
 	if err := p.expectPunct("{"); err != nil {
 		return err
 	}
+	// Pre-size the block and instruction slices from one lookahead pass so
+	// large printed functions append without repeated re-allocation.
+	shape := p.bodyShape()
+	if len(shape) > 0 && p.fn.Blocks == nil {
+		p.fn.Blocks = make([]*Block, 0, len(shape))
+	}
+	nextLabel := 0
 	var cur *Block
 	for !p.acceptPunct("}") {
 		t := p.cur()
@@ -442,6 +489,10 @@ func (p *parser) parseBody() error {
 			if cur.parent != nil {
 				return fmt.Errorf("line %d: duplicate label %q", t.line, t.text)
 			}
+			if nextLabel < len(shape) && cur.Insts == nil && shape[nextLabel] > 0 {
+				cur.Insts = make([]*Inst, 0, shape[nextLabel])
+			}
+			nextLabel++
 			p.fn.AppendBlock(cur)
 			continue
 		}
@@ -488,14 +539,16 @@ func (p *parser) parseType() (*Type, error) {
 		case t.text == "token":
 			ty = Token()
 		case len(t.text) > 1 && t.text[0] == 'i':
+			// Validate the width here: the constructors panic on invalid
+			// widths by design, but bad source must be an error, not a panic.
 			bits, err := strconv.Atoi(t.text[1:])
-			if err != nil {
+			if err != nil || bits < 1 || bits > 64 {
 				return nil, fmt.Errorf("line %d: bad type %q", t.line, t.text)
 			}
 			ty = Int(bits)
 		case len(t.text) > 1 && t.text[0] == 'f':
 			bits, err := strconv.Atoi(t.text[1:])
-			if err != nil {
+			if err != nil || (bits != 32 && bits != 64) {
 				return nil, fmt.Errorf("line %d: bad type %q", t.line, t.text)
 			}
 			ty = Float(bits)
@@ -508,7 +561,10 @@ func (p *parser) parseType() (*Type, error) {
 		if nTok.kind != tInt {
 			return nil, fmt.Errorf("line %d: expected array length", nTok.line)
 		}
-		n, _ := strconv.Atoi(nTok.text)
+		n, err := strconv.Atoi(nTok.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("line %d: bad array length %q", nTok.line, nTok.text)
+		}
 		if !p.acceptIdent("x") {
 			return nil, p.errf("expected 'x' in array type")
 		}
@@ -631,12 +687,18 @@ func (p *parser) parseValueRef(ty *Type, inst *Inst, index int) (Value, error) {
 		case "undef":
 			return NewUndef(ty), nil
 		case "null":
+			if !ty.IsPointer() {
+				return nil, fmt.Errorf("line %d: null literal for non-pointer type %s", t.line, ty)
+			}
 			return NewConstNull(ty), nil
 		case "true":
 			return NewConstInt(Bool(), 1), nil
 		case "false":
 			return NewConstInt(Bool(), 0), nil
 		case "nan":
+			if !ty.IsFloat() {
+				return nil, fmt.Errorf("line %d: nan literal for non-float type %s", t.line, ty)
+			}
 			return NewConstFloat(ty, nan()), nil
 		}
 	}
@@ -933,7 +995,11 @@ func (p *parser) parseInstBody(op string, line int) (*Inst, error) {
 			p.attach(in, ii, iv)
 			idxVals = append(idxVals, iv)
 		}
-		in.typ = GEPResultType(baseTy, idxVals)
+		rt, err := GEPResultTypeChecked(baseTy, idxVals)
+		if err != nil {
+			return nil, p.errf("%s", err)
+		}
+		in.typ = rt
 		return in, nil
 
 	case "icmp", "fcmp":

@@ -1,8 +1,10 @@
 package ir
 
 import (
+	"bufio"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -72,23 +74,32 @@ func (n *namer) typedRef(v Value) string {
 // ParseModule.
 func FormatModule(m *Module) string {
 	var sb strings.Builder
+	PrintModule(&sb, m) // a strings.Builder never returns a write error
+	return sb.String()
+}
+
+// PrintModule streams the module's textual IR form to w through a buffered
+// writer, avoiding the one-large-string materialization of FormatModule.
+// It returns the first write error encountered.
+func PrintModule(w io.Writer, m *Module) error {
+	bw := bufio.NewWriter(w)
 	if m.Name != "" {
-		fmt.Fprintf(&sb, "; module %s\n", m.Name)
+		fmt.Fprintf(bw, "; module %s\n", m.Name)
 	}
 	for _, g := range m.Globals {
-		sb.WriteString(formatGlobal(g))
-		sb.WriteByte('\n')
+		bw.WriteString(formatGlobal(g))
+		bw.WriteByte('\n')
 	}
 	if len(m.Globals) > 0 {
-		sb.WriteByte('\n')
+		bw.WriteByte('\n')
 	}
 	for i, f := range m.Funcs {
 		if i > 0 {
-			sb.WriteByte('\n')
+			bw.WriteByte('\n')
 		}
-		sb.WriteString(FormatFunc(f))
+		printFunc(bw, f)
 	}
-	return sb.String()
+	return bw.Flush()
 }
 
 func formatGlobal(g *Global) string {
@@ -113,56 +124,64 @@ func formatGlobal(g *Global) string {
 // FormatFunc renders a single function (definition or declaration).
 func FormatFunc(f *Func) string {
 	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	printFunc(bw, f)
+	bw.Flush()
+	return sb.String()
+}
+
+// printFunc streams one function's textual form to bw.
+func printFunc(bw *bufio.Writer, f *Func) {
 	n := newNamer()
 	sig := f.Sig()
 	if f.IsDecl() {
-		sb.WriteString("declare ")
+		bw.WriteString("declare ")
 	} else {
-		sb.WriteString("define ")
+		bw.WriteString("define ")
 		if f.Linkage == InternalLinkage {
-			sb.WriteString("internal ")
+			bw.WriteString("internal ")
 		}
 	}
-	sb.WriteString(sig.Ret.String())
-	sb.WriteString(" @")
-	sb.WriteString(f.Name())
-	sb.WriteString("(")
+	bw.WriteString(sig.Ret.String())
+	bw.WriteString(" @")
+	bw.WriteString(f.Name())
+	bw.WriteString("(")
 	for i, p := range f.Params {
 		if i > 0 {
-			sb.WriteString(", ")
+			bw.WriteString(", ")
 		}
-		sb.WriteString(p.Type().String())
+		bw.WriteString(p.Type().String())
 		if !f.IsDecl() {
-			sb.WriteString(" %")
-			sb.WriteString(n.assign(p))
+			bw.WriteString(" %")
+			bw.WriteString(n.assign(p))
 		}
 	}
 	if sig.Variadic {
 		if len(f.Params) > 0 {
-			sb.WriteString(", ")
+			bw.WriteString(", ")
 		}
-		sb.WriteString("...")
+		bw.WriteString("...")
 	}
-	sb.WriteString(")")
+	bw.WriteString(")")
 	if f.IsDecl() {
-		sb.WriteString("\n")
-		return sb.String()
+		bw.WriteString("\n")
+		return
 	}
-	sb.WriteString(" {\n")
+	bw.WriteString(" {\n")
 	// Pre-assign block names so forward branch references are stable.
 	for _, b := range f.Blocks {
 		n.assign(b)
 	}
 	for _, b := range f.Blocks {
-		fmt.Fprintf(&sb, "%s:\n", n.names[b])
+		bw.WriteString(n.names[b])
+		bw.WriteString(":\n")
 		for _, in := range b.Insts {
-			sb.WriteString("  ")
-			sb.WriteString(formatInst(in, n))
-			sb.WriteByte('\n')
+			bw.WriteString("  ")
+			bw.WriteString(formatInst(in, n))
+			bw.WriteByte('\n')
 		}
 	}
-	sb.WriteString("}\n")
-	return sb.String()
+	bw.WriteString("}\n")
 }
 
 // FormatInst renders one instruction using a throwaway namer; intended for

@@ -56,6 +56,31 @@ func (u *usable) Uses() []Use { return u.uses }
 // NumUses returns the number of recorded uses.
 func (u *usable) NumUses() int { return len(u.uses) }
 
+func (u *usable) presizeUses(s []Use) {
+	if u.uses == nil {
+		u.uses = s
+	}
+}
+
+// PresizeUses carves exact-capacity use-list storage for v out of buf and
+// returns the remainder. Callers that can count (or estimate) how many uses
+// a fresh definition will receive — the wire decoder pre-scans a body's
+// operand references — batch every use list of a body into one allocation
+// instead of growing each list by doubling. The count may be low: the
+// three-index slice caps capacity, so an overflowing append reallocates
+// rather than clobbering the next definition's storage. No-op for values
+// that do not track uses or already have uses recorded.
+func PresizeUses(v Value, n int, buf []Use) []Use {
+	if n <= 0 || n > len(buf) {
+		return buf
+	}
+	if t, ok := v.(interface{ presizeUses([]Use) }); ok {
+		t.presizeUses(buf[0:0:n])
+		return buf[n:]
+	}
+	return buf
+}
+
 // userTracked is the internal interface for definitions with use lists.
 type userTracked interface {
 	Value

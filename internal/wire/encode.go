@@ -1,0 +1,380 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fmsa/internal/ir"
+)
+
+// constKey identifies a constant for interning: kind, interned type pointer
+// and value bits (Float64bits for floats, so NaN payloads dedup exactly).
+type constKey struct {
+	kind byte
+	typ  *ir.Type
+	bits uint64
+}
+
+// encoder interns strings, types and constants in first-use order while the
+// module is walked, assigning each the next table index. All maps are
+// lookup-only; iteration always follows module order, so output bytes are
+// deterministic for a given module.
+type encoder struct {
+	strIdx map[string]uint32
+	strs   []string // entries for indices 1..len; index 0 is the empty string
+	typIdx map[*ir.Type]uint32
+	typs   []*ir.Type
+	cstIdx map[constKey]uint32
+	csts   []ir.Constant
+	fnIdx  map[*ir.Func]uint32
+	glIdx  map[*ir.Global]uint32
+}
+
+func newEncoder() *encoder {
+	return &encoder{
+		strIdx: map[string]uint32{},
+		typIdx: map[*ir.Type]uint32{},
+		cstIdx: map[constKey]uint32{},
+		fnIdx:  map[*ir.Func]uint32{},
+		glIdx:  map[*ir.Global]uint32{},
+	}
+}
+
+func (e *encoder) strID(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	if id, ok := e.strIdx[s]; ok {
+		return uint64(id)
+	}
+	e.strs = append(e.strs, s)
+	id := uint32(len(e.strs)) // 1-based
+	e.strIdx[s] = id
+	return uint64(id)
+}
+
+// typeID interns t and its component types in post-order, so every table
+// entry references only earlier entries and the decoder rebuilds the table
+// in one pass.
+func (e *encoder) typeID(t *ir.Type) uint64 {
+	if id, ok := e.typIdx[t]; ok {
+		return uint64(id)
+	}
+	switch t.Kind {
+	case ir.PointerKind, ir.ArrayKind:
+		e.typeID(t.Elem)
+	case ir.StructKind:
+		for _, f := range t.Fields {
+			e.typeID(f)
+		}
+	case ir.FuncKind:
+		e.typeID(t.Ret)
+		for _, f := range t.Fields {
+			e.typeID(f)
+		}
+	}
+	e.typs = append(e.typs, t)
+	id := uint32(len(e.typs) - 1)
+	e.typIdx[t] = id
+	return uint64(id)
+}
+
+func (e *encoder) constID(c ir.Constant) (uint64, error) {
+	var key constKey
+	switch x := c.(type) {
+	case *ir.ConstInt:
+		key = constKey{constInt, x.Type(), uint64(x.V)}
+	case *ir.ConstFloat:
+		key = constKey{constFloat, x.Type(), math.Float64bits(x.V)}
+	case *ir.Undef:
+		key = constKey{constUndef, x.Type(), 0}
+	case *ir.ConstNull:
+		key = constKey{constNull, x.Type(), 0}
+	default:
+		return 0, fmt.Errorf("wire: unsupported constant %T", c)
+	}
+	if id, ok := e.cstIdx[key]; ok {
+		return uint64(id), nil
+	}
+	e.typeID(c.Type())
+	e.csts = append(e.csts, c)
+	id := uint32(len(e.csts) - 1)
+	e.cstIdx[key] = id
+	return uint64(id), nil
+}
+
+// operandRef encodes one operand as (index<<3 | tag).
+func (e *encoder) operandRef(locals map[ir.Value]uint32, blocks map[*ir.Block]uint32, v ir.Value) (uint64, error) {
+	switch x := v.(type) {
+	case *ir.Block:
+		id, ok := blocks[x]
+		if !ok {
+			return 0, fmt.Errorf("wire: operand block %q outside function", x.Name())
+		}
+		return uint64(id)<<3 | tagBlock, nil
+	case *ir.Func:
+		id, ok := e.fnIdx[x]
+		if !ok {
+			return 0, fmt.Errorf("wire: operand function @%s outside module", x.Name())
+		}
+		return uint64(id)<<3 | tagFunc, nil
+	case *ir.Global:
+		id, ok := e.glIdx[x]
+		if !ok {
+			return 0, fmt.Errorf("wire: operand global @%s outside module", x.Name())
+		}
+		return uint64(id)<<3 | tagGlobal, nil
+	case *ir.Param, *ir.Inst:
+		id, ok := locals[v]
+		if !ok {
+			return 0, fmt.Errorf("wire: local operand outside function")
+		}
+		return uint64(id)<<3 | tagLocal, nil
+	}
+	if c, ok := v.(ir.Constant); ok {
+		id, err := e.constID(c)
+		if err != nil {
+			return 0, err
+		}
+		return id<<3 | tagConst, nil
+	}
+	return 0, fmt.Errorf("wire: unsupported operand %T", v)
+}
+
+// encodeBody serializes one function definition as a body-section payload.
+// Local defs are numbered params first, then every instruction (void ones
+// included) in layout order; the decoder reproduces the same numbering.
+func (e *encoder) encodeBody(fi uint32, f *ir.Func) ([]byte, error) {
+	locals := make(map[ir.Value]uint32, len(f.Params)+f.NumInsts())
+	for i, prm := range f.Params {
+		locals[prm] = uint32(i)
+	}
+	next := uint32(len(f.Params))
+	blocks := make(map[*ir.Block]uint32, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		blocks[b] = uint32(bi)
+		for _, in := range b.Insts {
+			locals[in] = next
+			next++
+		}
+	}
+	p := make([]byte, 0, 16+8*int(next))
+	p = appendUvarint(p, uint64(fi))
+	for _, prm := range f.Params {
+		p = appendUvarint(p, e.strID(prm.Name()))
+	}
+	// Block headers first: (name, instruction count) pairs let the decoder
+	// pre-create every block (branch targets may be forward) and pre-size
+	// its instruction slice before any instruction is read.
+	p = appendUvarint(p, uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		p = appendUvarint(p, e.strID(b.Name()))
+		p = appendUvarint(p, uint64(len(b.Insts)))
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			var err error
+			if p, err = e.encodeInst(locals, blocks, p, in); err != nil {
+				return nil, fmt.Errorf("%w (in @%s)", err, f.Name())
+			}
+		}
+	}
+	return p, nil
+}
+
+func (e *encoder) encodeInst(locals map[ir.Value]uint32, blocks map[*ir.Block]uint32, p []byte, in *ir.Inst) ([]byte, error) {
+	p = appendUvarint(p, uint64(in.Op))
+	p = appendUvarint(p, e.typeID(in.Type()))
+	p = appendUvarint(p, e.strID(in.Name()))
+	switch in.Op {
+	case ir.OpICmp, ir.OpFCmp:
+		p = appendUvarint(p, uint64(in.Pred))
+	case ir.OpAlloca:
+		if in.Alloc == nil {
+			return nil, fmt.Errorf("wire: alloca without allocated type")
+		}
+		p = appendUvarint(p, e.typeID(in.Alloc))
+	case ir.OpLandingPad:
+		p = appendUvarint(p, uint64(len(in.Clauses)))
+		for _, c := range in.Clauses {
+			p = appendUvarint(p, e.strID(c))
+		}
+	}
+	p = appendUvarint(p, uint64(in.NumOperands()))
+	for _, v := range in.Operands() {
+		ref, err := e.operandRef(locals, blocks, v)
+		if err != nil {
+			return nil, err
+		}
+		p = appendUvarint(p, ref)
+	}
+	return p, nil
+}
+
+// stringsPayload serializes the interned string table.
+func (e *encoder) stringsPayload() []byte {
+	size := 4
+	for _, s := range e.strs {
+		size += len(s) + 2
+	}
+	p := make([]byte, 0, size)
+	p = appendUvarint(p, uint64(len(e.strs)))
+	for _, s := range e.strs {
+		p = appendString(p, s)
+	}
+	return p
+}
+
+// typesPayload serializes the type table. Entries reference earlier entries
+// only (guaranteed by typeID's post-order registration).
+func (e *encoder) typesPayload() []byte {
+	p := make([]byte, 0, 4+8*len(e.typs))
+	p = appendUvarint(p, uint64(len(e.typs)))
+	for _, t := range e.typs {
+		p = append(p, byte(t.Kind))
+		switch t.Kind {
+		case ir.IntKind, ir.FloatKind:
+			p = appendUvarint(p, uint64(t.Bits))
+		case ir.PointerKind:
+			p = appendUvarint(p, uint64(e.typIdx[t.Elem]))
+		case ir.ArrayKind:
+			p = appendUvarint(p, uint64(t.Len))
+			p = appendUvarint(p, uint64(e.typIdx[t.Elem]))
+		case ir.StructKind:
+			p = appendUvarint(p, uint64(len(t.Fields)))
+			for _, f := range t.Fields {
+				p = appendUvarint(p, uint64(e.typIdx[f]))
+			}
+		case ir.FuncKind:
+			variadic := byte(0)
+			if t.Variadic {
+				variadic = 1
+			}
+			p = append(p, variadic)
+			p = appendUvarint(p, uint64(e.typIdx[t.Ret]))
+			p = appendUvarint(p, uint64(len(t.Fields)))
+			for _, f := range t.Fields {
+				p = appendUvarint(p, uint64(e.typIdx[f]))
+			}
+		}
+	}
+	return p
+}
+
+// constsPayload serializes the constant table.
+func (e *encoder) constsPayload() []byte {
+	p := make([]byte, 0, 4+8*len(e.csts))
+	p = appendUvarint(p, uint64(len(e.csts)))
+	for _, c := range e.csts {
+		ti := uint64(e.typIdx[c.Type()])
+		switch x := c.(type) {
+		case *ir.ConstInt:
+			p = append(p, constInt)
+			p = appendUvarint(p, ti)
+			p = appendUvarint(p, zigzag(x.V))
+		case *ir.ConstFloat:
+			p = append(p, constFloat)
+			p = appendUvarint(p, ti)
+			p = appendUvarint(p, math.Float64bits(x.V))
+		case *ir.Undef:
+			p = append(p, constUndef)
+			p = appendUvarint(p, ti)
+		case *ir.ConstNull:
+			p = append(p, constNull)
+			p = appendUvarint(p, ti)
+		}
+	}
+	return p
+}
+
+func writeSection(bw *bufio.Writer, id byte, payload []byte) {
+	bw.WriteByte(id)
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	bw.Write(hdr[:n])
+	bw.Write(payload)
+}
+
+// WriteModule encodes m in fmir format onto w through a buffered writer.
+func WriteModule(w io.Writer, m *ir.Module) error {
+	e := newEncoder()
+	for i, f := range m.Funcs {
+		e.fnIdx[f] = uint32(i)
+	}
+	for i, g := range m.Globals {
+		e.glIdx[g] = uint32(i)
+	}
+
+	// Walk in module order so table indices (and therefore output bytes)
+	// are deterministic: globals, then function shells, then bodies.
+	gp := make([]byte, 0, 4+16*len(m.Globals))
+	gp = appendUvarint(gp, uint64(len(m.Globals)))
+	for _, g := range m.Globals {
+		gp = appendUvarint(gp, e.strID(g.Name()))
+		gp = appendUvarint(gp, e.typeID(g.ValueType()))
+		gp = appendUvarint(gp, uint64(g.Linkage))
+		if g.Init == nil {
+			gp = append(gp, 0)
+		} else {
+			gp = append(gp, 1)
+			gp = appendUvarint(gp, uint64(len(g.Init)))
+			gp = append(gp, g.Init...)
+		}
+	}
+
+	fp := make([]byte, 0, 4+12*len(m.Funcs))
+	fp = appendUvarint(fp, uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		fp = appendUvarint(fp, e.strID(f.Name()))
+		fp = appendUvarint(fp, e.typeID(f.Sig()))
+		fp = appendUvarint(fp, uint64(f.Linkage))
+		fp = appendUvarint(fp, f.Hotness)
+		if f.IsDecl() {
+			fp = append(fp, 0)
+		} else {
+			fp = append(fp, 1)
+		}
+	}
+
+	bodies := make([][]byte, 0, len(m.Funcs))
+	for i, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		bp, err := e.encodeBody(uint32(i), f)
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, bp)
+	}
+
+	bw := bufio.NewWriter(w)
+	bw.Write(Magic[:])
+	hdr := make([]byte, 0, 8+len(m.Name))
+	hdr = appendUvarint(hdr, Version)
+	hdr = appendString(hdr, m.Name)
+	bw.Write(hdr)
+	writeSection(bw, secStrings, e.stringsPayload())
+	writeSection(bw, secTypes, e.typesPayload())
+	writeSection(bw, secConsts, e.constsPayload())
+	writeSection(bw, secGlobals, gp)
+	writeSection(bw, secFuncs, fp)
+	for _, bp := range bodies {
+		writeSection(bw, secBody, bp)
+	}
+	writeSection(bw, secEnd, nil)
+	return bw.Flush()
+}
+
+// Encode returns m in fmir format as a byte slice.
+func Encode(m *ir.Module) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteModule(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

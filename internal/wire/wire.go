@@ -1,0 +1,180 @@
+// Package wire implements fmir, a versioned, sectioned binary encoding of
+// IR modules. The layout is designed for fast, parallel ingest: a small
+// serially-decoded header carries interned string, type and constant tables,
+// and every function body is an independently decodable, length-prefixed
+// section that a worker pool can decode concurrently. All integers are
+// LEB128 varints (unsigned, with zigzag for signed values), so small indices
+// — the overwhelming majority — cost one byte.
+//
+// File layout:
+//
+//	magic "FMIR" | version uvarint | module-name (len+bytes)
+//	section*     id byte | payload-length uvarint | payload
+//	end          id 0 | length 0
+//
+// Sections appear in the order strings, types, consts, globals, funcs,
+// body*, end. Table sections reference only earlier entries, so one serial
+// pass builds them; body sections reference only tables and the function
+// shells from the funcs section, so they decode in any order and in
+// parallel. See DESIGN.md §10 for the full specification.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic is the 4-byte fmir file signature. Sniff it with IsFMIR.
+var Magic = [4]byte{'F', 'M', 'I', 'R'}
+
+// Version is the fmir format version this package reads and writes.
+// Enum-valued fields (opcodes, type kinds, comparison predicates, linkage)
+// are written as their in-memory integer values; any change to those enums
+// in package ir is a format change and must bump this.
+const Version = 1
+
+// Section identifiers.
+const (
+	secEnd     = 0 // terminates the section stream
+	secStrings = 1 // interned string table
+	secTypes   = 2 // interned type table (entries reference earlier entries)
+	secConsts  = 3 // interned constant table
+	secGlobals = 4 // global variables
+	secFuncs   = 5 // function shells: name, signature, linkage, body flag
+	secBody    = 6 // one function body; repeated, independently decodable
+)
+
+// Operand reference tags. An operand is a single uvarint (index<<3 | tag).
+const (
+	tagLocal  = 0 // index into the body's local defs: params, then insts in layout order
+	tagBlock  = 1 // index into the body's blocks
+	tagFunc   = 2 // index into the module's functions
+	tagGlobal = 3 // index into the module's globals
+	tagConst  = 4 // index into the constant table
+)
+
+// Constant kind codes in the consts section.
+const (
+	constInt   = 0
+	constFloat = 1
+	constUndef = 2
+	constNull  = 3
+)
+
+// ErrBadMagic reports that input did not start with the fmir signature.
+var ErrBadMagic = errors.New("wire: not an fmir file (bad magic)")
+
+// IsFMIR reports whether data begins with the fmir magic bytes. Tools use
+// it to sniff binary modules apart from textual IR.
+func IsFMIR(data []byte) bool {
+	return len(data) >= len(Magic) && string(data[:len(Magic)]) == string(Magic[:])
+}
+
+// zigzag maps signed to unsigned so small-magnitude values of either sign
+// encode in few varint bytes.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// reader decodes varints and byte strings from one section payload. It is
+// a sticky-error cursor: after the first malformed read every subsequent
+// read returns zero values, so decode loops check err at their boundaries
+// instead of after every field.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// remaining returns the number of unread payload bytes. Count fields are
+// validated against it before slices are allocated, so a corrupt length
+// cannot force a huge allocation.
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) uvarint() uint64 {
+	// Fast path: most varints in real modules (opcodes, table indices,
+	// operand refs) fit in one byte, and decode spends much of its time here.
+	if p := r.pos; r.err == nil && p < len(r.buf) && r.buf[p] < 0x80 {
+		r.pos = p + 1
+		return uint64(r.buf[p])
+	}
+	return r.uvarintSlow()
+}
+
+func (r *reader) uvarintSlow() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) svarint() int64 { return unzigzag(r.uvarint()) }
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("truncated payload at offset %d", r.pos)
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+// bytes returns the next n raw bytes, aliasing the payload buffer.
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("byte string of length %d exceeds payload at offset %d", n, r.pos)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// count reads a uvarint element count and validates it against the bytes
+// still available, given that each element occupies at least min bytes.
+func (r *reader) count(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	// n*min cannot overflow: n is first bounded by remaining(), which is at
+	// most the buffer length.
+	if rem := uint64(r.remaining()); n > rem || n*uint64(min) > rem {
+		r.fail("element count %d exceeds payload at offset %d", n, r.pos)
+		return 0
+	}
+	return int(n)
+}
+
+// appendUvarint appends the LEB128 encoding of v to b.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// appendString appends a length-prefixed byte string.
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}

@@ -12,9 +12,13 @@
 # (-exp kernels -quick); and pre-codegen profitability bounding must be
 # decision-invisible — bit-identical merges with pruning on vs off, and
 # zero audited pairs whose exact profit exceeds their bound
-# (-exp bound -quick).
+# (-exp bound -quick); binary fmir ingest must commit bit-identical merges
+# and final module text to text ingest on every quick corpus
+# (-exp ingest -quick), with the parse/print/encode/decode round trip also
+# smoke-fuzzed for 10 seconds.
 # Run this before every commit that touches internal/explore, internal/ir,
-# internal/align, internal/encode, internal/core or internal/analysis.
+# internal/align, internal/encode, internal/core, internal/analysis or
+# internal/wire.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -24,6 +28,8 @@ go build ./...
 go run ./scripts/lint
 go test -race ./...
 go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/
+go test -run '^$' -fuzz 'FuzzRoundTrip' -fuzztime 10s ./internal/ir/
 go run ./cmd/fmsa-bench -exp rank -quick
 go run ./cmd/fmsa-bench -exp kernels -quick
 go run ./cmd/fmsa-bench -exp bound -quick
+go run ./cmd/fmsa-bench -exp ingest -quick

@@ -45,7 +45,7 @@ func main() {
 	}
 	var bad []string
 	bad = append(bad, lintUseLists(filepath.Join(root, "internal", "ir"))...)
-	for _, dir := range []string{"align", "linearize", "encode", "core"} {
+	for _, dir := range []string{"align", "linearize", "encode", "core", "wire"} {
 		bad = append(bad, lintPools(filepath.Join(root, "internal", dir))...)
 	}
 	for _, v := range bad {
