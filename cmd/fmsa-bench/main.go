@@ -6,7 +6,8 @@
 //	fmsa-bench -exp all -csv results/
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
-// ablation, hotexclusion, perf, rank, audit, kernels, bound, ingest, all.
+// ablation, hotexclusion, perf, rank, audit, kernels, bound, ingest,
+// verify, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
@@ -43,6 +44,15 @@
 //	fmsa-bench -exp ingest -json BENCH_ingest.json
 //	fmsa-bench -exp ingest -quick -workers 1
 //
+// The verify experiment drives every corpus through the pipeline's IR
+// boundaries (print→reparse, wire round trip, split+relink, merge with
+// in-pipeline gates on), verifying at the full level after each, checks
+// that verification never changes merge decisions, and gates the
+// fast-level overhead at 5% of suite exploration wall clock:
+//
+//	fmsa-bench -exp verify -runs 3 -json BENCH_verify.json
+//	fmsa-bench -exp verify -quick
+//
 // The rank experiment compares the exact quadratic candidate ranking with
 // the sub-quadratic MinHash/LSH index on identical pools — per-corpus wall
 // time, probe counts and top-1 recall as JSON lines — and fails if the
@@ -61,6 +71,7 @@ import (
 
 	"fmsa/internal/experiments"
 	"fmsa/internal/explore"
+	"fmsa/internal/ir"
 	"fmsa/internal/tti"
 	"fmsa/internal/workload"
 )
@@ -80,6 +91,7 @@ func main() {
 		noBound   = flag.Bool("nobound", false, "disable pre-codegen profitability bounding")
 		runs      = flag.Int("runs", 1, "perf experiment: repeat each measurement, report median and min")
 		perCorpus = flag.Bool("percorpus", false, "perf experiment: emit one JSON line per corpus")
+		verifyLvl = flag.String("verify", "off", "perf experiment: IR verification level inside exploration (off, fast, full)")
 	)
 	flag.Parse()
 
@@ -233,6 +245,8 @@ func main() {
 		fatalIf(err)
 		km, err := explore.ParseKernelMode(*kernel)
 		fatalIf(err)
+		lvl, err := ir.ParseVerifyLevel(*verifyLvl)
+		fatalIf(err)
 		w := *workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
@@ -240,6 +254,7 @@ func main() {
 		cfg := experiments.PerfConfig{
 			Threshold: 10, Workers: 1, Runs: *runs,
 			Ranking: mode, Kernel: km, NoCaches: *noCaches, NoBound: *noBound,
+			Verify: lvl,
 		}
 		if *perCorpus {
 			for _, r := range experiments.PerfCorpora(spec, tgt, cfg) {
@@ -293,6 +308,26 @@ func main() {
 			if r.Corpus == "aggregate" && r.Format == "fmir" {
 				fmt.Printf("\nfmir aggregate: %.2fx ingest speedup over text (%d workers), %.1f%% of text bytes\n",
 					r.SpeedupVsText, r.Workers, 100*float64(r.Bytes)/float64(max64(rowBytes(rows, "text"), 1)))
+			}
+		}
+	}
+
+	if run("verify") {
+		ran = true
+		section("Verify: boundary IR checks, decision invariance, fast-level overhead gate")
+		suites := append(append([]workload.Profile{}, workload.UnscaledSmall()...), spec...)
+		suites = append(suites, mibench...)
+		rows, err := experiments.VerifySweep(suites, tgt, experiments.VerifyConfig{
+			Workers: *workers, Runs: *runs, Threshold: 2,
+		})
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+		}
+		fatalIf(err)
+		for _, r := range rows {
+			if r.Corpus == "aggregate" {
+				fmt.Printf("\nverify aggregate: %.1f%% fast-level overhead across %d corpora (%d runs)\n",
+					r.OverheadPct, len(rows)-1, r.Runs)
 			}
 		}
 	}

@@ -22,9 +22,10 @@ import (
 
 func main() {
 	var (
-		name1 = flag.String("f1", "", "first function")
-		name2 = flag.String("f2", "", "second function")
-		width = flag.Int("w", 46, "column width")
+		name1  = flag.String("f1", "", "first function")
+		name2  = flag.String("f2", "", "second function")
+		width  = flag.Int("w", 46, "column width")
+		verify = flag.String("verify", "full", "IR verification level after loading: off, fast or full")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || *name1 == "" || *name2 == "" {
@@ -33,10 +34,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	level, err := ir.ParseVerifyLevel(*verify)
+	fatal(err)
+
 	// Accepts textual IR or binary fmir, sniffed by magic bytes.
 	mod, err := wire.LoadFile(flag.Arg(0), 0)
 	fatal(err)
-	fatal(ir.VerifyModule(mod))
+	if diags := ir.VerifyModuleLevel(mod, level); len(diags) > 0 {
+		fatal(fmt.Errorf("input fails verification:\n%s", ir.FormatVerifyDiags(diags)))
+	}
 	passes.DemotePhisModule(mod)
 
 	f1 := mod.FuncByName(*name1)

@@ -26,8 +26,13 @@ func main() {
 		format = flag.String("format", "ll", "output format: ll (textual IR) or fmir (binary)")
 		list   = flag.Bool("list", false, "list available benchmarks and exit")
 		units  = flag.Int("units", 1, "split each benchmark into this many translation units (feed them all to `fmsa` to model the Fig. 9 LTO pipeline)")
+		verify = flag.String("verify", "full", "IR verification level for generated modules and split units: off, fast or full")
 	)
 	flag.Parse()
+	level, err := ir.ParseVerifyLevel(*verify)
+	if err != nil {
+		fatal(err)
+	}
 	if *format != workload.FormatText && *format != workload.FormatFMIR {
 		fatal(fmt.Errorf("unknown format %q (want ll or fmir)", *format))
 	}
@@ -59,8 +64,8 @@ func main() {
 			continue
 		}
 		m := workload.Build(p)
-		if err := ir.VerifyModule(m); err != nil {
-			fatal(fmt.Errorf("%s: generated module invalid: %w", p.Name, err))
+		if diags := ir.VerifyModuleLevel(m, level); len(diags) > 0 {
+			fatal(fmt.Errorf("%s: generated module invalid:\n%s", p.Name, ir.FormatVerifyDiags(diags)))
 		}
 		base := strings.ReplaceAll(p.Name, ".", "_")
 		if *units > 1 {
@@ -69,6 +74,9 @@ func main() {
 				fatal(fmt.Errorf("%s: %w", p.Name, err))
 			}
 			for k, tu := range tus {
+				if diags := ir.VerifyModuleLevel(tu, level); len(diags) > 0 {
+					fatal(fmt.Errorf("%s unit %d: split unit invalid:\n%s", p.Name, k, ir.FormatVerifyDiags(diags)))
+				}
 				path := filepath.Join(*out, fmt.Sprintf("%s_unit%d.%s", base, k, *format))
 				if err := workload.WriteModuleFile(path, *format, tu); err != nil {
 					fatal(err)

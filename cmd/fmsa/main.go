@@ -41,6 +41,7 @@ func main() {
 		noSeqCache  = flag.Bool("noseqcache", false, "disable the per-function linearization cache (measurement/debugging only)")
 		noAlignMemo = flag.Bool("noalignmemo", false, "disable the alignment-result memo (measurement/debugging only)")
 		noBound     = flag.Bool("nobound", false, "disable pre-codegen profitability bounding (measurement/debugging only; results are identical either way)")
+		verifyLvl   = flag.String("verify", "full", "IR verification at pipeline boundaries and inside exploration: off, fast or full")
 		mergePair   = flag.String("merge", "", "merge exactly this comma-separated function pair")
 		out         = flag.String("o", "", "write the optimized module to this file (default: stdout)")
 		quiet       = flag.Bool("q", false, "suppress the statistics report")
@@ -57,15 +58,20 @@ func main() {
 	// optimizing — the paper's monolithic-LTO pipeline (Fig. 9). Files are
 	// loaded concurrently (bounded by -workers) in either format: textual
 	// IR or binary fmir, told apart by their magic bytes.
+	level, err := ir.ParseVerifyLevel(*verifyLvl)
+	fatal(err)
 	units, err := wire.LoadFiles(flag.Args(), *workers)
 	fatal(err)
+	for i, u := range units {
+		verifyGate(u, level, "input "+flag.Arg(i))
+	}
 	mod := units[0]
 	if len(units) > 1 {
 		var err error
 		mod, err = ir.LinkModules("linked", units...)
 		fatal(err)
+		verifyGate(mod, level, "post-link")
 	}
-	fatal(fmsa.Verify(mod))
 
 	tgt := tti.ByName(*target)
 	if tgt == nil {
@@ -82,7 +88,7 @@ func main() {
 	}
 
 	if *mergePair != "" {
-		runPair(mod, *mergePair, tgt, *quiet)
+		runPair(mod, *mergePair, tgt, level, *quiet)
 		emit(mod, *out)
 		return
 	}
@@ -100,9 +106,14 @@ func main() {
 		NoSeqCache:  *noSeqCache,
 		NoAlignMemo: *noAlignMemo,
 		NoBound:     *noBound,
+		Verify:      *verifyLvl,
 	})
 	fatal(err)
-	fatal(fmsa.Verify(mod))
+	if len(rep.VerifyDiags) > 0 {
+		fmt.Fprint(os.Stderr, ir.FormatVerifyDiags(rep.VerifyDiags))
+		fatal(fmt.Errorf("exploration verifier reported %d findings", len(rep.VerifyDiags)))
+	}
+	verifyGate(mod, level, "post-optimize")
 	after, _ := fmsa.ModuleSize(mod, *target)
 
 	if !*quiet {
@@ -126,7 +137,7 @@ func main() {
 	emit(mod, *out)
 }
 
-func runPair(mod *fmsa.Module, pair string, tgt tti.Target, quiet bool) {
+func runPair(mod *fmsa.Module, pair string, tgt tti.Target, level ir.VerifyLevel, quiet bool) {
 	names := strings.SplitN(pair, ",", 2)
 	if len(names) != 2 {
 		fatal(fmt.Errorf("-merge wants two comma-separated names, got %q", pair))
@@ -149,7 +160,19 @@ func runPair(mod *fmsa.Module, pair string, tgt tti.Target, quiet bool) {
 		fmt.Fprintf(os.Stderr, "cost-model profit (%s): %d bytes\n", tgt.Name(), profit)
 	}
 	res.Commit()
-	fatal(fmsa.Verify(mod))
+	verifyGate(mod, level, "post-merge")
+}
+
+// verifyGate runs the staged verifier at a pipeline boundary and exits with
+// every finding on the first diagnostic.
+func verifyGate(m *fmsa.Module, level ir.VerifyLevel, stage string) {
+	if level == ir.VerifyOff {
+		return
+	}
+	if diags := ir.VerifyModuleLevel(m, level); len(diags) > 0 {
+		fmt.Fprint(os.Stderr, ir.FormatVerifyDiags(diags))
+		fatal(fmt.Errorf("%s: verifier reported %d findings", stage, len(diags)))
+	}
 }
 
 func emit(mod *fmsa.Module, out string) {

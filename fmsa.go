@@ -139,6 +139,14 @@ type Options struct {
 	// candidates the cost model would reject — so this too exists only for
 	// measurement and debugging.
 	NoBound bool
+	// Verify selects the opt-in IR verification gates inside FMSA's
+	// exploration pipeline: "" or "off" (none, the default), "fast"
+	// (structural checks on every committed merge and the final module), or
+	// "full" (additionally types, phi/pred correspondence, dominance and
+	// use-list consistency). Verification is recording-only — findings land
+	// in Report.VerifyDiags and never change merge decisions. Only
+	// TechniqueFMSA verifies.
+	Verify string
 }
 
 // Optimize runs a whole-module function-merging pipeline in place and
@@ -171,6 +179,10 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fmsa: %w", err)
 		}
+		verify, err := ir.ParseVerifyLevel(opts.Verify)
+		if err != nil {
+			return nil, fmt.Errorf("fmsa: %w", err)
+		}
 		rep := baseline.RunIdentical(m, target)
 		eopts := explore.DefaultOptions()
 		eopts.Target = target
@@ -186,6 +198,7 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		eopts.NoSeqCache = opts.NoSeqCache
 		eopts.NoAlignMemo = opts.NoAlignMemo
 		eopts.NoBound = opts.NoBound
+		eopts.Verify = verify
 		rep.Add(explore.Run(m, eopts))
 		return rep, nil
 	default:

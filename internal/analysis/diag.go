@@ -85,6 +85,28 @@ func FormatDiagnostics(diags []Diagnostic) string {
 	return sb.String()
 }
 
+// VerifyDiagnostics runs the staged IR verifier over the module and adapts
+// its findings to the audit Diagnostic shape, so tools that already render
+// FM codes surface FV codes through the same channel. The two code spaces
+// are disjoint by construction (FMxxx audits merges, FVxxx verifies IR).
+func VerifyDiagnostics(m *ir.Module, level ir.VerifyLevel) []Diagnostic {
+	vds := ir.VerifyModuleLevel(m, level)
+	if len(vds) == 0 {
+		return nil
+	}
+	diags := make([]Diagnostic, len(vds))
+	for i, d := range vds {
+		diags[i] = Diagnostic{
+			Code:  Code(d.Code),
+			Fn:    d.Fn,
+			Block: d.Block,
+			Inst:  d.Inst,
+			Msg:   d.Msg,
+		}
+	}
+	return diags
+}
+
 // blockName returns a printable label for diagnostics.
 func blockName(b *ir.Block) string {
 	if b == nil {

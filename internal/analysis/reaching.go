@@ -14,10 +14,10 @@ type ReachingStores struct {
 	Slots []*ir.Inst
 
 	slotIdx    map[*ir.Inst]int
-	uninitBit  []int         // per-slot synthetic definition
+	uninitBit  []int // per-slot synthetic definition
 	storeBit   map[*ir.Inst]int
-	slotOfBit  []int         // fact -> slot
-	defsOfSlot [][]int       // slot -> all its fact bits
+	slotOfBit  []int   // fact -> slot
+	defsOfSlot [][]int // slot -> all its fact bits
 	res        *Result
 }
 

@@ -1,0 +1,105 @@
+package analysis_test
+
+// Cross-check of the two reachability views: the FM002 audit path
+// (analysis.ReachableBlocks / UnreachableBlocks, a worklist walk over
+// successor edges) and the verifier's DFS-interval dominator tree
+// (ir.ComputeDomTree(f).Reachable, the basis of the FV007 dominance check).
+// They are independent implementations of the same predicate and must agree
+// on every block of every module the pipeline produces.
+
+import (
+	"testing"
+
+	"fmsa/internal/analysis"
+	"fmsa/internal/explore"
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+// checkReachabilityAgreement compares both views on every block of every
+// definition in m and reports per-block disagreements.
+func checkReachabilityAgreement(t *testing.T, m *ir.Module, stage string) {
+	t.Helper()
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		reach := analysis.ReachableBlocks(f, analysis.View{})
+		dt := ir.ComputeDomTree(f)
+		for _, b := range f.Blocks {
+			if got, want := dt.Reachable(b), reach[b]; got != want {
+				t.Errorf("%s: @%s %%%s: domtree says reachable=%v, dataflow says %v",
+					stage, f.Name(), b.Name(), got, want)
+			}
+		}
+		dead := analysis.UnreachableBlocks(f)
+		for _, b := range dead {
+			if dt.Reachable(b) {
+				t.Errorf("%s: @%s %%%s: listed unreachable but domtree disagrees",
+					stage, f.Name(), b.Name())
+			}
+		}
+		if len(dead)+len(reach) != len(f.Blocks) {
+			t.Errorf("%s: @%s: %d unreachable + %d reachable != %d blocks",
+				stage, f.Name(), len(dead), len(reach), len(f.Blocks))
+		}
+	}
+}
+
+// TestReachabilityViewsAgreeOnWorkloads runs both views over every workload
+// module, before and after a full exploration run (merged bodies, thunks and
+// dispatch blocks included).
+func TestReachabilityViewsAgreeOnWorkloads(t *testing.T) {
+	profiles := workload.UnscaledSmall()
+	if !testing.Short() {
+		profiles = append(profiles, workload.SPECLike()...)
+		profiles = append(profiles, workload.MiBenchLike()...)
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m := workload.Build(p)
+			checkReachabilityAgreement(t, m, "pre-merge")
+			opts := explore.DefaultOptions()
+			opts.Threshold = 2
+			opts.Verify = ir.VerifyFull
+			rep := explore.Run(m, opts)
+			if len(rep.VerifyDiags) != 0 {
+				t.Fatalf("pipeline not clean:\n%s", ir.FormatVerifyDiags(rep.VerifyDiags))
+			}
+			checkReachabilityAgreement(t, m, "post-merge")
+		})
+	}
+}
+
+// TestReachabilityViewsAgreeOnDeadBlocks pins the agreement on a function
+// with genuinely unreachable code, where a disagreement would be silent on
+// healthy corpora.
+func TestReachabilityViewsAgreeOnDeadBlocks(t *testing.T) {
+	m := ir.MustParseModule("dead", `
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+orphan:
+  br label %orphan2
+orphan2:
+  ret i32 3
+}
+`)
+	f := m.FuncByName("f")
+	dead := analysis.UnreachableBlocks(f)
+	if len(dead) != 2 {
+		t.Fatalf("want 2 unreachable blocks, got %d", len(dead))
+	}
+	checkReachabilityAgreement(t, m, "fixture")
+	// The verifier must still pass the function: unreachable code is an
+	// FM002 audit concern (dead weight), not an IR validity violation.
+	if diags := ir.VerifyFuncLevel(f, ir.VerifyFull); len(diags) != 0 {
+		t.Errorf("verifier flagged structurally valid dead code:\n%s", ir.FormatVerifyDiags(diags))
+	}
+}

@@ -40,6 +40,12 @@ type Timings struct {
 	// many speculative attempts ran, so they may vary across worker counts
 	// even though the merge results never do.
 	BoundEvals, CodegenSkips int64
+
+	// Verify accumulates time spent in the opt-in IR verification gates
+	// (explore.Options.Verify); VerifyFuncs counts verified functions and
+	// VerifyDiags the findings they produced (zero on a healthy pipeline).
+	Verify                   time.Duration
+	VerifyFuncs, VerifyDiags int64
 }
 
 // AddLinearize atomically accumulates linearization time.
@@ -78,6 +84,17 @@ func (t *Timings) CountAlignMemo(hit bool) {
 	} else {
 		atomic.AddInt64(&t.AlignMemoMisses, 1)
 	}
+}
+
+// AddVerify atomically accumulates IR-verification time.
+func (t *Timings) AddVerify(d time.Duration) {
+	atomic.AddInt64((*int64)(&t.Verify), int64(d))
+}
+
+// CountVerify atomically records verified functions and their finding count.
+func (t *Timings) CountVerify(funcs, diags int) {
+	atomic.AddInt64(&t.VerifyFuncs, int64(funcs))
+	atomic.AddInt64(&t.VerifyDiags, int64(diags))
 }
 
 // CountBound atomically records one profitability-bound evaluation and

@@ -74,6 +74,12 @@ type PerfResult struct {
 	// is false.
 	BoundEvals   int64 `json:"bound_evals"`
 	CodegenSkips int64 `json:"codegen_skips"`
+	// Verify is the IR verification level the pipeline ran under ("off"
+	// unless -verify was given); VerifiedFuncs and VerifyDiags count the
+	// functions the gates checked and the findings they produced.
+	Verify        string `json:"verify,omitempty"`
+	VerifiedFuncs int64  `json:"verified_funcs,omitempty"`
+	VerifyDiags   int    `json:"verify_diags,omitempty"`
 }
 
 // PerfConfig selects one exploration configuration to measure.
@@ -85,6 +91,7 @@ type PerfConfig struct {
 	Kernel    explore.KernelMode
 	NoCaches  bool // disable both the linearization cache and the align memo
 	NoBound   bool // disable pre-codegen profitability bounding
+	Verify    ir.VerifyLevel
 }
 
 // apply copies the configuration onto exploration options.
@@ -95,6 +102,7 @@ func (c PerfConfig) apply(opts *explore.Options) {
 	opts.NoSeqCache = c.NoCaches
 	opts.NoAlignMemo = c.NoCaches
 	opts.NoBound = c.NoBound
+	opts.Verify = c.Verify
 }
 
 // Perf measures whole-suite exploration under one configuration: modules are
@@ -113,6 +121,7 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 		Kernel: cfg.Kernel.String(), Caches: !cfg.NoCaches,
 		Bound:     !cfg.NoBound,
 		Threshold: cfg.Threshold, Runs: cfg.Runs,
+		Verify:  cfg.Verify.String(),
 		PhaseNs: map[string]int64{},
 	}
 	// Per-run samples: the reported figures are the medians across runs
@@ -132,6 +141,8 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 		fallbacks := 0
 		var cells, seqHits, seqMisses, memoHits, memoMisses int64
 		var boundEvals, codegenSkips int64
+		var verifiedFuncs int64
+		verifyDiags := 0
 		var phases explore.Phases
 		for _, m := range mods {
 			opts := explore.DefaultOptions()
@@ -151,12 +162,15 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 			memoMisses += rep.AlignMemoMisses
 			boundEvals += rep.BoundEvals
 			codegenSkips += rep.CodegenSkips
+			verifiedFuncs += rep.VerifiedFuncs
+			verifyDiags += len(rep.VerifyDiags)
 			phases.Fingerprint += rep.Phases.Fingerprint
 			phases.Ranking += rep.Phases.Ranking
 			phases.Linearize += rep.Phases.Linearize
 			phases.Align += rep.Phases.Align
 			phases.CodeGen += rep.Phases.CodeGen
 			phases.UpdateCalls += rep.Phases.UpdateCalls
+			phases.Verify += rep.Phases.Verify
 		}
 		walls = append(walls, time.Since(start).Nanoseconds())
 		phaseRuns = append(phaseRuns, phases)
@@ -166,6 +180,7 @@ func Perf(profiles []workload.Profile, target tti.Target, cfg PerfConfig) PerfRe
 		res.SeqCacheHits, res.SeqCacheMisses = seqHits, seqMisses
 		res.AlignMemoHits, res.AlignMemoMisses = memoHits, memoMisses
 		res.BoundEvals, res.CodegenSkips = boundEvals, codegenSkips
+		res.VerifiedFuncs, res.VerifyDiags = verifiedFuncs, verifyDiags
 	}
 	res.NsPerOp = medianInt64(walls)
 	res.NsPerOpMin = minInt64(walls)
@@ -192,6 +207,7 @@ var phaseExtractors = map[string]func(explore.Phases) time.Duration{
 	"align":        func(p explore.Phases) time.Duration { return p.Align },
 	"codegen":      func(p explore.Phases) time.Duration { return p.CodeGen },
 	"update_calls": func(p explore.Phases) time.Duration { return p.UpdateCalls },
+	"verify":       func(p explore.Phases) time.Duration { return p.Verify },
 }
 
 // medianInt64 returns the lower median of the samples (exact middle for odd

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"fmsa/internal/tti"
+)
+
+func TestVerifySweepCleanOnTinyProfiles(t *testing.T) {
+	rows, err := VerifySweep(tinyProfiles(), tti.X86{}, VerifyConfig{
+		Workers: 2, Runs: 1, Threshold: 2,
+	})
+	if err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	if len(rows) != 3 { // two corpora + aggregate
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows[:2] {
+		if r.Experiment != "verify" {
+			t.Errorf("%s: experiment = %q", r.Corpus, r.Experiment)
+		}
+		if r.PostParseDiags != 0 || r.PostWireDiags != 0 || r.PostLinkDiags != 0 || r.PostMergeDiags != 0 {
+			t.Errorf("%s: nonzero boundary diagnostics: %+v", r.Corpus, r)
+		}
+		if !r.BitIdentical {
+			t.Errorf("%s: decisions diverge: %s", r.Corpus, r.Detail)
+		}
+		if r.VerifiedFuncs <= 0 {
+			t.Errorf("%s: no functions verified", r.Corpus)
+		}
+	}
+	agg := rows[2]
+	if agg.Corpus != "aggregate" || agg.NsOff <= 0 || agg.NsFast <= 0 {
+		t.Errorf("aggregate row malformed: %+v", agg)
+	}
+}
+
+func TestVerifySweepSingleProfile(t *testing.T) {
+	rows, err := VerifySweep(tinyProfiles()[:1], tti.X86{}, VerifyConfig{
+		Workers: 1, Runs: 2, Threshold: 2,
+	})
+	if err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	if len(rows) != 2 { // one corpus + aggregate
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	agg := rows[len(rows)-1]
+	if agg.Corpus != "aggregate" || agg.Runs != 2 {
+		t.Errorf("aggregate row malformed: %+v", agg)
+	}
+}

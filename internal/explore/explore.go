@@ -104,6 +104,12 @@ type Options struct {
 	// one the exact cost model would have rejected — so this knob only
 	// trades compile time.
 	NoBound bool
+	// Verify gates IR through the staged verifier (ir.VerifyFuncLevel):
+	// every winning merged function is verified before the audit gate, and
+	// the final module is verified once after the run. Like committed-mode
+	// auditing, verification only records diagnostics — it never changes
+	// merge decisions — so results stay bit-identical with it on or off.
+	Verify ir.VerifyLevel
 }
 
 // DefaultOptions returns the paper's default configuration (t=1, Intel
@@ -131,11 +137,14 @@ type Phases struct {
 	// Audit is the time spent in the static merge auditor (plus deep-mode
 	// differential runs). Zero when Options.Audit is AuditOff.
 	Audit time.Duration
+	// Verify is the time spent in the staged IR verifier. Zero when
+	// Options.Verify is ir.VerifyOff.
+	Verify time.Duration
 }
 
 // Total sums all phases.
 func (p Phases) Total() time.Duration {
-	return p.Fingerprint + p.Ranking + p.Linearize + p.Align + p.CodeGen + p.UpdateCalls + p.Audit
+	return p.Fingerprint + p.Ranking + p.Linearize + p.Align + p.CodeGen + p.UpdateCalls + p.Audit + p.Verify
 }
 
 // MergeRecord describes one committed merge operation.
@@ -208,6 +217,13 @@ type Report struct {
 	// outright. Zero when Options.NoBound is set. Scheduling-dependent under
 	// Workers > 1, like the cache counters above.
 	BoundEvals, CodegenSkips int64
+	// VerifiedFuncs counts functions run through the staged IR verifier
+	// (winning merged functions plus the final whole-module pass). Zero when
+	// Options.Verify is ir.VerifyOff.
+	VerifiedFuncs int64
+	// VerifyDiags lists every finding the verifier produced; empty on a
+	// healthy pipeline.
+	VerifyDiags []ir.VerifyDiag
 }
 
 // Add folds a later pipeline stage's report into r: counts accumulate,
@@ -228,6 +244,9 @@ func (r *Report) Add(later *Report) {
 	r.Phases.CodeGen += later.Phases.CodeGen
 	r.Phases.UpdateCalls += later.Phases.UpdateCalls
 	r.Phases.Audit += later.Phases.Audit
+	r.Phases.Verify += later.Phases.Verify
+	r.VerifiedFuncs += later.VerifiedFuncs
+	r.VerifyDiags = append(r.VerifyDiags, later.VerifyDiags...)
 	r.AuditedMerges += later.AuditedMerges
 	r.AuditFlagged += later.AuditFlagged
 	r.AuditEscalated += later.AuditEscalated
@@ -388,6 +407,12 @@ func Run(m *ir.Module, opts Options) *Report {
 		if win.res == nil {
 			continue
 		}
+		// Verify gate: run the staged IR verifier over the winning merged
+		// function before the audit sees it. Recording-only — findings never
+		// reject a merge, keeping decisions invariant under the knob.
+		if r.opts.Verify != ir.VerifyOff {
+			r.verifyFunc(win.res.Merged)
+		}
 		// Audit gate: statically check the winner before it commits (the
 		// originals must still be intact). Deep mode may reject it.
 		if r.opts.Audit != AuditOff {
@@ -406,6 +431,17 @@ func Run(m *ir.Module, opts Options) *Report {
 		}
 	}
 
+	// Final boundary: verify the whole post-merge module (thunks, rewritten
+	// call sites, dropped originals) once, catching any dangling reference
+	// or use-list leak a commit left behind.
+	if r.opts.Verify != ir.VerifyOff {
+		tV := time.Now()
+		diags := ir.VerifyModuleLevel(m, r.opts.Verify)
+		r.opts.Merge.Timings.AddVerify(time.Since(tV))
+		r.opts.Merge.Timings.CountVerify(len(m.Definitions()), len(diags))
+		r.rep.VerifyDiags = append(r.rep.VerifyDiags, diags...)
+	}
+
 	r.rep.SizeAfter = tti.ModuleSize(r.opts.Target, m)
 	tm := r.opts.Merge.Timings
 	r.rep.Phases.Linearize = tm.Linearize
@@ -418,8 +454,20 @@ func Run(m *ir.Module, opts Options) *Report {
 	r.rep.AlignMemoMisses = tm.AlignMemoMisses
 	r.rep.BoundEvals = tm.BoundEvals
 	r.rep.CodegenSkips = tm.CodegenSkips
+	r.rep.Phases.Verify = tm.Verify
+	r.rep.VerifiedFuncs = tm.VerifyFuncs
 	r.flushRankCounters()
 	return r.rep
+}
+
+// verifyFunc runs the staged verifier over one function (a winning merged
+// body, still detached from the module) and records time and findings.
+func (r *runner) verifyFunc(f *ir.Func) {
+	tV := time.Now()
+	diags := ir.VerifyFuncLevel(f, r.opts.Verify)
+	r.opts.Merge.Timings.AddVerify(time.Since(tV))
+	r.opts.Merge.Timings.CountVerify(1, len(diags))
+	r.rep.VerifyDiags = append(r.rep.VerifyDiags, diags...)
 }
 
 // cacheThreshold returns the ranking depth maintained by the incremental

@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/workload"
+)
+
+// TestVerifyCleanCorpus is the verifier's soundness gate: full-level
+// verification across the workload corpus must report zero diagnostics —
+// any finding is either a pipeline bug or a verifier false positive, and
+// both block. The full-corpus sweep runs as fmsa-bench -exp verify.
+func TestVerifyCleanCorpus(t *testing.T) {
+	profiles := auditProfiles()
+	if testing.Short() {
+		profiles = profiles[:4]
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m := workload.Build(p)
+			opts := DefaultOptions()
+			opts.Threshold = 2
+			opts.Verify = ir.VerifyFull
+			rep := Run(m, opts)
+			if len(rep.VerifyDiags) != 0 {
+				t.Errorf("verifier flagged the pipeline:\n%s", ir.FormatVerifyDiags(rep.VerifyDiags))
+			}
+			if rep.MergeOps > 0 && rep.VerifiedFuncs == 0 {
+				t.Errorf("%d merges committed but nothing verified", rep.MergeOps)
+			}
+			if rep.MergeOps > 0 && rep.Phases.Verify == 0 {
+				t.Error("verification ran but recorded no time")
+			}
+		})
+	}
+}
+
+// TestVerifyDecisionInvariance: verification is recording-only, so the
+// committed merge sequence and the final module must be bit-identical with
+// the gate on or off.
+func TestVerifyDecisionInvariance(t *testing.T) {
+	build := func(level ir.VerifyLevel) (*Report, string) {
+		m := workload.Build(demoProfile(11))
+		opts := DefaultOptions()
+		opts.Threshold = 3
+		opts.Verify = level
+		rep := Run(m, opts)
+		return rep, ir.FormatModule(m)
+	}
+	offRep, offText := build(ir.VerifyOff)
+	for _, level := range []ir.VerifyLevel{ir.VerifyFast, ir.VerifyFull} {
+		rep, text := build(level)
+		if !reflect.DeepEqual(offRep.Records, rep.Records) {
+			t.Errorf("%v: merge decisions differ from verify-off", level)
+		}
+		if text != offText {
+			t.Errorf("%v: final module text differs from verify-off", level)
+		}
+		if len(rep.VerifyDiags) != 0 {
+			t.Errorf("%v: unexpected findings:\n%s", level, ir.FormatVerifyDiags(rep.VerifyDiags))
+		}
+	}
+	if offRep.VerifiedFuncs != 0 || offRep.Phases.Verify != 0 {
+		t.Error("verify-off still verified something")
+	}
+}

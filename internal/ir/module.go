@@ -92,6 +92,11 @@ func (m *Module) GlobalByName(name string) *Global { return m.globalByName[name]
 // UniqueName returns base if it is unused, otherwise base with a numeric
 // suffix that makes it unique among function and global names.
 func (m *Module) UniqueName(base string) string {
+	if !ValidSymbolName(base) {
+		// An empty or unprintable base would mint a symbol the textual
+		// format cannot represent (the verifier flags it as FV010).
+		base = "f"
+	}
 	if _, f := m.funcByName[base]; !f {
 		if _, g := m.globalByName[base]; !g {
 			return base

@@ -3,154 +3,766 @@ package ir
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
-// VerifyModule checks structural and type invariants of every definition in
-// the module and returns all violations found.
-func VerifyModule(m *Module) error {
-	var errs []error
-	for _, f := range m.Funcs {
-		if err := VerifyFunc(f); err != nil {
-			errs = append(errs, fmt.Errorf("function @%s: %w", f.Name(), err))
+// The IR verifier checks the invariants every pipeline boundary relies on —
+// parse, wire decode, link/split, and merge all hand off modules that the
+// next stage trusts blindly. Verification is leveled so hot boundaries can
+// afford it:
+//
+//	off:  no checking.
+//	fast: one linear pass per function — parent links, terminator placement,
+//	      operand arity and block-slot shape, dangling references — plus the
+//	      module symbol table. Safe to leave on in production ingest.
+//	full: everything in fast plus per-opcode type checking, phi/predecessor
+//	      correspondence, SSA dominance (O(1) DFS-interval queries), and
+//	      bidirectional use-list consistency.
+//
+// Findings are reported as VerifyDiag values with stable FV codes mirroring
+// the FM-code style of the merge auditor (internal/analysis): codes are part
+// of the tool surface, add new ones at the end and never renumber.
+
+// VerifyLevel selects how much verification a boundary performs.
+type VerifyLevel int
+
+// Verification levels, ordered by strictness.
+const (
+	VerifyOff VerifyLevel = iota
+	VerifyFast
+	VerifyFull
+)
+
+// ParseVerifyLevel parses a -verify flag value. The empty string means off.
+func ParseVerifyLevel(s string) (VerifyLevel, error) {
+	switch s {
+	case "", "off":
+		return VerifyOff, nil
+	case "fast":
+		return VerifyFast, nil
+	case "full":
+		return VerifyFull, nil
+	}
+	return VerifyOff, fmt.Errorf("unknown verify level %q (want off, fast or full)", s)
+}
+
+// String returns the flag spelling of the level.
+func (l VerifyLevel) String() string {
+	switch l {
+	case VerifyFast:
+		return "fast"
+	case VerifyFull:
+		return "full"
+	}
+	return "off"
+}
+
+// VerifyCode is a stable IR-verifier diagnostic code.
+type VerifyCode string
+
+// Verifier diagnostic codes.
+const (
+	// FVMalformedBlock (FV001): a block is empty, ends in a non-terminator,
+	// or has a terminator before its last instruction.
+	FVMalformedBlock VerifyCode = "FV001"
+	// FVBrokenLink (FV002): a parent pointer disagrees with containment
+	// (block→func, inst→block), a branch targets a block of another
+	// function, or the entry block has predecessors.
+	FVBrokenLink VerifyCode = "FV002"
+	// FVBadShape (FV003): operand arity or kind violates the opcode's
+	// layout — a nil operand, a phi after a non-phi or with a malformed
+	// incoming list, a non-block value in a block slot or vice versa.
+	FVBadShape VerifyCode = "FV003"
+	// FVPhiPredMismatch (FV004): a phi's incoming entries do not match the
+	// block's predecessor edges, counting multiplicity.
+	FVPhiPredMismatch VerifyCode = "FV004"
+	// FVBadLandingPad (FV005): a landingpad is not the first instruction of
+	// its block, an invoke unwinds to a non-landing block, or a landing
+	// block is reached by a non-unwind edge.
+	FVBadLandingPad VerifyCode = "FV005"
+	// FVBadType (FV006): operand or result types violate the opcode's
+	// typing rules.
+	FVBadType VerifyCode = "FV006"
+	// FVDominance (FV007): a use of an instruction result is not dominated
+	// by its definition.
+	FVDominance VerifyCode = "FV007"
+	// FVUseList (FV008): use lists and operands disagree — an operand
+	// missing from its definition's use list, a use entry not backed by the
+	// operand it claims, or a duplicated entry.
+	FVUseList VerifyCode = "FV008"
+	// FVDanglingRef (FV009): an operand refers to a definition outside the
+	// enclosing function or to a function/global detached from the module
+	// (the footprint of merge-and-drop gone wrong).
+	FVDanglingRef VerifyCode = "FV009"
+	// FVSymbolTable (FV010): module-level invariants — duplicate symbol
+	// names, symbol-table entries out of sync with the definition lists, or
+	// a call resolving to a stale function object shadowed by the module's
+	// current definition of that name.
+	FVSymbolTable VerifyCode = "FV010"
+)
+
+// VerifyDiag is one verifier finding, locatable to a function and, when
+// applicable, a block and instruction.
+type VerifyDiag struct {
+	// Code is the stable diagnostic code.
+	Code VerifyCode
+	// Fn is the enclosing function's name, "" for module-level findings.
+	Fn string
+	// Block is the enclosing block's label, "" when not block-specific.
+	Block string
+	// Inst is the offending instruction's textual form, "" when not
+	// instruction-specific.
+	Inst string
+	// Msg describes the finding.
+	Msg string
+}
+
+// String renders the diagnostic as one line, mirroring the merge auditor:
+//
+//	FV007 @f %bb3: use of %x not dominated by its definition (ret i32 %x)
+func (d VerifyDiag) String() string {
+	var sb strings.Builder
+	sb.WriteString(string(d.Code))
+	if d.Fn != "" {
+		fmt.Fprintf(&sb, " @%s", d.Fn)
+	}
+	if d.Block != "" {
+		fmt.Fprintf(&sb, " %%%s", d.Block)
+	}
+	fmt.Fprintf(&sb, ": %s", d.Msg)
+	if d.Inst != "" {
+		fmt.Fprintf(&sb, " (%s)", d.Inst)
+	}
+	return sb.String()
+}
+
+// FormatVerifyDiags renders diagnostics one per line.
+func FormatVerifyDiags(diags []VerifyDiag) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ValidSymbolName reports whether s round-trips through the textual format
+// as a function, global or block name: a non-empty identifier. Untrusted
+// boundaries (the wire decoder) reject other names; the verifier flags them.
+func ValidSymbolName(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
 		}
+	}
+	return true
+}
+
+// ValidLocalName reports whether s is usable as a parameter or instruction
+// result name: empty (anonymous) or identifier characters throughout. Unlike
+// symbol names, "%"-prefixed locals may start with a digit — the printer
+// itself numbers anonymous values.
+func ValidLocalName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyModule checks every invariant VerifyModuleLevel knows about and
+// returns all violations joined into one error (nil when clean).
+func VerifyModule(m *Module) error {
+	return diagsToError(VerifyModuleLevel(m, VerifyFull))
+}
+
+// VerifyFunc checks a single function at full strictness and returns all
+// violations joined into one error (nil when clean).
+func VerifyFunc(f *Func) error {
+	return diagsToError(VerifyFuncLevel(f, VerifyFull))
+}
+
+func diagsToError(diags []VerifyDiag) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	errs := make([]error, len(diags))
+	for i, d := range diags {
+		errs[i] = errors.New(d.String())
 	}
 	return errors.Join(errs...)
 }
 
-// VerifyFunc checks structural invariants of a function definition:
-//
-//   - every block ends with exactly one terminator, and terminators appear
-//     only at the end;
-//   - the entry block has no predecessors;
-//   - phi instructions appear only at block starts and their incoming blocks
-//     match the block's predecessors;
-//   - landingpad instructions appear only as the first instruction of blocks
-//     that are invoke unwind destinations;
-//   - operand types obey opcode constraints;
-//   - every use of an instruction result is dominated by its definition.
-func VerifyFunc(f *Func) error {
-	if f.IsDecl() {
+// VerifyModuleLevel verifies the module at the given level and returns every
+// finding in deterministic (definition) order. Module-level checks cover the
+// symbol tables and, at full level, the use lists of functions and globals;
+// each function body is then verified with VerifyFuncLevel.
+func VerifyModuleLevel(m *Module, level VerifyLevel) []VerifyDiag {
+	if level == VerifyOff || m == nil {
 		return nil
 	}
-	var errs []error
-	errf := func(format string, args ...any) {
-		errs = append(errs, fmt.Errorf(format, args...))
+	var diags []VerifyDiag
+	modErr := func(code VerifyCode, format string, args ...any) {
+		diags = append(diags, VerifyDiag{Code: code, Msg: fmt.Sprintf(format, args...)})
 	}
 
+	// Symbol-table invariants (FV010). Iterate the definition slices — the
+	// authoritative order — and cross-check the name maps.
+	if strings.ContainsAny(m.Name, "\n\r") {
+		modErr(FVSymbolTable, "module name %q contains line breaks", m.Name)
+	}
+	seenFuncs := map[string]bool{}
+	for _, f := range m.Funcs {
+		if f.parent != m {
+			modErr(FVSymbolTable, "function @%s is listed but not attached to the module", f.name)
+		}
+		if !ValidSymbolName(f.name) {
+			modErr(FVSymbolTable, "function name %q is not a valid symbol name", f.name)
+		}
+		if seenFuncs[f.name] {
+			modErr(FVSymbolTable, "duplicate function name @%s", f.name)
+		} else {
+			seenFuncs[f.name] = true
+			if m.funcByName != nil && m.funcByName[f.name] != f {
+				modErr(FVSymbolTable, "symbol table entry for @%s does not match the listed function", f.name)
+			}
+		}
+	}
+	if m.funcByName != nil && len(m.funcByName) != len(seenFuncs) {
+		modErr(FVSymbolTable, "symbol table has %d function entries for %d listed names (stale entries)",
+			len(m.funcByName), len(seenFuncs))
+	}
+	seenGlobals := map[string]bool{}
+	for _, g := range m.Globals {
+		if g.parent != m {
+			modErr(FVSymbolTable, "global @%s is listed but not attached to the module", g.name)
+		}
+		if !ValidSymbolName(g.name) {
+			modErr(FVSymbolTable, "global name %q is not a valid symbol name", g.name)
+		}
+		if seenGlobals[g.name] {
+			modErr(FVSymbolTable, "duplicate global name @%s", g.name)
+		} else {
+			seenGlobals[g.name] = true
+			if m.globalByName != nil && m.globalByName[g.name] != g {
+				modErr(FVSymbolTable, "symbol table entry for @%s does not match the listed global", g.name)
+			}
+		}
+	}
+	if m.globalByName != nil && len(m.globalByName) != len(seenGlobals) {
+		modErr(FVSymbolTable, "symbol table has %d global entries for %d listed names (stale entries)",
+			len(m.globalByName), len(seenGlobals))
+	}
+
+	for _, f := range m.Funcs {
+		diags = append(diags, VerifyFuncLevel(f, level)...)
+	}
+
+	if level >= VerifyFull {
+		diags = append(diags, verifyModuleUses(m)...)
+		diags = append(diags, verifyCalleeResolution(m)...)
+	}
+	return diags
+}
+
+// verifyCalleeResolution flags direct calls whose *Func callee is shadowed by
+// a different function of the same name in the module — the signature of a
+// merge-and-drop that replaced a definition but left stale call operands
+// behind (FV010).
+func verifyCalleeResolution(m *Module) []VerifyDiag {
+	if m.funcByName == nil {
+		return nil
+	}
+	var diags []VerifyDiag
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if (in.Op != OpCall && in.Op != OpInvoke) || in.NumOperands() == 0 {
+					continue
+				}
+				c, ok := in.Operand(0).(*Func)
+				if !ok || c.parent != m {
+					continue
+				}
+				if cur := m.funcByName[c.name]; cur != nil && cur != c {
+					diags = append(diags, VerifyDiag{
+						Code: FVSymbolTable, Fn: f.name, Block: b.name,
+						Inst: safeFormatInst(in),
+						Msg:  fmt.Sprintf("call resolves to a stale @%s shadowed by the module's current definition", c.name),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// verifyModuleUses checks bidirectional use-list consistency for functions
+// and globals (FV008): every recorded use must be backed by the operand slot
+// it names, no entry may be duplicated, and every operand referencing an
+// attached function/global must be recorded in its use list. Function-local
+// values (params, blocks, instructions) are checked per function.
+func verifyModuleUses(m *Module) []VerifyDiag {
+	var diags []VerifyDiag
+	// recorded maps each (user, index) use entry to the definition whose use
+	// list holds it; the reverse walk then confirms operands are recorded.
+	recorded := map[Use]Value{}
+	checkDef := func(ident string, v Value, uses []Use) {
+		seen := map[Use]bool{}
+		for _, u := range uses {
+			if seen[u] {
+				diags = append(diags, VerifyDiag{Code: FVUseList,
+					Msg: fmt.Sprintf("use list of %s has a duplicate entry (operand %d of %s)",
+						ident, u.Index, safeFormatInst(u.User))})
+				continue
+			}
+			seen[u] = true
+			if u.User == nil || u.Index < 0 || u.Index >= u.User.NumOperands() || u.User.Operand(u.Index) != v {
+				diags = append(diags, VerifyDiag{Code: FVUseList,
+					Msg: fmt.Sprintf("use list of %s records operand %d of an instruction that does not reference it", ident, u.Index)})
+				continue
+			}
+			if b := u.User.Parent(); b == nil || b.Parent() == nil || b.Parent().parent != m {
+				// The footprint of a discarded trial body whose operand uses
+				// were never dropped: the user still references v but belongs
+				// to no function of this module.
+				diags = append(diags, VerifyDiag{Code: FVUseList,
+					Msg: fmt.Sprintf("use list of %s records a use from outside the module (%s)",
+						ident, safeFormatInst(u.User))})
+				continue
+			}
+			recorded[u] = v
+		}
+	}
+	for _, f := range m.Funcs {
+		checkDef(f.Ident(), f, f.Uses())
+	}
+	for _, g := range m.Globals {
+		checkDef(g.Ident(), g, g.Uses())
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				for i, op := range in.Operands() {
+					switch x := op.(type) {
+					case *Func:
+						if x.parent == m && recorded[Use{User: in, Index: i}] != op {
+							diags = append(diags, VerifyDiag{Code: FVUseList, Fn: f.name, Block: b.name,
+								Inst: safeFormatInst(in),
+								Msg:  fmt.Sprintf("operand %d (%s) is missing from its use list", i, x.Ident())})
+						}
+					case *Global:
+						if x.parent == m && recorded[Use{User: in, Index: i}] != op {
+							diags = append(diags, VerifyDiag{Code: FVUseList, Fn: f.name, Block: b.name,
+								Inst: safeFormatInst(in),
+								Msg:  fmt.Sprintf("operand %d (%s) is missing from its use list", i, x.Ident())})
+						}
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// VerifyFuncLevel verifies one function at the given level and returns every
+// finding in deterministic (layout) order. Declarations always verify clean.
+//
+// The fast pass is one linear scan: parent links, terminator placement,
+// operand arity/kind shape per opcode, phi and landingpad placement, and
+// dangling-reference detection. Deeper checks that assume a structurally
+// sound body — typing, phi/pred correspondence, dominance, use lists — run
+// only at full level and only when the fast pass found no structural fault,
+// exactly so they can index operands and cast block slots without guards.
+func VerifyFuncLevel(f *Func, level VerifyLevel) []VerifyDiag {
+	if level == VerifyOff || f == nil || f.IsDecl() {
+		return nil
+	}
+	v := &funcVerifier{f: f}
+	v.structural()
+	if level >= VerifyFull && v.structOK {
+		v.types()
+		v.phiPreds()
+		v.landingPreds()
+		if v.phiOK {
+			v.dominance()
+		}
+		v.localUses()
+	}
+	return v.diags
+}
+
+// funcVerifier accumulates diagnostics for one function body.
+type funcVerifier struct {
+	f     *Func
+	diags []VerifyDiag
+	// structOK is true when the structural pass found no fault; the deep
+	// passes rely on it to index operands and cast block slots unguarded.
+	structOK bool
+	// phiOK gates dominance: InstDominates resolves phi uses through their
+	// incoming blocks, which FV004 findings would make meaningless.
+	phiOK bool
+}
+
+func (v *funcVerifier) report(code VerifyCode, b *Block, in *Inst, format string, args ...any) {
+	d := VerifyDiag{Code: code, Fn: v.f.name, Msg: fmt.Sprintf(format, args...)}
+	if b != nil {
+		d.Block = b.name
+	}
+	if in != nil {
+		d.Inst = safeFormatInst(in)
+	}
+	v.diags = append(v.diags, d)
+}
+
+// structural is the fast pass: one linear scan over the body.
+func (v *funcVerifier) structural() {
+	f := v.f
+	before := len(v.diags)
 	for _, b := range f.Blocks {
 		if b.Parent() != f {
-			errf("block %%%s has wrong parent", b.Name())
+			v.report(FVBrokenLink, b, nil, "block %%%s has wrong parent", b.name)
 		}
 		if len(b.Insts) == 0 {
-			errf("block %%%s is empty", b.Name())
+			v.report(FVMalformedBlock, b, nil, "block %%%s is empty", b.name)
 			continue
 		}
 		for i, in := range b.Insts {
 			if in.Parent() != b {
-				errf("instruction %s has wrong parent", FormatInst(in))
+				v.report(FVBrokenLink, b, in, "instruction has wrong parent")
 			}
 			if in.IsTerminator() != (i == len(b.Insts)-1) {
 				if in.IsTerminator() {
-					errf("block %%%s: terminator %s not at end", b.Name(), in.Op)
+					v.report(FVMalformedBlock, b, nil, "block %%%s: terminator %s not at end", b.name, in.Op)
 				} else {
-					errf("block %%%s: ends with non-terminator %s", b.Name(), in.Op)
+					v.report(FVMalformedBlock, b, nil, "block %%%s: ends with non-terminator %s", b.name, in.Op)
 				}
 			}
 			if in.Op == OpPhi && i > b.FirstNonPhi() {
-				errf("block %%%s: phi after non-phi", b.Name())
+				v.report(FVBadShape, b, nil, "block %%%s: phi after non-phi", b.name)
 			}
 			if in.Op == OpLandingPad && i != 0 {
-				errf("block %%%s: landingpad not first instruction", b.Name())
+				v.report(FVBadLandingPad, b, nil, "block %%%s: landingpad not first instruction", b.name)
 			}
-			if err := checkInstTypes(in); err != nil {
-				errf("block %%%s: %s: %v", b.Name(), FormatInst(in), err)
+			v.shape(b, in)
+		}
+	}
+	if len(f.Blocks) > 0 && len(f.Blocks[0].Preds()) > 0 {
+		v.report(FVBrokenLink, f.Blocks[0], nil, "entry block has predecessors")
+	}
+	v.structOK = len(v.diags) == before
+}
+
+// shape checks operand arity and kind against the opcode's documented layout,
+// and flags dangling references. A clean shape pass is what lets every deeper
+// check (and accessors like Successors and PhiIncoming) index and cast
+// operands without panicking on malformed input.
+func (v *funcVerifier) shape(b *Block, in *Inst) {
+	n := in.NumOperands()
+	switch in.Op {
+	case OpRet:
+		if n > 1 {
+			v.report(FVBadShape, b, in, "ret with %d operands", n)
+			return
+		}
+	case OpBr:
+		if n != 1 && n != 3 {
+			v.report(FVBadShape, b, in, "br with %d operands (want 1 or 3)", n)
+			return
+		}
+	case OpSwitch:
+		if n < 2 || n%2 != 0 {
+			v.report(FVBadShape, b, in, "switch with %d operands (want an even count >= 2)", n)
+			return
+		}
+	case OpInvoke:
+		if n < 3 {
+			v.report(FVBadShape, b, in, "invoke with %d operands (want callee, args, normal, unwind)", n)
+			return
+		}
+	case OpResume, OpLoad:
+		if n != 1 {
+			v.report(FVBadShape, b, in, "%s with %d operands (want 1)", in.Op, n)
+			return
+		}
+	case OpStore:
+		if n != 2 {
+			v.report(FVBadShape, b, in, "store with %d operands (want 2)", n)
+			return
+		}
+	case OpICmp, OpFCmp:
+		if n != 2 {
+			v.report(FVBadShape, b, in, "%s with %d operands (want 2)", in.Op, n)
+			return
+		}
+	case OpSelect:
+		if n != 3 {
+			v.report(FVBadShape, b, in, "select with %d operands (want 3)", n)
+			return
+		}
+	case OpPhi:
+		if n == 0 || n%2 != 0 {
+			v.report(FVBadShape, b, in, "malformed phi")
+			return
+		}
+	case OpCall, OpGEP:
+		if n < 1 {
+			v.report(FVBadShape, b, in, "%s with no operands", in.Op)
+			return
+		}
+	case OpAlloca, OpUnreachable, OpLandingPad:
+		if n != 0 {
+			v.report(FVBadShape, b, in, "%s with %d operands (want 0)", in.Op, n)
+			return
+		}
+	default:
+		if in.Op.IsBinary() {
+			if n != 2 {
+				v.report(FVBadShape, b, in, "%s with %d operands (want 2)", in.Op, n)
+				return
 			}
+		} else if in.Op.IsCast() {
+			if n != 1 {
+				v.report(FVBadShape, b, in, "%s with %d operands (want 1)", in.Op, n)
+				return
+			}
+		} else {
+			v.report(FVBadShape, b, in, "unknown opcode %s", in.Op)
+			return
 		}
 	}
 
-	if len(f.Entry().Preds()) > 0 {
-		errf("entry block has predecessors")
+	f := v.f
+	for i, op := range in.Operands() {
+		if op == nil {
+			v.report(FVBadShape, b, in, "operand %d is nil", i)
+			continue
+		}
+		_, isBlock := op.(*Block)
+		if isBlock != blockSlot(in, i) {
+			if isBlock {
+				v.report(FVBadShape, b, in, "operand %d is a block in a value slot", i)
+			} else {
+				v.report(FVBadShape, b, in, "operand %d must be a block", i)
+			}
+			continue
+		}
+		switch x := op.(type) {
+		case *Block:
+			if x.Parent() != f {
+				v.report(FVBrokenLink, b, in, "operand %d targets a block outside the function", i)
+			}
+		case *Inst:
+			if x.Parent() == nil || x.Parent().Parent() != f {
+				v.report(FVDanglingRef, b, in, "operand %d defined outside function", i)
+			}
+		case *Param:
+			if x.Parent() != f {
+				v.report(FVDanglingRef, b, in, "operand %d is a parameter of another function", i)
+			}
+		case *Func:
+			if x.parent == nil {
+				v.report(FVDanglingRef, b, in, "operand %d references detached function @%s", i, x.name)
+			} else if f.parent != nil && x.parent != f.parent {
+				v.report(FVDanglingRef, b, in, "operand %d references function @%s from another module", i, x.name)
+			}
+		case *Global:
+			if x.parent == nil {
+				v.report(FVDanglingRef, b, in, "operand %d references detached global @%s", i, x.name)
+			} else if f.parent != nil && x.parent != f.parent {
+				v.report(FVDanglingRef, b, in, "operand %d references global @%s from another module", i, x.name)
+			}
+		}
 	}
+}
 
-	// Phi incoming entries must exactly cover predecessors, counting
-	// multiplicity: a block reaching b through two edges (e.g. both arms of
-	// a conditional branch) needs two incoming entries, and presence alone
-	// would miss a phi with one entry too few or too many for such an edge.
-	for _, b := range f.Blocks {
+// blockSlot reports whether operand i of in must hold a basic block per the
+// opcode's operand layout (see the Inst doc comment).
+func blockSlot(in *Inst, i int) bool {
+	switch in.Op {
+	case OpBr:
+		return in.NumOperands() == 1 || i >= 1
+	case OpSwitch:
+		return i == 1 || (i >= 3 && i%2 == 1)
+	case OpInvoke:
+		return i >= in.NumOperands()-2
+	case OpPhi:
+		return i%2 == 1
+	}
+	return false
+}
+
+// types re-checks every instruction against the per-opcode typing rules
+// (FV006). Runs only after a clean structural pass, so operand indexing is
+// safe.
+func (v *funcVerifier) types() {
+	for _, b := range v.f.Blocks {
+		for _, in := range b.Insts {
+			if err := checkInstTypes(in); err != nil {
+				v.report(FVBadType, b, in, "%v", err)
+			}
+		}
+	}
+}
+
+// phiPreds checks phi incoming entries against predecessor edges, counting
+// multiplicity: a block reaching b through two edges (e.g. both arms of a
+// conditional branch) needs two incoming entries, and presence alone would
+// miss a phi with one entry too few or too many for such an edge (FV004).
+func (v *funcVerifier) phiPreds() {
+	before := len(v.diags)
+	for _, b := range v.f.Blocks {
 		preds := b.Preds()
-		predSet := map[*Block]int{}
+		predCount := map[*Block]int{}
+		var predOrder []*Block
 		for _, p := range preds {
-			predSet[p]++
+			if predCount[p] == 0 {
+				predOrder = append(predOrder, p)
+			}
+			predCount[p]++
 		}
 		for _, phi := range b.Phis() {
 			seen := map[*Block]int{}
+			var seenOrder []*Block
 			for i := 0; i < phi.NumPhiIncoming(); i++ {
 				_, pb := phi.PhiIncoming(i)
+				if seen[pb] == 0 {
+					seenOrder = append(seenOrder, pb)
+				}
 				seen[pb]++
 			}
-			for p, want := range predSet {
-				switch have := seen[p]; {
+			for _, p := range predOrder {
+				switch have, want := seen[p], predCount[p]; {
 				case have == 0:
-					errf("block %%%s: phi missing incoming for predecessor %%%s", b.Name(), p.Name())
+					v.report(FVPhiPredMismatch, b, phi, "block %%%s: phi missing incoming for predecessor %%%s", b.name, p.name)
 				case have != want:
-					errf("block %%%s: phi has %d incoming entries for predecessor %%%s, want %d (one per edge)",
-						b.Name(), have, p.Name(), want)
+					v.report(FVPhiPredMismatch, b, phi,
+						"block %%%s: phi has %d incoming entries for predecessor %%%s, want %d (one per edge)",
+						b.name, have, p.name, want)
 				}
 			}
-			for p := range seen {
-				if predSet[p] == 0 {
-					errf("block %%%s: phi has incoming for non-predecessor %%%s", b.Name(), p.Name())
+			for _, p := range seenOrder {
+				if predCount[p] == 0 {
+					v.report(FVPhiPredMismatch, b, phi, "block %%%s: phi has incoming for non-predecessor %%%s", b.name, p.name)
 				}
 			}
 		}
 	}
+	v.phiOK = len(v.diags) == before
+}
 
-	// Invoke unwind destinations must be landing blocks; landing blocks must
-	// only be reached by invoke unwind edges.
-	for _, b := range f.Blocks {
+// landingPreds checks the exceptional-flow pairing (FV005): invoke unwind
+// destinations must be landing blocks, and landing blocks must only be
+// reached by invoke unwind edges.
+func (v *funcVerifier) landingPreds() {
+	for _, b := range v.f.Blocks {
 		t := b.Terminator()
-		if t != nil && t.Op == OpInvoke {
-			if !t.InvokeUnwind().IsLandingBlock() {
-				errf("invoke unwind destination %%%s is not a landing block", t.InvokeUnwind().Name())
-			}
+		if t != nil && t.Op == OpInvoke && !t.InvokeUnwind().IsLandingBlock() {
+			v.report(FVBadLandingPad, b, t, "invoke unwind destination %%%s is not a landing block", t.InvokeUnwind().name)
 		}
 		if b.IsLandingBlock() {
 			for _, p := range b.Preds() {
 				pt := p.Terminator()
-				if pt.Op != OpInvoke || pt.InvokeUnwind() != b {
-					errf("landing block %%%s reached by non-unwind edge from %%%s", b.Name(), p.Name())
+				if pt == nil || pt.Op != OpInvoke || pt.InvokeUnwind() != b {
+					v.report(FVBadLandingPad, b, nil, "landing block %%%s reached by non-unwind edge from %%%s", b.name, p.name)
 				}
 			}
 		}
 	}
+}
 
-	// Dominance of uses.
-	if len(errs) == 0 {
-		dt := ComputeDomTree(f)
-		f.Insts(func(in *Inst) {
-			if !dt.Reachable(in.Parent()) {
-				return
-			}
+// dominance checks that every use of an instruction result is dominated by
+// its definition (FV007), using the O(1) DFS-interval queries of DomTree.
+func (v *funcVerifier) dominance() {
+	dt := ComputeDomTree(v.f)
+	for _, b := range v.f.Blocks {
+		if !dt.Reachable(b) {
+			continue
+		}
+		for _, in := range b.Insts {
 			for i, op := range in.Operands() {
 				def, ok := op.(*Inst)
-				if !ok {
-					continue
-				}
-				if def.Parent() == nil || def.Parent().Parent() != f {
-					errf("%s: operand %d defined outside function", FormatInst(in), i)
-					continue
-				}
-				if !dt.Reachable(def.Parent()) {
+				if !ok || !dt.Reachable(def.Parent()) {
 					continue
 				}
 				if !dt.InstDominates(def, in, i) {
-					errf("%s: use of %s not dominated by its definition", FormatInst(in), def.Ident())
+					v.report(FVDominance, b, in, "use of %s not dominated by its definition", def.Ident())
 				}
 			}
-		})
+		}
 	}
+}
 
-	return errors.Join(errs...)
+// localUses checks bidirectional use-list consistency for function-local
+// definitions — parameters, blocks and instructions (FV008). Module-level
+// values (functions, globals) are shared across bodies and are checked by
+// VerifyModuleLevel under the use-list lock.
+func (v *funcVerifier) localUses() {
+	f := v.f
+	// recorded maps each valid (user, index) use entry to the definition
+	// whose list holds it; the operand walk then confirms every local
+	// reference is recorded.
+	recorded := map[Use]Value{}
+	checkDef := func(ident string, d userTracked) {
+		seen := map[Use]bool{}
+		for _, u := range d.Uses() {
+			if seen[u] {
+				v.report(FVUseList, nil, nil, "use list of %s has a duplicate entry", ident)
+				continue
+			}
+			seen[u] = true
+			if u.User == nil || u.Index < 0 || u.Index >= u.User.NumOperands() || u.User.Operand(u.Index) != Value(d) {
+				v.report(FVUseList, nil, nil, "use list of %s records operand %d of an instruction that does not reference it", ident, u.Index)
+				continue
+			}
+			if u.User.Parent() == nil || u.User.Parent().Parent() != f {
+				v.report(FVUseList, nil, nil, "use list of %s records a use from outside the function", ident)
+				continue
+			}
+			recorded[u] = d
+		}
+	}
+	for _, p := range f.Params {
+		checkDef(p.Ident(), p)
+	}
+	for _, b := range f.Blocks {
+		checkDef(b.Ident(), b)
+		for _, in := range b.Insts {
+			checkDef(in.Ident(), in)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			for i, op := range in.Operands() {
+				switch op.(type) {
+				case *Inst, *Block, *Param:
+					if recorded[Use{User: in, Index: i}] != op {
+						v.report(FVUseList, b, in, "operand %d (%s) is missing from its use list", i, op.Ident())
+					}
+				}
+			}
+		}
+	}
+}
+
+// safeFormatInst renders an instruction for a diagnostic. The printer assumes
+// the operand-layout invariants the verifier exists to check, so rendering a
+// malformed instruction may panic; fall back to the opcode mnemonic instead
+// of letting a diagnostic about broken IR crash the verifier itself.
+func safeFormatInst(in *Inst) (s string) {
+	if in == nil {
+		return ""
+	}
+	defer func() {
+		if recover() != nil {
+			s = in.Op.String()
+		}
+	}()
+	return FormatInst(in)
 }
 
 // checkInstTypes validates operand and result types against the opcode.
@@ -254,9 +866,6 @@ func checkInstTypes(in *Inst) error {
 			return fmt.Errorf("resume of non-token")
 		}
 	case OpPhi:
-		if in.NumOperands()%2 != 0 || in.NumOperands() == 0 {
-			return fmt.Errorf("malformed phi")
-		}
 		for i := 0; i < in.NumPhiIncoming(); i++ {
 			v, _ := in.PhiIncoming(i)
 			if v.Type() != in.Type() {

@@ -1,0 +1,394 @@
+package ir
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseVerifyLevel(t *testing.T) {
+	cases := map[string]VerifyLevel{
+		"": VerifyOff, "off": VerifyOff, "fast": VerifyFast, "full": VerifyFull,
+	}
+	for s, want := range cases {
+		got, err := ParseVerifyLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseVerifyLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseVerifyLevel("paranoid"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	for _, l := range []VerifyLevel{VerifyOff, VerifyFast, VerifyFull} {
+		if back, err := ParseVerifyLevel(l.String()); err != nil || back != l {
+			t.Errorf("String/Parse round trip broken for %v", l)
+		}
+	}
+}
+
+// buildDomViolation returns a function where a definition does not dominate
+// one of its uses — structurally sound, so only full-level checks catch it.
+func buildDomViolation() *Func {
+	m := NewModule("dom")
+	f := m.NewFuncIn("f", FuncOf(I32(), Bool()))
+	e := f.NewBlockIn("entry")
+	aB := f.NewBlockIn("a")
+	bB := f.NewBlockIn("b")
+	bld := NewBuilder(e)
+	bld.CondBr(f.Params[0], aB, bB)
+	bld.SetBlock(aB)
+	x := bld.Add(NewConstInt(I32(), 1), NewConstInt(I32(), 2))
+	bld.Ret(x)
+	bld.SetBlock(bB)
+	bld.Ret(x) // x does not dominate this use
+	return f
+}
+
+func TestVerifyLevelsAreOrdered(t *testing.T) {
+	f := buildDomViolation()
+	if diags := VerifyFuncLevel(f, VerifyOff); diags != nil {
+		t.Errorf("off level produced diagnostics: %v", diags)
+	}
+	if diags := VerifyFuncLevel(f, VerifyFast); len(diags) != 0 {
+		t.Errorf("fast level caught a dominance-only violation: %v", diags)
+	}
+	diags := VerifyFuncLevel(f, VerifyFull)
+	if len(diags) != 1 || diags[0].Code != FVDominance {
+		t.Fatalf("full level: want one FV007, got %v", diags)
+	}
+	if d := diags[0]; d.Fn != "f" || d.Block != "b" || d.Inst == "" {
+		t.Errorf("FV007 not located: %+v", d)
+	}
+}
+
+func TestVerifyDiagCodes(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Func
+		want  VerifyCode
+		level VerifyLevel
+	}{
+		{"empty block", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(Void()))
+			f.NewBlockIn("entry")
+			return f
+		}, FVMalformedBlock, VerifyFast},
+		{"terminator mid-block", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(Void()))
+			e := f.NewBlockIn("entry")
+			bld := NewBuilder(e)
+			bld.Ret(nil)
+			bld.Ret(nil)
+			return f
+		}, FVMalformedBlock, VerifyFast},
+		{"branch to foreign block", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(Void()))
+			g := m.NewFuncIn("g", FuncOf(Void()))
+			ge := g.NewBlockIn("gentry")
+			NewBuilder(ge).Ret(nil)
+			e := f.NewBlockIn("entry")
+			e.Append(NewInst(OpBr, Void(), ge))
+			return f
+		}, FVBrokenLink, VerifyFast},
+		{"phi after non-phi", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(I32()))
+			e := f.NewBlockIn("entry")
+			bld := NewBuilder(e)
+			x := bld.Add(NewConstInt(I32(), 1), NewConstInt(I32(), 2))
+			phi := bld.Phi(I32())
+			AddIncoming(phi, x, e)
+			bld.Ret(x)
+			return f
+		}, FVBadShape, VerifyFast},
+		{"ret arity", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(Void()))
+			e := f.NewBlockIn("entry")
+			e.Append(NewInst(OpRet, Void(), NewConstInt(I32(), 1), NewConstInt(I32(), 2)))
+			return f
+		}, FVBadShape, VerifyFast},
+		{"operand from another function", func() *Func {
+			m := NewModule("t")
+			g := m.NewFuncIn("g", FuncOf(I32()))
+			ge := g.NewBlockIn("gentry")
+			x := NewBuilder(ge).Add(NewConstInt(I32(), 1), NewConstInt(I32(), 2))
+			NewBuilder(ge).Ret(x)
+			f := m.NewFuncIn("f", FuncOf(I32()))
+			e := f.NewBlockIn("entry")
+			e.Append(NewInst(OpRet, Void(), x))
+			return f
+		}, FVDanglingRef, VerifyFast},
+		{"detached callee", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(Void()))
+			e := f.NewBlockIn("entry")
+			loose := NewFunc("loose", FuncOf(Void()))
+			bld := NewBuilder(e)
+			bld.Call(loose)
+			bld.Ret(nil)
+			return f
+		}, FVDanglingRef, VerifyFast},
+		{"type violation", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(I32()))
+			e := f.NewBlockIn("entry")
+			e.Append(NewInst(OpRet, Void(), NewConstFloat(F64(), 1.0)))
+			return f
+		}, FVBadType, VerifyFull},
+		{"phi pred mismatch", func() *Func {
+			m := NewModule("t")
+			f := m.NewFuncIn("f", FuncOf(I32(), Bool()))
+			e := f.NewBlockIn("entry")
+			join := f.NewBlockIn("join")
+			NewBuilder(e).CondBr(f.Params[0], join, join)
+			phi := NewInst(OpPhi, I32(), NewConstInt(I32(), 1), e)
+			join.Append(phi)
+			NewBuilder(join).Ret(phi)
+			return f
+		}, FVPhiPredMismatch, VerifyFull},
+		{"invoke unwind to non-landing block", func() *Func {
+			m := NewModule("t")
+			callee := m.NewFuncIn("g", FuncOf(Void()))
+			_ = callee
+			f := m.NewFuncIn("f", FuncOf(Void()))
+			e := f.NewBlockIn("entry")
+			normal := f.NewBlockIn("normal")
+			lpad := f.NewBlockIn("lpad")
+			NewBuilder(e).Invoke(callee, nil, normal, lpad)
+			NewBuilder(normal).Ret(nil)
+			NewBuilder(lpad).Ret(nil) // no landingpad first
+			return f
+		}, FVBadLandingPad, VerifyFull},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.build()
+			diags := VerifyFuncLevel(f, tc.level)
+			found := false
+			for _, d := range diags {
+				if d.Code == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("want a %s diagnostic, got %v", tc.want, diags)
+			}
+			// The error wrapper must surface the same findings.
+			if err := VerifyFunc(f); err == nil {
+				t.Error("VerifyFunc returned nil for corrupt IR")
+			} else if !strings.Contains(err.Error(), string(tc.want)) {
+				t.Errorf("VerifyFunc error lacks code %s: %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestVerifyUseListConsistency corrupts use lists directly (bypassing
+// SetOperand) and expects FV008 from both directions of the check.
+func TestVerifyUseListConsistency(t *testing.T) {
+	build := func() (*Func, *Inst, *Inst) {
+		m := NewModule("u")
+		f := m.NewFuncIn("f", FuncOf(I32()))
+		e := f.NewBlockIn("entry")
+		bld := NewBuilder(e)
+		x := bld.Add(NewConstInt(I32(), 1), NewConstInt(I32(), 2))
+		y := bld.Add(x, NewConstInt(I32(), 3))
+		bld.Ret(y)
+		return f, x, y
+	}
+
+	// Operand rewritten behind the use list's back: y's use of x is still
+	// recorded, but the operand slot now holds a constant.
+	f, x, y := build()
+	y.operands[0] = NewConstInt(I32(), 9)
+	diags := VerifyFuncLevel(f, VerifyFull)
+	if len(diags) == 0 || diags[0].Code != FVUseList {
+		t.Errorf("stale use entry not caught: %v", diags)
+	}
+	_ = x
+
+	// Duplicate use entry.
+	f, x, _ = build()
+	x.uses = append(x.uses, x.uses[0])
+	diags = VerifyFuncLevel(f, VerifyFull)
+	if len(diags) == 0 || diags[0].Code != FVUseList {
+		t.Errorf("duplicate use entry not caught: %v", diags)
+	}
+
+	// Use entry dropped: the operand is live but unrecorded.
+	f, x, _ = build()
+	x.uses = nil
+	diags = VerifyFuncLevel(f, VerifyFull)
+	if len(diags) == 0 || diags[0].Code != FVUseList {
+		t.Errorf("missing use entry not caught: %v", diags)
+	}
+
+	// Clean function stays clean.
+	f, _, _ = build()
+	if diags := VerifyFuncLevel(f, VerifyFull); len(diags) != 0 {
+		t.Errorf("clean function produced %v", diags)
+	}
+}
+
+// TestVerifyModuleInvariants covers the module-level checks: duplicate
+// names, symbol-table desync, stale callees, and the all-errors contract.
+func TestVerifyModuleInvariants(t *testing.T) {
+	newVoidFunc := func(m *Module, name string) *Func {
+		f := m.NewFuncIn(name, FuncOf(Void()))
+		e := f.NewBlockIn("entry")
+		NewBuilder(e).Ret(nil)
+		return f
+	}
+
+	t.Run("duplicate function name", func(t *testing.T) {
+		m := NewModule("t")
+		newVoidFunc(m, "f")
+		dup := NewFunc("f", FuncOf(Void()))
+		dup.parent = m
+		m.Funcs = append(m.Funcs, dup)
+		if !hasCode(VerifyModuleLevel(m, VerifyFast), FVSymbolTable) {
+			t.Error("duplicate function name not caught")
+		}
+	})
+
+	t.Run("stale symbol table entry", func(t *testing.T) {
+		m := NewModule("t")
+		newVoidFunc(m, "f")
+		delete(m.funcByName, "f")
+		m.funcByName["ghost"] = NewFunc("ghost", FuncOf(Void()))
+		if !hasCode(VerifyModuleLevel(m, VerifyFast), FVSymbolTable) {
+			t.Error("symbol table desync not caught")
+		}
+	})
+
+	t.Run("duplicate global name", func(t *testing.T) {
+		m := NewModule("t")
+		m.NewGlobalIn("g", I32())
+		dup := NewGlobal("g", I32())
+		dup.parent = m
+		m.Globals = append(m.Globals, dup)
+		if !hasCode(VerifyModuleLevel(m, VerifyFast), FVSymbolTable) {
+			t.Error("duplicate global name not caught")
+		}
+	})
+
+	t.Run("stale callee after replacement", func(t *testing.T) {
+		m := NewModule("t")
+		g := newVoidFunc(m, "g")
+		f := m.NewFuncIn("f", FuncOf(Void()))
+		e := f.NewBlockIn("entry")
+		bld := NewBuilder(e)
+		bld.Call(g)
+		bld.Ret(nil)
+		// Replace g in the module's tables but leave the call operand
+		// pointing at the old object (still claiming m as parent).
+		g2 := NewFunc("g", FuncOf(Void()))
+		g2.parent = m
+		for i, fn := range m.Funcs {
+			if fn == g {
+				m.Funcs[i] = g2
+			}
+		}
+		m.funcByName["g"] = g2
+		if !hasCode(VerifyModuleLevel(m, VerifyFull), FVSymbolTable) {
+			t.Error("stale callee not caught")
+		}
+	})
+
+	t.Run("all errors reported", func(t *testing.T) {
+		m := NewModule("t")
+		fa := m.NewFuncIn("a", FuncOf(Void()))
+		fa.NewBlockIn("entry") // empty block
+		fb := m.NewFuncIn("b", FuncOf(Void()))
+		fb.NewBlockIn("entry") // empty block
+		err := VerifyModule(m)
+		if err == nil {
+			t.Fatal("corrupt module verified clean")
+		}
+		if !strings.Contains(err.Error(), "@a") || !strings.Contains(err.Error(), "@b") {
+			t.Errorf("VerifyModule stopped early, want findings in both functions: %v", err)
+		}
+	})
+}
+
+func hasCode(diags []VerifyDiag, code VerifyCode) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestVerifyDeterministicOrder: repeated verification of the same corrupt
+// function must report the identical diagnostic sequence — the verifier is
+// part of pipelines whose outputs are compared byte-for-byte.
+func TestVerifyDeterministicOrder(t *testing.T) {
+	build := func() *Func {
+		m := NewModule("t")
+		f := m.NewFuncIn("f", FuncOf(I32(), Bool()))
+		e := f.NewBlockIn("entry")
+		j1 := f.NewBlockIn("j1")
+		j2 := f.NewBlockIn("j2")
+		NewBuilder(e).CondBr(f.Params[0], j1, j2)
+		// Two phis each with a bogus incoming set, in different blocks.
+		p1 := NewInst(OpPhi, I32(), NewConstInt(I32(), 1), j2)
+		j1.Append(p1)
+		NewBuilder(j1).Ret(p1)
+		p2 := NewInst(OpPhi, I32(), NewConstInt(I32(), 2), j1)
+		j2.Append(p2)
+		NewBuilder(j2).Ret(p2)
+		return f
+	}
+	want := VerifyFuncLevel(build(), VerifyFull)
+	if len(want) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	for i := 0; i < 50; i++ {
+		got := VerifyFuncLevel(build(), VerifyFull)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("diagnostic order varies between runs:\n%v\nvs\n%v", want, got)
+		}
+	}
+}
+
+// TestVerifyDiagString pins the one-line rendering format shared with the
+// merge auditor's FM diagnostics.
+func TestVerifyDiagString(t *testing.T) {
+	d := VerifyDiag{Code: FVDominance, Fn: "f", Block: "b3", Inst: "ret i32 %x",
+		Msg: "use of %x not dominated by its definition"}
+	want := "FV007 @f %b3: use of %x not dominated by its definition (ret i32 %x)"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	mod := VerifyDiag{Code: FVSymbolTable, Msg: "duplicate function name @f"}
+	if got := mod.String(); got != "FV010: duplicate function name @f" {
+		t.Errorf("module-level String() = %q", got)
+	}
+}
+
+// TestVerifyNoPanicOnGarbage feeds hand-mangled instructions that would
+// crash the printer or accessors if the verifier indexed operands blindly.
+func TestVerifyNoPanicOnGarbage(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFuncIn("f", FuncOf(Void()))
+	e := f.NewBlockIn("entry")
+	// A br whose sole operand is not a block, an invoke with too few
+	// operands, and a phi with an odd operand count.
+	e.Insts = append(e.Insts,
+		&Inst{Op: OpPhi, typ: I32(), parent: e, operands: []Value{NewConstInt(I32(), 1)}},
+		&Inst{Op: OpInvoke, typ: Void(), parent: e, operands: []Value{NewConstInt(I32(), 0)}},
+		&Inst{Op: OpBr, typ: Void(), parent: e, operands: []Value{NewConstInt(I32(), 7)}},
+	)
+	diags := VerifyFuncLevel(f, VerifyFull)
+	if !hasCode(diags, FVBadShape) {
+		t.Errorf("mangled operands not flagged: %v", diags)
+	}
+	if s := FormatVerifyDiags(diags); s == "" {
+		t.Error("no rendered diagnostics")
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -233,6 +234,10 @@ func (d *decoder) decodeGlobals(r *reader) {
 		if r.err != nil {
 			return
 		}
+		if !ir.ValidSymbolName(name) {
+			r.fail("invalid global name %q", name)
+			return
+		}
 		if d.m.GlobalByName(name) != nil {
 			r.fail("duplicate global @%s", name)
 			return
@@ -266,6 +271,10 @@ func (d *decoder) decodeFuncs(r *reader) {
 		}
 		if sig.Kind != ir.FuncKind {
 			r.fail("function @%s with non-function type %s", name, sig)
+			return
+		}
+		if !ir.ValidSymbolName(name) {
+			r.fail("invalid function name %q", name)
 			return
 		}
 		if d.m.FuncByName(name) != nil {
@@ -314,6 +323,9 @@ func (d *decoder) decodeBody(fi int, r *reader) ([]sharedFix, error) {
 	}
 	for _, prm := range f.Params {
 		if nm := d.str(r, "parameter name"); nm != "" {
+			if !ir.ValidLocalName(nm) {
+				return fail("invalid parameter name %q", nm)
+			}
 			prm.SetName(nm)
 		}
 	}
@@ -333,6 +345,9 @@ func (d *decoder) decodeBody(fi int, r *reader) ([]sharedFix, error) {
 		cnt := r.uvarint()
 		if r.err != nil {
 			return nil, r.err
+		}
+		if nm != "" && !ir.ValidSymbolName(nm) {
+			return fail("invalid block name %q", nm)
 		}
 		total += cnt
 		// Each instruction needs at least 4 bytes (op, type, name, operand
@@ -507,6 +522,10 @@ func (d *decoder) decodeInst(r *reader, slab *ir.InstSlab, nBlocks, totalLocals 
 	if r.err != nil {
 		return nil, r.err
 	}
+	if !ir.ValidLocalName(name) {
+		r.fail("invalid instruction name %q", name)
+		return nil, r.err
+	}
 	// Opcode-specific extras precede the operand count in the stream; stage
 	// them in locals so the instruction can be slab-allocated with its final
 	// operand slot count in one step.
@@ -527,7 +546,11 @@ func (d *decoder) decodeInst(r *reader, slab *ir.InstSlab, nBlocks, totalLocals 
 		if nc > 0 {
 			clauses = make([]string, nc)
 			for i := range clauses {
-				clauses[i] = d.str(r, "landingpad clause")
+				c := d.str(r, "landingpad clause")
+				if r.err == nil && c != "cleanup" && !ir.ValidSymbolName(c) {
+					r.fail("invalid landingpad clause %q", c)
+				}
+				clauses[i] = c
 			}
 		}
 	}
@@ -615,6 +638,9 @@ func Decode(data []byte, opts Options) (*ir.Module, error) {
 	name := hdr.bytes(int(hdr.uvarint()))
 	if hdr.err != nil {
 		return nil, hdr.err
+	}
+	if bytes.ContainsAny(name, "\n\r") {
+		return nil, fmt.Errorf("wire: module name %q contains line breaks", name)
 	}
 	d := &decoder{m: ir.NewModule(string(name))}
 

@@ -1,0 +1,72 @@
+package wire_test
+
+// FuzzDecodeVerify lives in the external test package so it can seed from
+// the workload generator without import cycles.
+
+import (
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/wire"
+	"fmsa/internal/workload"
+)
+
+// FuzzDecodeVerify: the decode boundary must classify arbitrary bytes, never
+// crash on them. For any input, Decode either rejects with an error or
+// produces a module the staged verifier can walk without panicking; when
+// full verification also passes, the module must survive print→reparse as
+// valid IR — the decoder may not accept a module that the verifier rejects
+// and the rest of the pipeline then trips over. Run as a smoke in CI:
+// go test -fuzz=FuzzDecodeVerify -fuzztime=10s ./internal/wire/.
+func FuzzDecodeVerify(f *testing.F) {
+	// Seeds: encoded generator output (so mutations explore the format from
+	// valid starting points), a minimal module, and raw garbage.
+	for seed := int64(1); seed <= 3; seed++ {
+		p := workload.Profile{
+			Name: "fz", NumFuncs: 3, AvgSize: 15, MaxSize: 40,
+			Identical: 0.3, TypeVar: 0.2, CFGVar: 0.2,
+			InternalFrac: 0.5, Seed: seed,
+		}
+		data, err := wire.Encode(workload.Build(p))
+		if err != nil {
+			f.Fatalf("encode seed: %v", err)
+		}
+		f.Add(data)
+	}
+	small, err := wire.Encode(ir.MustParseModule("s", "define void @f() {\nentry:\n  ret void\n}\n"))
+	if err != nil {
+		f.Fatalf("encode seed: %v", err)
+	}
+	f.Add(small)
+	f.Add([]byte("FMIR"))
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := wire.Decode(data, wire.Options{Workers: 2})
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		// The verifier must classify whatever the decoder accepted — any
+		// panic here is a verifier robustness bug.
+		diags := ir.VerifyModuleLevel(m, ir.VerifyFull)
+		if len(diags) > 0 {
+			// Structurally or semantically invalid IR that slipped past the
+			// decoder's shape checks: classified, not crashed on. But the
+			// levels must stay ordered — fast findings are a subset of full.
+			return
+		}
+		if fast := ir.VerifyModuleLevel(m, ir.VerifyFast); len(fast) != 0 {
+			t.Fatalf("fast level flags a module full level accepts:\n%s", ir.FormatVerifyDiags(fast))
+		}
+		// Fully verified modules must be printable and reparseable: the
+		// decoder+verifier pair may not accept IR the rest of the pipeline
+		// rejects.
+		text := ir.FormatModule(m)
+		m2, err := ir.ParseModule("fuzz", text)
+		if err != nil {
+			t.Fatalf("verified module does not reparse: %v\n%s", err, text)
+		}
+		if err := ir.VerifyModule(m2); err != nil {
+			t.Fatalf("reparsed module fails verify: %v\n%s", err, text)
+		}
+	})
+}

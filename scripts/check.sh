@@ -1,35 +1,67 @@
 #!/bin/sh
-# Tier-1 gate: vet + build + repo linter + race-enabled suite + merge-audit
-# sweep. The parallel exploration pipeline must stay deterministic and
-# data-race-free; the concurrency invariants the compiler cannot see
-# (use-list locking, pool get/put pairing) are enforced by scripts/lint;
-# and the static merge auditor must report zero diagnostics across the
-# whole workload corpus — any finding is either a merger bug or an auditor
-# false positive, and both block; the LSH candidate-ranking index must
-# keep >= 95% top-1 recall against the exact scan (-exp rank -quick);
-# the coded alignment kernel (caches on) must commit bit-identical merges
-# to the closure reference kernel (caches off) on every quick corpus
-# (-exp kernels -quick); and pre-codegen profitability bounding must be
-# decision-invisible — bit-identical merges with pruning on vs off, and
-# zero audited pairs whose exact profit exceeds their bound
-# (-exp bound -quick); binary fmir ingest must commit bit-identical merges
-# and final module text to text ingest on every quick corpus
-# (-exp ingest -quick), with the parse/print/encode/decode round trip also
-# smoke-fuzzed for 10 seconds.
+# Tier-1 gate suite. Each gate is named, individually timed, and fails the
+# run on first breakage with the gate name in the failure line.
+#
+# What the gates enforce:
+#  - vet/build: the usual compiler-visible hygiene.
+#  - lint: the repo linter's analyzer registry (use-list locking, pool
+#    get/put pairing, map-range ordering, wall-clock purity, goroutine
+#    captures); lint-registry first asserts the expected analyzers exist.
+#  - race-tests: the full suite under the race detector — the parallel
+#    exploration pipeline must stay deterministic and data-race-free.
+#  - audit-corpus: the static merge auditor reports zero diagnostics across
+#    the whole workload corpus; any finding is a merger bug or an auditor
+#    false positive, and both block.
+#  - fuzz-roundtrip / fuzz-decode-verify: short smoke-fuzz of the textual
+#    parse/print round trip and of the wire decoder + staged IR verifier
+#    (the decoder must never accept a module the verifier rejects).
+#  - verify-sweep: the staged verifier finds zero diagnostics at every
+#    pipeline boundary on the quick corpus, verification never changes
+#    merge decisions, and the fast level stays within its overhead budget.
+#  - rank/kernels/bound/ingest: the cross-check experiments (LSH recall,
+#    kernel equivalence, bound admissibility, fmir ingest bit-identity).
+#
 # Run this before every commit that touches internal/explore, internal/ir,
 # internal/align, internal/encode, internal/core, internal/analysis or
 # internal/wire.
-set -eux
+set -eu
 
 cd "$(dirname "$0")/.."
 
-go vet ./...
-go build ./...
-go run ./scripts/lint
-go test -race ./...
-go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/
-go test -run '^$' -fuzz 'FuzzRoundTrip' -fuzztime 10s ./internal/ir/
-go run ./cmd/fmsa-bench -exp rank -quick
-go run ./cmd/fmsa-bench -exp kernels -quick
-go run ./cmd/fmsa-bench -exp bound -quick
-go run ./cmd/fmsa-bench -exp ingest -quick
+# gate <name> <cmd...>: run one named section, timed, fail fast.
+gate() {
+    name="$1"
+    shift
+    echo "=== gate: $name ==="
+    start=$(date +%s)
+    if ! "$@"; then
+        echo "=== gate FAILED: $name ($*) ===" >&2
+        exit 1
+    fi
+    echo "=== gate ok: $name ($(($(date +%s) - start))s) ==="
+}
+
+check_registry() {
+    got=$(go run ./scripts/lint -list | awk '{print $1}' | tr '\n' ' ')
+    want="uselist poolpair maprange walltime goloopcapture "
+    if [ "$got" != "$want" ]; then
+        echo "lint registry mismatch: got '$got', want '$want'" >&2
+        return 1
+    fi
+}
+
+gate vet                go vet ./...
+gate build              go build ./...
+gate lint-registry      check_registry
+gate lint               go run ./scripts/lint
+gate race-tests         go test -race ./...
+gate audit-corpus       go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/
+gate fuzz-roundtrip     go test -run '^$' -fuzz 'FuzzRoundTrip' -fuzztime 10s ./internal/ir/
+gate fuzz-decode-verify go test -run '^$' -fuzz 'FuzzDecodeVerify' -fuzztime 10s ./internal/wire/
+gate verify-sweep       go run ./cmd/fmsa-bench -exp verify -quick -runs 3
+gate rank               go run ./cmd/fmsa-bench -exp rank -quick
+gate kernels            go run ./cmd/fmsa-bench -exp kernels -quick
+gate bound              go run ./cmd/fmsa-bench -exp bound -quick
+gate ingest             go run ./cmd/fmsa-bench -exp ingest -quick
+
+echo "all gates passed"

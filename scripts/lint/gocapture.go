@@ -1,0 +1,197 @@
+package main
+
+// Analyzer "goloopcapture": two goroutine-capture hazards the compiler and
+// race detector only catch when the schedule cooperates.
+//
+// First, a goroutine closure that captures a pooled buffer (a variable bound
+// from a <name>Pool.Get or a pool-getter call) races against the buffer's
+// release: once the launching function Puts it back, the pool may hand the
+// same backing array to another goroutine. Pooled buffers must be handed to
+// goroutines explicitly (as arguments, transferring the release obligation),
+// never captured.
+//
+// Second, a goroutine closure inside a loop that captures a variable the
+// loop body reassigns (`v = ...` on a variable declared outside the loop)
+// reads whatever iteration the scheduler lands on. Go 1.22 made `:=` loop
+// variables per-iteration, but manual reassignment reintroduces exactly the
+// old sharing bug.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// lintGoCapture checks one package directory.
+func lintGoCapture(dir string) []string {
+	fset := token.NewFileSet()
+	var decls []*ast.FuncDecl
+	for _, f := range parseDir(fset, dir) {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	getters, _ := classifyPoolFuncs(decls)
+
+	var bad []string
+	for _, fd := range decls {
+		pooled := gotVars(fd, getters)
+		var loops []*ast.BlockStmt
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				walkChildren(x.Init, walk)
+				walkChildren(x.Cond, walk)
+				walkChildren(x.Post, walk)
+				loops = append(loops, x.Body)
+				walkChildren(x.Body, walk)
+				loops = loops[:len(loops)-1]
+				return
+			case *ast.RangeStmt:
+				walkChildren(x.X, walk)
+				loops = append(loops, x.Body)
+				walkChildren(x.Body, walk)
+				loops = loops[:len(loops)-1]
+				return
+			case *ast.GoStmt:
+				lit, ok := x.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					break
+				}
+				for v := range freeIdents(lit) {
+					if pool, isPooled := pooled[v]; isPooled {
+						bad = append(bad, fmt.Sprintf("%s: %s: goroutine captures pooled buffer %q from %s (pass it as an argument instead)",
+							fset.Position(x.Pos()), fd.Name.Name, v, pool))
+					} else if len(loops) > 0 && reassignedOutsideLit(loops[len(loops)-1], lit, v) {
+						bad = append(bad, fmt.Sprintf("%s: %s: goroutine captures %q, reassigned by the enclosing loop",
+							fset.Position(x.Pos()), fd.Name.Name, v))
+					}
+				}
+			}
+			walkChildren(n, walk)
+		}
+		walk(fd.Body)
+	}
+	return sortedStrings(bad)
+}
+
+// walkChildren applies walk to each direct child of n (nil-safe).
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		walk(c)
+		return false
+	})
+}
+
+// freeIdents approximates the identifiers a function literal captures from
+// its environment: every referenced name not declared inside the literal,
+// excluding selector members and composite-literal field keys.
+func freeIdents(lit *ast.FuncLit) map[string]bool {
+	declared := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				declared[n.Name] = true
+			}
+		}
+	}
+	addFields(lit.Type.Params)
+	addFields(lit.Type.Results)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE {
+				return true
+			}
+			for _, l := range x.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Tok != token.DEFINE {
+				return true
+			}
+			if id, ok := x.Key.(*ast.Ident); ok {
+				declared[id.Name] = true
+			}
+			if id, ok := x.Value.(*ast.Ident); ok {
+				declared[id.Name] = true
+			}
+		case *ast.ValueSpec:
+			for _, n := range x.Names {
+				declared[n.Name] = true
+			}
+		}
+		return true
+	})
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			skip[x.Sel] = true
+		case *ast.KeyValueExpr:
+			if id, ok := x.Key.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+		return true
+	})
+	free := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !skip[id] && !declared[id.Name] {
+			free[id.Name] = true
+		}
+		return true
+	})
+	return free
+}
+
+// reassignedOutsideLit reports whether the loop body plain-assigns (`=`) to
+// the named variable somewhere outside the given function literal — the
+// shared-variable shape that makes capturing it in a goroutine racy.
+func reassignedOutsideLit(body *ast.BlockStmt, lit *ast.FuncLit, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n == ast.Node(lit) {
+			return false // assignments inside the goroutine are its own business
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortedStrings returns the findings in deterministic order — the linter
+// must satisfy its own determinism bar.
+func sortedStrings(in []string) []string {
+	for i := 1; i < len(in); i++ {
+		for j := i; j > 0 && in[j] < in[j-1]; j-- {
+			in[j], in[j-1] = in[j-1], in[j]
+		}
+	}
+	return in
+}

@@ -25,7 +25,15 @@
 // that calls <name>Pool.Put is a putter. Getter status propagates to
 // functions that hand a gotten buffer off by returning it.
 //
-//	go run ./scripts/lint [repo-root]
+// The linter is a registry of independent analyzers; see `-list` for the
+// full set and registry.go for the determinism passes (map-range ordering,
+// wall-clock reads in pure packages, goroutine captures of pooled or
+// reassigned variables).
+//
+//	go run ./scripts/lint [flags] [repo-root]
+//	go run ./scripts/lint -list
+//	go run ./scripts/lint -only maprange,walltime
+//	go run ./scripts/lint -skip poolpair
 package main
 
 import (
@@ -37,26 +45,6 @@ import (
 	"path/filepath"
 	"strings"
 )
-
-func main() {
-	root := "."
-	if len(os.Args) > 1 {
-		root = os.Args[1]
-	}
-	var bad []string
-	bad = append(bad, lintUseLists(filepath.Join(root, "internal", "ir"))...)
-	for _, dir := range []string{"align", "linearize", "encode", "core", "wire"} {
-		bad = append(bad, lintPools(filepath.Join(root, "internal", dir))...)
-	}
-	for _, v := range bad {
-		fmt.Fprintln(os.Stderr, v)
-	}
-	if len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "lint: %d violation(s)\n", len(bad))
-		os.Exit(1)
-	}
-	fmt.Println("lint: ok")
-}
 
 // parseDir parses the non-test Go files of dir, keyed by base filename.
 func parseDir(fset *token.FileSet, dir string) map[string]*ast.File {
@@ -162,28 +150,7 @@ func lintPools(dir string) []string {
 
 	// Pass 1: classify putters (call <pool>.Put) and seed getters (call
 	// <pool>.Get without putting to the same pool).
-	getters := map[string]string{} // func name -> pool it hands out
-	putters := map[string]string{} // func name -> pool it releases
-	for _, fd := range decls {
-		gets, puts := map[string]bool{}, map[string]bool{}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if pool, _ := poolCall(n, "Get"); pool != "" {
-				gets[pool] = true
-			}
-			if pool, _ := poolCall(n, "Put"); pool != "" {
-				puts[pool] = true
-			}
-			return true
-		})
-		for pool := range puts {
-			putters[fd.Name.Name] = pool
-		}
-		for pool := range gets {
-			if !puts[pool] {
-				getters[fd.Name.Name] = pool
-			}
-		}
-	}
+	getters, putters := classifyPoolFuncs(decls)
 
 	// Pass 2: propagate getter status through hand-offs — a function that
 	// returns a buffer obtained from a getter is itself a getter. Iterate
@@ -241,6 +208,35 @@ func lintPools(dir string) []string {
 		})
 	}
 	return bad
+}
+
+// classifyPoolFuncs seeds the pool ownership maps from raw Get/Put calls:
+// a function that calls <pool>.Put is a putter of that pool; one that calls
+// <pool>.Get without putting to the same pool is a getter.
+func classifyPoolFuncs(decls []*ast.FuncDecl) (getters, putters map[string]string) {
+	getters = map[string]string{} // func name -> pool it hands out
+	putters = map[string]string{} // func name -> pool it releases
+	for _, fd := range decls {
+		gets, puts := map[string]bool{}, map[string]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if pool, _ := poolCall(n, "Get"); pool != "" {
+				gets[pool] = true
+			}
+			if pool, _ := poolCall(n, "Put"); pool != "" {
+				puts[pool] = true
+			}
+			return true
+		})
+		for pool := range puts {
+			putters[fd.Name.Name] = pool
+		}
+		for pool := range gets {
+			if !puts[pool] {
+				getters[fd.Name.Name] = pool
+			}
+		}
+	}
+	return getters, putters
 }
 
 // gotVars returns the variables of fd bound to a pooled buffer: assigned

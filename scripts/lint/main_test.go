@@ -19,12 +19,9 @@ func write(t *testing.T, dir, name, src string) {
 
 func TestLintRepoIsClean(t *testing.T) {
 	root := "../.."
-	if bad := lintUseLists(filepath.Join(root, "internal", "ir")); len(bad) != 0 {
-		t.Errorf("use-list lint on the repo: %v", bad)
-	}
-	for _, dir := range []string{"align", "linearize", "encode", "core"} {
-		if bad := lintPools(filepath.Join(root, "internal", dir)); len(bad) != 0 {
-			t.Errorf("pool lint on internal/%s: %v", dir, bad)
+	for _, a := range analyzers {
+		if bad := a.run(root); len(bad) != 0 {
+			t.Errorf("%s lint on the repo: %v", a.name, bad)
 		}
 	}
 }
@@ -212,4 +209,211 @@ func discard() { bufPool.Get() }
 	if len(bad) != 1 || !strings.Contains(bad[0], "discarded") {
 		t.Fatalf("want 1 discarded-get violation, got: %v", bad)
 	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"uselist", "poolpair", "maprange", "walltime", "goloopcapture"}
+	if len(analyzers) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(analyzers), len(want))
+	}
+	for i, a := range analyzers {
+		if a.name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.name, want[i])
+		}
+		if a.doc == "" || a.run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.name)
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	sel, err := selectAnalyzers(analyzers, "maprange,walltime", "")
+	if err != nil || len(sel) != 2 || sel[0].name != "maprange" || sel[1].name != "walltime" {
+		t.Fatalf("-only selection wrong: %v, err %v", names(sel), err)
+	}
+	sel, err = selectAnalyzers(analyzers, "", "poolpair")
+	if err != nil || len(sel) != 4 {
+		t.Fatalf("-skip selection wrong: %v, err %v", names(sel), err)
+	}
+	for _, a := range sel {
+		if a.name == "poolpair" {
+			t.Error("skipped analyzer still selected")
+		}
+	}
+	if _, err := selectAnalyzers(analyzers, "nosuch", ""); err == nil {
+		t.Error("unknown -only name not rejected")
+	}
+	if _, err := selectAnalyzers(analyzers, "", "nosuch"); err == nil {
+		t.Error("unknown -skip name not rejected")
+	}
+	if _, err := selectAnalyzers(analyzers, "uselist", "uselist"); err == nil {
+		t.Error("empty selection not rejected")
+	}
+}
+
+func TestLintMapRange(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "bad.go", `package p
+import "fmt"
+func printUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	write(t, dir, "ok.go", `package p
+import "sort"
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+func madeHere() map[int]bool {
+	seen := make(map[int]bool)
+	for k := range seen {
+		delete(seen, k)
+	}
+	return seen
+}
+func overSlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`)
+	bad := lintMapRange(dir)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 violations (print, unsorted append), got %d: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if !strings.Contains(b, "bad.go") {
+			t.Errorf("violation outside bad.go: %s", b)
+		}
+	}
+}
+
+func TestLintWallTime(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "bad.go", `package p
+import (
+	"math/rand"
+	"time"
+)
+func stamp() int64 { return time.Now().UnixNano() }
+func jitter() int  { return rand.Intn(3) }
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+`)
+	write(t, dir, "ok.go", `package p
+import "time"
+func timeout() time.Duration { return 5 * time.Second }
+func format(t0 time.Time) string { return t0.Format(time.RFC3339) }
+`)
+	bad := lintWallTime(dir)
+	if len(bad) != 3 {
+		t.Fatalf("want 3 violations (Now, Since, math/rand import), got %d: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if !strings.Contains(b, "bad.go") {
+			t.Errorf("violation outside bad.go: %s", b)
+		}
+	}
+}
+
+func TestLintGoCapture(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "pool.go", `package p
+import "sync"
+var bufPool sync.Pool
+func getBuf(n int) []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+func putBuf(s []byte) { bufPool.Put(&s) }
+`)
+	write(t, dir, "bad.go", `package p
+func capturesPooled(done chan struct{}) {
+	buf := getBuf(8)
+	go func() {
+		buf[0] = 1
+		close(done)
+	}()
+	<-done
+	putBuf(buf)
+}
+func capturesReassigned(items [][]byte, done chan struct{}) {
+	var cur []byte
+	for _, it := range items {
+		cur = it
+		go func() {
+			_ = cur[0]
+			done <- struct{}{}
+		}()
+	}
+}
+`)
+	write(t, dir, "ok.go", `package p
+func passesAsArg(done chan struct{}) {
+	buf := getBuf(8)
+	go func(b []byte) {
+		b[0] = 1
+		putBuf(b)
+		close(done)
+	}(buf)
+	<-done
+}
+func perIterationVar(items [][]byte, done chan struct{}) {
+	for _, it := range items {
+		go func() {
+			_ = it[0]
+			done <- struct{}{}
+		}()
+	}
+}
+func shadowedInside(done chan struct{}) {
+	go func() {
+		buf := getBuf(8)
+		putBuf(buf)
+		close(done)
+	}()
+	<-done
+}
+`)
+	bad := lintGoCapture(dir)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 violations (pooled capture, reassigned capture), got %d: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if !strings.Contains(b, "bad.go") {
+			t.Errorf("violation outside bad.go: %s", b)
+		}
+	}
+}
+
+func names(as []analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.name
+	}
+	return out
 }

@@ -1,0 +1,219 @@
+package main
+
+// Analyzer "maprange": Go map iteration order is deliberately randomized, so
+// a `for ... range m` over a map that feeds ordered output — writing to a
+// printer or builder inside the loop, or appending to a slice the function
+// never sorts — produces nondeterministic results run to run. The pipeline's
+// bit-identical-output contract makes this a bug, not a style issue. The
+// idiomatic fix (collect keys, sort, then iterate) passes because the
+// appended slice is sorted before use.
+//
+// Without type information, map-typed variables are recognized
+// syntactically: parameters and declarations with a map type, and variables
+// initialized from make(map[...]...) or a map literal.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// lintMapRange checks one package directory.
+func lintMapRange(dir string) []string {
+	fset := token.NewFileSet()
+	var bad []string
+	for _, f := range parseDir(fset, dir) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			maps := mapTypedVars(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				id, ok := rng.X.(*ast.Ident)
+				if !ok || !maps[id.Name] {
+					return true
+				}
+				if emitsOutput(rng.Body) {
+					bad = append(bad, fmt.Sprintf("%s: %s: map range over %q writes output in iteration order",
+						fset.Position(rng.Pos()), fd.Name.Name, id.Name))
+					return true
+				}
+				for _, target := range appendTargets(rng.Body) {
+					if !sortedInFunc(fd, target) {
+						bad = append(bad, fmt.Sprintf("%s: %s: map range over %q appends to %q, which is never sorted",
+							fset.Position(rng.Pos()), fd.Name.Name, id.Name, target))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return bad
+}
+
+// mapTypedVars collects the names in fd that syntactically hold maps.
+func mapTypedVars(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if _, ok := f.Type.(*ast.MapType); !ok {
+				continue
+			}
+			for _, n := range f.Names {
+				out[n.Name] = true
+			}
+		}
+	}
+	addFields(fd.Type.Params)
+	addFields(fd.Recv)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ValueSpec:
+			if _, ok := x.Type.(*ast.MapType); ok {
+				for _, n := range x.Names {
+					out[n.Name] = true
+				}
+				return true
+			}
+			for i, v := range x.Values {
+				if i < len(x.Names) && isMapExpr(v) {
+					out[x.Names[i].Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if !isMapExpr(rhs) || i >= len(x.Lhs) {
+					continue
+				}
+				if id, ok := x.Lhs[i].(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isMapExpr recognizes make(map[...]...) calls and map literals.
+func isMapExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		id, ok := x.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(x.Args) == 0 {
+			return false
+		}
+		_, isMap := x.Args[0].(*ast.MapType)
+		return isMap
+	case *ast.CompositeLit:
+		_, isMap := x.Type.(*ast.MapType)
+		return isMap
+	}
+	return false
+}
+
+// emitWriters are method/function names that emit output directly, making
+// iteration order observable.
+var emitWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// emitsOutput reports whether the loop body calls an output writer.
+func emitsOutput(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if emitWriters[fun.Sel.Name] {
+				found = true
+			}
+		case *ast.Ident:
+			if emitWriters[fun.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// appendTargets collects the slice variables the loop body grows via
+// `s = append(s, ...)`.
+func appendTargets(body *ast.BlockStmt) []string {
+	seen := map[string]bool{}
+	var order []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "append" || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || seen[id.Name] {
+				continue
+			}
+			seen[id.Name] = true
+			order = append(order, id.Name)
+		}
+		return true
+	})
+	return order
+}
+
+// sortedInFunc reports whether fd sorts the named slice anywhere: a
+// sort.*/slices.* call taking it, or a call to a function whose name
+// mentions sorting.
+func sortedInFunc(fd *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sorter := false
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				sorter = true
+			}
+		case *ast.Ident:
+			sorter = strings.Contains(strings.ToLower(fun.Name), "sort")
+		}
+		if !sorter {
+			return true
+		}
+		for _, a := range call.Args {
+			if containsIdent(a, name) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,61 @@
+package main
+
+// Analyzer "walltime": the packages that decide what gets merged must be
+// pure functions of their inputs — the parallel pipeline's bit-identical
+// contract depends on it. A wall-clock read (time.Now/Since/Until) or any
+// math/rand use inside them introduces run-to-run variation the tests
+// cannot reliably catch. Timing belongs in the orchestration layers
+// (internal/core's Timings accumulators, internal/explore, the experiment
+// harnesses), which are deliberately not on this list; seeded generation
+// randomness belongs in internal/workload.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// purePackages are the internal packages that must stay free of wall-clock
+// and randomness reads.
+var purePackages = []string{
+	"align", "analysis", "callgraph", "encode", "fingerprint", "interp",
+	"ir", "linearize", "lsh", "passes", "profile", "stats", "tti", "wire",
+}
+
+// clockFuncs are the time-package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// lintWallTime checks one package directory.
+func lintWallTime(dir string) []string {
+	fset := token.NewFileSet()
+	var bad []string
+	for _, f := range parseDir(fset, dir) {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				bad = append(bad, fmt.Sprintf("%s: deterministic package imports %s",
+					fset.Position(imp.Pos()), path))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+				bad = append(bad, fmt.Sprintf("%s: wall-clock read time.%s in a deterministic package",
+					fset.Position(call.Pos()), sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return bad
+}
