@@ -7,7 +7,7 @@
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
 // ablation, hotexclusion, perf, rank, audit, kernels, bound, ingest,
-// verify, all.
+// verify, global, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
@@ -59,6 +59,17 @@
 // aggregate LSH recall drops below 0.95:
 //
 //	fmsa-bench -exp rank -json BENCH_rank.json
+//
+// The global experiment measures the two-round sharded cross-TU pipeline
+// against monolithic whole-program exploration — per corpus and shard
+// count, JSON lines carry the exact-scored pair count, alignment cells,
+// wall clock and committed merge records — and fails unless results are
+// bit-identical across shard counts 1/2/8, round-1 summaries round-trip
+// through the .fmsum wire format, and summary-based planning cuts
+// exact-scored pairs by at least 30% in aggregate:
+//
+//	fmsa-bench -exp global -units 4 -json BENCH_PR8.json
+//	fmsa-bench -exp global -quick
 package main
 
 import (
@@ -91,6 +102,7 @@ func main() {
 		noBound   = flag.Bool("nobound", false, "disable pre-codegen profitability bounding")
 		runs      = flag.Int("runs", 1, "perf experiment: repeat each measurement, report median and min")
 		perCorpus = flag.Bool("percorpus", false, "perf experiment: emit one JSON line per corpus")
+		units     = flag.Int("units", 4, "global experiment: translation units per corpus")
 		verifyLvl = flag.String("verify", "off", "perf experiment: IR verification level inside exploration (off, fast, full)")
 	)
 	flag.Parse()
@@ -360,6 +372,24 @@ func main() {
 		}
 		if lshAgg.RecallTop1 < 0.95 {
 			fatal(fmt.Errorf("lsh aggregate top-1 recall %.3f below the 0.95 floor", lshAgg.RecallTop1))
+		}
+	}
+
+	if run("global") {
+		ran = true
+		section("Global: sharded cross-TU merging vs monolithic exploration (t=1)")
+		rows, err := experiments.GlobalSweep(spec, tgt, experiments.GlobalConfig{
+			Workers: *workers, Units: *units,
+		})
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+		}
+		fatalIf(err)
+		for _, r := range rows {
+			if r.Corpus == "aggregate" {
+				fmt.Printf("\nglobal aggregate: %.1f%% fewer exact-scored pairs (%d -> %d), bit-identical across shards: %v\n",
+					r.ReductionPct, r.ExactMonolithic, r.ExactGlobal, r.BitIdentical)
+			}
 		}
 	}
 

@@ -4,6 +4,12 @@
 // see exactly what the merger would share and what it would guard.
 //
 //	fmsa-diff -f1 glist_add_float32 -f2 glist_add_float64 module.ll
+//
+// With -summary, the argument is a binary .fmsum stream (fmsa-gen -summary)
+// and the tool prints its round-1 function-summary table — one row per
+// function with the stable hash and the flags the cross-TU planner keys on:
+//
+//	fmsa-diff -summary out/462_libquantum.fmsum
 package main
 
 import (
@@ -22,12 +28,22 @@ import (
 
 func main() {
 	var (
-		name1  = flag.String("f1", "", "first function")
-		name2  = flag.String("f2", "", "second function")
-		width  = flag.Int("w", 46, "column width")
-		verify = flag.String("verify", "full", "IR verification level after loading: off, fast or full")
+		name1   = flag.String("f1", "", "first function")
+		name2   = flag.String("f2", "", "second function")
+		width   = flag.Int("w", 46, "column width")
+		verify  = flag.String("verify", "full", "IR verification level after loading: off, fast or full")
+		summary = flag.Bool("summary", false, "print the round-1 function-summary table of a .fmsum file")
 	)
 	flag.Parse()
+	if *summary {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: fmsa-diff -summary corpus.fmsum")
+			flag.Usage()
+			os.Exit(2)
+		}
+		printSummary(flag.Arg(0))
+		return
+	}
 	if flag.NArg() != 1 || *name1 == "" || *name2 == "" {
 		fmt.Fprintln(os.Stderr, "usage: fmsa-diff -f1 <name> -f2 <name> module.{ll,fmir}")
 		flag.Usage()
@@ -102,6 +118,48 @@ func Render(steps []align.Step, seq1, seq2 []linearize.Entry, width int, h1, h2 
 	fmt.Fprintf(&sb, "%d matched columns (shared), %d divergent entries, %.0f%% of %d entries mergeable\n",
 		matched, gaps, 100*float64(2*matched)/float64(total), total)
 	return sb.String()
+}
+
+// printSummary renders a .fmsum stream as per-unit tables: one row per
+// function summary, with the planner-relevant flags spelled out.
+func printSummary(path string) {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	name, tus, err := wire.DecodeSummaries(data)
+	fatal(err)
+	fmt.Printf("corpus %s: %d translation units\n", name, len(tus))
+	for _, tu := range tus {
+		fmt.Printf("\nunit %s (%d functions)\n", tu.Name, len(tu.Funcs))
+		fmt.Printf("  %-28s %-16s %5s  %s\n", "function", "stable hash", "insts", "flags")
+		for _, fs := range tu.Funcs {
+			fmt.Printf("  %-28s %016x %5d  %s\n", fs.Name, fs.Hash, fs.Size, summaryFlags(fs))
+		}
+	}
+}
+
+// summaryFlags spells out one summary's linkage and flag bits.
+func summaryFlags(fs wire.FuncSummary) string {
+	var parts []string
+	if fs.Linkage == ir.InternalLinkage {
+		parts = append(parts, "internal")
+	}
+	for _, f := range []struct {
+		bit  byte
+		name string
+	}{
+		{wire.SumSelfEq, "selfeq"},
+		{wire.SumUsesGlobals, "uses-globals"},
+		{wire.SumUsesInternal, "uses-internal"},
+		{wire.SumVariadic, "variadic"},
+	} {
+		if fs.Flags&f.bit != 0 {
+			parts = append(parts, f.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
 }
 
 func fatal(err error) {

@@ -5,6 +5,13 @@
 //	fmsa-gen -suite spec -format fmir -o out/
 //	fmsa-gen -suite mibench -bench rijndael -o out/
 //	fmsa-gen -list                        # show available benchmarks
+//
+// With -summary, each benchmark additionally gets a binary .fmsum file
+// holding the round-1 function summaries (stable hash, size, MinHash
+// signature, linkage flags) of its translation units — the publication the
+// sharded cross-TU pipeline plans from:
+//
+//	fmsa-gen -suite spec -units 4 -summary -o out/
 package main
 
 import (
@@ -14,19 +21,22 @@ import (
 	"path/filepath"
 	"strings"
 
+	"fmsa/internal/global"
 	"fmsa/internal/ir"
+	"fmsa/internal/wire"
 	"fmsa/internal/workload"
 )
 
 func main() {
 	var (
-		suite  = flag.String("suite", "spec", "benchmark suite: spec or mibench")
-		bench  = flag.String("bench", "", "emit only this benchmark (default: all)")
-		out    = flag.String("o", ".", "output directory")
-		format = flag.String("format", "ll", "output format: ll (textual IR) or fmir (binary)")
-		list   = flag.Bool("list", false, "list available benchmarks and exit")
-		units  = flag.Int("units", 1, "split each benchmark into this many translation units (feed them all to `fmsa` to model the Fig. 9 LTO pipeline)")
-		verify = flag.String("verify", "full", "IR verification level for generated modules and split units: off, fast or full")
+		suite   = flag.String("suite", "spec", "benchmark suite: spec or mibench")
+		bench   = flag.String("bench", "", "emit only this benchmark (default: all)")
+		out     = flag.String("o", ".", "output directory")
+		format  = flag.String("format", "ll", "output format: ll (textual IR) or fmir (binary)")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		units   = flag.Int("units", 1, "split each benchmark into this many translation units (feed them all to `fmsa` to model the Fig. 9 LTO pipeline)")
+		verify  = flag.String("verify", "full", "IR verification level for generated modules and split units: off, fast or full")
+		summary = flag.Bool("summary", false, "also write a .fmsum file with round-1 function summaries per benchmark")
 	)
 	flag.Parse()
 	level, err := ir.ParseVerifyLevel(*verify)
@@ -83,6 +93,9 @@ func main() {
 				}
 				fmt.Printf("wrote %s (%d functions)\n", path, len(tu.Definitions()))
 			}
+			if *summary {
+				writeSummary(*out, base, p.Name, tus)
+			}
 			emitted++
 			continue
 		}
@@ -92,11 +105,29 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d functions, %d instructions)\n",
 			path, len(m.Definitions()), m.NumInsts())
+		if *summary {
+			writeSummary(*out, base, p.Name, []*ir.Module{m})
+		}
 		emitted++
 	}
 	if emitted == 0 {
 		fatal(fmt.Errorf("no benchmark named %q in suite %s", *bench, *suite))
 	}
+}
+
+// writeSummary computes the round-1 summaries for one benchmark's
+// translation units and writes them as a binary .fmsum stream.
+func writeSummary(dir, base, corpus string, units []*ir.Module) {
+	sums := global.Summarize(units, 0)
+	path := filepath.Join(dir, base+".fmsum")
+	if err := os.WriteFile(path, wire.EncodeSummaries(corpus, sums), 0o644); err != nil {
+		fatal(err)
+	}
+	nf := 0
+	for _, tu := range sums {
+		nf += len(tu.Funcs)
+	}
+	fmt.Printf("wrote %s (%d units, %d function summaries)\n", path, len(sums), nf)
 }
 
 func fatal(err error) {

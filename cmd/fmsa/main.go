@@ -10,6 +10,14 @@
 // Pair mode merges two named functions and prints the merged function:
 //
 //	fmsa -merge glist_add_float32,glist_add_float64 module.ll
+//
+// Global mode treats every input file as its own translation unit and runs
+// the two-round sharded cross-TU pipeline: round 1 summarizes each unit
+// (stable hash + MinHash signature), round 2 plans folds and merge pairs
+// from the summaries alone and commits them per unit. Results are
+// bit-identical for any -shards and -workers value:
+//
+//	fmsa -global -shards 8 tu0.ll tu1.ll tu2.fmir
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fmsa/internal/analysis"
 	"fmsa/internal/callgraph"
 	"fmsa/internal/core"
+	"fmsa/internal/global"
 	"fmsa/internal/ir"
 	"fmsa/internal/tti"
 	"fmsa/internal/wire"
@@ -42,6 +51,8 @@ func main() {
 		noAlignMemo = flag.Bool("noalignmemo", false, "disable the alignment-result memo (measurement/debugging only)")
 		noBound     = flag.Bool("nobound", false, "disable pre-codegen profitability bounding (measurement/debugging only; results are identical either way)")
 		verifyLvl   = flag.String("verify", "full", "IR verification at pipeline boundaries and inside exploration: off, fast or full")
+		globalMode  = flag.Bool("global", false, "two-round sharded cross-TU merging: each input file is one translation unit")
+		shards      = flag.Int("shards", 1, "round-2 shard count for -global (results are bit-identical for any value)")
 		mergePair   = flag.String("merge", "", "merge exactly this comma-separated function pair")
 		out         = flag.String("o", "", "write the optimized module to this file (default: stdout)")
 		quiet       = flag.Bool("q", false, "suppress the statistics report")
@@ -65,17 +76,23 @@ func main() {
 	for i, u := range units {
 		verifyGate(u, level, "input "+flag.Arg(i))
 	}
+
+	tgt := tti.ByName(*target)
+	if tgt == nil {
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+
+	if *globalMode {
+		runGlobal(units, tgt, level, *shards, *workers, *out, *quiet)
+		return
+	}
+
 	mod := units[0]
 	if len(units) > 1 {
 		var err error
 		mod, err = ir.LinkModules("linked", units...)
 		fatal(err)
 		verifyGate(mod, level, "post-link")
-	}
-
-	tgt := tti.ByName(*target)
-	if tgt == nil {
-		fatal(fmt.Errorf("unknown target %q", *target))
 	}
 
 	if *cgDot {
@@ -135,6 +152,29 @@ func main() {
 		fmt.Fprint(os.Stderr, analysis.FormatDiagnostics(rep.AuditDiags))
 	}
 	emit(mod, *out)
+}
+
+// runGlobal drives the two-round sharded cross-TU pipeline over the loaded
+// translation units and emits the linked result.
+func runGlobal(units []*fmsa.Module, tgt tti.Target, level ir.VerifyLevel, shards, workers int, out string, quiet bool) {
+	opts := global.DefaultOptions()
+	opts.Target = tgt
+	opts.Shards = shards
+	opts.Workers = workers
+	linked, rep, err := global.Run(units, opts)
+	fatal(err)
+	verifyGate(linked, level, "post-global")
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "translation units: %d (%d shards)\n", rep.TUs, rep.Shards)
+		fmt.Fprintf(os.Stderr, "folded functions:  %d (%d groups)\n", rep.FoldedFuncs, rep.FoldGroups)
+		fmt.Fprintf(os.Stderr, "merged pairs:      %d of %d planned\n", rep.PairsMerged, rep.PairsPlanned)
+		fmt.Fprintf(os.Stderr, "exact scoring:     %d pairs (%d summary probes, %d bound skips)\n",
+			rep.ExactScoredPairs, rep.ProbePairs, rep.PrunedByBound)
+		fmt.Fprintf(os.Stderr, "size (%s):     %d -> %d bytes (%.2f%% reduction)\n",
+			tgt.Name(), rep.SizeBefore, rep.SizeAfter,
+			100*float64(rep.SizeBefore-rep.SizeAfter)/float64(max(rep.SizeBefore, 1)))
+	}
+	emit(linked, out)
 }
 
 func runPair(mod *fmsa.Module, pair string, tgt tti.Target, level ir.VerifyLevel, quiet bool) {

@@ -52,9 +52,15 @@ func (r *Result) Commit() int {
 // mergedArgs builds the argument list for a call to the merged function on
 // behalf of original function id (true = F1), given the original arguments.
 func (r *Result) mergedArgs(id bool, pmap []int, origArgs []ir.Value) []ir.Value {
-	sig := r.Merged.Sig()
+	return mergedArgsFor(r.Merged.Sig(), r.HasFuncID, id, pmap, origArgs)
+}
+
+// mergedArgsFor builds the argument list for a call to a merged function
+// with signature sig on behalf of the original function identified by id
+// (true = F1), given the original arguments and the parameter map.
+func mergedArgsFor(sig *ir.Type, hasFuncID, id bool, pmap []int, origArgs []ir.Value) []ir.Value {
 	args := make([]ir.Value, len(sig.Fields))
-	if r.HasFuncID {
+	if hasFuncID {
 		args[0] = ir.NewConstInt(ir.Bool(), b2i(id))
 	}
 	for i, a := range origArgs {
@@ -144,14 +150,25 @@ func convertAfter(blk *ir.Block, pos *ir.Inst, v ir.Value, want *ir.Type) ir.Val
 // buildThunk replaces f's (already dropped) body with a tail call to the
 // merged function (§III-A).
 func (r *Result) buildThunk(f *ir.Func, id bool, pmap []int) {
+	ForwardThunk(f, r.Merged, r.HasFuncID, id, pmap)
+}
+
+// ForwardThunk gives the bodiless function f a single-block body that
+// forwards to callee — the merged function, or a local declaration of it in
+// another translation unit — passing the function-id constant when the
+// merged signature carries one, mapping f's parameters through pmap, and
+// converting the returned value back to f's return type (§III-A). The
+// callee may be a declaration; sharded global merging relies on that to
+// thunk a function whose merged body lives in a different unit.
+func ForwardThunk(f, callee *ir.Func, hasFuncID, id bool, pmap []int) {
 	entry := f.NewBlockIn("entry")
 	bd := ir.NewBuilder(entry)
 	origArgs := make([]ir.Value, len(f.Params))
 	for i, p := range f.Params {
 		origArgs[i] = p
 	}
-	args := r.mergedArgs(id, pmap, origArgs)
-	call := bd.Call(r.Merged, args...)
+	args := mergedArgsFor(callee.Sig(), hasFuncID, id, pmap, origArgs)
+	call := bd.Call(callee, args...)
 	if f.ReturnType().IsVoid() {
 		bd.Ret(nil)
 		return

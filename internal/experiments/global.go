@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/global"
+	"fmsa/internal/ir"
+	"fmsa/internal/tti"
+	"fmsa/internal/wire"
+	"fmsa/internal/workload"
+)
+
+// GlobalResult is one JSON line of the sharded cross-TU merging experiment
+// (cmd/fmsa-bench -exp global). Per-corpus rows come in two modes —
+// "monolithic" for the whole-program exploration baseline and "global" for
+// the two-round sharded pipeline at each shard count — and the trailing
+// "aggregate" row carries the exact-scoring reduction the sweep gates on.
+type GlobalResult struct {
+	Experiment string `json:"experiment"` // always "global"
+	// Corpus names the measured corpus, or "aggregate" for the gate row.
+	Corpus string `json:"corpus"`
+	// Mode is "monolithic" or "global" on per-corpus rows.
+	Mode string `json:"mode,omitempty"`
+	// Shards is the round-2 shard count on "global" rows.
+	Shards int `json:"shards,omitempty"`
+	// Units is the translation-unit count the corpus was split into.
+	Units int `json:"units,omitempty"`
+	Funcs int `json:"funcs,omitempty"`
+	// ExactScoredPairs counts function pairs that reached exact evaluation:
+	// alignment-scored ranking probes for the monolithic baseline
+	// (RankProbes minus prefilter skips), evaluated plan pairs for the
+	// global pipeline.
+	ExactScoredPairs int64 `json:"exact_scored_pairs"`
+	// AlignCells counts alignment DP cells computed during the run.
+	AlignCells int64 `json:"align_cells"`
+	// NsWall is the run's wall clock in nanoseconds.
+	NsWall int64 `json:"ns_wall"`
+	// MergeRecords counts committed transformations (folds plus merges).
+	MergeRecords int `json:"merge_records"`
+	// BitIdentical reports that this configuration's merge records and
+	// linked module text match the shards=1 baseline ("global" rows), or
+	// that every gate held ("aggregate" row).
+	BitIdentical bool `json:"bit_identical"`
+	// Aggregate-row fields: total exact-scored pairs per mode and the
+	// resulting reduction percentage, gated at >= 30%.
+	ExactMonolithic int64   `json:"exact_monolithic,omitempty"`
+	ExactGlobal     int64   `json:"exact_global,omitempty"`
+	ReductionPct    float64 `json:"reduction_pct,omitempty"`
+	// Detail names the first violated gate.
+	Detail string `json:"detail,omitempty"`
+}
+
+// GlobalConfig selects one sharded-merging sweep.
+type GlobalConfig struct {
+	Workers int // <= 0 selects GOMAXPROCS
+	// Units is the translation-unit count per corpus; <= 0 means 4.
+	Units int
+	// Threshold is the monolithic baseline's exploration threshold;
+	// <= 0 means 1.
+	Threshold int
+	// ShardCounts are the round-2 shard counts to cross-check; empty means
+	// {1, 2, 8}.
+	ShardCounts []int
+}
+
+// globalReductionFloorPct is the aggregate gate: the global pipeline must
+// exact-score at least this much fewer pairs than the monolithic baseline.
+const globalReductionFloorPct = 30.0
+
+// GlobalSweep measures the two-round sharded cross-TU pipeline against
+// monolithic whole-program exploration on every corpus and enforces the
+// tentpole's two gates: merge records and linked-module text must be
+// bit-identical across all shard counts, and summary-based planning must
+// cut exact-scored pairs by at least 30% in aggregate. It also round-trips
+// every corpus's round-1 summaries through the .fmsum wire format and fails
+// on any mismatch. Returns an error naming the first violation.
+func GlobalSweep(profiles []workload.Profile, target tti.Target, cfg GlobalConfig) ([]GlobalResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Units <= 0 {
+		cfg.Units = 4
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 1
+	}
+	if len(cfg.ShardCounts) == 0 {
+		cfg.ShardCounts = []int{1, 2, 8}
+	}
+	var out []GlobalResult
+	var firstErr error
+	fail := func(corpus, detail string) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("global sweep failed on %s: %s", corpus, detail)
+		}
+	}
+	agg := GlobalResult{Experiment: "global", Corpus: "aggregate", BitIdentical: true}
+
+	for _, p := range profiles {
+		// Monolithic baseline: whole-program exploration on the unsplit
+		// module. Its exact-scoring work is the alignment-scored ranking
+		// probes (pool pairs that survived the cheap prefilter).
+		m := workload.Build(p)
+		nfuncs := len(m.Definitions())
+		opts := explore.DefaultOptions()
+		opts.Target = target
+		opts.Threshold = cfg.Threshold
+		opts.Workers = cfg.Workers
+		start := time.Now()
+		rep := explore.Run(m, opts)
+		mono := GlobalResult{
+			Experiment: "global", Corpus: p.Name, Mode: "monolithic",
+			Funcs:            nfuncs,
+			ExactScoredPairs: rep.RankProbes - rep.RankPrefilterSkips,
+			AlignCells:       rep.AlignCells,
+			NsWall:           time.Since(start).Nanoseconds(),
+			MergeRecords:     len(rep.Records),
+			BitIdentical:     true,
+		}
+		out = append(out, mono)
+		agg.ExactMonolithic += mono.ExactScoredPairs
+
+		// Round-1 summary wire round trip: the published .fmsum stream must
+		// decode back to exactly what Summarize produced.
+		units, err := ir.SplitModule(workload.Build(p), cfg.Units)
+		if err != nil {
+			fail(p.Name, fmt.Sprintf("split: %v", err))
+			continue
+		}
+		sums := global.Summarize(units, cfg.Workers)
+		name, decoded, err := wire.DecodeSummaries(wire.EncodeSummaries(p.Name, sums))
+		if err != nil {
+			fail(p.Name, fmt.Sprintf("summary decode: %v", err))
+		} else if name != p.Name || !reflect.DeepEqual(decoded, sums) {
+			fail(p.Name, "summaries do not round-trip through the fmsum wire format")
+		}
+
+		// Global pipeline at every shard count; shards=1 is the baseline
+		// the others must match bit for bit.
+		var baseText string
+		var baseRecords []global.MergeRecord
+		for i, shards := range cfg.ShardCounts {
+			units, err := ir.SplitModule(workload.Build(p), cfg.Units)
+			if err != nil {
+				fail(p.Name, fmt.Sprintf("split: %v", err))
+				break
+			}
+			gopts := global.DefaultOptions()
+			gopts.Target = target
+			gopts.Shards = shards
+			gopts.Workers = cfg.Workers
+			start := time.Now()
+			linked, grep, err := global.Run(units, gopts)
+			if err != nil {
+				fail(p.Name, fmt.Sprintf("global shards=%d: %v", shards, err))
+				break
+			}
+			row := GlobalResult{
+				Experiment: "global", Corpus: p.Name, Mode: "global",
+				Shards: shards, Units: cfg.Units,
+				Funcs:            grep.Funcs,
+				ExactScoredPairs: int64(grep.ExactScoredPairs),
+				AlignCells:       grep.AlignCells,
+				NsWall:           time.Since(start).Nanoseconds(),
+				MergeRecords:     len(grep.Records),
+				BitIdentical:     true,
+			}
+			text := ir.FormatModule(linked)
+			if i == 0 {
+				baseText, baseRecords = text, grep.Records
+				agg.ExactGlobal += row.ExactScoredPairs
+			} else {
+				if !reflect.DeepEqual(baseRecords, grep.Records) {
+					row.BitIdentical = false
+					row.Detail = fmt.Sprintf("merge records diverge from shards=%d", cfg.ShardCounts[0])
+				} else if text != baseText {
+					row.BitIdentical = false
+					row.Detail = fmt.Sprintf("linked module text diverges from shards=%d", cfg.ShardCounts[0])
+				}
+				if !row.BitIdentical {
+					agg.BitIdentical = false
+					fail(p.Name, row.Detail)
+				}
+			}
+			out = append(out, row)
+		}
+	}
+
+	if agg.ExactMonolithic > 0 {
+		agg.ReductionPct = 100 * float64(agg.ExactMonolithic-agg.ExactGlobal) / float64(agg.ExactMonolithic)
+	}
+	if agg.ReductionPct < globalReductionFloorPct {
+		agg.Detail = fmt.Sprintf("exact-scored pair reduction %.1f%% below the %.0f%% floor",
+			agg.ReductionPct, globalReductionFloorPct)
+		fail("aggregate", agg.Detail)
+	}
+	agg.BitIdentical = agg.BitIdentical && firstErr == nil
+	out = append(out, agg)
+	return out, firstErr
+}

@@ -1,0 +1,275 @@
+package global_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fmsa/internal/core"
+	"fmsa/internal/global"
+	"fmsa/internal/interp"
+	"fmsa/internal/ir"
+	"fmsa/internal/linearize"
+	"fmsa/internal/workload"
+)
+
+func corpusProfile(seed int64) workload.Profile {
+	return workload.Profile{
+		Name: "globaltest", NumFuncs: 40, AvgSize: 22, MaxSize: 64,
+		Identical: 0.25, TypeVar: 0.1, CFGVar: 0.05, Partial: 0.1,
+		InternalFrac: 0.4, Seed: seed,
+	}
+}
+
+// buildUnits rebuilds the corpus from scratch and splits it — split is
+// input-order invariant (TestSplitPermutationInvariant), so every call
+// yields identical units.
+func buildUnits(t testing.TB, seed int64, n int) []*ir.Module {
+	t.Helper()
+	units, err := ir.SplitModule(workload.Build(corpusProfile(seed)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return units
+}
+
+func runMain(t *testing.T, m *ir.Module) uint64 {
+	t.Helper()
+	mc := interp.NewMachine(m)
+	workload.RegisterIntrinsics(mc)
+	v, err := mc.Run("main")
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return v
+}
+
+// TestGlobalShardDeterminism is the PR-1 determinism harness generalized to
+// sharded cross-TU merging: every (shards, workers) combination must commit
+// identical merge records and produce a byte-identical linked module.
+func TestGlobalShardDeterminism(t *testing.T) {
+	const nunits = 6
+	type outcome struct {
+		records []global.MergeRecord
+		text    string
+	}
+	var base *outcome
+	for _, shards := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 2, 8} {
+			opts := global.DefaultOptions()
+			opts.Shards = shards
+			opts.Workers = workers
+			linked, rep, err := global.Run(buildUnits(t, 3, nunits), opts)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			got := &outcome{records: rep.Records, text: ir.FormatModule(linked)}
+			if base == nil {
+				base = got
+				if len(rep.Records) == 0 {
+					t.Fatal("corpus produced no merge records; determinism check is vacuous")
+				}
+				continue
+			}
+			if !reflect.DeepEqual(base.records, got.records) {
+				t.Errorf("shards=%d workers=%d: merge records diverge from baseline", shards, workers)
+			}
+			if base.text != got.text {
+				t.Errorf("shards=%d workers=%d: linked module text diverges from baseline", shards, workers)
+			}
+		}
+	}
+}
+
+// TestGlobalPreservesSemantics interprets the program before and after the
+// full two-round pipeline.
+func TestGlobalPreservesSemantics(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		want := runMain(t, workload.Build(corpusProfile(seed)))
+		for _, nunits := range []int{1, 4, 8} {
+			linked, _, err := global.Run(buildUnits(t, seed, nunits), global.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diags := ir.VerifyModuleLevel(linked, ir.VerifyFull); len(diags) > 0 {
+				t.Fatalf("seed=%d units=%d: %v", seed, nunits, diags[0])
+			}
+			if got := runMain(t, linked); got != want {
+				t.Errorf("seed=%d units=%d: main() = %d, want %d", seed, nunits, got, want)
+			}
+		}
+	}
+}
+
+// TestGlobalFoldsCrossTU pins the round-1/round-2 contract on a hand-built
+// corpus: two structurally identical external functions in different units
+// fold into one body plus a thunk, and the program still computes the same
+// values.
+func TestGlobalFoldsCrossTU(t *testing.T) {
+	body := `
+entry:
+  %a = mul i64 %x, 3
+  %b = add i64 %a, 7
+  %c = xor i64 %b, %x
+  %d = add i64 %c, %b
+  ret i64 %d
+}
+`
+	a := ir.MustParseModule("a", "define i64 @left(i64 %x) {"+body)
+	b := ir.MustParseModule("b", "define i64 @right(i64 %x) {"+body)
+	linked, rep, err := global.Run([]*ir.Module{a, b}, global.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FoldedFuncs != 1 || len(rep.Records) != 1 || rep.Records[0].Kind != "fold" {
+		t.Fatalf("expected exactly one fold, got %+v", rep.Records)
+	}
+	mc := interp.NewMachine(linked)
+	l, err := mc.Run("left", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mc.Run("right", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != r {
+		t.Errorf("left(11)=%d right(11)=%d diverge after folding", l, r)
+	}
+	// right must have become a forwarding thunk, not keep its body.
+	if f := linked.FuncByName("right"); f == nil || f.NumInsts() > 2 {
+		t.Errorf("right should be a thunk after the fold")
+	}
+}
+
+// TestGlobalLocalOnlyNeverCrosses: functions referencing internal symbols
+// must not fold or merge across units even when hashes collide by name.
+func TestGlobalLocalOnlyNeverCrosses(t *testing.T) {
+	mk := func(name, add string) *ir.Module {
+		return ir.MustParseModule(name, `
+define internal i64 @helper(i64 %x) {
+entry:
+  %r = add i64 %x, `+add+`
+  ret i64 %r
+}
+
+define i64 @use_`+name+`(i64 %x) {
+entry:
+  %a = call i64 @helper(i64 %x)
+  %b = mul i64 %a, 5
+  %c = add i64 %b, %a
+  %d = xor i64 %c, %b
+  ret i64 %d
+}
+`)
+	}
+	a, b := mk("a", "1"), mk("b", "2")
+	linked, _, err := global.Run([]*ir.Module{a, b}, global.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := interp.NewMachine(linked)
+	ra, err := mc.Run("use_a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := mc.Run("use_b", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// use_a computes with helper(+1), use_b with helper(+2); a cross-unit
+	// fold of the callers would collapse the two results.
+	if ra == rb {
+		t.Errorf("use_a and use_b collapsed (%d == %d): local-only caller crossed units", ra, rb)
+	}
+}
+
+// TestGlobalReducesExactScoring checks the tentpole's efficiency claim on a
+// corpus scale small enough for CI: summary-based planning must evaluate
+// far fewer pairs exactly than the quadratic candidate space.
+func TestGlobalReducesExactScoring(t *testing.T) {
+	_, rep, err := global.Run(buildUnits(t, 3, 6), global.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad := rep.Funcs * (rep.Funcs - 1) / 2
+	if rep.ExactScoredPairs*3 > quad {
+		t.Errorf("exact-scored %d of %d possible pairs: summary pruning is not pruning",
+			rep.ExactScoredPairs, quad)
+	}
+	if rep.PairsMerged == 0 && rep.FoldedFuncs == 0 {
+		t.Error("pipeline committed nothing on a similarity-rich corpus")
+	}
+}
+
+// FuzzStableHash fuzzes the satellite contract: equal stable hashes on
+// self-comparable functions must imply column-for-column structural
+// equality at core.EntriesEquivalent level, and hashing must be invariant
+// under print→reparse.
+func FuzzStableHash(f *testing.F) {
+	profiles := []workload.Profile{
+		{Name: "fz1", NumFuncs: 6, AvgSize: 10, MaxSize: 24, Identical: 0.5, Seed: 1},
+		{Name: "fz2", NumFuncs: 6, AvgSize: 12, MaxSize: 24, TypeVar: 0.4, Seed: 2},
+	}
+	var seeds []string
+	for _, p := range profiles {
+		seeds = append(seeds, ir.FormatModule(workload.Build(p)))
+	}
+	for i, s := range seeds {
+		f.Add(s, seeds[(i+1)%len(seeds)])
+	}
+	f.Fuzz(func(t *testing.T, text1, text2 string) {
+		m1, err := ir.ParseModule("m1", text1)
+		if err != nil {
+			return
+		}
+		m2, err := ir.ParseModule("m2", text2)
+		if err != nil {
+			return
+		}
+		defs := append(m1.Definitions(), m2.Definitions()...)
+		type hashed struct {
+			f      *ir.Func
+			hash   uint64
+			selfEq bool
+		}
+		hs := make([]hashed, len(defs))
+		for i, fn := range defs {
+			h, eq := global.StableHash(fn)
+			hs[i] = hashed{fn, h, eq}
+		}
+		for i := range hs {
+			for j := i + 1; j < len(hs); j++ {
+				a, b := hs[i], hs[j]
+				if a.hash != b.hash || !a.selfEq || !b.selfEq {
+					continue
+				}
+				if a.f.Sig() != b.f.Sig() {
+					t.Fatalf("equal hash, different signatures: %s vs %s", a.f.Name(), b.f.Name())
+				}
+				sa, sb := linearize.Linearize(a.f), linearize.Linearize(b.f)
+				if len(sa) != len(sb) {
+					t.Fatalf("equal hash, different linearization lengths: %s vs %s", a.f.Name(), b.f.Name())
+				}
+				for k := range sa {
+					if !core.EntriesEquivalent(sa[k], sb[k]) {
+						t.Fatalf("equal hash, entries diverge at %d: %s vs %s", k, a.f.Name(), b.f.Name())
+					}
+				}
+			}
+		}
+		// Print→reparse invariance on every definition.
+		re, err := ir.ParseModule("re", ir.FormatModule(m1))
+		if err != nil {
+			t.Fatalf("reparse of printed module failed: %v", err)
+		}
+		for _, fn := range m1.Definitions() {
+			h1, eq1 := global.StableHash(fn)
+			rf := re.FuncByName(fn.Name())
+			h2, eq2 := global.StableHash(rf)
+			if h1 != h2 || eq1 != eq2 {
+				t.Fatalf("hash not print-stable for %s: %016x/%v vs %016x/%v",
+					fn.Name(), h1, eq1, h2, eq2)
+			}
+		}
+	})
+}

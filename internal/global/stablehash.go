@@ -1,0 +1,162 @@
+// Package global implements two-round optimistic cross-TU merging in the
+// style of the Optimistic Global Function Merger: round 1 computes a
+// structurally-stable hash and a compact summary per translation unit,
+// round 2 plans folds and merge pairs against the global summary table and
+// commits them per TU without any other TU's body present. Results are
+// bit-identical for any shard count and any worker count — the plan is a
+// pure function of the summaries, and summaries are order-free.
+package global
+
+import (
+	"encoding/binary"
+	"math"
+
+	"fmsa/internal/ir"
+)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv64(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// StableHash returns a position-independent structural hash of f's body:
+// types by content (their canonical string form), local operands by
+// definition index, and no dependence on the function's own name — two
+// functions that differ only by name and local value names hash equal, in
+// any translation unit and any process. The boolean mirrors the encode
+// interner's fresh-code rule: when false (the function contains a phi or an
+// invoke without a modeled landing pad), hash equality does NOT imply
+// structural equality and the function must not fold.
+func StableHash(f *ir.Func) (uint64, bool) {
+	key, selfEq := AppendStableKey(nil, f)
+	return fnv64(key), selfEq
+}
+
+// AppendStableKey appends f's canonical structural key to buf and reports
+// whether key equality implies structural equality (see StableHash). Two
+// definitions have equal keys iff they are column-for-column equivalent at
+// the exact-operand level, which is strictly finer than the paper's §III-D
+// instruction equivalence.
+func AppendStableKey(buf []byte, f *ir.Func) ([]byte, bool) {
+	types := map[*ir.Type]uint64{}
+	typeRef := func(t *ir.Type) uint64 {
+		if t == nil {
+			return 0
+		}
+		if r, ok := types[t]; ok {
+			return r
+		}
+		r := fnv64([]byte(t.String()))
+		types[t] = r
+		return r
+	}
+
+	// Local definition indices: params first, then instructions in layout
+	// order. Blocks by layout index.
+	defIdx := map[ir.Value]int{}
+	blkIdx := map[*ir.Block]int{}
+	for i, p := range f.Params {
+		defIdx[p] = i
+	}
+	n := len(f.Params)
+	for bi, b := range f.Blocks {
+		blkIdx[b] = bi
+		for _, in := range b.Insts {
+			defIdx[in] = n
+			n++
+		}
+	}
+
+	sig := f.Sig().String()
+	buf = append(buf, 'F')
+	buf = binary.AppendUvarint(buf, uint64(len(sig)))
+	buf = append(buf, sig...)
+
+	selfEq := true
+	for _, b := range f.Blocks {
+		buf = append(buf, 'B')
+		for _, in := range b.Insts {
+			switch in.Op {
+			case ir.OpPhi:
+				selfEq = false
+			case ir.OpInvoke:
+				lp := in.InvokeUnwind().Insts
+				if len(lp) == 0 || lp[0].Op != ir.OpLandingPad {
+					selfEq = false
+				}
+			}
+			buf = append(buf, 'I', byte(in.Op))
+			buf = binary.AppendUvarint(buf, typeRef(in.Type()))
+			switch in.Op {
+			case ir.OpICmp, ir.OpFCmp:
+				buf = append(buf, byte(in.Pred))
+			case ir.OpAlloca:
+				buf = binary.AppendUvarint(buf, typeRef(in.Alloc))
+			case ir.OpLandingPad:
+				buf = binary.AppendUvarint(buf, uint64(len(in.Clauses)))
+				for _, c := range in.Clauses {
+					buf = binary.AppendUvarint(buf, uint64(len(c)))
+					buf = append(buf, c...)
+				}
+			}
+			buf = binary.AppendUvarint(buf, uint64(in.NumOperands()))
+			for _, op := range in.Operands() {
+				buf = appendOperandKey(buf, f, op, typeRef, defIdx, blkIdx)
+			}
+		}
+	}
+	return buf, selfEq
+}
+
+func appendOperandKey(buf []byte, f *ir.Func, op ir.Value,
+	typeRef func(*ir.Type) uint64, defIdx map[ir.Value]int, blkIdx map[*ir.Block]int) []byte {
+	switch v := op.(type) {
+	case nil:
+		return append(buf, 'z')
+	case *ir.Block:
+		buf = append(buf, 'b')
+		return binary.AppendUvarint(buf, uint64(blkIdx[v]))
+	case *ir.Param, *ir.Inst:
+		buf = append(buf, 'l')
+		return binary.AppendUvarint(buf, uint64(defIdx[op]))
+	case *ir.Func:
+		if v == f {
+			// Self-reference: recursion hashes position-independently so
+			// two structurally identical recursive functions still match.
+			return append(buf, 's')
+		}
+		buf = append(buf, 'f')
+		buf = binary.AppendUvarint(buf, uint64(len(v.Name())))
+		return append(buf, v.Name()...)
+	case *ir.Global:
+		buf = append(buf, 'g')
+		buf = binary.AppendUvarint(buf, uint64(len(v.Name())))
+		return append(buf, v.Name()...)
+	case *ir.ConstInt:
+		buf = append(buf, 'c')
+		buf = binary.AppendUvarint(buf, typeRef(v.Type()))
+		return binary.AppendUvarint(buf, uint64(v.V))
+	case *ir.ConstFloat:
+		buf = append(buf, 'd')
+		buf = binary.AppendUvarint(buf, typeRef(v.Type()))
+		return binary.AppendUvarint(buf, math.Float64bits(v.V))
+	case *ir.Undef:
+		buf = append(buf, 'u')
+		return binary.AppendUvarint(buf, typeRef(v.Type()))
+	case *ir.ConstNull:
+		buf = append(buf, 'n')
+		return binary.AppendUvarint(buf, typeRef(v.Type()))
+	default:
+		// Unknown value kind: poison the key so it never matches anything.
+		return append(buf, 0xff)
+	}
+}

@@ -12,14 +12,24 @@ import "fmt"
 func LinkModules(name string, mods ...*Module) (*Module, error) {
 	linked := NewModule(name)
 
+	// Pre-size every table from the summed input counts: relinking after a
+	// split is a hot path, and growing the symbol maps incrementally there
+	// costs repeated rehashes of the whole table.
+	nfuncs, nglobals := 0, 0
+	for _, src := range mods {
+		nfuncs += len(src.Funcs)
+		nglobals += len(src.Globals)
+	}
+	linked.Grow(nfuncs, nglobals)
+
 	// First pass: move every definition, renaming internal symbols whose
 	// names collide. Track the chosen definition per external name.
 	type pending struct {
 		decls []*Func
 		def   *Func
 	}
-	funcs := map[string]*pending{}
-	var order []string // deterministic first-seen order of external names
+	funcs := make(map[string]*pending, nfuncs)
+	order := make([]string, 0, nfuncs) // deterministic first-seen order of external names
 
 	for _, src := range mods {
 		for _, g := range append([]*Global(nil), src.Globals...) {

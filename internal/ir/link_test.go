@@ -6,6 +6,7 @@ import (
 
 	"fmsa/internal/interp"
 	"fmsa/internal/ir"
+	"fmsa/internal/workload"
 )
 
 func TestLinkResolvesDeclarations(t *testing.T) {
@@ -152,6 +153,29 @@ entry:
 	text := ir.FormatModule(linked)
 	if strings.Count(text, "internal global") != 2 {
 		t.Errorf("expected two internal globals:\n%s", text)
+	}
+}
+
+// BenchmarkLink pins the relink-after-split hot path the pre-sized symbol
+// tables optimize: split a corpus-sized module into units, then time
+// relinking them (rebuilding fresh units per iteration — LinkModules
+// consumes its inputs).
+func BenchmarkLink(b *testing.B) {
+	p := workload.Profile{
+		Name: "linkbench", NumFuncs: 120, AvgSize: 18, MaxSize: 48,
+		Identical: 0.1, TypeVar: 0.1, InternalFrac: 0.6, Seed: 11,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		units, err := ir.SplitModule(workload.Build(p), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := ir.LinkModules("relinked", units...); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -22,6 +22,37 @@ func NewModule(name string) *Module {
 	}
 }
 
+// Grow reserves capacity for nf additional functions and ng additional
+// globals, growing the ordered slices and rebuilding the symbol maps at the
+// target size so bulk attachment (linking, cloning) avoids incremental
+// rehashing.
+func (m *Module) Grow(nf, ng int) {
+	if nf > 0 {
+		if cap(m.Funcs)-len(m.Funcs) < nf {
+			grown := make([]*Func, len(m.Funcs), len(m.Funcs)+nf)
+			copy(grown, m.Funcs)
+			m.Funcs = grown
+		}
+		byName := make(map[string]*Func, len(m.Funcs)+nf)
+		for _, f := range m.Funcs {
+			byName[f.name] = f
+		}
+		m.funcByName = byName
+	}
+	if ng > 0 {
+		if cap(m.Globals)-len(m.Globals) < ng {
+			grown := make([]*Global, len(m.Globals), len(m.Globals)+ng)
+			copy(grown, m.Globals)
+			m.Globals = grown
+		}
+		byName := make(map[string]*Global, len(m.Globals)+ng)
+		for _, g := range m.Globals {
+			byName[g.name] = g
+		}
+		m.globalByName = byName
+	}
+}
+
 // AddFunc attaches f to the module. Function names must be unique.
 func (m *Module) AddFunc(f *Func) {
 	if f.parent != nil {

@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // SplitModule partitions a module's function definitions round-robin into n
 // translation units, the inverse of LinkModules. Cross-unit references
@@ -8,6 +11,11 @@ import "fmt"
 // referenced across units are promoted to external linkage (with a unique
 // name) so the units link back together. @main, when present, stays in the
 // first unit.
+//
+// Assignment and unit-internal order follow the symbol names, not the
+// module's arrival order, so two modules that define the same functions in
+// different orders split into textually identical units — the invariant
+// sharded global merging builds its bit-identity on.
 //
 // Together with LinkModules this models the paper's Fig. 9 pipeline: a
 // program split into per-file units, compiled separately, then linked and
@@ -21,10 +29,15 @@ func SplitModule(m *Module, n int) ([]*Module, error) {
 		return nil, fmt.Errorf("split: modules with globals are not supported")
 	}
 
+	// Name-sorted view of the symbol table: drives both unit assignment and
+	// unit-internal placement so the result is input-order invariant.
+	sorted := append([]*Func(nil), m.Funcs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name() < sorted[j].Name() })
+
 	// Assign definitions to units.
 	unitOf := map[*Func]int{}
 	next := 0
-	for _, f := range m.Funcs {
+	for _, f := range sorted {
 		if f.IsDecl() {
 			continue
 		}
@@ -65,7 +78,7 @@ func SplitModule(m *Module, n int) ([]*Module, error) {
 		// otherwise (pruned later if unused).
 		base := map[Value]Value{}
 		clones := map[*Func]*Func{}
-		for _, f := range m.Funcs {
+		for _, f := range sorted {
 			var local *Func
 			if !f.IsDecl() && unitOf[f] == k {
 				local = NewFunc(f.Name(), f.Sig())
@@ -80,7 +93,7 @@ func SplitModule(m *Module, n int) ([]*Module, error) {
 			base[f] = local
 		}
 		// Clone assigned bodies.
-		for _, f := range m.Funcs {
+		for _, f := range sorted {
 			dst, ok := clones[f]
 			if !ok {
 				continue

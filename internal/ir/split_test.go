@@ -1,6 +1,7 @@
 package ir_test
 
 import (
+	"strings"
 	"testing"
 
 	"fmsa/internal/interp"
@@ -83,6 +84,129 @@ func TestSplitDistributesFunctions(t *testing.T) {
 	}
 	if total != defs {
 		t.Errorf("definitions across units = %d, want %d", total, defs)
+	}
+}
+
+// topLevelChunks cuts a printed module into its top-level declarations and
+// definitions so tests can permute the input order.
+func topLevelChunks(text string) []string {
+	var chunks []string
+	var cur []string
+	inBody := false
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case inBody:
+			cur = append(cur, line)
+			if line == "}" {
+				chunks = append(chunks, strings.Join(cur, "\n"))
+				cur, inBody = nil, false
+			}
+		case strings.HasPrefix(line, "define"):
+			cur, inBody = []string{line}, true
+		case strings.HasPrefix(line, "declare"):
+			chunks = append(chunks, line)
+		}
+	}
+	return chunks
+}
+
+// TestSplitPermutationInvariant pins the shard-determinism prerequisite:
+// unit assignment and unit-internal order follow symbol names, so feeding
+// the same definitions in a different order must split into textually
+// identical units.
+func TestSplitPermutationInvariant(t *testing.T) {
+	src := buildSplitFixture(t, 9)
+	text := ir.FormatModule(src)
+	chunks := topLevelChunks(text)
+	if len(chunks) < 3 {
+		t.Fatalf("fixture too small to permute: %d chunks", len(chunks))
+	}
+	// Reversal permutes every position; rotation catches off-by-one
+	// round-robin dependence on the first element.
+	perms := map[string][]string{
+		"reversed": nil,
+		"rotated":  nil,
+	}
+	rev := make([]string, len(chunks))
+	for i, c := range chunks {
+		rev[len(chunks)-1-i] = c
+	}
+	perms["reversed"] = rev
+	perms["rotated"] = append(append([]string(nil), chunks[len(chunks)/2:]...), chunks[:len(chunks)/2]...)
+
+	for _, n := range []int{2, 4} {
+		base, err := ir.SplitModule(buildSplitFixture(t, 9), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"reversed", "rotated"} {
+			perm, err := ir.ParseModule(src.Name, strings.Join(perms[name], "\n")+"\n")
+			if err != nil {
+				t.Fatalf("%s: reparse: %v", name, err)
+			}
+			got, err := ir.SplitModule(perm, n)
+			if err != nil {
+				t.Fatalf("%s: split: %v", name, err)
+			}
+			for k := range base {
+				want := ir.FormatModule(base[k])
+				have := ir.FormatModule(got[k])
+				if want != have {
+					t.Fatalf("split(%d) unit %d differs under %s input order:\n--- original\n%s\n--- permuted\n%s",
+						n, k, name, want, have)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitRelinkShardCounts drives split→relink at the shard counts the
+// global pipeline uses, checking full-level verifier cleanliness at every
+// boundary, unchanged semantics, and that a second split→relink round
+// reproduces the first round's printed module exactly.
+func TestSplitRelinkShardCounts(t *testing.T) {
+	profiles := []workload.Profile{
+		{Name: "split", NumFuncs: 12, AvgSize: 20, MaxSize: 60,
+			Identical: 0.2, TypeVar: 0.1, InternalFrac: 0.6, Seed: 5},
+		workload.UnscaledSmall()[0], // 429.mcf
+	}
+	for _, p := range profiles {
+		want := runMain(t, workload.Build(p))
+		for _, n := range []int{1, 2, 4, 8} {
+			units, err := ir.SplitModule(workload.Build(p), n)
+			if err != nil {
+				t.Fatalf("%s split(%d): %v", p.Name, n, err)
+			}
+			for _, u := range units {
+				if diags := ir.VerifyModuleLevel(u, ir.VerifyFull); len(diags) > 0 {
+					t.Fatalf("%s split(%d) unit %s: %v", p.Name, n, u.Name, diags[0])
+				}
+			}
+			linked, err := ir.LinkModules("relinked", units...)
+			if err != nil {
+				t.Fatalf("%s link(%d): %v", p.Name, n, err)
+			}
+			if diags := ir.VerifyModuleLevel(linked, ir.VerifyFull); len(diags) > 0 {
+				t.Fatalf("%s relinked(%d): %v", p.Name, n, diags[0])
+			}
+			if got := runMain(t, linked); got != want {
+				t.Fatalf("%s split(%d)+link changed semantics: %d vs %d", p.Name, n, got, want)
+			}
+			text1 := ir.FormatModule(linked)
+
+			// Idempotency: the relinked module splits and relinks to itself.
+			units2, err := ir.SplitModule(linked, n)
+			if err != nil {
+				t.Fatalf("%s resplit(%d): %v", p.Name, n, err)
+			}
+			linked2, err := ir.LinkModules("relinked", units2...)
+			if err != nil {
+				t.Fatalf("%s relink(%d): %v", p.Name, n, err)
+			}
+			if text2 := ir.FormatModule(linked2); text1 != text2 {
+				t.Fatalf("%s split(%d)+link not idempotent", p.Name, n)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fmsa/internal/ir"
+)
+
+// Function summary flags (FuncSummary.Flags). SumSelfEq marks hashes whose
+// equality implies structural equality (functions with phis or unmodeled
+// invokes hash fine but never compare equal, mirroring the encode
+// interner's fresh codes); the Uses* bits pin functions whose behavior
+// depends on module-local state to their own translation unit.
+const (
+	SumSelfEq byte = 1 << iota // hash equality implies structural equality
+	SumUsesGlobals
+	SumUsesInternal // references an internal symbol (possibly itself)
+	SumVariadic
+)
+
+// maxSummaryLanes bounds the per-function MinHash lane count a decoder will
+// allocate for, shielding against corrupt or adversarial length prefixes.
+const maxSummaryLanes = 4096
+
+// FuncSummary is the round-1 publication for one function definition:
+// everything round 2 needs to pick fold and merge candidates without the
+// defining translation unit's body present — the stable structural hash,
+// the size and MinHash signature feeding the LSH index and the profit
+// bound, and the linkage/flags that gate cross-TU use.
+//
+// MinHash carries the raw signature lanes. The wire layer is agnostic to
+// the lane count — it round-trips whatever length the producer wrote — and
+// the consumer (internal/global) validates it against fingerprint.SigLanes,
+// keeping this package below fingerprint in the dependency order.
+type FuncSummary struct {
+	Name    string
+	Linkage ir.Linkage
+	Flags   byte
+	Size    int // instruction count
+	Hash    uint64
+	MinHash []uint64
+}
+
+// TUSummary groups one translation unit's function summaries, in the
+// unit's definition order.
+type TUSummary struct {
+	Name  string
+	Funcs []FuncSummary
+}
+
+// EncodeSummaries serializes per-TU summaries as an fmir-framed .fmsum
+// byte stream: the standard magic/version/name header, one summary
+// section, and the end section. Hash and MinHash lanes are fixed-width
+// little-endian — they are high-entropy, so varints would only inflate
+// them.
+func EncodeSummaries(name string, tus []TUSummary) []byte {
+	var payload []byte
+	payload = appendUvarint(payload, uint64(len(tus)))
+	for _, tu := range tus {
+		payload = appendString(payload, tu.Name)
+		payload = appendUvarint(payload, uint64(len(tu.Funcs)))
+		for i := range tu.Funcs {
+			fs := &tu.Funcs[i]
+			payload = appendString(payload, fs.Name)
+			payload = append(payload, byte(fs.Linkage), fs.Flags)
+			payload = appendUvarint(payload, uint64(fs.Size))
+			payload = binary.LittleEndian.AppendUint64(payload, fs.Hash)
+			payload = appendUvarint(payload, uint64(len(fs.MinHash)))
+			for _, lane := range fs.MinHash {
+				payload = binary.LittleEndian.AppendUint64(payload, lane)
+			}
+		}
+	}
+	out := append([]byte(nil), Magic[:]...)
+	out = appendUvarint(out, Version)
+	out = appendString(out, name)
+	out = append(out, secSummary)
+	out = appendUvarint(out, uint64(len(payload)))
+	out = append(out, payload...)
+	out = append(out, secEnd)
+	out = appendUvarint(out, 0)
+	return out
+}
+
+// DecodeSummaries parses an .fmsum byte stream produced by
+// EncodeSummaries, returning the corpus name and the per-TU summaries.
+func DecodeSummaries(data []byte) (string, []TUSummary, error) {
+	if !IsFMIR(data) {
+		return "", nil, ErrBadMagic
+	}
+	r := &reader{buf: data, pos: len(Magic)}
+	if v := r.uvarint(); r.err == nil && v != Version {
+		return "", nil, fmt.Errorf("wire: unsupported fmir version %d", v)
+	}
+	name := string(r.bytes(int(r.uvarint())))
+	var tus []TUSummary
+	seen := false
+	for r.err == nil {
+		id := r.byte()
+		plen := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		payload := r.bytes(int(plen))
+		if id == secEnd {
+			if !seen {
+				r.fail("summary stream has no summary section")
+			}
+			break
+		}
+		if id != secSummary || seen {
+			r.fail("unexpected section %d in summary stream", id)
+			break
+		}
+		seen = true
+		sub := &reader{buf: payload}
+		tus = decodeSummarySection(sub)
+		if sub.err != nil {
+			return "", nil, sub.err
+		}
+	}
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	return name, tus, nil
+}
+
+func decodeSummarySection(r *reader) []TUSummary {
+	ntu := r.count(1)
+	tus := make([]TUSummary, 0, ntu)
+	for t := 0; t < ntu && r.err == nil; t++ {
+		tu := TUSummary{Name: string(r.bytes(int(r.uvarint())))}
+		nf := r.count(1)
+		if nf > 0 {
+			tu.Funcs = make([]FuncSummary, 0, nf)
+		}
+		for i := 0; i < nf && r.err == nil; i++ {
+			var fs FuncSummary
+			fs.Name = string(r.bytes(int(r.uvarint())))
+			fs.Linkage = ir.Linkage(r.byte())
+			fs.Flags = r.byte()
+			fs.Size = int(r.uvarint())
+			fs.Hash = binary.LittleEndian.Uint64(pad8(r.bytes(8)))
+			lanes := int(r.uvarint())
+			if r.err == nil && lanes > maxSummaryLanes {
+				r.fail("summary with %d MinHash lanes exceeds limit %d", lanes, maxSummaryLanes)
+				break
+			}
+			if r.err == nil && lanes > 0 {
+				fs.MinHash = make([]uint64, lanes)
+			}
+			for l := 0; l < lanes && r.err == nil; l++ {
+				fs.MinHash[l] = binary.LittleEndian.Uint64(pad8(r.bytes(8)))
+			}
+			tu.Funcs = append(tu.Funcs, fs)
+		}
+		tus = append(tus, tu)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return tus
+}
+
+// pad8 shields fixed-width reads from the reader's nil return after a
+// truncation error; the sticky error still surfaces at the boundary check.
+func pad8(b []byte) []byte {
+	if len(b) == 8 {
+		return b
+	}
+	return make([]byte, 8)
+}

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"fmsa/internal/ir"
+)
+
+func sampleSummaries() []TUSummary {
+	sig := make([]uint64, 128)
+	for i := range sig {
+		sig[i] = uint64(i)*0x9e3779b97f4a7c15 + 7
+	}
+	return []TUSummary{
+		{Name: "a.unit0", Funcs: []FuncSummary{
+			{Name: "f000", Linkage: ir.ExternalLinkage, Flags: SumSelfEq,
+				Size: 42, Hash: 0xdeadbeefcafef00d, MinHash: sig},
+			{Name: "helper", Linkage: ir.InternalLinkage,
+				Flags: SumUsesInternal | SumVariadic, Size: 3, Hash: 1},
+		}},
+		{Name: "a.unit1"}, // empty TU round-trips too
+		{Name: "a.unit2", Funcs: []FuncSummary{
+			{Name: "g", Linkage: ir.ExternalLinkage, Flags: SumUsesGlobals,
+				Size: 7, Hash: ^uint64(0), MinHash: sig},
+		}},
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	want := sampleSummaries()
+	data := EncodeSummaries("corpus", want)
+	if !IsFMIR(data) {
+		t.Fatal("summary stream must carry the fmir magic")
+	}
+	name, got, err := DecodeSummaries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "corpus" {
+		t.Errorf("name = %q, want %q", name, "corpus")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("summaries do not round-trip:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSummaryDecodeRejectsCorrupt(t *testing.T) {
+	good := EncodeSummaries("c", sampleSummaries())
+	cases := map[string][]byte{
+		"bad magic":    append([]byte("NOPE"), good[4:]...),
+		"empty":        nil,
+		"truncated":    good[:len(good)/2],
+		"no sections":  good[:6],
+		"module bytes": nil, // filled below: a module stream is not a summary
+	}
+	m := ir.MustParseModule("m", "define void @f() {\nentry:\n  ret void\n}")
+	enc, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["module bytes"] = enc
+	cases["oversized lane count"] = EncodeSummaries("c", []TUSummary{
+		{Name: "u", Funcs: []FuncSummary{
+			{Name: "f", MinHash: make([]uint64, maxSummaryLanes+1)},
+		}},
+	})
+	for name, data := range cases {
+		if _, _, err := DecodeSummaries(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}

@@ -43,6 +43,8 @@ const (
 	secGlobals = 4 // global variables
 	secFuncs   = 5 // function shells: name, signature, linkage, body flag
 	secBody    = 6 // one function body; repeated, independently decodable
+	secSummary = 7 // per-TU function summaries (global-merge round 1); sole
+	// section of .fmsum files, never mixed with module sections
 )
 
 // Operand reference tags. An operand is a single uvarint (index<<3 | tag).

@@ -20,6 +20,11 @@
 #    merge decisions, and the fast level stays within its overhead budget.
 #  - rank/kernels/bound/ingest: the cross-check experiments (LSH recall,
 #    kernel equivalence, bound admissibility, fmir ingest bit-identity).
+#  - fuzz-stablehash: short smoke-fuzz of the cross-TU stable hash (hash
+#    equality on self-comparable functions must imply structural equality,
+#    and hashing must survive print->reparse).
+#  - global: the sharded cross-TU experiment (bit-identity across shard
+#    counts, .fmsum summary round trip, exact-scoring reduction floor).
 #
 # Run this before every commit that touches internal/explore, internal/ir,
 # internal/align, internal/encode, internal/core, internal/analysis or
@@ -58,10 +63,12 @@ gate race-tests         go test -race ./...
 gate audit-corpus       go test -run 'TestAuditCleanCorpus' -count=1 ./internal/explore/
 gate fuzz-roundtrip     go test -run '^$' -fuzz 'FuzzRoundTrip' -fuzztime 10s ./internal/ir/
 gate fuzz-decode-verify go test -run '^$' -fuzz 'FuzzDecodeVerify' -fuzztime 10s ./internal/wire/
+gate fuzz-stablehash    go test -run '^$' -fuzz 'FuzzStableHash' -fuzztime 10s ./internal/global/
 gate verify-sweep       go run ./cmd/fmsa-bench -exp verify -quick -runs 3
 gate rank               go run ./cmd/fmsa-bench -exp rank -quick
 gate kernels            go run ./cmd/fmsa-bench -exp kernels -quick
 gate bound              go run ./cmd/fmsa-bench -exp bound -quick
 gate ingest             go run ./cmd/fmsa-bench -exp ingest -quick
+gate global             go run ./cmd/fmsa-bench -exp global -quick
 
 echo "all gates passed"

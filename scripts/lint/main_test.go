@@ -267,6 +267,17 @@ func collectUnsorted(m map[string]int) []string {
 	}
 	return out
 }
+type fold struct{ leader string }
+func foldsFromGroups(groups map[string][]string) []fold {
+	// Summary-table shape: emitting plan entries straight out of a
+	// hash-keyed group map leaks map order into the plan.
+	var folds []fold
+	for h, members := range groups {
+		_ = members
+		folds = append(folds, fold{leader: h})
+	}
+	return folds
+}
 `)
 	write(t, dir, "ok.go", `package p
 import "sort"
@@ -299,10 +310,22 @@ func overSlice(xs []int) []int {
 	}
 	return out
 }
+type fold struct{ leader string }
+func foldsInFirstSeenOrder(order []string, groups map[string][]string) []fold {
+	// The summary-table idiom internal/global uses: iterate a first-seen
+	// order slice and look entries up in the map, never ranging over it.
+	var folds []fold
+	for _, h := range order {
+		if len(groups[h]) > 1 {
+			folds = append(folds, fold{leader: h})
+		}
+	}
+	return folds
+}
 `)
 	bad := lintMapRange(dir)
-	if len(bad) != 2 {
-		t.Fatalf("want 2 violations (print, unsorted append), got %d: %v", len(bad), bad)
+	if len(bad) != 3 {
+		t.Fatalf("want 3 violations (print, unsorted append, group-map append), got %d: %v", len(bad), bad)
 	}
 	for _, b := range bad {
 		if !strings.Contains(b, "bad.go") {

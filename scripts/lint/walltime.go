@@ -19,8 +19,9 @@ import (
 // purePackages are the internal packages that must stay free of wall-clock
 // and randomness reads.
 var purePackages = []string{
-	"align", "analysis", "callgraph", "encode", "fingerprint", "interp",
-	"ir", "linearize", "lsh", "passes", "profile", "stats", "tti", "wire",
+	"align", "analysis", "callgraph", "encode", "fingerprint", "global",
+	"interp", "ir", "linearize", "lsh", "passes", "profile", "stats",
+	"tti", "wire",
 }
 
 // clockFuncs are the time-package functions that read the wall clock.
