@@ -7,7 +7,7 @@
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
 // ablation, hotexclusion, perf, rank, audit, kernels, bound, ingest,
-// verify, global, all.
+// verify, global, serve, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
@@ -70,6 +70,19 @@
 //
 //	fmsa-bench -exp global -units 4 -json BENCH_PR8.json
 //	fmsa-bench -exp global -quick
+//
+// The serve experiment measures the warm merge-session daemon: the largest
+// corpus is submitted cold, then resubmitted with a 1% delta into a warm
+// session, and the run fails unless the warm submit is bit-identical to a
+// cold session and at least 5x faster. Further phases record stream
+// latency percentiles and throughput, warm/cold identity across worker
+// counts, admission backpressure and graceful drain:
+//
+//	fmsa-bench -exp serve -json BENCH_PR9.json
+//	fmsa-bench -exp serve -quick
+//
+// -cpuprofile and -memprofile write pprof profiles covering whichever
+// experiments ran.
 package main
 
 import (
@@ -83,6 +96,7 @@ import (
 	"fmsa/internal/experiments"
 	"fmsa/internal/explore"
 	"fmsa/internal/ir"
+	"fmsa/internal/profiling"
 	"fmsa/internal/tti"
 	"fmsa/internal/workload"
 )
@@ -104,8 +118,14 @@ func main() {
 		perCorpus = flag.Bool("percorpus", false, "perf experiment: emit one JSON line per corpus")
 		units     = flag.Int("units", 4, "global experiment: translation units per corpus")
 		verifyLvl = flag.String("verify", "off", "perf experiment: IR verification level inside exploration (off, fast, full)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	fatalIf(err)
+	defer stopProf()
 
 	tgt := tti.ByName(*target)
 	if tgt == nil {
@@ -372,6 +392,28 @@ func main() {
 		}
 		if lshAgg.RecallTop1 < 0.95 {
 			fatal(fmt.Errorf("lsh aggregate top-1 recall %.3f below the 0.95 floor", lshAgg.RecallTop1))
+		}
+	}
+
+	if run("serve") {
+		ran = true
+		section("Serve: warm merge sessions, delta resubmission vs cold exploration (t=20)")
+		// Threshold 20 is the gate calibration: deep enough that the cold
+		// ranking and evaluation work dominates, shallow enough that the
+		// warm floor (merged-function scans plus materialization) stays low.
+		rows, err := experiments.Serve(workload.SPECLike(), tgt, experiments.ServeConfig{
+			Threshold: 20, Workers: 1, Quick: *quickly,
+		})
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+		}
+		fatalIf(err)
+		for _, r := range rows {
+			if r.Phase == "speedup" {
+				fmt.Printf("\nserve: %.2fx warm speedup at %.0f%% delta on %s (cold %.2fs, warm %.2fs), bit-identical: %v\n",
+					r.Speedup, 100*r.DeltaFrac, r.Corpus,
+					float64(r.ColdNS)/1e9, float64(r.WarmNS)/1e9, r.BitIdentical)
+			}
 		}
 	}
 

@@ -33,6 +33,7 @@ import (
 	"fmsa/internal/core"
 	"fmsa/internal/global"
 	"fmsa/internal/ir"
+	"fmsa/internal/profiling"
 	"fmsa/internal/tti"
 	"fmsa/internal/wire"
 )
@@ -57,6 +58,8 @@ func main() {
 		out         = flag.String("o", "", "write the optimized module to this file (default: stdout)")
 		quiet       = flag.Bool("q", false, "suppress the statistics report")
 		cgDot       = flag.Bool("callgraph", false, "print the call graph as Graphviz DOT instead of optimizing")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -64,6 +67,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	fatal(err)
+	defer stopProf()
 
 	// Multiple translation units are linked into one module before
 	// optimizing — the paper's monolithic-LTO pipeline (Fig. 9). Files are

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"slices"
 	"sync/atomic"
 
 	"fmsa/internal/fingerprint"
@@ -8,59 +9,110 @@ import (
 	"fmsa/internal/lsh"
 )
 
-// rankCache maintains, for every function awaiting its worklist pop, the
-// top-t candidate list a full scan would produce — without performing that
-// scan on every pop. The sequential framework rescanned the whole pool per
-// pop (O(n) each, O(n²) per run); the cache builds all lists once, in
-// parallel, and afterwards touches only the entries a commit actually
-// invalidates:
+// rankCache maintains, for every function awaiting its worklist pop, a
+// candidate list whose leading entries are exactly what a full scan would
+// produce — without performing that scan on every pop. The sequential
+// framework rescanned the whole pool per pop (O(n) each, O(n²) per run);
+// the cache builds all lists once, in parallel, at depth 2t (twice the
+// threshold), and afterwards touches only what a commit actually changes:
 //
 //   - the two consumed functions' own lists are dropped (they will never be
-//     popped again);
-//   - lists containing a consumed function are marked dirty — their stored
-//     top-t lost a member, so the true top-t may now admit a pool member
-//     that was never stored — and are rebuilt by one full scan if and when
-//     their owner is popped;
-//   - clean lists receive the merged function as a candidate offer, a
-//     single similarity computation plus a bounded sorted insert.
+//     popped again); entries NAMING a consumed function simply go stale in
+//     place and are purged when their list is next read — no per-commit
+//     walk over every list;
+//   - every list receives the merged function as a candidate offer, a
+//     single similarity computation plus a bounded sorted insert (when the
+//     merged function is ineligible, a commit touches no list at all).
 //
-// Invariant: a clean list always equals scanTop over the current pool (and,
-// in LSH mode, the current index — a commit offer applies exactly when the
-// merged function would be probed, see offer). The ordering (similarity
-// desc, size desc, pool-insertion order asc) is identical to the sequential
-// bounded-insertion scan, so exploration results are bit-for-bit unchanged.
+// Invariant: a list's live entries — stored entries whose function is still
+// in the pool — form an exact prefix of the ranking scanTop would build
+// over the current pool at unbounded depth (and, in LSH mode, the current
+// index — a commit offer applies exactly when the merged function would be
+// probed, see offer); complete means they are the entire qualifying set.
+// Stale entries never reorder live ones (an entry's sim/size/insertion
+// keys are fixed), so filtering preserves the prefix. A pop whose purged
+// list retains at least t entries (or is complete) reads the true top-t
+// straight off the prefix; only a list that consumptions shrank below t
+// while candidates beyond the stored window may exist falls back to a
+// rescan. The depth-2t window makes that fallback rare: it takes t+1
+// consumed members of one list before its owner pops. The ordering
+// (similarity desc, size desc, pool-insertion order asc) is identical to
+// the sequential bounded-insertion scan, so exploration results are
+// bit-for-bit unchanged — a deeper scan only widens the insertion bound,
+// and every take returns the same top-t the sequential rescan would.
 type rankCache struct {
 	r *runner
 	t int
+	// depth is the stored-list depth: 2t, or the warm seed's storage depth
+	// when that is deeper (the session also stores at 2t, so they agree).
+	depth int
 	// lists maps each not-yet-popped pool member to its candidate list.
 	// Entries are removed at pop (each function pops at most once) and on
 	// consumption by a commit.
 	lists map[*ir.Func]*rankList
 }
 
+// rankList mirrors the session's warmList invariant inside one run: the
+// live entries of cands are an exact prefix of the owner's full current
+// ranking above MinSimilarity (restricted, in LSH mode, to the probe
+// relation), and complete reports that they are the entire qualifying set
+// rather than a depth-bounded window. Entries of consumed functions linger
+// until purge.
 type rankList struct {
-	cands []candidate
-	dirty bool
+	// fp is the owner's fingerprint, cached so the commit-offer hot path
+	// (every live list, every commit) needs no lookup.
+	fp       *fingerprint.Fingerprint
+	cands    []candidate
+	complete bool
 }
 
 // newRankCache builds the initial candidate list of every pool member, in
 // parallel across the run's worker pool. In LSH mode the bucket probes for
 // the whole pool run first as one batched, worker-pool-parallel pass.
+//
+// Under a warm seed, owners with a reconciled session list adopt it without
+// scanning, and the remaining scans run at the seed's storage depth with
+// each result handed back to the session (onScan) before truncation to t —
+// both paths leave the installed lists exactly what a cold build produces.
 func newRankCache(r *runner, t int) *rankCache {
-	c := &rankCache{r: r, t: t, lists: make(map[*ir.Func]*rankList, len(r.pool))}
+	c := &rankCache{r: r, t: t, depth: 2 * t, lists: make(map[*ir.Func]*rankList, len(r.pool))}
 	built := make([]*rankList, len(r.pool))
-	if ls := r.lsh; ls != nil {
-		selves := make([]int32, len(r.pool))
-		for i := range selves {
-			selves[i] = int32(i)
+	var scan []int32
+	if seed := r.seed; seed != nil {
+		if seed.scanDepth > c.depth {
+			c.depth = seed.scanDepth
 		}
-		probes := ls.idx.ProbeBatch(ls.sigs, selves, r.workers)
-		parallelFor(len(r.pool), r.workers, func(i int) {
-			built[i] = &rankList{cands: c.rankIDs(r.pool[i], probes[i])}
+		for i := range r.pool {
+			if sl := seed.lists[i]; sl != nil {
+				built[i] = &rankList{fp: r.poolFPs[i], cands: sl.cands, complete: sl.complete}
+			} else {
+				scan = append(scan, int32(i))
+			}
+		}
+	} else {
+		scan = make([]int32, len(r.pool))
+		for i := range scan {
+			scan[i] = int32(i)
+		}
+	}
+	depth := c.depth
+	if ls := r.lsh; ls != nil {
+		sigs := make([]*fingerprint.Signature, len(scan))
+		selves := make([]int32, len(scan))
+		for j, i := range scan {
+			id := ls.id[r.pool[i]]
+			selves[j] = id
+			sigs[j] = ls.sigs[id]
+		}
+		probes := ls.idx.ProbeBatch(sigs, selves, r.workers)
+		parallelFor(len(scan), r.workers, func(j int) {
+			i := scan[j]
+			built[i] = c.finishScan(int(i), c.rankIDsDepth(r.pool[i], probes[j], depth))
 		})
 	} else {
-		parallelFor(len(r.pool), r.workers, func(i int) {
-			built[i] = &rankList{cands: c.scanTopExact(r.pool[i])}
+		parallelFor(len(scan), r.workers, func(j int) {
+			i := scan[j]
+			built[i] = c.finishScan(int(i), c.scanTopExactDepth(r.pool[i], depth))
 		})
 	}
 	for i, f := range r.pool {
@@ -69,39 +121,74 @@ func newRankCache(r *runner, t int) *rankCache {
 	return c
 }
 
-// take returns f's candidate ranking, rebuilding it when a commit left it
-// dirty, and drops it from the cache — a worklist entry is popped at most
-// once, so the list has no further readers.
+// finishScan hands a setup-scan result to the session store (when seeded)
+// and installs it at the storage depth. A scan that came back shorter than
+// the depth visited every qualifying candidate, so the list is complete.
+// The stored session copy and the run's list never alias: onScan converts
+// to name-keyed entries.
+func (c *rankCache) finishScan(poolIdx int, cands []candidate) *rankList {
+	if seed := c.r.seed; seed != nil && seed.onScan != nil {
+		seed.onScan(poolIdx, cands)
+	}
+	return &rankList{fp: c.r.poolFPs[poolIdx], cands: cands, complete: len(cands) < c.depth}
+}
+
+// take returns f's candidate ranking — the first t live entries of its
+// purged stored prefix — and drops it from the cache; a worklist entry is
+// popped at most once, so the list has no further readers. Only when
+// consumptions shrank the live prefix below t while unstored candidates
+// may exist beyond it (incomplete) is the ranking rebuilt by a scan.
 func (c *rankCache) take(f *ir.Func) []candidate {
 	rl := c.lists[f]
 	delete(c.lists, f)
-	if rl != nil && !rl.dirty {
-		return rl.cands
+	if rl != nil {
+		rl.purge(c.r)
+		if rl.complete || len(rl.cands) >= c.t {
+			if len(rl.cands) > c.t {
+				return rl.cands[:c.t]
+			}
+			return rl.cands
+		}
 	}
 	return c.scanTop(f)
 }
 
 // applyCommit updates pending rankings after f1 and f2 left the pool (and
-// the index) and entered (nil when the merged function is ineligible) joined
-// it.
+// the index) and entered (nil when the merged function is ineligible)
+// joined it. Entries naming the consumed functions go stale in place (see
+// purge); the only per-list work is offering the merged function.
 func (c *rankCache) applyCommit(f1, f2, entered *ir.Func) {
 	delete(c.lists, f1)
 	delete(c.lists, f2)
+	if entered == nil {
+		return
+	}
+	fpg := c.r.fpOf(entered)
 	for owner, rl := range c.lists {
-		if rl.dirty {
-			continue
-		}
-		if containsFn(rl.cands, f1) || containsFn(rl.cands, f2) {
-			rl.dirty = true
-			rl.cands = nil
-			continue
-		}
-		if entered != nil {
-			c.offer(owner, rl, entered)
-		}
+		c.offer(owner, rl, entered, fpg)
 	}
 	// The merged function's own ranking is built lazily at its pop: take
 	// finds no cache entry and falls back to a full scan.
+}
+
+// purge drops entries whose function left the pool, in one walk, preserving
+// order and completeness: a complete list stays the complete set of
+// survivors, a window stays an exact (shorter) prefix. Staleness cannot
+// reorder survivors — entry keys are fixed — so purging commutes with the
+// inserts that happened since. The common case — nothing stale — writes
+// nothing.
+func (rl *rankList) purge(r *runner) {
+	w := 0
+	for i := range rl.cands {
+		if !r.live(rl.cands[i].fn) {
+			continue
+		}
+		if w != i {
+			rl.cands[w] = rl.cands[i]
+		}
+		w++
+	}
+	rl.cands = rl.cands[:w]
 }
 
 // scanTop selects the top-t candidates for f from the current pool: an
@@ -118,16 +205,24 @@ func (c *rankCache) scanTop(f *ir.Func) []candidate {
 // bounded insertion scan over the pool in insertion order (the paper's
 // priority queue). Safe for concurrent use against a frozen pool.
 func (c *rankCache) scanTopExact(f *ir.Func) []candidate {
+	return c.scanTopExactDepth(f, c.t)
+}
+
+// scanTopExactDepth is scanTopExact at an explicit depth (the seed's
+// storage depth during a warm setup build; c.t everywhere else). A deeper
+// scan visits the same candidates — only the insertion bound widens — so
+// its depth-t prefix is exactly the depth-t scan's result.
+func (c *rankCache) scanTopExactDepth(f *ir.Func, depth int) []candidate {
 	r := c.r
-	fp := r.fps[f]
-	best := make([]candidate, 0, min(c.t, 16)+1)
+	fp := r.fpOf(f)
+	best := make([]candidate, 0, min(depth, 16)+1)
 	var probes, skips int64
-	for _, g := range r.pool {
-		if g == f || !r.inPool[g] || !samePartition(r.opts, f, g) {
+	for i, g := range r.pool {
+		if g == f || !r.poolLive[i] || !samePartition(r.opts, f, g) {
 			continue
 		}
 		probes++
-		best = r.consider(fp, best, g, r.fps[g], c.t, &skips)
+		best = r.consider(fp, best, g, r.poolFPs[i], r.poolSizes[i], depth, &skips)
 	}
 	atomic.AddInt64(&r.rankProbes, probes)
 	atomic.AddInt64(&r.rankSkips, skips)
@@ -140,50 +235,88 @@ func (c *rankCache) scanTopExact(f *ir.Func) []candidate {
 // a probe of the live index, which holds exactly the live pool members, so no
 // inPool check is needed; fingerprints come from the id-indexed mirror.
 func (c *rankCache) rankIDs(f *ir.Func, ids []int32) []candidate {
+	return c.rankIDsDepth(f, ids, c.t)
+}
+
+// rankIDsDepth is rankIDs at an explicit depth. On warm runs the probed ids
+// are session ids in session order, not pool order — they are mapped
+// through toPool and re-sorted so the bounded insertion still sees pool
+// insertion order, the ranking's deterministic tie-break.
+func (c *rankCache) rankIDsDepth(f *ir.Func, ids []int32, depth int) []candidate {
 	r := c.r
 	ls := r.lsh
-	fp := r.fps[f]
-	best := make([]candidate, 0, min(c.t, 16)+1)
+	fp := r.fpOf(f)
+	best := make([]candidate, 0, min(depth, 16)+1)
 	var probes, skips int64
-	for _, id := range ids {
-		g := r.pool[id]
-		if g == f || !samePartition(r.opts, f, g) {
-			continue
+	if ls.toPool != nil {
+		pis := make([]int32, 0, len(ids))
+		for _, id := range ids {
+			pis = append(pis, ls.toPool[id])
 		}
-		probes++
-		best = r.consider(fp, best, g, ls.fps[id], c.t, &skips)
+		slices.Sort(pis)
+		for _, pi := range pis {
+			g := r.pool[pi]
+			if g == f || !samePartition(r.opts, f, g) {
+				continue
+			}
+			probes++
+			best = r.consider(fp, best, g, r.poolFPs[pi], r.poolSizes[pi], depth, &skips)
+		}
+	} else {
+		for _, id := range ids {
+			g := r.pool[id]
+			if g == f || !samePartition(r.opts, f, g) {
+				continue
+			}
+			probes++
+			fpg := ls.fps[id]
+			best = r.consider(fp, best, g, fpg, fpg.Total, depth, &skips)
+		}
 	}
 	atomic.AddInt64(&r.rankProbes, probes)
 	atomic.AddInt64(&r.rankSkips, skips)
 	return best
 }
 
-// consider applies the alignment-avoidance prefilters to candidate g and, if
-// it survives, exactly scores it and inserts it into best. The prefilters
-// never change the outcome: SimilarityUpperBound dominates the exact score,
-// so a candidate filtered against MinSimilarity (or against the current t-th
-// entry of a full list) could not have entered the list anyway.
-func (r *runner) consider(fp *fingerprint.Fingerprint, best []candidate, g *ir.Func, fpg *fingerprint.Fingerprint, t int, skips *int64) []candidate {
-	if ub := fingerprint.SimilarityUpperBound(fp, fpg); ub < r.opts.MinSimilarity ||
-		(len(best) == t && ub < best[len(best)-1].sim) {
+// consider applies the alignment-avoidance prefilters to candidate g — its
+// instruction count sg arrives separately so the bound check touches no
+// fingerprint memory — and, if it survives, exactly scores it and inserts
+// it into best. The prefilters never change the outcome:
+// SimilarityUpperBound dominates the exact score, so a candidate filtered
+// against MinSimilarity (or against the current t-th entry of a full list)
+// could not have entered the list anyway.
+func (r *runner) consider(fp *fingerprint.Fingerprint, best []candidate, g *ir.Func, fpg *fingerprint.Fingerprint, sg int32, t int, skips *int64) []candidate {
+	floor := r.opts.MinSimilarity
+	if len(best) == t && best[len(best)-1].sim > floor {
+		floor = best[len(best)-1].sim
+	}
+	if ub := fingerprint.SimilarityUpperBoundSized(fp, sg); ub < floor {
 		*skips++
 		return best
 	}
-	s := fingerprint.Similarity(fp, fpg)
-	if s < r.opts.MinSimilarity {
+	// A score below floor could not enter the list (a full list admits only
+	// scores reaching its tail, and insertRanked breaks a tail tie by
+	// size), so the floor short-circuit never changes the outcome.
+	s := fingerprint.SimilarityFloor(fp, fpg, floor)
+	if s < floor {
 		return best
 	}
-	return insertRanked(best, candidate{fn: g, sim: s, size: fpg.Total}, t)
+	return insertRanked(best, candidate{fn: g, sim: s, size: sg}, t)
 }
 
 // offer considers g (which just joined the pool, and therefore carries the
-// highest insertion number) as a candidate for owner's clean list. Because
-// the list was the exact top-t before g joined, a bounded sorted insert of
-// g keeps it the exact top-t afterwards. In LSH mode the offer applies only
-// when g and owner share a band bucket — precisely the condition under
-// which a fresh probe of owner would visit g — so clean lists keep matching
-// what scanTop would rebuild.
-func (c *rankCache) offer(owner *ir.Func, rl *rankList, g *ir.Func) {
+// highest insertion number) as a candidate for owner's list. Because the
+// list was an exact prefix before g joined, a bounded sorted insert of g
+// keeps it one afterwards — with the same two guards the session's
+// warmList.offer applies: an incomplete list cannot grow at its tail (g's
+// position relative to unstored candidates is unknown), and truncating a
+// full window marks it incomplete. In LSH mode the offer applies only when
+// g and owner share a band bucket — precisely the condition under which a
+// fresh probe of owner would visit g — so lists keep matching what scanTop
+// would rebuild. The upper-bound prefilter never changes the outcome: a
+// candidate bounded below the stored tail could only have been a dropped
+// tail-append (incomplete) or a truncated insert (full window).
+func (c *rankCache) offer(owner *ir.Func, rl *rankList, g *ir.Func, fpg *fingerprint.Fingerprint) {
 	r := c.r
 	if !samePartition(r.opts, owner, g) {
 		return
@@ -191,10 +324,56 @@ func (c *rankCache) offer(owner *ir.Func, rl *rankList, g *ir.Func) {
 	if ls := r.lsh; ls != nil && !lsh.Collide(ls.sigOf(owner), ls.sigOf(g), ls.params) {
 		return
 	}
-	var skips int64
 	atomic.AddInt64(&r.rankProbes, 1)
-	rl.cands = r.consider(r.fps[owner], rl.cands, g, r.fps[g], c.t, &skips)
-	atomic.AddInt64(&r.rankSkips, skips)
+	fp := rl.fp
+	// The insertion floor: a candidate below the stored tail could only
+	// have been a dropped tail-append (incomplete) or a truncated insert
+	// (full window), so it may be dropped as soon as any bound falls
+	// below the tail (insert breaks a tail tie by size, so equality must
+	// still go the long way).
+	floor := r.opts.MinSimilarity
+	if len(rl.cands) > 0 && (len(rl.cands) >= c.depth || !rl.complete) {
+		if last := rl.cands[len(rl.cands)-1].sim; last > floor {
+			floor = last
+		}
+	}
+	if ub := fingerprint.SimilarityUpperBound(fp, fpg); ub < floor {
+		atomic.AddInt64(&r.rankSkips, 1)
+		return
+	}
+	s := fingerprint.SimilarityFloor(fp, fpg, floor)
+	if s < floor {
+		return
+	}
+	rl.insert(candidate{fn: g, sim: s, size: fpg.Total}, c.depth)
+}
+
+// insert places cand — the latest pool insertion, so equal keys rank it
+// last — into the list at its full-key position, bounded by depth. The
+// structure mirrors warmList.offer: a tail append on an incomplete list is
+// dropped, and a truncation marks the list incomplete.
+func (rl *rankList) insert(cand candidate, depth int) {
+	pos := len(rl.cands)
+	for pos > 0 {
+		prev := rl.cands[pos-1]
+		if !(prev.sim < cand.sim || (prev.sim == cand.sim && prev.size < cand.size)) {
+			break
+		}
+		pos--
+	}
+	if pos == len(rl.cands) && !rl.complete {
+		return
+	}
+	if pos >= depth {
+		return
+	}
+	rl.cands = append(rl.cands, candidate{})
+	copy(rl.cands[pos+1:], rl.cands[pos:])
+	rl.cands[pos] = cand
+	if len(rl.cands) > depth {
+		rl.cands = rl.cands[:depth]
+		rl.complete = false
+	}
 }
 
 // insertRanked inserts cand into best — sorted by (similarity desc, size
@@ -218,13 +397,4 @@ func insertRanked(best []candidate, cand candidate, t int) []candidate {
 		best = best[:t]
 	}
 	return best
-}
-
-func containsFn(cands []candidate, f *ir.Func) bool {
-	for _, c := range cands {
-		if c.fn == f {
-			return true
-		}
-	}
-	return false
 }

@@ -292,12 +292,17 @@ type runner struct {
 
 	// pool lists every function that ever entered the candidate pool, in
 	// insertion order — the deterministic tie-break order of the ranking.
-	// Consumed functions stay in the slice and are skipped via inPool.
-	pool     []*ir.Func
-	inPool   map[*ir.Func]bool
-	fps      map[*ir.Func]*fingerprint.Fingerprint
-	cache    *rankCache
-	worklist []*ir.Func
+	// Consumed functions stay in the slice and are skipped via poolLive.
+	// poolFPs and poolLive are parallel to pool, so the ranking scans — the
+	// hottest loops of a run — index them directly instead of hashing
+	// function pointers; poolIdx maps a member to its slot.
+	pool      []*ir.Func
+	poolIdx   map[*ir.Func]int32
+	poolFPs   []*fingerprint.Fingerprint
+	poolSizes []int32
+	poolLive  []bool
+	cache     *rankCache
+	worklist  []*ir.Func
 	// lsh is the MinHash index state; nil when ranking is exact or the pool
 	// fell below the LSH cutoff.
 	lsh *lshState
@@ -313,12 +318,24 @@ type runner struct {
 	// totals are deterministic: the same set of scans runs at every Workers
 	// value.
 	rankProbes, rankSkips int64
+	// seed is the warm-session state driving this run; nil on a cold
+	// standalone Run. neg and keys mirror seed's tables (nil without one).
+	seed *warmSeed
+	neg  *negMemo
+	keys *keyTable
 }
 
 // setup builds the runner state shared by Run and SnapshotRanking:
 // φ-demotion, pool selection, parallel fingerprinting, the optional LSH
 // index and the initial rank cache.
 func setup(m *ir.Module, opts Options) *runner {
+	return setupSeeded(m, opts, nil)
+}
+
+// setupSeeded is setup with an optional warm-session seed: fingerprints,
+// the LSH index and (some) initial rankings come pre-built, keyed to the
+// pool the session derived from the identical module state.
+func setupSeeded(m *ir.Module, opts Options, seed *warmSeed) *runner {
 	if opts.Threshold <= 0 {
 		opts.Threshold = 1
 	}
@@ -330,15 +347,22 @@ func setup(m *ir.Module, opts Options) *runner {
 		opts:    opts,
 		workers: workerCount(opts.Workers),
 		rep:     &Report{SizeBefore: tti.ModuleSize(opts.Target, m)},
+		seed:    seed,
+	}
+	if seed != nil {
+		r.neg = seed.neg
+		r.keys = seed.keys
 	}
 	r.opts.Merge.Timings = &core.Timings{}
 	r.setupKernel()
 
-	// Pre-processing: the merger requires φ-free input (§III-A).
+	// Pre-processing: the merger requires φ-free input (§III-A). Sessions
+	// demote before diffing, so this is a no-op under a seed.
 	passes.DemotePhisModule(m)
 
 	// Fingerprint extraction for all eligible functions, fanned out across
-	// the worker pool (each function is independent).
+	// the worker pool (each function is independent). A seed supplies them
+	// precomputed, parallel to the pool it derived from the same module.
 	tFP := time.Now()
 	for _, f := range m.Funcs {
 		if eligible(f, r.opts) {
@@ -346,14 +370,24 @@ func setup(m *ir.Module, opts Options) *runner {
 		}
 	}
 	fpByIdx := make([]*fingerprint.Fingerprint, len(r.pool))
-	parallelFor(len(r.pool), r.workers, func(i int) {
-		fpByIdx[i] = fingerprint.Compute(r.pool[i])
-	})
-	r.fps = make(map[*ir.Func]*fingerprint.Fingerprint, len(r.pool))
-	r.inPool = make(map[*ir.Func]bool, len(r.pool))
+	if seed != nil {
+		if len(seed.fps) != len(r.pool) {
+			panic("explore: warm seed does not match the derived pool")
+		}
+		copy(fpByIdx, seed.fps)
+	} else {
+		parallelFor(len(r.pool), r.workers, func(i int) {
+			fpByIdx[i] = fingerprint.Compute(r.pool[i])
+		})
+	}
+	r.poolFPs = fpByIdx
+	r.poolSizes = make([]int32, len(r.pool))
+	r.poolLive = make([]bool, len(r.pool))
+	r.poolIdx = make(map[*ir.Func]int32, len(r.pool))
 	for i, f := range r.pool {
-		r.fps[f] = fpByIdx[i]
-		r.inPool[f] = true
+		r.poolIdx[f] = int32(i)
+		r.poolSizes[i] = fpByIdx[i].Total
+		r.poolLive[i] = true
 	}
 	r.worklist = append(r.worklist, r.pool...)
 	r.rep.Phases.Fingerprint += time.Since(tFP)
@@ -374,13 +408,22 @@ func setup(m *ir.Module, opts Options) *runner {
 // Run executes the exploration framework on m, committing every profitable
 // merge it finds.
 func Run(m *ir.Module, opts Options) *Report {
-	r := setup(m, opts)
+	return runSeeded(m, opts, nil)
+}
+
+// runSeeded is Run with an optional warm-session seed (see Session). The
+// committed merges are bit-identical with and without a seed: every reused
+// artifact is either content-verified (alignment memo, negative-attempt
+// memo) or provably equal to what a cold run would rebuild (fingerprints,
+// index state, seeded rankings).
+func runSeeded(m *ir.Module, opts Options, seed *warmSeed) *Report {
+	r := setupSeeded(m, opts, seed)
 	r.setupCaches()
 
 	for len(r.worklist) > 0 {
 		f := r.worklist[0]
 		r.worklist = r.worklist[1:]
-		if !r.inPool[f] {
+		if !r.live(f) {
 			continue // already consumed by an earlier merge
 		}
 
@@ -391,8 +434,8 @@ func Run(m *ir.Module, opts Options) *Report {
 		if r.cache != nil {
 			cands = r.cache.take(f)
 		} else {
-			for _, g := range r.pool {
-				if g != f && r.inPool[g] && samePartition(r.opts, f, g) {
+			for i, g := range r.pool {
+				if g != f && r.poolLive[i] && samePartition(r.opts, f, g) {
 					cands = append(cands, candidate{fn: g})
 				}
 			}
@@ -402,7 +445,7 @@ func Run(m *ir.Module, opts Options) *Report {
 		// Candidate evaluation: speculative merge attempts fan out across
 		// the worker pool; the winner is selected deterministically (first
 		// profitable rank in greedy mode, best profit in oracle mode).
-		win, evaluated := evalCandidates(f, cands, r.opts, r.costs, r.workers, !r.opts.Oracle)
+		win, evaluated := evalCandidates(f, cands, r.opts, r.costs, r.workers, !r.opts.Oracle, r.neg, r.keys)
 		r.rep.CandidatesEvaluated += evaluated
 		if win.res == nil {
 			continue
@@ -519,10 +562,13 @@ func (r *runner) commit(res *core.Result, profit, rank int) {
 	var entered *ir.Func
 	if eligible(merged, r.opts) {
 		tFP := time.Now()
-		r.fps[merged] = fingerprint.Compute(merged)
+		fp := fingerprint.Compute(merged)
 		r.rep.Phases.Fingerprint += time.Since(tFP)
+		r.poolIdx[merged] = int32(len(r.pool))
 		r.pool = append(r.pool, merged)
-		r.inPool[merged] = true
+		r.poolFPs = append(r.poolFPs, fp)
+		r.poolSizes = append(r.poolSizes, fp.Total)
+		r.poolLive = append(r.poolLive, true)
 		r.worklist = append(r.worklist, merged)
 		entered = merged
 	}
@@ -532,7 +578,7 @@ func (r *runner) commit(res *core.Result, profit, rank int) {
 			r.lsh.retire(res.F1)
 			r.lsh.retire(res.F2)
 			if entered != nil {
-				r.lsh.admit(entered, r.fps[entered], int32(len(r.pool)-1))
+				r.lsh.admit(entered, r.fpOf(entered), int32(len(r.pool)-1))
 			}
 		}
 		r.cache.applyCommit(res.F1, res.F2, entered)
@@ -542,11 +588,21 @@ func (r *runner) commit(res *core.Result, profit, rank int) {
 }
 
 func (r *runner) removeFromPool(f *ir.Func) {
-	if !r.inPool[f] {
-		return
+	if i, ok := r.poolIdx[f]; ok && r.poolLive[i] {
+		r.poolLive[i] = false
+		r.poolFPs[i] = nil
 	}
-	delete(r.inPool, f)
-	delete(r.fps, f)
+}
+
+// live reports whether f is an unconsumed pool member.
+func (r *runner) live(f *ir.Func) bool {
+	i, ok := r.poolIdx[f]
+	return ok && r.poolLive[i]
+}
+
+// fpOf returns a live pool member's fingerprint.
+func (r *runner) fpOf(f *ir.Func) *fingerprint.Fingerprint {
+	return r.poolFPs[r.poolIdx[f]]
 }
 
 // samePartition reports whether two functions may merge under the

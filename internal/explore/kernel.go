@@ -109,7 +109,14 @@ func (r *runner) setupCaches() {
 		r.opts.Merge.Timings.AddLinearize(time.Since(start))
 	}
 	if !r.opts.NoAlignMemo && r.opts.Merge.AlignCoded != nil {
-		r.opts.Merge.AlignMemo = newAlignMemo(r.opts.AlignMemoCap)
+		if r.seed != nil && r.seed.memo != nil {
+			// Warm run: the session's memo survives across submissions.
+			// Safe to share — entries verify full code equality on every
+			// hit, so a stale entry can only miss, never mislead.
+			r.opts.Merge.AlignMemo = r.seed.memo
+		} else {
+			r.opts.Merge.AlignMemo = newAlignMemo(r.opts.AlignMemoCap)
+		}
 	}
 	// The cost memo serves ProfitWithStatsMemo even when bounding is off
 	// (Options.NoBound only disables the pre-codegen prune); invalidation

@@ -89,7 +89,17 @@ type attempt struct {
 // wave converges on the same early exit the sequential loop takes. In
 // oracle mode every candidate is evaluated and each worker keeps only its
 // local best, so at most w merged bodies are alive at once.
-func evalCandidates(f *ir.Func, cands []candidate, opts Options, costs *tti.CostMemo, w int, greedy bool) (attempt, int) {
+//
+// neg and keys, when non-nil (warm sessions), implement the
+// negative-attempt memo: an attempt whose verified content identities and
+// caller snapshots are recorded as unprofitable is skipped without
+// aligning or materializing anything. Outcome and profit are pure
+// functions of exactly those inputs under pinned options, and an
+// unprofitable attempt leaves no observable trace — it commits nothing,
+// and the sequential-semantics evaluated count derives from the winner's
+// rank, not from which attempts ran — so the skip is invisible in the
+// merge records.
+func evalCandidates(f *ir.Func, cands []candidate, opts Options, costs *tti.CostMemo, w int, greedy bool, neg *negMemo, keys *keyTable) (attempt, int) {
 	n := len(cands)
 	if n == 0 {
 		return attempt{rank: -1}, 0
@@ -99,6 +109,10 @@ func evalCandidates(f *ir.Func, cands []candidate, opts Options, costs *tti.Cost
 	cStats := make([]core.CallerStats, n)
 	for i := range cands {
 		cStats[i] = core.SnapshotCallerStats(cands[i].fn)
+	}
+	var fKey funcKey
+	if neg != nil {
+		fKey = keys.of(f)
 	}
 
 	if w > n {
@@ -121,6 +135,24 @@ func evalCandidates(f *ir.Func, cands []candidate, opts Options, costs *tti.Cost
 			if greedy && int64(i) > atomic.LoadInt64(&best) {
 				continue // a lower profitable rank already won
 			}
+			// Negative-attempt memo: skip the attempt when this exact
+			// (content, content, stats, stats) class already priced
+			// unprofitable in an earlier run of the session.
+			var nk negKey
+			memoOK := false
+			if neg != nil && fKey.ok {
+				if cKey := keys.of(cands[i].fn); cKey.ok {
+					nk = negKey{
+						h1: fKey.hash, h2: cKey.hash,
+						s1: fStats, s2: cStats[i],
+						l1: f.Linkage, l2: cands[i].fn.Linkage,
+					}
+					memoOK = true
+					if neg.known(nk) {
+						continue
+					}
+				}
+			}
 			// Pre-codegen bounding (Options.NoBound): the per-candidate
 			// prune spec carries this pair's caller snapshots, so the bound
 			// and the exact model price the same inputs. A pruned pair
@@ -137,11 +169,17 @@ func evalCandidates(f *ir.Func, cands []candidate, opts Options, costs *tti.Cost
 			}
 			res, err := core.Merge(f, cands[i].fn, mo)
 			if err != nil {
+				if memoOK {
+					neg.insert(nk)
+				}
 				continue
 			}
 			profit := res.ProfitWithStatsMemo(opts.Target, fStats, cStats[i], costs)
 			if profit <= 0 {
 				res.Discard()
+				if memoOK {
+					neg.insert(nk)
+				}
 				continue
 			}
 			if greedy {

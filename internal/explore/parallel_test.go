@@ -262,7 +262,7 @@ func TestRankCacheMatchesFullRescan(t *testing.T) {
 			for len(r.worklist) > 0 {
 				f := r.worklist[0]
 				r.worklist = r.worklist[1:]
-				if !r.inPool[f] {
+				if !r.live(f) {
 					continue
 				}
 				// Reference: what a from-scratch scan would rank right now.
@@ -277,7 +277,7 @@ func TestRankCacheMatchesFullRescan(t *testing.T) {
 							pops, i, got[i].fn.Name(), want[i].fn.Name())
 					}
 				}
-				win, evaluated := evalCandidates(f, got, r.opts, r.costs, 1, true)
+				win, evaluated := evalCandidates(f, got, r.opts, r.costs, 1, true, nil, nil)
 				r.rep.CandidatesEvaluated += evaluated
 				if win.res != nil {
 					r.commit(win.res, win.profit, win.rank+1)

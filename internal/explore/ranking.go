@@ -74,20 +74,41 @@ const DefaultLSHMinPool = 512
 type lshState struct {
 	params lsh.Params
 	idx    *lsh.Index
-	// sigs and fps are parallel to runner.pool: sigs[i]/fps[i] are pool[i]'s
-	// signature and fingerprint (nil after pool[i] is consumed). fps mirrors
-	// runner.fps so the probe-scoring inner loop indexes a slice instead of
-	// hashing a map key per candidate.
+	// sigs and fps are indexed by member id. On a cold run ids are pool
+	// insertion indices, so both are parallel to runner.pool (nil after
+	// pool[i] is consumed); on a warm run ids are the session's stable
+	// member ids. fps mirrors runner.poolFPs so the probe-scoring inner loop
+	// indexes a slice instead of hashing a map key per candidate.
 	sigs []*fingerprint.Signature
 	fps  []*fingerprint.Fingerprint
-	// id maps live pool members to their pool-insertion index.
+	// id maps live pool members to their index id.
 	id map[*ir.Func]int32
+	// toPool, non-nil only on warm runs, maps a member id to its pool
+	// insertion index; ranking scans restore pool order through it.
+	toPool []int32
+	// journal, non-nil only on warm runs, records the run's index churn —
+	// retires keep their sigs/fps slots alive — so the session can roll the
+	// shared index back to its pre-run state after the run.
+	journal *lshJournal
+}
+
+// lshJournal logs one warm run's index mutations in order.
+type lshJournal struct {
+	admitted, retired []int32
 }
 
 // initLSH builds the LSH state when the run requests it and the pool is
 // large enough; otherwise it records the fallback and leaves r.lsh nil.
-// Called from setup inside the Ranking-phase timer.
+// Called from setup inside the Ranking-phase timer. Seeded runs adopt the
+// session's pre-built state (or its pre-decided fallback) as is.
 func (r *runner) initLSH() {
+	if r.seed != nil {
+		r.lsh = r.seed.lsh
+		if r.seed.fallback {
+			r.rep.RankFallbacks++
+		}
+		return
+	}
 	if r.opts.Ranking != RankLSH {
 		return
 	}
@@ -111,7 +132,7 @@ func (r *runner) initLSH() {
 	ls.idx = lsh.New(ls.params)
 	ls.params = ls.idx.Params() // normalized
 	for i, f := range r.pool {
-		ls.fps[i] = r.fps[f]
+		ls.fps[i] = r.poolFPs[i]
 		ls.id[f] = int32(i)
 		ls.idx.Insert(int32(i), ls.sigs[i])
 	}
@@ -123,7 +144,9 @@ func (ls *lshState) sigOf(f *ir.Func) *fingerprint.Signature {
 	return ls.sigs[ls.id[f]]
 }
 
-// retire removes a consumed function from the index.
+// retire removes a consumed function from the index. Warm runs journal the
+// id and keep its sigs/fps slots alive so the session can re-insert the
+// exact signature when rolling the shared index back.
 func (ls *lshState) retire(f *ir.Func) {
 	id, ok := ls.id[f]
 	if !ok {
@@ -131,18 +154,31 @@ func (ls *lshState) retire(f *ir.Func) {
 	}
 	ls.idx.Remove(id)
 	delete(ls.id, f)
+	if ls.journal != nil {
+		ls.journal.retired = append(ls.journal.retired, id)
+		return
+	}
 	ls.sigs[id] = nil
 	ls.fps[id] = nil
 }
 
 // admit indexes the merged function that just joined the pool at position
-// id == len(pool)-1, keeping sigs and fps parallel to the pool slice.
-func (ls *lshState) admit(f *ir.Func, fp *fingerprint.Fingerprint, id int32) {
+// poolIdx == len(pool)-1. The member id is the next sigs slot: on a cold
+// run that equals poolIdx (sigs stay parallel to the pool), on a warm run
+// it is the next session id.
+func (ls *lshState) admit(f *ir.Func, fp *fingerprint.Fingerprint, poolIdx int32) {
 	sig := fingerprint.ComputeSignature(f)
+	id := int32(len(ls.sigs))
 	ls.sigs = append(ls.sigs, sig)
 	ls.fps = append(ls.fps, fp)
+	if ls.toPool != nil {
+		ls.toPool = append(ls.toPool, poolIdx)
+	}
 	ls.id[f] = id
 	ls.idx.Insert(id, sig)
+	if ls.journal != nil {
+		ls.journal.admitted = append(ls.journal.admitted, id)
+	}
 }
 
 // RankCand is one ranked candidate in a SnapshotRanking entry.

@@ -1,0 +1,641 @@
+package explore
+
+// Warm-state merge sessions (ROADMAP item 2). A Session owns every
+// cross-run artifact the pipeline previously rebuilt from scratch on each
+// invocation — the LSH index, the encode interner feeding the seq caches,
+// the alignment memo, the stable-hash content tables, the stored initial
+// candidate rankings and the optional .fmsum summary table — and resubmits
+// pay only for what a delta touched:
+//
+//  1. Diff. The submitted module is φ-demoted, its pool derived, and every
+//     pool function's canonical structural key computed. Names are classed
+//     unchanged / changed / added against the session table (byte-verified
+//     key equality on self-comparable bodies; anything weaker is treated
+//     as changed), and names that left the pool are removed.
+//  2. Evict + reinsert. Changed and removed members leave the persistent
+//     LSH index; changed and added members are fingerprinted, signed and
+//     inserted under fresh session ids. Canonical sorted buckets make the
+//     index state a pure function of the live membership, so this is
+//     exactly the index a cold build of the new corpus produces.
+//  3. Reconcile rankings. Stored initial candidate lists (kept at depth 2t
+//     so evictions cannot expose unstored candidates) are pruned of
+//     changed/removed members and offered the changed/added ones; lists
+//     that retain the exact-top-t invariant seed the run, the rest — plus
+//     all changed/added owners — are rescanned at setup and stored back.
+//  4. Run. The runner executes the standard exploration with the seed; the
+//     negative-attempt memo additionally skips (content, content, caller
+//     stats) attempt classes an earlier run already priced unprofitable,
+//     which on a small delta eliminates nearly all alignment and codegen.
+//  5. Roll back. The run's own index churn (retired winners, admitted
+//     merged functions) is journaled and undone, returning the session
+//     index to the pre-run corpus state the next diff expects.
+//
+// Warm submissions are bit-identical to cold ones: every reused artifact
+// is content-verified or provably equal to what a cold run rebuilds, and
+// TestSessionWarmColdIdentical/TestSessionConvergesToCold enforce it.
+// Sessions reject the oracle and partition modes (their ranking and
+// eligibility structure does not seed) and pin Options at construction —
+// the memo contracts above are only valid under fixed options.
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fmsa/internal/encode"
+	"fmsa/internal/fingerprint"
+	"fmsa/internal/global"
+	"fmsa/internal/ir"
+	"fmsa/internal/lsh"
+	"fmsa/internal/passes"
+	"fmsa/internal/tti"
+	"fmsa/internal/wire"
+)
+
+// SessionConfig configures a Session.
+type SessionConfig struct {
+	// Explore is the pinned exploration configuration. Oracle and
+	// Partition are rejected; AlignMemoCap zero selects the session
+	// default (DefaultSessionAlignMemoCap).
+	Explore Options
+	// NegMemoCap and KeyTableCap bound the session content tables; zero
+	// selects the defaults.
+	NegMemoCap  int
+	KeyTableCap int
+	// Summaries maintains a .fmsum summary table for the submitted corpus
+	// (global.SummarizeFunc per live entry, recomputed only on change).
+	Summaries bool
+}
+
+// DeltaStats describes how one submission diffed against the session state
+// and how much warm state it reused.
+type DeltaStats struct {
+	// Funcs is the submitted pool size; Unchanged/Changed/Added partition
+	// it, and Removed counts names that left the pool.
+	Funcs, Unchanged, Changed, Added, Removed int
+	// SeededLists counts owners whose initial ranking was reconciled from
+	// the stored session lists; RescannedLists were rebuilt by setup scans.
+	SeededLists, RescannedLists int
+	// NegHits counts merge attempts the negative-attempt memo skipped.
+	NegHits int64
+	// Warm reports that the submission ran against prior session state.
+	Warm bool
+	// OrderBroken and ModeFlipped report why list seeding was abandoned
+	// wholesale: the unchanged members' relative order shifted, or the
+	// ranking mode crossed the LSH pool cutoff.
+	OrderBroken, ModeFlipped bool
+}
+
+// sessEntry is the session's record of one live corpus function, keyed by
+// name (function pointers die with their module).
+type sessEntry struct {
+	name   string
+	hash   uint64
+	key    []byte
+	selfEq bool
+	fp     *fingerprint.Fingerprint
+	// sig is the MinHash signature; computed when the session ranks via
+	// LSH (or keeps summaries) and retained across mode flips.
+	sig *fingerprint.Signature
+	// id is the session LSH member id, -1 when not indexed.
+	id int32
+	// list is the stored initial candidate list (depth 2t); nil before the
+	// first run covering this entry completes.
+	list *warmList
+	// sum is the .fmsum summary (SessionConfig.Summaries only).
+	sum    wire.FuncSummary
+	hasSum bool
+}
+
+// Session is a reusable warm-state exploration context. Methods are safe
+// for concurrent use but submissions serialize: one Submit runs at a time
+// (the daemon runs one session per client stream and parallelizes within
+// the run, not across runs of one session).
+type Session struct {
+	cfg  SessionConfig
+	opts Options
+	t    int
+	// depth is the stored-list depth: 2t, so up to t member evictions
+	// leave at least t exact entries.
+	depth   int
+	minPool int
+
+	keys *keyTable
+	neg  *negMemo
+	memo *alignMemo
+
+	mu      sync.Mutex
+	entries map[string]*sessEntry
+	order   []string // previous submission's pool names, in pool order
+	lastLSH bool
+	submits int
+
+	idx       *lsh.Index
+	lshParams lsh.Params
+	sigsByID  []*fingerprint.Signature
+	byID      []*sessEntry
+
+	delta DeltaStats
+}
+
+// NewSession builds a session around pinned exploration options.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	opts := cfg.Explore
+	if opts.Oracle {
+		return nil, errors.New("explore: sessions do not support oracle mode")
+	}
+	if opts.Partition != nil {
+		return nil, errors.New("explore: sessions do not support partitioned exploration")
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = 1
+	}
+	if opts.Target == nil {
+		opts.Target = tti.X86{}
+	}
+	if opts.AlignMemoCap == 0 {
+		opts.AlignMemoCap = DefaultSessionAlignMemoCap
+	}
+	if opts.Kernel != KernelClosure && opts.Merge.Interner == nil {
+		// Session-lived interning table: codes stay comparable across runs,
+		// which is what lets the alignment memo survive submissions.
+		opts.Merge.Interner = encode.NewInterner()
+	}
+	minPool := opts.LSHMinPool
+	if minPool == 0 {
+		minPool = DefaultLSHMinPool
+	}
+	s := &Session{
+		cfg:     cfg,
+		opts:    opts,
+		t:       opts.Threshold,
+		depth:   2 * opts.Threshold,
+		minPool: minPool,
+		keys:    newKeyTable(cfg.KeyTableCap),
+		neg:     newNegMemo(cfg.NegMemoCap),
+		entries: map[string]*sessEntry{},
+	}
+	if !opts.NoAlignMemo && opts.Merge.AlignCoded != nil && opts.Kernel != KernelClosure {
+		s.memo = newAlignMemo(opts.AlignMemoCap)
+	}
+	return s, nil
+}
+
+// Options returns the session's pinned (normalized) exploration options.
+func (s *Session) Options() Options { return s.opts }
+
+// LastDelta returns the delta statistics of the most recent Submit.
+func (s *Session) LastDelta() DeltaStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delta
+}
+
+// classification of one pool function against the session table.
+const (
+	clsUnchanged = iota
+	clsChanged
+	clsAdded
+)
+
+// Submit explores m with whatever warm state the session holds, updates
+// the session to m's corpus, and returns the run report plus the delta
+// statistics. The module is φ-demoted and merged in place, exactly like
+// Run; the report's merge records are bit-identical to a cold run's.
+// (SizeBefore is measured after φ-demotion — a plain Run measures it
+// before — which only differs on modules that still contain φs.)
+func (s *Session) Submit(m *ir.Module) (*Report, DeltaStats, error) {
+	if m == nil {
+		return nil, DeltaStats{}, errors.New("explore: nil module")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	workers := workerCount(s.opts.Workers)
+	delta := DeltaStats{Warm: s.submits > 0}
+	tDiff := time.Now()
+
+	// Diff: derive the pool from the φ-demoted module (the same scan
+	// setupSeeded performs — demotion is idempotent) and class every pool
+	// function against the session table by verified structural key.
+	passes.DemotePhisModule(m)
+	var pool []*ir.Func
+	for _, f := range m.Funcs {
+		if eligible(f, s.opts) {
+			pool = append(pool, f)
+		}
+	}
+	n := len(pool)
+	delta.Funcs = n
+	keysBuf := make([][]byte, n)
+	selfEqs := make([]bool, n)
+	hashes := make([]uint64, n)
+	parallelFor(n, workers, func(i int) {
+		k, se := global.AppendStableKey(nil, pool[i])
+		keysBuf[i] = k
+		selfEqs[i] = se
+		hashes[i] = global.HashStableKey(k)
+	})
+	s.keys.reset()
+
+	idxOf := make(map[string]int32, n)
+	class := make([]int, n)
+	entriesByIdx := make([]*sessEntry, n)
+	newEntries := make(map[string]*sessEntry, n)
+	for i, f := range pool {
+		name := f.Name()
+		idxOf[name] = int32(i)
+		s.keys.register(f, keysBuf[i], selfEqs[i], hashes[i])
+		old := s.entries[name]
+		switch {
+		case old != nil && old.selfEq && selfEqs[i] &&
+			old.hash == hashes[i] && bytes.Equal(old.key, keysBuf[i]):
+			class[i] = clsUnchanged
+			delta.Unchanged++
+			entriesByIdx[i] = old
+		case old != nil:
+			class[i] = clsChanged
+			delta.Changed++
+		default:
+			class[i] = clsAdded
+			delta.Added++
+		}
+		if entriesByIdx[i] == nil {
+			entriesByIdx[i] = &sessEntry{
+				name: name, hash: hashes[i], key: keysBuf[i],
+				selfEq: selfEqs[i], id: -1,
+			}
+		}
+		newEntries[name] = entriesByIdx[i]
+	}
+	var removed []*sessEntry
+	for name, old := range s.entries {
+		if _, live := idxOf[name]; !live {
+			removed = append(removed, old)
+		}
+	}
+	delta.Removed = len(removed)
+
+	// Fingerprint (and summarize) the changed/added subset.
+	var fresh []int32
+	for i := range pool {
+		if class[i] != clsUnchanged {
+			fresh = append(fresh, int32(i))
+		}
+	}
+	tFP := time.Now()
+	diffTime := tFP.Sub(tDiff)
+	parallelFor(len(fresh), workers, func(j int) {
+		i := fresh[j]
+		entriesByIdx[i].fp = fingerprint.Compute(pool[i])
+		if s.cfg.Summaries {
+			entriesByIdx[i].sum = global.SummarizeFunc(pool[i])
+			entriesByIdx[i].hasSum = true
+		}
+	})
+	fpTime := time.Since(tFP)
+
+	// Ranking-mode decision and persistent-index maintenance.
+	tWarm := time.Now()
+	useLSH := s.opts.Ranking == RankLSH && n >= s.minPool
+	delta.ModeFlipped = delta.Warm && useLSH != s.lastLSH
+	if !useLSH && s.idx != nil {
+		s.dropIndex()
+	}
+	if useLSH {
+		s.maintainIndex(pool, class, entriesByIdx, removed, workers)
+	}
+
+	// Reconcile stored candidate lists into run seeds.
+	warmLists := delta.Warm && !delta.ModeFlipped && !delta.OrderBroken
+	if warmLists && !s.orderPreserved(pool, class) {
+		delta.OrderBroken = true
+		warmLists = false
+	}
+	seedLists := make([]*seedList, n)
+	if warmLists {
+		s.reconcileLists(pool, class, entriesByIdx, idxOf, seedLists, workers)
+	}
+	for i := range seedLists {
+		if seedLists[i] != nil {
+			delta.SeededLists++
+		} else {
+			entriesByIdx[i].list = nil
+		}
+	}
+	delta.RescannedLists = n - delta.SeededLists
+
+	// Assemble the seed and run.
+	seed := &warmSeed{
+		fps:       make([]*fingerprint.Fingerprint, n),
+		lists:     seedLists,
+		scanDepth: s.depth,
+		keys:      s.keys,
+		neg:       s.neg,
+		memo:      s.memo,
+		fallback:  s.opts.Ranking == RankLSH && !useLSH,
+	}
+	for i, e := range entriesByIdx {
+		seed.fps[i] = e.fp
+	}
+	seed.onScan = func(poolIdx int, cands []candidate) {
+		wl := &warmList{
+			cands:    make([]warmCand, 0, len(cands)),
+			complete: len(cands) < s.depth,
+		}
+		for _, c := range cands {
+			wl.cands = append(wl.cands, warmCand{name: c.fn.Name(), sim: c.sim, size: c.size})
+		}
+		entriesByIdx[poolIdx].list = wl
+	}
+	preLive := len(s.sigsByID)
+	if useLSH {
+		seed.lsh = s.runnerLSHState(pool, entriesByIdx)
+	}
+	warmTime := time.Since(tWarm)
+	negHits := atomic.LoadInt64(&s.neg.hits)
+
+	rep := runSeeded(m, s.opts, seed)
+
+	// Roll the shared index back to the pre-run corpus state.
+	tBack := time.Now()
+	if ls := seed.lsh; ls != nil {
+		for _, id := range ls.journal.admitted {
+			// A merged function consumed by a later merge is journaled as
+			// both admitted and retired; it is already out of the index and
+			// Remove tolerates the absence.
+			s.idx.Remove(id)
+		}
+		for _, id := range ls.journal.retired {
+			// Run-created ids (>= preLive) do not survive the rollback —
+			// only pre-run corpus members return to the index.
+			if int(id) < preLive {
+				s.idx.Insert(id, ls.sigs[id])
+			}
+		}
+		s.sigsByID = ls.sigs[:preLive]
+	}
+	delta.NegHits = atomic.LoadInt64(&s.neg.hits) - negHits
+	rep.Phases.Ranking += diffTime + warmTime + time.Since(tBack)
+	rep.Phases.Fingerprint += fpTime
+
+	// Adopt the new corpus as the session state.
+	s.entries = newEntries
+	s.order = make([]string, n)
+	for i, f := range pool {
+		s.order[i] = f.Name()
+	}
+	s.lastLSH = useLSH
+	s.submits++
+	s.delta = delta
+	return rep, delta, nil
+}
+
+// dropIndex discards the persistent LSH index (mode flip below the pool
+// cutoff). Entry signatures are retained — content is still valid if the
+// corpus grows back over the cutoff — but ids are not.
+func (s *Session) dropIndex() {
+	s.idx = nil
+	s.sigsByID = nil
+	for _, e := range s.byID {
+		if e != nil {
+			e.id = -1
+		}
+	}
+	s.byID = nil
+}
+
+// maintainIndex brings the persistent index to the submitted corpus: a
+// fresh build when none exists, otherwise evict changed/removed members
+// and insert changed/added ones under fresh session ids. Canonical sorted
+// buckets make the result identical to a cold rebuild of the same corpus.
+func (s *Session) maintainIndex(pool []*ir.Func, class []int, entriesByIdx []*sessEntry, removed []*sessEntry, workers int) {
+	var need []int32
+	if s.idx == nil {
+		s.idx = lsh.New(s.opts.LSH)
+		s.lshParams = s.idx.Params()
+		s.sigsByID = nil
+		s.byID = nil
+		need = make([]int32, 0, len(pool))
+		for i := range pool {
+			need = append(need, int32(i))
+		}
+	} else {
+		for _, old := range removed {
+			s.freeID(old)
+		}
+		for i := range pool {
+			if class[i] == clsChanged {
+				if old := s.entries[entriesByIdx[i].name]; old != nil {
+					s.freeID(old)
+				}
+			}
+			if class[i] != clsUnchanged {
+				need = append(need, int32(i))
+			}
+		}
+	}
+	parallelFor(len(need), workers, func(j int) {
+		e := entriesByIdx[need[j]]
+		if e.sig == nil {
+			e.sig = fingerprint.ComputeSignature(pool[need[j]])
+		}
+	})
+	for _, i := range need {
+		e := entriesByIdx[i]
+		e.id = int32(len(s.sigsByID))
+		s.sigsByID = append(s.sigsByID, e.sig)
+		s.byID = append(s.byID, e)
+		s.idx.Insert(e.id, e.sig)
+	}
+}
+
+// freeID evicts one prior-corpus member from the persistent index.
+func (s *Session) freeID(e *sessEntry) {
+	if e.id < 0 {
+		return
+	}
+	s.idx.Remove(e.id)
+	s.sigsByID[e.id] = nil
+	s.byID[e.id] = nil
+	e.id = -1
+}
+
+// orderPreserved reports whether the unchanged members appear in the same
+// relative order as in the previous submission — the stored lists' pool-
+// index tie-breaks are only valid if so.
+func (s *Session) orderPreserved(pool []*ir.Func, class []int) bool {
+	unchanged := make(map[string]bool, len(pool))
+	for i, f := range pool {
+		if class[i] == clsUnchanged {
+			unchanged[f.Name()] = true
+		}
+	}
+	var prev []string
+	for _, name := range s.order {
+		if unchanged[name] {
+			prev = append(prev, name)
+		}
+	}
+	j := 0
+	for i, f := range pool {
+		if class[i] != clsUnchanged {
+			continue
+		}
+		if j >= len(prev) || prev[j] != f.Name() {
+			return false
+		}
+		j++
+	}
+	return j == len(prev)
+}
+
+// reconcileLists turns surviving stored lists into run seeds: prune
+// evicted members, offer the changed/added ones, and materialize every
+// list that kept the exact-prefix invariant — in full, with its
+// completeness flag, so the runner's own deletion-repair can keep working
+// on it. Owners whose lists fall below t and are not complete get nil
+// (setup rescans and re-stores them). Runs in parallel over owners — each
+// owner touches only its own entry and seed slot.
+func (s *Session) reconcileLists(pool []*ir.Func, class []int, entriesByIdx []*sessEntry, idxOf map[string]int32, seedLists []*seedList, workers int) {
+	// keep: a stored member survives iff it is still in the pool with
+	// unchanged content.
+	keep := func(name string) bool {
+		i, ok := idxOf[name]
+		return ok && class[i] == clsUnchanged
+	}
+	// Offers: every changed/added pool member. In LSH mode each owner only
+	// sees the offers it shares a band bucket with — exactly the probe
+	// relation — precomputed by probing each offer against the updated
+	// index; in exact mode every owner sees every offer.
+	type offer struct {
+		cand warmCand
+		idx  int32
+		fp   *fingerprint.Fingerprint
+	}
+	var offers []offer
+	for i := range pool {
+		if class[i] == clsUnchanged {
+			continue
+		}
+		e := entriesByIdx[i]
+		offers = append(offers, offer{
+			cand: warmCand{name: e.name, size: e.fp.Total},
+			idx:  int32(i),
+			fp:   e.fp,
+		})
+	}
+	offersFor := make(map[string][]int32) // owner name → offer indices
+	if s.idx != nil {
+		sigs := make([]*fingerprint.Signature, len(offers))
+		selves := make([]int32, len(offers))
+		for j, o := range offers {
+			e := entriesByIdx[o.idx]
+			sigs[j] = e.sig
+			selves[j] = e.id
+		}
+		probes := s.idx.ProbeBatch(sigs, selves, workers)
+		for j, ids := range probes {
+			for _, id := range ids {
+				hit := s.byID[id]
+				if hit == nil {
+					continue
+				}
+				if i, ok := idxOf[hit.name]; ok && class[i] == clsUnchanged {
+					offersFor[hit.name] = append(offersFor[hit.name], int32(j))
+				}
+			}
+		}
+	}
+	minSim := s.opts.MinSimilarity
+	parallelFor(len(pool), workers, func(i int) {
+		e := entriesByIdx[i]
+		if class[i] != clsUnchanged || e.list == nil {
+			return
+		}
+		wl := e.list
+		wl.prune(keep)
+		apply := func(o offer) {
+			ub := fingerprint.SimilarityUpperBound(e.fp, o.fp)
+			if ub < minSim {
+				return
+			}
+			if len(wl.cands) > 0 {
+				last := wl.cands[len(wl.cands)-1]
+				if (len(wl.cands) == s.depth || !wl.complete) && ub < last.sim {
+					return // strictly below the stored suffix either way
+				}
+			}
+			sim := fingerprint.Similarity(e.fp, o.fp)
+			if sim < minSim {
+				return
+			}
+			c := o.cand
+			c.sim = sim
+			wl.offer(c, o.idx, idxOf, s.depth)
+		}
+		if s.idx != nil {
+			for _, j := range offersFor[e.name] {
+				apply(offers[j])
+			}
+		} else {
+			for _, o := range offers {
+				apply(o)
+			}
+		}
+		if !wl.seedable(s.t) {
+			return
+		}
+		cands := make([]candidate, 0, len(wl.cands)+1)
+		for _, wc := range wl.cands {
+			cands = append(cands, candidate{fn: pool[idxOf[wc.name]], sim: wc.sim, size: wc.size})
+		}
+		seedLists[i] = &seedList{cands: cands, complete: wl.complete}
+	})
+}
+
+// runnerLSHState builds the per-run view of the persistent index: shared
+// index and signature storage, id-indexed fingerprints and pool mapping
+// for the submitted members, and a journal for post-run rollback.
+func (s *Session) runnerLSHState(pool []*ir.Func, entriesByIdx []*sessEntry) *lshState {
+	live := len(s.sigsByID)
+	ls := &lshState{
+		params:  s.lshParams,
+		idx:     s.idx,
+		sigs:    s.sigsByID,
+		fps:     make([]*fingerprint.Fingerprint, live),
+		id:      make(map[*ir.Func]int32, len(pool)),
+		toPool:  make([]int32, live),
+		journal: &lshJournal{},
+	}
+	for i := range ls.toPool {
+		ls.toPool[i] = -1
+	}
+	for i, f := range pool {
+		e := entriesByIdx[i]
+		ls.fps[e.id] = e.fp
+		ls.toPool[e.id] = int32(i)
+		ls.id[f] = e.id
+	}
+	return ls
+}
+
+// Summaries returns the .fmsum summary table of the current corpus, one
+// entry per pool function in pool order. Nil unless SessionConfig.Summaries
+// was set (or before the first Submit).
+func (s *Session) Summaries() []wire.FuncSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cfg.Summaries || s.submits == 0 {
+		return nil
+	}
+	out := make([]wire.FuncSummary, 0, len(s.order))
+	for _, name := range s.order {
+		if e := s.entries[name]; e != nil && e.hasSum {
+			out = append(out, e.sum)
+		}
+	}
+	return out
+}

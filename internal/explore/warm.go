@@ -1,0 +1,307 @@
+package explore
+
+// Pure warm-session state: the content-key table and negative-attempt memo
+// shared across a session's runs, the name-keyed stored candidate lists a
+// delta submission reconciles instead of rescanning, and the seed structure
+// that carries all of it into a runner. Everything here is a pure function
+// of its inputs — the session orchestration (and all of its wall-clock
+// timing) lives in session.go.
+//
+// Correctness contracts, in one place:
+//
+//   - keyTable: a funcKey with ok=true means the function's canonical
+//     structural key (global.AppendStableKey) is byte-equal to the table
+//     entry for its hash AND the function is self-comparable (selfEq). Key
+//     equality at that strength implies column-for-column structural
+//     equality, so two ok funcKeys with equal hashes denote structurally
+//     identical bodies — across runs and across modules.
+//   - negMemo: an entry (h1, h2, s1, s2) asserts that merging a function
+//     with verified key h1 into one with verified key h2, under caller
+//     snapshots s1/s2 and the session's pinned options, failed or priced
+//     unprofitable. Merge outcome and exact profit are pure functions of
+//     the two bodies and those snapshots, so the assertion transfers to any
+//     later attempt with the same verified keys and snapshots. Skipping
+//     such an attempt is invisible in the merge records: an unprofitable
+//     attempt commits nothing and CandidatesEvaluated follows sequential
+//     semantics (the winner's rank), not the set of attempts actually run.
+//   - warmList: a stored list is the exact top-depth prefix (or, when
+//     complete, the entire set) of its owner's initial candidate ranking
+//     under the corpus it was stored for, ordered by (similarity desc,
+//     size desc, pool index asc). prune/offer preserve that invariant
+//     under member eviction and candidate insertion, so a reconciled list
+//     seeds the next run with exactly what a cold scan would build.
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"fmsa/internal/core"
+	"fmsa/internal/fingerprint"
+	"fmsa/internal/global"
+	"fmsa/internal/ir"
+)
+
+// DefaultKeyTableCap bounds the session content-key table (entries). A full
+// table stops verifying new content; affected functions simply lose
+// negative-memo coverage.
+const DefaultKeyTableCap = 1 << 17
+
+// DefaultNegMemoCap bounds the negative-attempt memo (entries). A full memo
+// stops inserting; results are unaffected either way.
+const DefaultNegMemoCap = 1 << 17
+
+// DefaultSessionAlignMemoCap is the alignment-memo bound a session uses
+// when Options.AlignMemoCap is zero — larger than the per-run default
+// because the memo now amortizes across every submission.
+const DefaultSessionAlignMemoCap = 1 << 16
+
+// funcKey is a function's verified content identity: hash is its stable
+// structural hash, and ok reports that the hash was verified byte-for-byte
+// against the session content table (see keyTable). Functions with ok=false
+// (phi/unmodeled-invoke bodies, hash collisions, a full table) never
+// participate in the negative memo.
+type funcKey struct {
+	hash uint64
+	ok   bool
+}
+
+// keyTable maps content hashes to verified canonical keys (session-lived)
+// and caches per-function identities (per-run; function pointers die with
+// their module). Safe for concurrent use.
+type keyTable struct {
+	mu  sync.RWMutex
+	cap int
+	// tab is the content table: hash → the canonical key bytes the hash was
+	// first seen with. First writer wins; a later mismatch marks the
+	// function not-memoizable instead of evicting.
+	tab map[uint64][]byte
+	// funcs caches the identity per function pointer for the current run.
+	funcs map[*ir.Func]funcKey
+}
+
+func newKeyTable(capEntries int) *keyTable {
+	if capEntries <= 0 {
+		capEntries = DefaultKeyTableCap
+	}
+	return &keyTable{cap: capEntries, tab: make(map[uint64][]byte), funcs: make(map[*ir.Func]funcKey)}
+}
+
+// reset begins a new run: the per-function cache is dropped (its pointers
+// belong to the previous module), the content table survives.
+func (kt *keyTable) reset() {
+	kt.mu.Lock()
+	kt.funcs = make(map[*ir.Func]funcKey)
+	kt.mu.Unlock()
+}
+
+// register installs a precomputed key for f and returns its identity.
+// Verification happens here, once: an ok identity needs no byte comparison
+// at lookup time. Concurrent duplicate registration of the same function
+// computes the same identity.
+func (kt *keyTable) register(f *ir.Func, key []byte, selfEq bool, hash uint64) funcKey {
+	k := funcKey{}
+	kt.mu.Lock()
+	if selfEq {
+		if cur, ok := kt.tab[hash]; ok {
+			if bytes.Equal(cur, key) {
+				k = funcKey{hash: hash, ok: true}
+			}
+		} else if len(kt.tab) < kt.cap {
+			kt.tab[hash] = key
+			k = funcKey{hash: hash, ok: true}
+		}
+	}
+	kt.funcs[f] = k
+	kt.mu.Unlock()
+	return k
+}
+
+// of returns f's verified identity, computing and registering it on first
+// sight — merged functions appear mid-run, after the session pre-registered
+// the submitted pool.
+func (kt *keyTable) of(f *ir.Func) funcKey {
+	kt.mu.RLock()
+	k, ok := kt.funcs[f]
+	kt.mu.RUnlock()
+	if ok {
+		return k
+	}
+	key, selfEq := global.AppendStableKey(nil, f)
+	return kt.register(f, key, selfEq, global.HashStableKey(key))
+}
+
+// negKey identifies one attempt class: the two verified content hashes plus
+// every cost-model input the structural key does not capture — the
+// caller-stat snapshots and the linkages (an internal, non-address-taken
+// function pays no thunk on deletion, so body-identical functions of
+// different linkage price differently).
+type negKey struct {
+	h1, h2 uint64
+	s1, s2 core.CallerStats
+	l1, l2 ir.Linkage
+}
+
+// negMemo records attempt classes known to fail or price unprofitable.
+// Bounded insert-if-room; never evicts, so an entry's assertion stays valid
+// for the session's lifetime (options are pinned).
+type negMemo struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[negKey]struct{}
+	hits int64
+}
+
+func newNegMemo(capEntries int) *negMemo {
+	if capEntries <= 0 {
+		capEntries = DefaultNegMemoCap
+	}
+	return &negMemo{cap: capEntries, m: make(map[negKey]struct{})}
+}
+
+// known reports whether the attempt class is recorded as unprofitable.
+func (nm *negMemo) known(k negKey) bool {
+	nm.mu.Lock()
+	_, ok := nm.m[k]
+	nm.mu.Unlock()
+	if ok {
+		atomic.AddInt64(&nm.hits, 1)
+	}
+	return ok
+}
+
+// insert records an attempt class as unprofitable.
+func (nm *negMemo) insert(k negKey) {
+	nm.mu.Lock()
+	if len(nm.m) < nm.cap {
+		nm.m[k] = struct{}{}
+	}
+	nm.mu.Unlock()
+}
+
+// warmCand is one stored candidate-list entry, held by name so it survives
+// across modules (function pointers do not).
+type warmCand struct {
+	name string
+	sim  float64
+	size int32
+}
+
+// warmList is one owner's stored initial candidate list at the session's
+// storage depth (2t). complete reports that the list holds the owner's
+// entire candidate set above MinSimilarity — not just a depth-bounded
+// prefix — so evictions can never expose an unstored candidate.
+type warmList struct {
+	cands    []warmCand
+	complete bool
+}
+
+// warmBefore reports whether entry a at pool index ai ranks strictly before
+// entry b at pool index bi under the ranking order: similarity desc, size
+// desc, pool-insertion index asc.
+func warmBefore(a warmCand, ai int32, b warmCand, bi int32) bool {
+	if a.sim != b.sim {
+		return a.sim > b.sim
+	}
+	if a.size != b.size {
+		return a.size > b.size
+	}
+	return ai < bi
+}
+
+// prune drops every member the keep predicate rejects (members that changed
+// or left the corpus). Order is preserved; completeness is unaffected — a
+// complete list stays the complete set of surviving candidates.
+func (wl *warmList) prune(keep func(string) bool) {
+	out := wl.cands[:0]
+	for _, c := range wl.cands {
+		if keep(c.name) {
+			out = append(out, c)
+		}
+	}
+	wl.cands = out
+}
+
+// offer inserts cand (at pool index candIdx in the new corpus) into the
+// list at its full-key position, bounded by depth. idxOf resolves existing
+// members' new pool indices for tie comparison — unlike the runner's
+// insertRanked, an offered candidate may carry a smaller pool index than
+// existing members. Two guards preserve the exactness invariant:
+//
+//   - an incomplete list cannot grow at its tail: a candidate ranking after
+//     the stored suffix may also rank after unstored candidates, so its
+//     true position is unknown (it is dropped — it cannot enter the top-t
+//     the list exists to seed, because the final list keeps at least t
+//     stored entries or is rescanned);
+//   - inserting into a full list truncates the tail, and truncating marks
+//     the list incomplete (a real candidate fell off the stored window).
+func (wl *warmList) offer(cand warmCand, candIdx int32, idxOf map[string]int32, depth int) {
+	pos := len(wl.cands)
+	for pos > 0 {
+		prev := wl.cands[pos-1]
+		if !warmBefore(cand, candIdx, prev, idxOf[prev.name]) {
+			break
+		}
+		pos--
+	}
+	if pos == len(wl.cands) && !wl.complete {
+		return
+	}
+	if pos >= depth {
+		return
+	}
+	wl.cands = append(wl.cands, warmCand{})
+	copy(wl.cands[pos+1:], wl.cands[pos:])
+	wl.cands[pos] = cand
+	if len(wl.cands) > depth {
+		wl.cands = wl.cands[:depth]
+		wl.complete = false
+	}
+}
+
+// seedable reports whether the list can seed a run at threshold t: it must
+// either hold at least t entries (the exact-prefix invariant then makes the
+// first t the true top-t) or be complete (there is nothing beyond it).
+func (wl *warmList) seedable(t int) bool {
+	return wl.complete || len(wl.cands) >= t
+}
+
+// seedList is one reconciled stored list handed to the runner: the full
+// surviving prefix (up to the storage depth, pointer-resolved against the
+// new pool) plus its completeness flag, freshly allocated per run — the
+// runner mutates it in place.
+type seedList struct {
+	cands    []candidate
+	complete bool
+}
+
+// warmSeed carries one submission's precomputed warm state into a runner.
+// All per-function slices are parallel to the pool the runner derives from
+// the module — the session derives the identical pool first (same
+// eligibility scan over the same φ-demoted module) and the runner asserts
+// the lengths agree.
+type warmSeed struct {
+	// fps[i] is pool[i]'s fingerprint; the runner skips recomputation.
+	fps []*fingerprint.Fingerprint
+	// lists[i], when non-nil, is pool[i]'s reconciled initial candidate
+	// list — an exact prefix of its full ranking, seedable at the run's
+	// threshold. nil entries are built by the setup scan.
+	lists []*seedList
+	// scanDepth is the depth at which setup scans unseeded owners; the
+	// session asks for 2t so stored lists survive member evictions.
+	scanDepth int
+	// onScan receives every setup-built list at scanDepth, before
+	// truncation to t, so the session can store it. Invoked from
+	// parallelFor with distinct pool indices; it must touch only
+	// per-owner state.
+	onScan func(poolIdx int, cands []candidate)
+	// lsh, when non-nil, is the warm index state (session member ids).
+	lsh *lshState
+	// fallback mirrors cold RankFallbacks accounting: LSH ranking was
+	// requested but this corpus ranks exactly.
+	fallback bool
+	// keys, neg and memo are the session-lived content tables.
+	keys *keyTable
+	neg  *negMemo
+	memo *alignMemo
+}

@@ -118,7 +118,20 @@ func upperBoundTypes(a, b *Fingerprint) float64 {
 // Similarity returns s(f1, f2) = min(UB_opcodes, UB_types), a value in
 // [0, 0.5]; identical functions score exactly 0.5 (paper §IV).
 func Similarity(a, b *Fingerprint) float64 {
+	return SimilarityFloor(a, b, 0)
+}
+
+// SimilarityFloor is Similarity for callers that only act on scores
+// reaching floor: when the opcode bound alone falls below floor it is
+// returned without merging the type tables (the dominant cost — a sorted
+// string-keyed merge against the opcode pass's fixed array). The result
+// then still bounds Similarity from above and still sits below floor, so
+// any comparison against floor — or anything larger — is unchanged.
+func SimilarityFloor(a, b *Fingerprint, floor float64) float64 {
 	ops := upperBoundOps(a, b)
+	if ops < floor {
+		return ops
+	}
 	tys := upperBoundTypes(a, b)
 	if tys < ops {
 		return tys
@@ -132,9 +145,17 @@ func Similarity(a, b *Fingerprint) float64 {
 // integer reads, making it a cheap alignment-avoidance prefilter: when it
 // already falls below a similarity floor the exact score cannot pass either.
 func SimilarityUpperBound(a, b *Fingerprint) float64 {
-	tot := a.Total + b.Total
+	return SimilarityUpperBoundSized(a, b.Total)
+}
+
+// SimilarityUpperBoundSized is SimilarityUpperBound against a function
+// known only by its instruction count — the identical arithmetic, so the
+// two are interchangeable. Scans keep candidate counts in a dense array and
+// avoid touching the candidate's fingerprint until the bound passes.
+func SimilarityUpperBoundSized(a *Fingerprint, tb int32) float64 {
+	tot := a.Total + tb
 	if tot == 0 {
 		return 0
 	}
-	return float64(min(a.Total, b.Total)) / float64(tot)
+	return float64(min(a.Total, tb)) / float64(tot)
 }

@@ -46,6 +46,12 @@ func StableHash(f *ir.Func) (uint64, bool) {
 // definitions have equal keys iff they are column-for-column equivalent at
 // the exact-operand level, which is strictly finer than the paper's §III-D
 // instruction equivalence.
+// HashStableKey condenses a key produced by AppendStableKey into the hash
+// StableHash would return for the same function. Callers that need both the
+// key bytes (for exact content comparison) and the hash (for table lookup)
+// can build the key once and derive the hash from it.
+func HashStableKey(key []byte) uint64 { return fnv64(key) }
+
 func AppendStableKey(buf []byte, f *ir.Func) ([]byte, bool) {
 	types := map[*ir.Type]uint64{}
 	typeRef := func(t *ir.Type) uint64 {

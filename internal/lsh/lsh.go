@@ -9,11 +9,16 @@
 // never touched, replacing the quadratic all-pairs scan of the exact ranking
 // with per-bucket work.
 //
-// The index is deliberately deterministic: members are integer ids (the
-// exploration pool assigns pool-insertion indices), buckets preserve
-// insertion order, and probe results are returned sorted ascending. Inserts
-// and removals keep the index consistent as merges retire pool functions and
-// add merged ones.
+// The index is deliberately deterministic — and, since the warm-session
+// work, content-addressed: members are integer ids (the exploration pool
+// assigns pool-insertion indices, sessions assign stable per-name ids),
+// buckets hold their ids sorted ascending, and probe results are returned
+// sorted ascending. Sorted buckets make the index state a pure function of
+// the live (id, signature) set: Remove followed by Insert of the same id and
+// signature restores the exact pre-removal state, which is what lets a merge
+// session roll back a run's retire/admit churn and what makes incremental
+// evict/reinsert equivalent to a rebuild. Inserts and removals keep the
+// index consistent as merges retire pool functions and add merged ones.
 //
 // The index itself is not safe for concurrent mutation; ProbeBatch performs
 // read-only probes for many queries across a bounded worker pool.
@@ -90,7 +95,7 @@ func Collide(a, b *fingerprint.Signature, p Params) bool {
 // Index is the banded MinHash index.
 type Index struct {
 	p Params
-	// buckets[band] maps a band key to member ids in insertion order.
+	// buckets[band] maps a band key to member ids sorted ascending.
 	buckets []map[uint64][]int32
 	// keys remembers each member's band keys for removal.
 	keys map[int32][]uint64
@@ -124,7 +129,9 @@ func (ix *Index) Params() Params { return ix.p }
 // Len returns the number of members.
 func (ix *Index) Len() int { return len(ix.keys) }
 
-// Insert adds a member. Ids must be unique across the index's lifetime.
+// Insert adds a member at its sorted bucket positions. Ids must be unique
+// among live members; a removed id may be re-inserted, and re-inserting it
+// with its original signature restores the exact pre-removal bucket state.
 func (ix *Index) Insert(id int32, sig *fingerprint.Signature) {
 	if _, dup := ix.keys[id]; dup {
 		panic(fmt.Sprintf("lsh: duplicate insert of id %d", id))
@@ -133,13 +140,21 @@ func (ix *Index) Insert(id int32, sig *fingerprint.Signature) {
 	for band := 0; band < ix.p.Bands; band++ {
 		k := bandKey(sig, band, ix.p.Rows)
 		keys[band] = k
-		ix.buckets[band][k] = append(ix.buckets[band][k], id)
+		b := ix.buckets[band][k]
+		pos := len(b)
+		for pos > 0 && b[pos-1] > id {
+			pos--
+		}
+		b = append(b, 0)
+		copy(b[pos+1:], b[pos:])
+		b[pos] = id
+		ix.buckets[band][k] = b
 	}
 	ix.keys[id] = keys
 }
 
 // Remove deletes a member; unknown ids are a no-op. Bucket order of the
-// remaining members is preserved.
+// remaining members is preserved (still sorted ascending).
 func (ix *Index) Remove(id int32) {
 	keys, ok := ix.keys[id]
 	if !ok {
@@ -160,6 +175,16 @@ func (ix *Index) Remove(id int32) {
 			ix.buckets[band][k] = b
 		}
 	}
+}
+
+// Members returns the live member ids sorted ascending.
+func (ix *Index) Members() []int32 {
+	out := make([]int32, 0, len(ix.keys))
+	for id := range ix.keys {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // Probe returns the ids of every member sharing at least one band bucket

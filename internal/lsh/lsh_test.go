@@ -170,3 +170,59 @@ func TestInvalidBandingPanics(t *testing.T) {
 	}()
 	New(Params{Bands: fingerprint.SigLanes, Rows: 2})
 }
+
+// snapshotBuckets deep-copies the index's bucket state for exact comparison.
+func snapshotBuckets(ix *Index) []map[uint64][]int32 {
+	out := make([]map[uint64][]int32, len(ix.buckets))
+	for band, m := range ix.buckets {
+		out[band] = make(map[uint64][]int32, len(m))
+		for k, b := range m {
+			out[band][k] = append([]int32(nil), b...)
+		}
+	}
+	return out
+}
+
+// TestRemoveInsertRestoresState is the warm-session eviction contract:
+// removing any subset of members and re-inserting them with their original
+// signatures must restore the exact bucket state — byte-for-byte, not just
+// probe-equivalent — regardless of removal or reinsertion order. Sessions
+// rely on this to roll back a run's retire/admit churn and to treat
+// incremental evict/reinsert as equivalent to a rebuild.
+func TestRemoveInsertRestoresState(t *testing.T) {
+	sigs := cloneFamily(t, 4, 4)
+	ix := New(DefaultParams())
+	for i, s := range sigs {
+		ix.Insert(int32(i), s)
+	}
+	want := snapshotBuckets(ix)
+	wantMembers := ix.Members()
+
+	// Remove an interior subset (clones and unrelated members alike), in a
+	// scattered order, then re-insert in a different order.
+	for _, id := range []int32{5, 1, 3, 6} {
+		ix.Remove(id)
+	}
+	for _, id := range []int32{3, 6, 1, 5} {
+		ix.Insert(id, sigs[id])
+	}
+
+	if !reflect.DeepEqual(ix.Members(), wantMembers) {
+		t.Fatalf("members after remove+insert = %v, want %v", ix.Members(), wantMembers)
+	}
+	got := snapshotBuckets(ix)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket state not restored by remove+insert round trip")
+	}
+	// And every bucket is sorted ascending (the canonical-form invariant the
+	// restoration property rests on).
+	for band, m := range got {
+		for k, b := range m {
+			for i := 1; i < len(b); i++ {
+				if b[i-1] >= b[i] {
+					t.Fatalf("band %d bucket %d not sorted: %v", band, k, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"fmsa/internal/explore"
+	"fmsa/internal/ir"
+	"fmsa/internal/serve"
+	"fmsa/internal/wire"
+	"fmsa/internal/workload"
+)
+
+func testSpecs(n int) []workload.FuncSpec {
+	specs := make([]workload.FuncSpec, 0, n)
+	for i := 0; i < n; i++ {
+		seed := int64(100 + i)
+		if i%3 == 2 {
+			seed = int64(100 + i - 2)
+		}
+		specs = append(specs, workload.FuncSpec{
+			Name:        fmt.Sprintf("f%03d", i),
+			Seed:        seed,
+			Scalar:      ir.I64(),
+			NumParams:   1 + i%3,
+			Regions:     2 + i%2,
+			OpsPerBlock: 5 + i%4,
+			Internal:    true,
+		})
+	}
+	return specs
+}
+
+func encodeSpecs(t *testing.T, specs []workload.FuncSpec) []byte {
+	t.Helper()
+	m := ir.NewModule("sess")
+	for _, sp := range specs {
+		workload.Generate(m, sp)
+	}
+	data, err := wire.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func startServer(t *testing.T, cfg serve.Config) (*serve.Server, string) {
+	t.Helper()
+	srv := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
+}
+
+func baseOpts() explore.Options {
+	opts := explore.DefaultOptions()
+	opts.Threshold = 2
+	opts.Workers = 2
+	return opts
+}
+
+func submitWait(t *testing.T, cl *serve.Client, sess uint64, module []byte) serve.Result {
+	t.Helper()
+	p, err := cl.Submit(sess, module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestServeWarmMatchesCold: a warm resubmit over the wire reports the same
+// merges (digest, counts, sizes) as a cold session fed the same module, and
+// the delta classification reflects the edit.
+func TestServeWarmMatchesCold(t *testing.T) {
+	_, addr := startServer(t, serve.Config{Explore: baseOpts()})
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	base := testSpecs(40)
+	delta := append([]workload.FuncSpec(nil), base...)
+	delta[7].ConstSalt++
+
+	warm, err := cl.Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := submitWait(t, cl, warm, encodeSpecs(t, base))
+	if first.Delta.Warm || first.Delta.Added != first.Delta.Funcs {
+		t.Fatalf("first submit misclassified: %+v", first.Delta)
+	}
+	if first.MergeOps == 0 {
+		t.Fatal("corpus produced no merges; the test corpus is too thin")
+	}
+	warmRes := submitWait(t, cl, warm, encodeSpecs(t, delta))
+	if !warmRes.Delta.Warm || warmRes.Delta.Changed != 1 {
+		t.Fatalf("warm resubmit misclassified: %+v", warmRes.Delta)
+	}
+
+	cold, err := cl.Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes := submitWait(t, cl, cold, encodeSpecs(t, delta))
+	if coldRes.Delta.Warm {
+		t.Fatalf("fresh session reported warm: %+v", coldRes.Delta)
+	}
+
+	if warmRes.RecordsDigest != coldRes.RecordsDigest ||
+		warmRes.MergeOps != coldRes.MergeOps ||
+		warmRes.SizeAfter != coldRes.SizeAfter ||
+		warmRes.CandidatesEvaluated != coldRes.CandidatesEvaluated {
+		t.Fatalf("warm and cold disagree over the wire\nwarm: %+v\ncold: %+v", warmRes, coldRes)
+	}
+
+	if err := cl.CloseSession(warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CloseSession(cold); err != nil {
+		t.Fatal(err)
+	}
+	// A submit to a closed session must fail loudly, not hang.
+	if _, err := cl.Submit(warm, encodeSpecs(t, base)); err == nil {
+		t.Fatal("submit to a closed session succeeded")
+	} else {
+		var re *serve.RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("got %v, want RemoteError", err)
+		}
+	}
+}
+
+// TestServeOpenOverrides: per-session option overrides apply and isolation
+// holds — two sessions with different thresholds explore independently.
+func TestServeOpenOverrides(t *testing.T) {
+	_, addr := startServer(t, serve.Config{Explore: baseOpts()})
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	module := encodeSpecs(t, testSpecs(40))
+
+	s1, err := cl.Open(&serve.OpenOverrides{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cl.Open(&serve.OpenOverrides{Threshold: 5, Ranking: "lsh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := submitWait(t, cl, s1, module)
+	r2 := submitWait(t, cl, s2, module)
+	if r1.MergeOps == 0 || r2.MergeOps == 0 {
+		t.Fatalf("override sessions produced no merges: %+v / %+v", r1, r2)
+	}
+	if _, err := cl.Open(&serve.OpenOverrides{Ranking: "bogus"}); err == nil {
+		t.Fatal("bogus ranking override accepted")
+	}
+}
+
+// TestServeBackpressure: with a single admission slot, a burst of submits
+// draws at least one Busy, and retrying after results drain succeeds.
+func TestServeBackpressure(t *testing.T) {
+	cfg := serve.Config{Explore: baseOpts(), MaxInFlight: 1}
+	_, addr := startServer(t, cfg)
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sess, err := cl.Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slot holder is deliberately large so its merge is still running
+	// while the burst arrives; the burst modules are small so their refusal
+	// is pure admission, not queue pressure.
+	large := encodeSpecs(t, testSpecs(300))
+	module := encodeSpecs(t, testSpecs(30))
+
+	holder, err := cl.Submit(sess, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	var pending []*serve.Pending
+	for i := 0; i < 8; i++ {
+		p, err := cl.Submit(sess, module)
+		if errors.Is(err, serve.ErrBusy) {
+			busy++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, p)
+	}
+	if busy == 0 {
+		t.Fatal("burst past a 1-slot admission bound drew no Busy")
+	}
+	if _, err := holder.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pending {
+		if _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The refused submits retry cleanly once the slot is free.
+	p, err := cl.Submit(sess, module)
+	if err != nil {
+		t.Fatalf("retry after drain: %v", err)
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeGracefulDrain: Shutdown completes admitted work — its result
+// arrives — while refusing new submits.
+func TestServeGracefulDrain(t *testing.T) {
+	srv, addr := startServer(t, serve.Config{Explore: baseOpts()})
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sess, err := cl.Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	module := encodeSpecs(t, testSpecs(40))
+	p, err := cl.Submit(sess, module)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Shutdown(ctx) }()
+
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatalf("admitted submit lost during drain: %v", err)
+	}
+	if res.MergeOps == 0 {
+		t.Fatal("drained submit produced no merges")
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := serve.Dial(addr); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestServeConcurrentClients: independent clients on independent sessions
+// make progress concurrently and stay isolated.
+func TestServeConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, serve.Config{Explore: baseOpts(), MaxInFlight: 4})
+	const clients = 3
+	results := make(chan serve.Result, clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			sess, err := cl.Open(nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			module := encodeSpecs(t, testSpecs(25+i))
+			p, err := cl.Submit(sess, module)
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, err := p.Wait()
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- res
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case res := <-results:
+			if res.Delta.Warm {
+				t.Fatalf("fresh client session reported warm: %+v", res.Delta)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("timed out waiting for concurrent clients")
+		}
+	}
+}
+
+// TestServeRejectsGarbage: a malformed module payload produces an Error
+// response and leaves the session usable.
+func TestServeRejectsGarbage(t *testing.T) {
+	_, addr := startServer(t, serve.Config{Explore: baseOpts()})
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sess, err := cl.Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.Submit(sess, []byte("not an fmir module"))
+	if err != nil {
+		t.Fatal(err) // admission happens before decoding
+	}
+	if _, err := p.Wait(); err == nil {
+		t.Fatal("garbage module produced a result")
+	}
+	// Session still works.
+	res := submitWait(t, cl, sess, encodeSpecs(t, testSpecs(30)))
+	if res.MergeOps == 0 {
+		t.Fatal("session unusable after a rejected submit")
+	}
+}

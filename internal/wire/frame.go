@@ -1,0 +1,149 @@
+package wire
+
+// Frame is the unit of the fmsa-serve protocol: a tiny self-delimiting
+// envelope carrying one request or response over a byte stream. Payloads
+// are opaque to the framing layer — Submit frames carry an fmir module
+// (this package's Encode output), Result frames a JSON report, Error frames
+// a message — so the codec stays a few dozen lines and the fuzzer
+// (FuzzServeFrame) can exercise the entire parsing surface.
+//
+// Encoding, in stream order:
+//
+//	kind byte | session uvarint | ticket uvarint | payload-len uvarint | payload
+//
+// The varints reuse fmir's LEB128 conventions. A frame is rejected, never
+// truncated, when its payload length exceeds the reader's limit, so a
+// malicious or corrupt peer cannot make the server allocate unbounded
+// memory before the check.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. Requests flow client→server, responses server→client.
+const (
+	FrameOpen     = 1 // request: create a session; payload is the options blob
+	FrameSubmit   = 2 // request: merge one module; payload is an fmir module
+	FrameClose    = 3 // request: tear down the session
+	FrameOpened   = 4 // response to Open; Session carries the new id
+	FrameAccepted = 5 // response: submit admitted; result follows asynchronously
+	FrameResult   = 6 // response: merge finished; payload is the JSON report
+	FrameError    = 7 // response: request failed; payload is the message
+	FrameBusy     = 8 // response: admission limit hit, retry later (429-style)
+)
+
+// frameKindMax bounds the valid kind range for decoder validation.
+const frameKindMax = FrameBusy
+
+// DefaultMaxFramePayload caps the payload size ReadFrame accepts unless the
+// caller passes its own limit: large enough for any corpus module in the
+// benchmark suite, small enough to bound a malicious peer's allocation.
+const DefaultMaxFramePayload = 1 << 28 // 256 MiB
+
+// Frame is one protocol envelope. Session identifies the merge session
+// (0 in an Open request, assigned by the server in Opened); Ticket
+// correlates an asynchronous Result with the Submit that produced it.
+type Frame struct {
+	Kind    byte
+	Session uint64
+	Ticket  uint64
+	Payload []byte
+}
+
+// ErrFrameTooLarge reports a frame whose declared payload exceeds the
+// reader's limit. The stream is unrecoverable after it: the oversized
+// payload was not consumed.
+var ErrFrameTooLarge = errors.New("wire: frame payload exceeds limit")
+
+// AppendFrame appends f's encoding to dst and returns the extended slice.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, f.Kind)
+	dst = appendUvarint(dst, f.Session)
+	dst = appendUvarint(dst, f.Ticket)
+	dst = appendUvarint(dst, uint64(len(f.Payload)))
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame writes f to w in one Write call, so concurrent writers that
+// serialize per call (or guard with a mutex) never interleave frames.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, 16+len(f.Payload)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame decodes the next frame from br. maxPayload bounds the payload
+// allocation (<= 0 selects DefaultMaxFramePayload). A clean EOF before the
+// first byte returns io.EOF unwrapped so connection loops can terminate
+// quietly; EOF anywhere inside a frame is io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader, maxPayload int) (Frame, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFramePayload
+	}
+	var f Frame
+	kind, err := br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return f, io.EOF
+		}
+		return f, err
+	}
+	if kind < FrameOpen || kind > frameKindMax {
+		return f, fmt.Errorf("wire: unknown frame kind %d", kind)
+	}
+	f.Kind = kind
+	if f.Session, err = readFrameUvarint(br); err != nil {
+		return f, err
+	}
+	if f.Ticket, err = readFrameUvarint(br); err != nil {
+		return f, err
+	}
+	n, err := readFrameUvarint(br)
+	if err != nil {
+		return f, err
+	}
+	if n > uint64(maxPayload) {
+		return f, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, maxPayload)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(br, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return f, err
+		}
+	}
+	return f, nil
+}
+
+// readFrameUvarint reads one LEB128 varint, mapping mid-frame EOF to
+// io.ErrUnexpectedEOF and rejecting non-minimal or overlong encodings the
+// way binary.ReadUvarint does (overflow surfaces as an error, not a wrap).
+func readFrameUvarint(br *bufio.Reader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i == 9 && b > 1 {
+			return 0, errors.New("wire: varint overflows uint64")
+		}
+		if i == 10 {
+			return 0, errors.New("wire: varint too long")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+	}
+}

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: FrameOpen, Payload: []byte("opts")},
+		{Kind: FrameSubmit, Session: 1, Ticket: 7, Payload: bytes.Repeat([]byte{0xAB}, 300)},
+		{Kind: FrameClose, Session: math.MaxUint64},
+		{Kind: FrameOpened, Session: 42},
+		{Kind: FrameAccepted, Session: 42, Ticket: math.MaxUint64},
+		{Kind: FrameResult, Session: 42, Ticket: 9, Payload: []byte(`{"ok":true}`)},
+		{Kind: FrameError, Payload: []byte("boom")},
+		{Kind: FrameBusy, Session: 3},
+	}
+	var stream []byte
+	for _, f := range frames {
+		stream = AppendFrame(stream, f)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, want := range frames {
+		got, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Session != want.Session || got.Ticket != want.Ticket ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(br, 0); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameWriteRead(t *testing.T) {
+	var buf bytes.Buffer
+	want := Frame{Kind: FrameResult, Session: 5, Ticket: 11, Payload: []byte("payload")}
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(bufio.NewReader(&buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.Session != want.Session || got.Ticket != want.Ticket ||
+		!bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	enc := AppendFrame(nil, Frame{Kind: FrameSubmit, Payload: make([]byte, 100)})
+	_, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)), 99)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	// A declared length far beyond the data must be rejected by the limit
+	// before any allocation is attempted.
+	huge := []byte{FrameSubmit, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	_, err = ReadFrame(bufio.NewReader(bytes.NewReader(huge)), 1<<20)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("huge declared length: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameRejectsBadKind(t *testing.T) {
+	for _, kind := range []byte{0, frameKindMax + 1, 0xff} {
+		enc := append([]byte{kind}, 0, 0, 0)
+		if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)), 0); err == nil {
+			t.Fatalf("kind %d accepted", kind)
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	enc := AppendFrame(nil, Frame{Kind: FrameSubmit, Session: 300, Ticket: 4, Payload: []byte("abcdefgh")})
+	// Every strict prefix must fail cleanly: io.EOF only at offset 0.
+	for cut := 0; cut < len(enc); cut++ {
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc[:cut])), 0)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: got %v, want io.EOF", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", cut)
+		}
+		if err == io.EOF {
+			t.Fatalf("prefix of %d bytes: io.EOF leaked for a mid-frame cut", cut)
+		}
+	}
+}
+
+// FuzzServeFrame: the framing decoder must classify arbitrary bytes without
+// panicking, never allocate past the payload limit, and be self-consistent —
+// any frame it accepts must re-encode and re-decode to the same value.
+// Run as a smoke in CI: go test -fuzz=FuzzServeFrame -fuzztime=10s ./internal/wire/.
+func FuzzServeFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Kind: FrameOpen, Payload: []byte("o")}))
+	f.Add(AppendFrame(nil, Frame{Kind: FrameSubmit, Session: 1, Ticket: 2, Payload: []byte("FMIR")}))
+	f.Add(AppendFrame(nil, Frame{Kind: FrameBusy, Session: math.MaxUint64, Ticket: math.MaxUint64}))
+	f.Add([]byte{FrameSubmit, 0x80, 0x80, 0x80})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 1 << 16
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			got, err := ReadFrame(br, limit)
+			if err != nil {
+				return // rejecting malformed input is fine; panicking is not
+			}
+			if len(got.Payload) > limit {
+				t.Fatalf("payload of %d bytes exceeds the %d limit", len(got.Payload), limit)
+			}
+			reenc := AppendFrame(nil, got)
+			again, err := ReadFrame(bufio.NewReader(bytes.NewReader(reenc)), limit)
+			if err != nil {
+				t.Fatalf("re-decoding an accepted frame failed: %v", err)
+			}
+			if again.Kind != got.Kind || again.Session != got.Session ||
+				again.Ticket != got.Ticket || !bytes.Equal(again.Payload, got.Payload) {
+				t.Fatalf("round trip changed the frame: %+v vs %+v", got, again)
+			}
+		}
+	})
+}

@@ -25,6 +25,14 @@
 #    and hashing must survive print->reparse).
 #  - global: the sharded cross-TU experiment (bit-identity across shard
 #    counts, .fmsum summary round trip, exact-scoring reduction floor).
+#  - fuzz-serve-frame: short smoke-fuzz of the daemon frame codec (decode
+#    must reject what it cannot re-encode byte-identically, and never
+#    panic or over-read).
+#  - serve: the warm merge-session daemon experiment in quick mode — a
+#    load test over a live server (cold submit, warm delta resubmission,
+#    stream latency, warm/cold bit-identity across worker counts,
+#    admission backpressure, graceful drain). The 5x warm-speedup floor
+#    applies to the full-size run (fmsa-bench -exp serve), not quick mode.
 #
 # Run this before every commit that touches internal/explore, internal/ir,
 # internal/align, internal/encode, internal/core, internal/analysis or
@@ -70,5 +78,7 @@ gate kernels            go run ./cmd/fmsa-bench -exp kernels -quick
 gate bound              go run ./cmd/fmsa-bench -exp bound -quick
 gate ingest             go run ./cmd/fmsa-bench -exp ingest -quick
 gate global             go run ./cmd/fmsa-bench -exp global -quick
+gate fuzz-serve-frame   go test -run '^$' -fuzz 'FuzzServeFrame' -fuzztime 10s ./internal/wire/
+gate serve              go run ./cmd/fmsa-bench -exp serve -quick
 
 echo "all gates passed"

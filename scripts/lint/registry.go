@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
@@ -60,6 +61,13 @@ var analyzers = []analyzer{
 			var bad []string
 			for _, dir := range purePackages {
 				bad = append(bad, lintWallTime(filepath.Join(root, "internal", dir))...)
+			}
+			fset := token.NewFileSet()
+			for _, file := range pureFiles {
+				bad = append(bad, lintWallTimeFile(fset, filepath.Join(root, filepath.FromSlash(file)))...)
+			}
+			for _, dir := range noRandDirs {
+				bad = append(bad, lintNoRand(root, dir)...)
 			}
 			return bad
 		},
