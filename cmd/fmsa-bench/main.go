@@ -7,7 +7,7 @@
 //
 // Experiments: fig8, fig10, fig11, fig12, fig13, fig14, table1, table2,
 // ablation, hotexclusion, perf, rank, audit, kernels, bound, ingest,
-// verify, global, serve, all.
+// verify, global, serve, simdb, all.
 //
 // The perf experiment measures the exploration pipeline itself (serial vs
 // parallel) and emits one machine-readable JSON line per configuration —
@@ -80,6 +80,17 @@
 //
 //	fmsa-bench -exp serve -json BENCH_PR9.json
 //	fmsa-bench -exp serve -quick
+//
+// The simdb experiment measures the persistent similarity database: the
+// largest corpus's signature/index state is stored to a segment file, 1% of
+// the corpus is edited, and the run fails unless the store-backed startup
+// (segment replay + delta recompute) beats the full rebuild by at least 3x,
+// every probe of the rehydrated LSH index matches a from-scratch in-memory
+// index, and store-backed merge decisions are bit-identical to storeless
+// cold runs for workers 1/2/8:
+//
+//	fmsa-bench -exp simdb -json BENCH_PR10.json
+//	fmsa-bench -exp simdb -quick
 //
 // -cpuprofile and -memprofile write pprof profiles covering whichever
 // experiments ran.
@@ -413,6 +424,31 @@ func main() {
 				fmt.Printf("\nserve: %.2fx warm speedup at %.0f%% delta on %s (cold %.2fs, warm %.2fs), bit-identical: %v\n",
 					r.Speedup, 100*r.DeltaFrac, r.Corpus,
 					float64(r.ColdNS)/1e9, float64(r.WarmNS)/1e9, r.BitIdentical)
+			}
+		}
+	}
+
+	if run("simdb") {
+		ran = true
+		section("SimDB: persistent similarity database, store-backed startup vs full rebuild")
+		rows, err := experiments.SimDB(workload.SPECLike(), tgt, experiments.SimDBConfig{
+			Quick: *quickly,
+		})
+		for _, r := range rows {
+			emitJSON(r, *jsonPath)
+		}
+		fatalIf(err)
+		for _, r := range rows {
+			switch r.Phase {
+			case "startup":
+				fmt.Printf("\nsimdb: %.2fx store-backed startup at %.0f%% delta on %s (cold %.3fs, warm %.3fs, %d hits/%d misses, %d segment bytes)\n",
+					r.Speedup, 100*r.DeltaFrac, r.Corpus,
+					float64(r.ColdNS)/1e9, float64(r.WarmNS)/1e9,
+					r.StoreHits, r.StoreMisses, r.SegmentBytes)
+			case "probe":
+				fmt.Printf("simdb: probe p50 %.1fµs, p95 %.1fµs, p99 %.1fµs over %d queries, identical to in-memory index: %v\n",
+					float64(r.P50NS)/1e3, float64(r.P95NS)/1e3, float64(r.P99NS)/1e3,
+					r.Probes, r.BitIdentical)
 			}
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"fmsa/internal/explore"
 	"fmsa/internal/ir"
 	"fmsa/internal/serve"
+	"fmsa/internal/simdb"
 	"fmsa/internal/tti"
 )
 
@@ -42,6 +43,7 @@ func main() {
 		maxInFlight = flag.Int("maxinflight", serve.DefaultMaxInFlight, "admitted-but-unfinished submits across all sessions; beyond it clients get Busy")
 		maxPayload  = flag.Int("maxpayload", 0, "largest accepted frame payload in bytes (0 = default)")
 		summaries   = flag.Bool("summaries", false, "track per-session function summaries (cross-TU planning input)")
+		dbPath      = flag.String("db", "", "persistent similarity database segment shared by all sessions and restarts (empty = off)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 		drainWait   = flag.Duration("drain", time.Minute, "graceful-drain budget on SIGINT/SIGTERM before connections are severed")
 	)
@@ -76,11 +78,21 @@ func main() {
 		}()
 	}
 
+	var store *simdb.Store
+	if *dbPath != "" {
+		store, err = simdb.Open(*dbPath, "fmsa-serve", simdb.Options{})
+		fatal(err)
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "fmsa-serve: similarity db %s: %d live records (%d signed), %d bytes\n",
+			*dbPath, st.Live, st.Signed, st.SegmentBytes)
+	}
+
 	srv := serve.New(serve.Config{
 		Explore:     opts,
 		MaxInFlight: *maxInFlight,
 		MaxPayload:  *maxPayload,
 		Summaries:   *summaries,
+		Store:       store,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	fatal(err)

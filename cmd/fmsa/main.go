@@ -34,6 +34,7 @@ import (
 	"fmsa/internal/global"
 	"fmsa/internal/ir"
 	"fmsa/internal/profiling"
+	"fmsa/internal/simdb"
 	"fmsa/internal/tti"
 	"fmsa/internal/wire"
 )
@@ -58,6 +59,7 @@ func main() {
 		out         = flag.String("o", "", "write the optimized module to this file (default: stdout)")
 		quiet       = flag.Bool("q", false, "suppress the statistics report")
 		cgDot       = flag.Bool("callgraph", false, "print the call graph as Graphviz DOT instead of optimizing")
+		dbPath      = flag.String("db", "", "persistent similarity database segment: reuse fingerprint/signature state across runs (fmsa technique only)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
@@ -117,6 +119,15 @@ func main() {
 		return
 	}
 
+	var store *simdb.Store
+	if *dbPath != "" {
+		if fmsa.Technique(*technique) != fmsa.TechniqueFMSA {
+			fatal(fmt.Errorf("-db requires -technique fmsa"))
+		}
+		store, err = simdb.Open(*dbPath, "fmsa", simdb.Options{})
+		fatal(err)
+	}
+
 	before, _ := fmsa.ModuleSize(mod, *target)
 	rep, err := fmsa.Optimize(mod, fmsa.Options{
 		Technique:   fmsa.Technique(*technique),
@@ -131,6 +142,7 @@ func main() {
 		NoAlignMemo: *noAlignMemo,
 		NoBound:     *noBound,
 		Verify:      *verifyLvl,
+		Store:       store,
 	})
 	fatal(err)
 	if len(rep.VerifyDiags) > 0 {
@@ -149,6 +161,11 @@ func main() {
 		if *ranking == "lsh" {
 			fmt.Fprintf(os.Stderr, "lsh ranking:      %d probes, %d prefilter skips, %d fallbacks\n",
 				rep.RankProbes, rep.RankPrefilterSkips, rep.RankFallbacks)
+		}
+		if store != nil {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "similarity db:    %d live records (%d signed), %d bytes\n",
+				st.Live, st.Signed, st.SegmentBytes)
 		}
 		if rep.AuditedMerges > 0 {
 			fmt.Fprintf(os.Stderr, "audited merges:   %d (%d flagged, %d escalated, %d rejected)\n",

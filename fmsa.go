@@ -28,6 +28,7 @@ import (
 	"fmsa/internal/interp"
 	"fmsa/internal/ir"
 	"fmsa/internal/passes"
+	"fmsa/internal/simdb"
 	"fmsa/internal/tti"
 )
 
@@ -147,6 +148,14 @@ type Options struct {
 	// in Report.VerifyDiags and never change merge decisions. Only
 	// TechniqueFMSA verifies.
 	Verify string
+	// Store, when non-nil, backs the run with a persistent similarity
+	// database (internal/simdb): fingerprints and MinHash signatures of
+	// unchanged functions are reused from the store instead of recomputed,
+	// and this run's state is written back for the next one. Results are
+	// bit-identical with or without a store. Only TechniqueFMSA uses it,
+	// and not in Oracle mode (the exploration runs as a one-shot
+	// explore.Session, which rejects oracle exploration).
+	Store *simdb.Store
 }
 
 // Optimize runs a whole-module function-merging pipeline in place and
@@ -199,6 +208,20 @@ func Optimize(m *Module, opts Options) (*Report, error) {
 		eopts.NoAlignMemo = opts.NoAlignMemo
 		eopts.NoBound = opts.NoBound
 		eopts.Verify = verify
+		if opts.Store != nil {
+			sess, err := explore.NewSession(explore.SessionConfig{
+				Explore: eopts, Store: opts.Store,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fmsa: %w", err)
+			}
+			srep, _, err := sess.Submit(m)
+			if err != nil {
+				return nil, fmt.Errorf("fmsa: %w", err)
+			}
+			rep.Add(srep)
+			return rep, nil
+		}
 		rep.Add(explore.Run(m, eopts))
 		return rep, nil
 	default:

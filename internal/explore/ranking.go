@@ -129,7 +129,7 @@ func (r *runner) initLSH() {
 	parallelFor(len(r.pool), r.workers, func(i int) {
 		ls.sigs[i] = fingerprint.ComputeSignature(r.pool[i])
 	})
-	ls.idx = lsh.New(ls.params)
+	ls.idx = lsh.NewSized(ls.params, len(r.pool))
 	ls.params = ls.idx.Params() // normalized
 	for i, f := range r.pool {
 		ls.fps[i] = r.poolFPs[i]

@@ -50,6 +50,7 @@ import (
 	"fmsa/internal/ir"
 	"fmsa/internal/lsh"
 	"fmsa/internal/passes"
+	"fmsa/internal/simdb"
 	"fmsa/internal/tti"
 	"fmsa/internal/wire"
 )
@@ -67,6 +68,14 @@ type SessionConfig struct {
 	// Summaries maintains a .fmsum summary table for the submitted corpus
 	// (global.SummarizeFunc per live entry, recomputed only on change).
 	Summaries bool
+	// Store is an optional persistent similarity database. Submissions look
+	// changed/added functions up by (stable hash, content key) and reuse the
+	// stored fingerprint and signature on a hit — key byte equality implies
+	// both are identical to a fresh computation, so results stay bit-exact —
+	// and write their own state back (Put + Flush) before the run, making a
+	// process restart as warm as a live session. May be shared across
+	// concurrent sessions.
+	Store *simdb.Store
 }
 
 // DeltaStats describes how one submission diffed against the session state
@@ -80,6 +89,9 @@ type DeltaStats struct {
 	SeededLists, RescannedLists int
 	// NegHits counts merge attempts the negative-attempt memo skipped.
 	NegHits int64
+	// StoreHits/StoreMisses count changed/added functions whose fingerprint
+	// state was reused from (or absent in) the persistent similarity store.
+	StoreHits, StoreMisses int
 	// Warm reports that the submission ran against prior session state.
 	Warm bool
 	// OrderBroken and ModeFlipped report why list seeding was abandoned
@@ -287,14 +299,31 @@ func (s *Session) Submit(m *ir.Module) (*Report, DeltaStats, error) {
 	}
 	tFP := time.Now()
 	diffTime := tFP.Sub(tDiff)
+	var storeHits, storeMisses int64
 	parallelFor(len(fresh), workers, func(j int) {
 		i := fresh[j]
-		entriesByIdx[i].fp = fingerprint.Compute(pool[i])
+		e := entriesByIdx[i]
+		if s.cfg.Store != nil {
+			if rec := s.cfg.Store.Lookup(e.hash, e.key); rec != nil {
+				// Key byte equality: the stored fingerprint and signature
+				// are what Compute/ComputeSignature would produce.
+				e.fp = rec.Fp
+				e.sig = rec.Sig
+				atomic.AddInt64(&storeHits, 1)
+			} else {
+				atomic.AddInt64(&storeMisses, 1)
+			}
+		}
+		if e.fp == nil {
+			e.fp = fingerprint.Compute(pool[i])
+		}
 		if s.cfg.Summaries {
-			entriesByIdx[i].sum = global.SummarizeFunc(pool[i])
-			entriesByIdx[i].hasSum = true
+			e.sum = global.SummarizeFunc(pool[i])
+			e.hasSum = true
 		}
 	})
+	delta.StoreHits = int(storeHits)
+	delta.StoreMisses = int(storeMisses)
 	fpTime := time.Since(tFP)
 
 	// Ranking-mode decision and persistent-index maintenance.
@@ -306,6 +335,24 @@ func (s *Session) Submit(m *ir.Module) (*Report, DeltaStats, error) {
 	}
 	if useLSH {
 		s.maintainIndex(pool, class, entriesByIdx, removed, workers)
+	}
+
+	// Persist the fresh subset: unchanged store records are no-ops inside
+	// Put, signature upgrades supersede unsigned ones. Names that left the
+	// pool are NOT tombstoned — the store is content-addressed and shared
+	// across sessions and corpora.
+	if s.cfg.Store != nil {
+		for _, i := range fresh {
+			e := entriesByIdx[i]
+			s.cfg.Store.Put(simdb.Record{
+				Hash: e.hash, Name: e.name, Linkage: pool[i].Linkage,
+				SelfEq: e.selfEq, Size: e.fp.Total, Key: e.key,
+				Fp: e.fp, Sig: e.sig,
+			})
+		}
+		if err := s.cfg.Store.Flush(); err != nil {
+			return nil, delta, err
+		}
 	}
 
 	// Reconcile stored candidate lists into run seeds.
@@ -414,7 +461,7 @@ func (s *Session) dropIndex() {
 func (s *Session) maintainIndex(pool []*ir.Func, class []int, entriesByIdx []*sessEntry, removed []*sessEntry, workers int) {
 	var need []int32
 	if s.idx == nil {
-		s.idx = lsh.New(s.opts.LSH)
+		s.idx = lsh.NewSized(s.opts.LSH, len(pool))
 		s.lshParams = s.idx.Params()
 		s.sigsByID = nil
 		s.byID = nil

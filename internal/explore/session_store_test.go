@@ -1,0 +1,193 @@
+package explore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fmsa/internal/ir"
+	"fmsa/internal/simdb"
+	"fmsa/internal/workload"
+)
+
+func openTestStore(t *testing.T, path string) *simdb.Store {
+	t.Helper()
+	st, err := simdb.Open(path, "sess", simdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSessionStoreColdIdentical: a store-backed session — both one that
+// populates an empty store and one that restarts onto a warm store — must
+// produce bit-identical merge outcomes to a plain storeless run, for every
+// worker count and both ranking modes. This is the persistent analogue of
+// TestSessionWarmColdIdentical: the store replays fingerprints and
+// signatures across process boundaries, and nothing downstream may notice.
+func TestSessionStoreColdIdentical(t *testing.T) {
+	base := sessionSpecs(60)
+	delta := append([]workload.FuncSpec(nil), base...)
+	delta[7].ConstSalt += 3
+	delta[22].Seed += 900
+	delta = append(delta, workload.FuncSpec{
+		Name: "fnew", Seed: 104, Scalar: ir.I64(), NumParams: 2,
+		Regions: 2, OpsPerBlock: 6, Internal: true,
+	})
+
+	for _, ranking := range []RankingMode{RankExact, RankLSH} {
+		path := filepath.Join(t.TempDir(), "sess.fmdb")
+
+		// Populate the store once from the base corpus.
+		seedSess, err := NewSession(SessionConfig{
+			Explore: sessionOpts(1, ranking), Store: openTestStore(t, path),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repSeed, dSeed, err := seedSess.Submit(buildFromSpecs(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dSeed.StoreHits != 0 || dSeed.StoreMisses != dSeed.Funcs {
+			t.Fatalf("ranking=%v: empty-store submit hits=%d misses=%d funcs=%d",
+				ranking, dSeed.StoreHits, dSeed.StoreMisses, dSeed.Funcs)
+		}
+
+		// Reference: plain storeless cold runs of base and delta.
+		plainBase, err := NewSession(SessionConfig{Explore: sessionOpts(1, ranking)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repPlain, _, err := plainBase.Submit(buildFromSpecs(base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := outcomeOf(repSeed), outcomeOf(repPlain); !sameOutcome(got, want) {
+			t.Fatalf("ranking=%v: store-populating run diverged from plain run", ranking)
+		}
+
+		var wantOutcome mergeOutcome
+		var wantModule string
+		for i, workers := range []int{1, 2, 8} {
+			opts := sessionOpts(workers, ranking)
+
+			plain, err := NewSession(SessionConfig{Explore: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mPlain := buildFromSpecs(delta)
+			repWant, _, err := plain.Submit(mPlain)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Restart: fresh session, same on-disk store — zero in-memory
+			// warm state, everything rehydrates from the segment.
+			warm, err := NewSession(SessionConfig{
+				Explore: opts, Store: openTestStore(t, path),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mGot := buildFromSpecs(delta)
+			repGot, dGot, err := warm.Submit(mGot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dGot.StoreHits == 0 {
+				t.Fatalf("ranking=%v workers=%d: restart onto warm store had no hits", ranking, workers)
+			}
+			// The three edited/added functions are the only possible misses.
+			if dGot.StoreMisses > 3 {
+				t.Fatalf("ranking=%v workers=%d: %d store misses, want ≤3", ranking, workers, dGot.StoreMisses)
+			}
+			if got, want := outcomeOf(repGot), outcomeOf(repWant); !sameOutcome(got, want) {
+				t.Fatalf("ranking=%v workers=%d: store-backed outcome diverged:\ngot  %+v\nwant %+v",
+					ranking, workers, got, want)
+			}
+			if gotM, wantM := printModule(t, mGot), printModule(t, mPlain); gotM != wantM {
+				t.Fatalf("ranking=%v workers=%d: merged modules differ", ranking, workers)
+			}
+			if i == 0 {
+				wantOutcome = outcomeOf(repGot)
+				wantModule = printModule(t, mGot)
+				continue
+			}
+			if got := outcomeOf(repGot); !sameOutcome(got, wantOutcome) {
+				t.Fatalf("ranking=%v: workers=%d outcome differs from workers=1", ranking, workers)
+			}
+			if got := printModule(t, mGot); got != wantModule {
+				t.Fatalf("ranking=%v: workers=%d module differs from workers=1", ranking, workers)
+			}
+		}
+	}
+}
+
+// TestSessionSharedStoreAcrossSessions: two sessions sharing one live store
+// handle — the fmsa-serve arrangement — stay bit-identical to storeless
+// runs, and the second session reuses the first one's flushed state.
+func TestSessionSharedStoreAcrossSessions(t *testing.T) {
+	specs := sessionSpecs(40)
+	opts := sessionOpts(2, RankLSH)
+	st := openTestStore(t, filepath.Join(t.TempDir(), "shared.fmdb"))
+
+	first, err := NewSession(SessionConfig{Explore: opts, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := first.Submit(buildFromSpecs(specs)); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewSession(SessionConfig{Explore: opts, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := buildFromSpecs(specs)
+	rep2, d2, err := second.Submit(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.StoreHits != d2.Funcs || d2.StoreMisses != 0 {
+		t.Fatalf("second session: hits=%d misses=%d funcs=%d, want all hits",
+			d2.StoreHits, d2.StoreMisses, d2.Funcs)
+	}
+
+	plain, err := NewSession(SessionConfig{Explore: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPlain := buildFromSpecs(specs)
+	repPlain, _, err := plain.Submit(mPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOutcome(outcomeOf(rep2), outcomeOf(repPlain)) {
+		t.Fatal("shared-store session diverged from plain run")
+	}
+	if printModule(t, m2) != printModule(t, mPlain) {
+		t.Fatal("shared-store merged module differs from plain run")
+	}
+}
+
+// sameOutcome compares identity-relevant report slices.
+func sameOutcome(a, b mergeOutcome) bool {
+	if a.MergeOps != b.MergeOps || a.FullyRemoved != b.FullyRemoved ||
+		a.CandidatesEvaluated != b.CandidatesEvaluated || a.SizeAfter != b.SizeAfter {
+		return false
+	}
+	if len(a.RankPositions) != len(b.RankPositions) || len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.RankPositions {
+		if a.RankPositions[i] != b.RankPositions[i] {
+			return false
+		}
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -19,12 +19,29 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+// fnv64 hashes a stable key: FNV-1a's xor-multiply round applied to 8-byte
+// little-endian blocks instead of single bytes, with a final finalizer so
+// block-local differences avalanche into the low bits too (a bare
+// multiplicative chain only carries information upward). Eight bytes per
+// multiply matters because keys are hashed twice per function on the warm
+// path (once keying, once on lookup) over megabytes of corpus key bytes.
+// Not interoperable with standard FNV-1a — nothing persists these values
+// across format versions except fmdb/fmsum segments, which version-gate.
 func fnv64(b []byte) uint64 {
 	h := uint64(fnvOffset)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= fnvPrime
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * fnvPrime
+		b = b[8:]
 	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	// 64-bit finalizer (xorshift-multiply, splitmix64 style).
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
 	return h
 }
 
@@ -52,40 +69,35 @@ func StableHash(f *ir.Func) (uint64, bool) {
 // can build the key once and derive the hash from it.
 func HashStableKey(key []byte) uint64 { return fnv64(key) }
 
+// typeKeyHash is the per-type hash folded into stable keys: the FNV-1a of
+// the type's canonical textual form, cached on the interned type itself —
+// the keyer is on the warm-startup hot path (internal/simdb staleness checks
+// key every definition of the corpus), so types must not be re-spelled or
+// re-hashed per function.
+func typeKeyHash(t *ir.Type) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ContentHash()
+}
+
 func AppendStableKey(buf []byte, f *ir.Func) ([]byte, bool) {
-	types := map[*ir.Type]uint64{}
-	typeRef := func(t *ir.Type) uint64 {
-		if t == nil {
-			return 0
-		}
-		if r, ok := types[t]; ok {
-			return r
-		}
-		r := fnv64([]byte(t.String()))
-		types[t] = r
-		return r
-	}
+	// Local definition indices: params first (their slice position, which is
+	// Param.Index), then instructions in layout order, and blocks by layout
+	// index — all via the IR's ordinal scratch slots, so keying a function
+	// allocates nothing beyond the caller's buffer. (The keyer is the
+	// warm-startup staleness check over every definition of a corpus; even
+	// one small map per function sustains enough GC churn to rival the
+	// recompute it is there to avoid.)
+	f.NumberLocals()
 
-	// Local definition indices: params first, then instructions in layout
-	// order. Blocks by layout index.
-	defIdx := map[ir.Value]int{}
-	blkIdx := map[*ir.Block]int{}
-	for i, p := range f.Params {
-		defIdx[p] = i
-	}
-	n := len(f.Params)
-	for bi, b := range f.Blocks {
-		blkIdx[b] = bi
-		for _, in := range b.Insts {
-			defIdx[in] = n
-			n++
-		}
-	}
-
-	sig := f.Sig().String()
+	// Types — including the function's own signature type — enter the key as
+	// their fixed-width cached content hash, not their spelling: the append
+	// is branch-free (a uvarint of a 64-bit hash is a ten-iteration loop and
+	// ten bytes), and the 2^-64 collision risk is the same one every other
+	// type position in the key already carries.
 	buf = append(buf, 'F')
-	buf = binary.AppendUvarint(buf, uint64(len(sig)))
-	buf = append(buf, sig...)
+	buf = binary.LittleEndian.AppendUint64(buf, typeKeyHash(f.Sig()))
 
 	selfEq := true
 	for _, b := range f.Blocks {
@@ -101,12 +113,12 @@ func AppendStableKey(buf []byte, f *ir.Func) ([]byte, bool) {
 				}
 			}
 			buf = append(buf, 'I', byte(in.Op))
-			buf = binary.AppendUvarint(buf, typeRef(in.Type()))
+			buf = binary.LittleEndian.AppendUint64(buf, typeKeyHash(in.Type()))
 			switch in.Op {
 			case ir.OpICmp, ir.OpFCmp:
 				buf = append(buf, byte(in.Pred))
 			case ir.OpAlloca:
-				buf = binary.AppendUvarint(buf, typeRef(in.Alloc))
+				buf = binary.LittleEndian.AppendUint64(buf, typeKeyHash(in.Alloc))
 			case ir.OpLandingPad:
 				buf = binary.AppendUvarint(buf, uint64(len(in.Clauses)))
 				for _, c := range in.Clauses {
@@ -116,24 +128,26 @@ func AppendStableKey(buf []byte, f *ir.Func) ([]byte, bool) {
 			}
 			buf = binary.AppendUvarint(buf, uint64(in.NumOperands()))
 			for _, op := range in.Operands() {
-				buf = appendOperandKey(buf, f, op, typeRef, defIdx, blkIdx)
+				buf = appendOperand(buf, f, op)
 			}
 		}
 	}
 	return buf, selfEq
 }
 
-func appendOperandKey(buf []byte, f *ir.Func, op ir.Value,
-	typeRef func(*ir.Type) uint64, defIdx map[ir.Value]int, blkIdx map[*ir.Block]int) []byte {
+func appendOperand(buf []byte, f *ir.Func, op ir.Value) []byte {
 	switch v := op.(type) {
 	case nil:
 		return append(buf, 'z')
 	case *ir.Block:
 		buf = append(buf, 'b')
-		return binary.AppendUvarint(buf, uint64(blkIdx[v]))
-	case *ir.Param, *ir.Inst:
+		return binary.AppendUvarint(buf, uint64(v.LayoutOrd()))
+	case *ir.Inst:
 		buf = append(buf, 'l')
-		return binary.AppendUvarint(buf, uint64(defIdx[op]))
+		return binary.AppendUvarint(buf, uint64(v.LocalOrd()))
+	case *ir.Param:
+		buf = append(buf, 'l')
+		return binary.AppendUvarint(buf, uint64(v.Index))
 	case *ir.Func:
 		if v == f {
 			// Self-reference: recursion hashes position-independently so
@@ -149,18 +163,18 @@ func appendOperandKey(buf []byte, f *ir.Func, op ir.Value,
 		return append(buf, v.Name()...)
 	case *ir.ConstInt:
 		buf = append(buf, 'c')
-		buf = binary.AppendUvarint(buf, typeRef(v.Type()))
+		buf = binary.LittleEndian.AppendUint64(buf, typeKeyHash(v.Type()))
 		return binary.AppendUvarint(buf, uint64(v.V))
 	case *ir.ConstFloat:
 		buf = append(buf, 'd')
-		buf = binary.AppendUvarint(buf, typeRef(v.Type()))
-		return binary.AppendUvarint(buf, math.Float64bits(v.V))
+		buf = binary.LittleEndian.AppendUint64(buf, typeKeyHash(v.Type()))
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.V))
 	case *ir.Undef:
 		buf = append(buf, 'u')
-		return binary.AppendUvarint(buf, typeRef(v.Type()))
+		return binary.LittleEndian.AppendUint64(buf, typeKeyHash(v.Type()))
 	case *ir.ConstNull:
 		buf = append(buf, 'n')
-		return binary.AppendUvarint(buf, typeRef(v.Type()))
+		return binary.LittleEndian.AppendUint64(buf, typeKeyHash(v.Type()))
 	default:
 		// Unknown value kind: poison the key so it never matches anything.
 		return append(buf, 0xff)

@@ -9,9 +9,16 @@ type Block struct {
 	usable
 	name   string
 	parent *Func
+	// ord is a scratch slot holding the block's layout index, assigned by
+	// (*Func).NumberLocals alongside the instruction ordinals.
+	ord int32
 	// Insts holds the block's instructions in execution order.
 	Insts []*Inst
 }
+
+// LayoutOrd returns the layout index assigned by the containing function's
+// last NumberLocals call; it is scratch state, not kept current by mutation.
+func (b *Block) LayoutOrd() int32 { return b.ord }
 
 // NewBlock creates a detached block with the given name (which may be empty;
 // the printer assigns numbers to anonymous blocks).

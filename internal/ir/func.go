@@ -141,6 +141,27 @@ func (f *Func) SetName(s string) {
 // Ident returns the reference form "@name".
 func (f *Func) Ident() string { return "@" + f.name }
 
+// NumberLocals assigns every instruction its local-definition ordinal —
+// parameters occupy [0, len(Params)) (their slice position, mirrored by
+// Param.Index), instructions follow in layout order — and every block its
+// layout index, returning the total definition count. Ordinals are scratch
+// state read back via (*Inst).LocalOrd and (*Block).LayoutOrd; they stay
+// valid only until the function's layout next changes. Numbering distinct
+// functions concurrently is safe (instructions and blocks belong to exactly
+// one function); numbering the same function from two goroutines is a data
+// race.
+func (f *Func) NumberLocals() int {
+	n := int32(len(f.Params))
+	for bi, b := range f.Blocks {
+		b.ord = int32(bi)
+		for _, in := range b.Insts {
+			in.ord = n
+			n++
+		}
+	}
+	return int(n)
+}
+
 // Parent returns the module containing the function.
 func (f *Func) Parent() *Module { return f.parent }
 

@@ -271,6 +271,10 @@ type Inst struct {
 	// entry names an exception handler type-info symbol; the distinguished
 	// entry "cleanup" marks a cleanup landing pad.
 	Clauses []string
+
+	// ord is the local-definition ordinal scratch slot assigned by
+	// (*Func).NumberLocals and read back via LocalOrd.
+	ord int32
 }
 
 // NewInst creates a detached instruction with the given opcode, result type
@@ -308,6 +312,11 @@ func (in *Inst) Ident() string {
 
 // Parent returns the block containing the instruction, or nil if detached.
 func (in *Inst) Parent() *Block { return in.parent }
+
+// LocalOrd returns the local-definition ordinal assigned by the enclosing
+// function's most recent NumberLocals call. It is scratch state: meaningless
+// before NumberLocals and stale after the function's layout changes.
+func (in *Inst) LocalOrd() int32 { return in.ord }
 
 // NumOperands returns the operand count.
 func (in *Inst) NumOperands() int { return len(in.operands) }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // TypeKind discriminates the structural kinds of IR types.
@@ -50,7 +51,8 @@ type Type struct {
 	// Variadic marks a FuncKind type as variadic.
 	Variadic bool
 
-	str string // cached textual form
+	str         string        // cached textual form
+	contentHash atomic.Uint64 // cached ContentHash (0 = not yet computed)
 }
 
 var (
@@ -199,6 +201,27 @@ func (t *Type) String() string {
 		t.str = t.computeString()
 	}
 	return t.str
+}
+
+// ContentHash returns the FNV-1a hash of the type's canonical textual form
+// (String()) — a process- and run-stable content identity that hashing-heavy
+// consumers (the stable structural key, MinHash shingles) can use without
+// re-walking the spelling. The hash is cached on the type after the first
+// computation; the cache is safe for concurrent use.
+func (t *Type) ContentHash() uint64 {
+	if h := t.contentHash.Load(); h != 0 {
+		return h
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	s := t.String()
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// A true hash of 0 (probability 2^-64) is simply never cached.
+	t.contentHash.Store(h)
+	return h
 }
 
 // IsVoid reports whether t is the void type.

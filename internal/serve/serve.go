@@ -19,7 +19,9 @@
 // reproducible — the session sees the same submission sequence a cold
 // replay would. Isolation is structural: sessions share nothing but the
 // admission semaphore, so one client's corpus never warms (or poisons)
-// another's caches.
+// another's caches. (The optional Config.Store is the one deliberate
+// exception: a shared content-addressed similarity database, safe because
+// reuse is keyed by content, never by session.)
 //
 // Backpressure is bounded admission, not queueing: a Submit either reserves
 // one of MaxInFlight global slots before Accepted is written, or is
@@ -41,6 +43,7 @@ import (
 	"time"
 
 	"fmsa/internal/explore"
+	"fmsa/internal/simdb"
 	"fmsa/internal/wire"
 )
 
@@ -59,6 +62,10 @@ type Config struct {
 	// Summaries enables per-session function-summary tracking
 	// (explore.SessionConfig.Summaries).
 	Summaries bool
+	// Store is an optional persistent similarity database shared by every
+	// session the server opens (explore.SessionConfig.Store): submissions
+	// from any client warm it, and it survives server restarts.
+	Store *simdb.Store
 }
 
 // DefaultMaxInFlight is the admission bound when Config.MaxInFlight is
@@ -341,7 +348,9 @@ func (s *Server) openSession(payload []byte) (*explore.Session, error) {
 			opts.Workers = ov.Workers
 		}
 	}
-	return explore.NewSession(explore.SessionConfig{Explore: opts, Summaries: s.cfg.Summaries})
+	return explore.NewSession(explore.SessionConfig{
+		Explore: opts, Summaries: s.cfg.Summaries, Store: s.cfg.Store,
+	})
 }
 
 // sessionWorker owns one explore.Session: submits run strictly FIFO, each

@@ -1,0 +1,638 @@
+// Package simdb is the persistent corpus-scale similarity database
+// (ROADMAP item 5, DESIGN.md §14): a content-addressed store of function
+// similarity state — stable hash, canonical content key, rank-cache
+// fingerprint, MinHash signature — that survives process restarts so a warm
+// start rehydrates the LSH bands and fingerprints from disk instead of
+// re-running fingerprint.Compute/ComputeSignature over an unchanged corpus.
+//
+// Identity and staleness mirror the PR-9 session table: a function is keyed
+// by its PR-8 stable hash, disambiguated by the canonical content key bytes
+// (global.AppendStableKey output). Key byte equality implies an identical
+// (opcode, type) instruction sequence, which implies identical fingerprint
+// and signature — so a key hit is never stale and reuse is bit-exact.
+//
+// On disk a store is one fmdb segment file (internal/wire): an append-only
+// log of record and tombstone sections. Mutations accumulate in memory and
+// Flush appends them as whole sections (O_APPEND), sorted by (hash, key) so
+// the file bytes are deterministic for any worker count. Removals append
+// tombstones; when the dead fraction of the file crosses the compaction
+// threshold after a flush, the store rewrites itself live-only via a
+// temp-file rename. Replay order makes the live set a pure function of the
+// file bytes, so a reopened store equals the pre-crash in-memory state up to
+// the last complete section.
+package simdb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"fmsa/internal/fingerprint"
+	"fmsa/internal/ir"
+	"fmsa/internal/lsh"
+	"fmsa/internal/wire"
+)
+
+// Record is one live function's similarity state. Records are immutable once
+// published: concurrent readers may hold a *Record across store mutations, so
+// updates replace the table slot with a fresh record instead of mutating.
+type Record struct {
+	Hash    uint64
+	Name    string
+	Linkage ir.Linkage
+	SelfEq  bool
+	Size    int32 // instruction count (fingerprint Total)
+	Key     []byte
+	// Fp is the rank-cache fingerprint rehydrated from the sparse tables.
+	// Its TypeFreq entries carry Key strings only (Type pointers are an
+	// intra-package fingerprint detail and never serialized).
+	Fp *fingerprint.Fingerprint
+	// Sig is nil for records produced by exact-ranking runs that never
+	// computed a signature; such records rehydrate fingerprints but do not
+	// enter the LSH index.
+	Sig *fingerprint.Signature
+	// Bands holds Sig's LSH band keys under lsh.DefaultParams, computed at
+	// Put time and persisted with the record so Rehydrate files the member
+	// into its buckets without re-hashing any band. Nil for unsigned
+	// records. A change to the default banding (or the band hash) is a
+	// segment format change and must bump wire.DBVersion.
+	Bands []uint64
+
+	flushed bool // true once this exact record is in the segment file
+}
+
+// Options tunes a store. The zero value selects the defaults.
+type Options struct {
+	// AutoCompactMin is the minimum dead-entry count before a flush may
+	// trigger auto-compaction. Default 64.
+	AutoCompactMin int
+	// AutoCompactRatio triggers compaction when dead > ratio × written
+	// file entries after a flush. Default 0.5; negative disables
+	// auto-compaction entirely.
+	AutoCompactRatio float64
+}
+
+const (
+	defaultAutoCompactMin   = 64
+	defaultAutoCompactRatio = 0.5
+)
+
+// Store is a persistent similarity database over one segment file. All
+// methods are safe for concurrent use; lookups take a read lock.
+type Store struct {
+	mu   sync.RWMutex
+	path string
+	name string
+	opts Options
+
+	// table maps stable hash → records with that hash (key bytes
+	// disambiguate FNV collisions). Slot replacement, never mutation.
+	table map[uint64][]*Record
+	live  int
+
+	hasHeader bool // segment file exists with a header on disk
+	written   int  // record + tombstone entries appended to the file
+	compacts  int  // completed compactions
+
+	pend      []*Record // records not yet in the file
+	pendTombs []wire.DBTombstone
+}
+
+// Open loads the segment at path, or creates an empty store bound to it when
+// the file does not exist yet (nothing is written until the first Flush).
+// name labels a newly created store; an existing file keeps its stored name.
+func Open(path, name string, opts Options) (*Store, error) {
+	if opts.AutoCompactMin == 0 {
+		opts.AutoCompactMin = defaultAutoCompactMin
+	}
+	if opts.AutoCompactRatio == 0 {
+		opts.AutoCompactRatio = defaultAutoCompactRatio
+	}
+	s := &Store{path: path, name: name, opts: opts, table: map[uint64][]*Record{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Replay allocation is batched: records, fingerprints and signatures come
+	// from arena chunks (a signed record is ~1.3 KiB of mostly pointer-free
+	// state — per-record allocations would dominate a large segment's replay),
+	// and the table is presized from the segment size so rehydration never
+	// rehashes.
+	var arena replayArena
+	s.table = make(map[uint64][]*Record, len(data)/1024)
+	var walkErr error
+	stored, err := wire.WalkDB(data,
+		func(w wire.DBRecord) {
+			if walkErr != nil {
+				return
+			}
+			rec, err := arena.wireToRecord(&w)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			rec.flushed = true
+			s.written++
+			// The common replay case — first record for its hash — takes a
+			// table slot carved from the arena; collisions and in-file
+			// supersedes (rare) fall back to the general upsert.
+			if _, taken := s.table[rec.Hash]; !taken {
+				s.table[rec.Hash] = arena.slot(rec)
+				s.live++
+			} else {
+				s.upsertLocked(rec)
+			}
+		},
+		func(t wire.DBTombstone) {
+			s.written++
+			s.dropLocked(t.Hash, t.Key)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("simdb: %s: %w", path, err)
+	}
+	if walkErr != nil {
+		return nil, fmt.Errorf("simdb: %s: %w", path, walkErr)
+	}
+	s.name = stored
+	s.hasHeader = true
+	return s, nil
+}
+
+// Path returns the segment file path.
+func (s *Store) Path() string { return s.path }
+
+// Name returns the store label from the segment header.
+func (s *Store) Name() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.name
+}
+
+// Len returns the live record count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
+
+// Lookup returns the live record for (hash, key), or nil. The returned
+// record is shared and must not be mutated; key bytes are compared, not
+// aliased, so any equal byte slice matches.
+func (s *Store) Lookup(hash uint64, key []byte) *Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.table[hash] {
+		if bytes.Equal(r.Key, key) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Put upserts r's similarity state. A record with the same (hash, key) —
+// identical content — is kept unless r upgrades it: adding a signature where
+// none was stored, or (for records not yet on disk) a lexicographically
+// smaller name, so in-memory state is order-insensitive while flushed names
+// stay stable and never force a supersede write. r.Fp must be non-nil; the
+// store retains r.Key, r.Fp, r.Sig and r.Bands without copying, and derives
+// the band keys from r.Sig when the caller left r.Bands nil.
+func (s *Store) Put(r Record) {
+	if r.Fp == nil {
+		panic("simdb: Put without fingerprint")
+	}
+	if r.Sig != nil && r.Bands == nil {
+		r.Bands = lsh.AppendBandKeys(lsh.Params{}, r.Sig, nil)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.table[r.Hash]
+	for i, old := range recs {
+		if !bytes.Equal(old.Key, r.Key) {
+			continue
+		}
+		name := old.Name
+		if !old.flushed && r.Name < name {
+			name = r.Name
+		}
+		sig, bands := old.Sig, old.Bands
+		if sig == nil {
+			sig, bands = r.Sig, r.Bands
+		}
+		if name == old.Name && sig == old.Sig {
+			return // nothing new
+		}
+		nr := &Record{
+			Hash: old.Hash, Name: name, Linkage: old.Linkage, SelfEq: old.SelfEq,
+			Size: old.Size, Key: old.Key, Fp: old.Fp, Sig: sig, Bands: bands,
+		}
+		recs[i] = nr
+		if old.flushed {
+			s.pend = append(s.pend, nr) // supersedes the file entry on replay
+		} else {
+			for j, p := range s.pend {
+				if p == old {
+					s.pend[j] = nr
+					break
+				}
+			}
+		}
+		return
+	}
+	nr := &Record{
+		Hash: r.Hash, Name: r.Name, Linkage: r.Linkage, SelfEq: r.SelfEq,
+		Size: r.Size, Key: r.Key, Fp: r.Fp, Sig: r.Sig, Bands: r.Bands,
+	}
+	s.table[r.Hash] = append(recs, nr)
+	s.live++
+	s.pend = append(s.pend, nr)
+}
+
+// Remove deletes the live record for (hash, key), reporting whether one
+// existed. A flushed record is removed by tombstone at the next Flush; an
+// unflushed one simply never reaches the file.
+func (s *Store) Remove(hash uint64, key []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.dropLocked(hash, key)
+	if old == nil {
+		return false
+	}
+	if old.flushed {
+		s.pendTombs = append(s.pendTombs, wire.DBTombstone{Hash: hash, Key: key})
+	} else {
+		for j, p := range s.pend {
+			if p == old {
+				s.pend = append(s.pend[:j], s.pend[j+1:]...)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// upsertLocked installs rec, replacing any same-key slot (file replay:
+// later record wins).
+func (s *Store) upsertLocked(rec *Record) {
+	recs := s.table[rec.Hash]
+	for i, old := range recs {
+		if bytes.Equal(old.Key, rec.Key) {
+			recs[i] = rec
+			return
+		}
+	}
+	s.table[rec.Hash] = append(recs, rec)
+	s.live++
+}
+
+// dropLocked unlinks the live record for (hash, key) and returns it.
+func (s *Store) dropLocked(hash uint64, key []byte) *Record {
+	recs := s.table[hash]
+	for i, old := range recs {
+		if bytes.Equal(old.Key, key) {
+			recs[i] = recs[len(recs)-1]
+			recs = recs[:len(recs)-1]
+			if len(recs) == 0 {
+				delete(s.table, hash)
+			} else {
+				s.table[hash] = recs
+			}
+			s.live--
+			return old
+		}
+	}
+	return nil
+}
+
+// Flush appends pending records and tombstones to the segment file as whole
+// sections, sorted by (hash, key) so the bytes are independent of insertion
+// order, then auto-compacts if the dead fraction crossed the threshold.
+// A no-op when nothing is pending.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pend) == 0 && len(s.pendTombs) == 0 {
+		return nil
+	}
+	sortRecords(s.pend)
+	tombs := s.pendTombs
+	sort.Slice(tombs, func(i, j int) bool {
+		if tombs[i].Hash != tombs[j].Hash {
+			return tombs[i].Hash < tombs[j].Hash
+		}
+		return bytes.Compare(tombs[i].Key, tombs[j].Key) < 0
+	})
+	var buf []byte
+	if !s.hasHeader {
+		buf = wire.AppendDBHeader(buf, s.name)
+	}
+	if len(s.pend) > 0 {
+		ws := make([]wire.DBRecord, len(s.pend))
+		for i, r := range s.pend {
+			ws[i] = recordToWire(r)
+		}
+		buf = wire.AppendDBRecords(buf, ws)
+	}
+	if len(tombs) > 0 {
+		buf = wire.AppendDBTombstones(buf, tombs)
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s.hasHeader = true
+	s.written += len(s.pend) + len(tombs)
+	for _, r := range s.pend {
+		r.flushed = true
+	}
+	s.pend, s.pendTombs = nil, nil
+	if dead := s.written - s.live; s.opts.AutoCompactRatio >= 0 &&
+		dead >= s.opts.AutoCompactMin &&
+		float64(dead) > s.opts.AutoCompactRatio*float64(s.written) {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact rewrites the segment live-only (pending state included), dropping
+// superseded records and tombstones via a temp-file rename.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	liveRecs := s.liveLocked()
+	buf := wire.AppendDBHeader(nil, s.name)
+	if len(liveRecs) > 0 {
+		ws := make([]wire.DBRecord, len(liveRecs))
+		for i, r := range liveRecs {
+			ws[i] = recordToWire(r)
+		}
+		buf = wire.AppendDBRecords(buf, ws)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	s.hasHeader = true
+	s.written = len(liveRecs)
+	for _, r := range liveRecs {
+		r.flushed = true
+	}
+	s.pend, s.pendTombs = nil, nil
+	s.compacts++
+	return nil
+}
+
+// Live returns the live records sorted by (hash, key) — the canonical order,
+// identical for any mutation history reaching the same live set.
+func (s *Store) Live() []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveLocked()
+}
+
+func (s *Store) liveLocked() []*Record {
+	all := make([]*Record, 0, s.live)
+	for _, recs := range s.table {
+		all = append(all, recs...)
+	}
+	sortRecords(all)
+	return all
+}
+
+// sortRecords orders records by (hash, key) — a total order, since live
+// records are unique per (hash, key).
+func sortRecords(recs []*Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Hash != recs[j].Hash {
+			return recs[i].Hash < recs[j].Hash
+		}
+		return bytes.Compare(recs[i].Key, recs[j].Key) < 0
+	})
+}
+
+// Rehydrate builds a banded LSH index over the live set without recomputing
+// any signature: records are assigned dense ids in canonical order (the
+// index into the returned slice) and every signed record is inserted —
+// straight from its persisted band keys when the record carries a full set
+// for p's banding, re-hashed from the signature otherwise. Unsigned records
+// appear in the slice but not the index.
+func (s *Store) Rehydrate(p lsh.Params) (*lsh.Index, []*Record) {
+	liveRecs := s.Live()
+	// Persisted band keys are computed under the default banding; any other
+	// banding re-hashes from the signatures (a matching band count alone
+	// would not prove matching row grouping).
+	stored := p == lsh.Params{} || p == lsh.DefaultParams()
+	nb := p.NumBands()
+	keys := make([][]uint64, len(liveRecs))
+	for id, r := range liveRecs {
+		switch {
+		case stored && len(r.Bands) == nb:
+			keys[id] = r.Bands
+		case r.Sig != nil:
+			keys[id] = lsh.AppendBandKeys(p, r.Sig, nil)
+		}
+	}
+	return lsh.NewFromBandKeys(p, keys), liveRecs
+}
+
+// Stats is a point-in-time summary of store and segment state.
+type Stats struct {
+	Name         string
+	Path         string
+	Live         int // live records
+	Signed       int // live records carrying a MinHash signature
+	Written      int // record+tombstone entries in the segment file
+	Dead         int // file entries superseded or tombstoned
+	PendingRecs  int // records awaiting Flush
+	PendingTombs int
+	Compactions  int
+	SegmentBytes int64 // current file size (0 when not yet created)
+}
+
+// Stats returns current counters; segment size comes from the filesystem.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Name: s.name, Path: s.path,
+		Live: s.live, Written: s.written, Dead: s.written - s.live,
+		PendingRecs: len(s.pend), PendingTombs: len(s.pendTombs),
+		Compactions: s.compacts,
+	}
+	for _, recs := range s.table {
+		for _, r := range recs {
+			if r.Sig != nil {
+				st.Signed++
+			}
+		}
+	}
+	if fi, err := os.Stat(s.path); err == nil {
+		st.SegmentBytes = fi.Size()
+	}
+	return st
+}
+
+// recordToWire lowers a record to its wire form. Fingerprint tables go
+// sparse: only non-zero opcode counts, type entries keyed by spelling.
+func recordToWire(r *Record) wire.DBRecord {
+	w := wire.DBRecord{
+		Hash: r.Hash, Name: r.Name, Linkage: byte(r.Linkage),
+		Size: int(r.Size), Key: r.Key,
+	}
+	if r.SelfEq {
+		w.Flags |= wire.DBSelfEq
+	}
+	for op, c := range r.Fp.OpFreq {
+		if c != 0 {
+			w.Ops = append(w.Ops, wire.DBOpCount{Op: int32(op), Count: c})
+		}
+	}
+	if n := len(r.Fp.TypeFreq); n > 0 {
+		w.Types = make([]wire.DBTypeCount, n)
+		for i, tc := range r.Fp.TypeFreq {
+			w.Types[i] = wire.DBTypeCount{Key: tc.Key, Count: tc.Count}
+		}
+	}
+	if r.Sig != nil {
+		w.MinHash = r.Sig[:]
+		w.Bands = r.Bands
+	}
+	return w
+}
+
+// replayArena batch-allocates the objects a segment replay produces. Chunked
+// slices hand out one element at a time; everything a chunk holds is live
+// for the store's lifetime anyway, so batching only removes per-object
+// allocator and GC-scan overhead, never retention.
+type replayArena struct {
+	recs  []Record
+	fps   []fingerprint.Fingerprint
+	sigs  []fingerprint.Signature
+	tcs   []fingerprint.TypeCount
+	bands []uint64
+	ptrs  []*Record
+}
+
+const replayChunk = 512
+
+func (a *replayArena) record() *Record {
+	if len(a.recs) == 0 {
+		a.recs = make([]Record, replayChunk)
+	}
+	r := &a.recs[0]
+	a.recs = a.recs[1:]
+	return r
+}
+
+func (a *replayArena) fingerprint() *fingerprint.Fingerprint {
+	if len(a.fps) == 0 {
+		a.fps = make([]fingerprint.Fingerprint, replayChunk)
+	}
+	fp := &a.fps[0]
+	a.fps = a.fps[1:]
+	return fp
+}
+
+func (a *replayArena) signature() *fingerprint.Signature {
+	if len(a.sigs) == 0 {
+		a.sigs = make([]fingerprint.Signature, replayChunk)
+	}
+	sig := &a.sigs[0]
+	a.sigs = a.sigs[1:]
+	return sig
+}
+
+// slot returns a capacity-1 table slot holding r. Nearly every hash maps to
+// exactly one record, so carving the singleton slices from a chunk removes a
+// per-record allocation; a later append (hash collision, session Put) simply
+// reallocates past the capacity without touching the chunk.
+func (a *replayArena) slot(r *Record) []*Record {
+	if len(a.ptrs) == 0 {
+		a.ptrs = make([]*Record, replayChunk)
+	}
+	s := a.ptrs[0:1:1]
+	s[0] = r
+	a.ptrs = a.ptrs[1:]
+	return s
+}
+
+func (a *replayArena) typeCounts(n int) []fingerprint.TypeCount {
+	if len(a.tcs) < n {
+		a.tcs = make([]fingerprint.TypeCount, max(replayChunk, n))
+	}
+	out := a.tcs[:n:n]
+	a.tcs = a.tcs[n:]
+	return out
+}
+
+func (a *replayArena) bandKeys(n int) []uint64 {
+	if len(a.bands) < n {
+		a.bands = make([]uint64, max(replayChunk, n))
+	}
+	out := a.bands[:n:n]
+	a.bands = a.bands[n:]
+	return out
+}
+
+// wireToRecord validates and lifts a wire record: opcodes must be in range,
+// and the lane count must be exactly fingerprint.SigLanes or zero. Key bytes
+// alias the segment buffer (zero-copy); the wire record's scratch slices are
+// copied into arena-backed state.
+func (a *replayArena) wireToRecord(w *wire.DBRecord) (*Record, error) {
+	rec := a.record()
+	*rec = Record{
+		Hash: w.Hash, Name: w.Name, Linkage: ir.Linkage(w.Linkage),
+		SelfEq: w.Flags&wire.DBSelfEq != 0, Size: int32(w.Size), Key: w.Key,
+	}
+	fp := a.fingerprint()
+	fp.Total = int32(w.Size)
+	for _, oc := range w.Ops {
+		if oc.Op < 0 || oc.Op >= int32(ir.NumOpcodes) {
+			return nil, fmt.Errorf("record %q: opcode %d out of range", w.Name, oc.Op)
+		}
+		fp.OpFreq[oc.Op] = oc.Count
+	}
+	if n := len(w.Types); n > 0 {
+		fp.TypeFreq = a.typeCounts(n)
+		for i, tc := range w.Types {
+			fp.TypeFreq[i] = fingerprint.TypeCount{Key: tc.Key, Count: tc.Count}
+		}
+	}
+	rec.Fp = fp
+	switch len(w.MinHash) {
+	case 0:
+	case fingerprint.SigLanes:
+		sig := a.signature()
+		copy(sig[:], w.MinHash)
+		rec.Sig = sig
+	default:
+		return nil, fmt.Errorf("record %q: %d MinHash lanes, want %d or none",
+			w.Name, len(w.MinHash), fingerprint.SigLanes)
+	}
+	if n := len(w.Bands); n > 0 {
+		if rec.Sig == nil {
+			return nil, fmt.Errorf("record %q: band keys without a signature", w.Name)
+		}
+		rec.Bands = a.bandKeys(n)
+		copy(rec.Bands, w.Bands)
+	}
+	return rec, nil
+}

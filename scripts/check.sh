@@ -33,6 +33,14 @@
 #    stream latency, warm/cold bit-identity across worker counts,
 #    admission backpressure, graceful drain). The 5x warm-speedup floor
 #    applies to the full-size run (fmsa-bench -exp serve), not quick mode.
+#  - fuzz-simdb: short smoke-fuzz of the fmdb segment walker (corrupt or
+#    truncated segments must error, never panic or over-read, and accepted
+#    input must walk->encode->walk losslessly).
+#  - simdb: the persistent similarity database experiment in quick mode —
+#    store-backed startup vs full rebuild, probe answers checked against a
+#    from-scratch index, merge-decision bit-identity across worker counts
+#    on a shared segment. The 3x startup-speedup floor applies to the
+#    full-size run (fmsa-bench -exp simdb), not quick mode.
 #
 # Run this before every commit that touches internal/explore, internal/ir,
 # internal/align, internal/encode, internal/core, internal/analysis or
@@ -80,5 +88,7 @@ gate ingest             go run ./cmd/fmsa-bench -exp ingest -quick
 gate global             go run ./cmd/fmsa-bench -exp global -quick
 gate fuzz-serve-frame   go test -run '^$' -fuzz 'FuzzServeFrame' -fuzztime 10s ./internal/wire/
 gate serve              go run ./cmd/fmsa-bench -exp serve -quick
+gate fuzz-simdb         go test -run '^$' -fuzz 'FuzzSimDBSegment' -fuzztime 10s ./internal/wire/
+gate simdb              go run ./cmd/fmsa-bench -exp simdb -quick
 
 echo "all gates passed"
