@@ -76,6 +76,9 @@ func printStats(store *simdb.Store) {
 	fmt.Printf("file entries:  %d (%d dead)\n", st.Written, st.Dead)
 	fmt.Printf("segment bytes: %d\n", st.SegmentBytes)
 	fmt.Printf("compactions:   %d\n", st.Compactions)
+	if st.TailBytes > 0 {
+		fmt.Printf("crash tail:    %d bytes (skipped; truncated at next flush or compact)\n", st.TailBytes)
+	}
 }
 
 // ingest indexes every definition of the given modules: stable key,

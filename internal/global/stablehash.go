@@ -25,8 +25,11 @@ const (
 // multiplicative chain only carries information upward). Eight bytes per
 // multiply matters because keys are hashed twice per function on the warm
 // path (once keying, once on lookup) over megabytes of corpus key bytes.
-// Not interoperable with standard FNV-1a — nothing persists these values
-// across format versions except fmdb/fmsum segments, which version-gate.
+// Not interoperable with standard FNV-1a — the only on-disk carriers of
+// these values are fmdb segments and .fmsum summaries, and both make the
+// hash algorithm part of their format version (wire.DBVersion,
+// wire.SumVersion): any change here must bump both so stale files are
+// rejected instead of silently mis-comparing.
 func fnv64(b []byte) uint64 {
 	h := uint64(fnvOffset)
 	for len(b) >= 8 {

@@ -14,12 +14,21 @@
 // On disk a store is one fmdb segment file (internal/wire): an append-only
 // log of record and tombstone sections. Mutations accumulate in memory and
 // Flush appends them as whole sections (O_APPEND), sorted by (hash, key) so
-// the file bytes are deterministic for any worker count. Removals append
-// tombstones; when the dead fraction of the file crosses the compaction
-// threshold after a flush, the store rewrites itself live-only via a
-// temp-file rename. Replay order makes the live set a pure function of the
-// file bytes, so a reopened store equals the pre-crash in-memory state up to
-// the last complete section.
+// the file bytes are deterministic for any worker count. Each flush writes
+// its tombstone section before its record section: within one batch a
+// pending record is always the key's live final state (Remove unlinks
+// pending records), so records must replay after any same-batch tombstone —
+// a remove-then-reput in one flush window stays live. Removals append
+// tombstones whenever any file entry exists for the key; when the dead
+// fraction of the file crosses the compaction threshold after a flush, the
+// store rewrites itself live-only via a temp-file rename. Replay order makes
+// the live set a pure function of the file bytes, so a reopened store equals
+// the last-flushed state up to the last complete section: a crash partway
+// through an appending flush leaves a truncated trailing section, which Open
+// skips (wire.WalkDBPrefix) and the next flush or compaction truncates away
+// before writing. Only a segment whose header never completely landed — a
+// crash during the very first flush — is unrecoverable, and such a store
+// never had a durable state to lose.
 package simdb
 
 import (
@@ -60,7 +69,13 @@ type Record struct {
 	// segment format change and must bump wire.DBVersion.
 	Bands []uint64
 
-	flushed bool // true once this exact record is in the segment file
+	// flushed marks this exact record as present in the segment file;
+	// onDisk marks the (hash, key) as having *some* file entry — this
+	// record or a flushed predecessor it superseded. A superseding record
+	// is unflushed but onDisk, and removing it must still tombstone the
+	// predecessor's file entry or the predecessor resurrects on replay.
+	flushed bool
+	onDisk  bool
 }
 
 // Options tunes a store. The zero value selects the defaults.
@@ -96,6 +111,11 @@ type Store struct {
 	written   int  // record + tombstone entries appended to the file
 	compacts  int  // completed compactions
 
+	// tailTrunc is the valid-prefix length of a segment whose tail was cut
+	// mid-append (crash during Flush); the next write truncates the file to
+	// this length before appending. -1 when the file has no damaged tail.
+	tailTrunc int64
+
 	pend      []*Record // records not yet in the file
 	pendTombs []wire.DBTombstone
 }
@@ -110,7 +130,8 @@ func Open(path, name string, opts Options) (*Store, error) {
 	if opts.AutoCompactRatio == 0 {
 		opts.AutoCompactRatio = defaultAutoCompactRatio
 	}
-	s := &Store{path: path, name: name, opts: opts, table: map[uint64][]*Record{}}
+	s := &Store{path: path, name: name, opts: opts,
+		table: map[uint64][]*Record{}, tailTrunc: -1}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return s, nil
@@ -126,7 +147,7 @@ func Open(path, name string, opts Options) (*Store, error) {
 	var arena replayArena
 	s.table = make(map[uint64][]*Record, len(data)/1024)
 	var walkErr error
-	stored, err := wire.WalkDB(data,
+	stored, good, err := wire.WalkDBPrefix(data,
 		func(w wire.DBRecord) {
 			if walkErr != nil {
 				return
@@ -137,6 +158,7 @@ func Open(path, name string, opts Options) (*Store, error) {
 				return
 			}
 			rec.flushed = true
+			rec.onDisk = true
 			s.written++
 			// The common replay case — first record for its hash — takes a
 			// table slot carved from the arena; collisions and in-file
@@ -160,6 +182,12 @@ func Open(path, name string, opts Options) (*Store, error) {
 	}
 	s.name = stored
 	s.hasHeader = true
+	if good < len(data) {
+		// Crash tail: a flush was cut mid-append. The replayed prefix is the
+		// last durable state; the garbage past it is truncated away by the
+		// next flush or compaction so the log stays strictly well-formed.
+		s.tailTrunc = int64(good)
+	}
 	return s, nil
 }
 
@@ -229,6 +257,7 @@ func (s *Store) Put(r Record) {
 		nr := &Record{
 			Hash: old.Hash, Name: name, Linkage: old.Linkage, SelfEq: old.SelfEq,
 			Size: old.Size, Key: old.Key, Fp: old.Fp, Sig: sig, Bands: bands,
+			onDisk: old.onDisk,
 		}
 		recs[i] = nr
 		if old.flushed {
@@ -253,8 +282,10 @@ func (s *Store) Put(r Record) {
 }
 
 // Remove deletes the live record for (hash, key), reporting whether one
-// existed. A flushed record is removed by tombstone at the next Flush; an
-// unflushed one simply never reaches the file.
+// existed. Any file entry for the key — the record itself, or a flushed
+// predecessor an unflushed record superseded — is removed by tombstone at
+// the next Flush; a record that never reached the file is simply unlinked
+// from the pending batch.
 func (s *Store) Remove(hash uint64, key []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -262,9 +293,10 @@ func (s *Store) Remove(hash uint64, key []byte) bool {
 	if old == nil {
 		return false
 	}
-	if old.flushed {
+	if old.onDisk {
 		s.pendTombs = append(s.pendTombs, wire.DBTombstone{Hash: hash, Key: key})
-	} else {
+	}
+	if !old.flushed {
 		for j, p := range s.pend {
 			if p == old {
 				s.pend = append(s.pend[:j], s.pend[j+1:]...)
@@ -308,10 +340,12 @@ func (s *Store) dropLocked(hash uint64, key []byte) *Record {
 	return nil
 }
 
-// Flush appends pending records and tombstones to the segment file as whole
-// sections, sorted by (hash, key) so the bytes are independent of insertion
-// order, then auto-compacts if the dead fraction crossed the threshold.
-// A no-op when nothing is pending.
+// Flush appends pending tombstones and records to the segment file as whole
+// sections — tombstones first, because a key with both in one batch is one
+// that was removed and re-put inside the flush window, and its record must
+// win on replay — each sorted by (hash, key) so the bytes are independent of
+// insertion order, then auto-compacts if the dead fraction crossed the
+// threshold. A no-op when nothing is pending.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -330,6 +364,9 @@ func (s *Store) Flush() error {
 	if !s.hasHeader {
 		buf = wire.AppendDBHeader(buf, s.name)
 	}
+	if len(tombs) > 0 {
+		buf = wire.AppendDBTombstones(buf, tombs)
+	}
 	if len(s.pend) > 0 {
 		ws := make([]wire.DBRecord, len(s.pend))
 		for i, r := range s.pend {
@@ -337,12 +374,17 @@ func (s *Store) Flush() error {
 		}
 		buf = wire.AppendDBRecords(buf, ws)
 	}
-	if len(tombs) > 0 {
-		buf = wire.AppendDBTombstones(buf, tombs)
-	}
 	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
+	}
+	if s.tailTrunc >= 0 {
+		// Drop the crash tail left by an interrupted flush before appending;
+		// O_APPEND writes land at the new, truncated end.
+		if err := f.Truncate(s.tailTrunc); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
@@ -352,9 +394,11 @@ func (s *Store) Flush() error {
 		return err
 	}
 	s.hasHeader = true
+	s.tailTrunc = -1
 	s.written += len(s.pend) + len(tombs)
 	for _, r := range s.pend {
 		r.flushed = true
+		r.onDisk = true
 	}
 	s.pend, s.pendTombs = nil, nil
 	if dead := s.written - s.live; s.opts.AutoCompactRatio >= 0 &&
@@ -391,9 +435,11 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	s.hasHeader = true
+	s.tailTrunc = -1 // full rewrite: any crash tail is gone with the old file
 	s.written = len(liveRecs)
 	for _, r := range liveRecs {
 		r.flushed = true
+		r.onDisk = true
 	}
 	s.pend, s.pendTombs = nil, nil
 	s.compacts++
@@ -465,6 +511,10 @@ type Stats struct {
 	PendingTombs int
 	Compactions  int
 	SegmentBytes int64 // current file size (0 when not yet created)
+	// TailBytes counts garbage bytes past the last complete section — the
+	// remnant of a flush interrupted by a crash, skipped on Open and
+	// truncated away by the next flush or compaction. 0 for a clean log.
+	TailBytes int64
 }
 
 // Stats returns current counters; segment size comes from the filesystem.
@@ -486,6 +536,9 @@ func (s *Store) Stats() Stats {
 	}
 	if fi, err := os.Stat(s.path); err == nil {
 		st.SegmentBytes = fi.Size()
+		if s.tailTrunc >= 0 && fi.Size() > s.tailTrunc {
+			st.TailBytes = fi.Size() - s.tailTrunc
+		}
 	}
 	return st
 }

@@ -14,6 +14,7 @@ import (
 	"fmsa/internal/ir"
 	"fmsa/internal/lsh"
 	"fmsa/internal/passes"
+	"fmsa/internal/wire"
 	"fmsa/internal/workload"
 )
 
@@ -363,6 +364,137 @@ func TestStorePutUpgradesAndTiebreaks(t *testing.T) {
 	}
 	if st := s.Stats(); st.PendingRecs != 0 {
 		t.Fatalf("no-op put left %d pending records", st.PendingRecs)
+	}
+}
+
+// TestStoreRemoveThenReputSameFlush pins the flush section order: removing
+// a flushed record and re-putting the same content inside one flush window
+// must leave the function live after reopen, which requires the batch's
+// tombstone section to precede its record section in the log.
+func TestStoreRemoveThenReputSameFlush(t *testing.T) {
+	recs := genRecords(t, 3, 0)
+	s := tmpStore(t, Options{AutoCompactRatio: -1})
+	for _, r := range recs {
+		s.Put(r)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Remove(recs[1].Hash, recs[1].Key) {
+		t.Fatal("remove of flushed record not found")
+	}
+	s.Put(recs[1])
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(s.Path(), "", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Lookup(recs[1].Hash, recs[1].Key) == nil {
+		t.Fatal("record re-put after remove lost on reopen (tombstone replayed after record)")
+	}
+	if re.Len() != 3 {
+		t.Fatalf("reopened live %d, want 3", re.Len())
+	}
+}
+
+// TestStoreRemoveOfSupersededRecord pins tombstoning on the has-a-file-entry
+// bit, not the current record's flushed bit: a flushed record superseded by
+// an unflushed upgrade still has a file entry, so removing the upgraded
+// record must tombstone it or the original resurrects on reopen.
+func TestStoreRemoveOfSupersededRecord(t *testing.T) {
+	recs := genRecords(t, 2, 0)
+	r := recs[0]
+	unsigned := r
+	unsigned.Sig = nil
+	s := tmpStore(t, Options{AutoCompactRatio: -1})
+	s.Put(unsigned)
+	s.Put(recs[1])
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(r) // signature upgrade supersedes the flushed unsigned record
+	if !s.Remove(r.Hash, r.Key) {
+		t.Fatal("remove of upgraded record not found")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(s.Path(), "", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Lookup(r.Hash, r.Key) != nil {
+		t.Fatal("removed function resurrected: superseded file entry was never tombstoned")
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reopened live %d, want 1", re.Len())
+	}
+}
+
+// TestStoreRecoversCrashTail simulates a crash partway through an appending
+// flush: the file ends mid-section. Open must recover the last-flushed
+// state, report the garbage tail, and the next flush must truncate it so
+// the segment is strictly well-formed again.
+func TestStoreRecoversCrashTail(t *testing.T) {
+	recs := genRecords(t, 8, 0)
+	s := tmpStore(t, Options{AutoCompactRatio: -1})
+	for _, r := range recs[:4] {
+		s.Put(r)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	durable, err := os.ReadFile(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[4:] {
+		s.Put(r)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(durable) + (len(data)-len(durable))/2 // mid-second-section
+	if err := os.WriteFile(s.Path(), data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(s.Path(), "", Options{})
+	if err != nil {
+		t.Fatalf("crash tail not recovered: %v", err)
+	}
+	if re.Len() != 4 {
+		t.Fatalf("recovered live %d, want the 4 first-flush records", re.Len())
+	}
+	if got := re.Stats().TailBytes; got != int64(cut-len(durable)) {
+		t.Fatalf("TailBytes %d, want %d", got, cut-len(durable))
+	}
+	re.Put(recs[4])
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := os.ReadFile(re.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.WalkDB(repaired, nil, nil); err != nil {
+		t.Fatalf("repaired segment not strictly well-formed: %v", err)
+	}
+	re2, err := Open(re.Path(), "", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Len() != 5 || re2.Lookup(recs[4].Hash, recs[4].Key) == nil {
+		t.Fatalf("post-repair reopen live %d, want 5 with the re-put record", re2.Len())
+	}
+	if got := re2.Stats().TailBytes; got != 0 {
+		t.Fatalf("repaired segment still reports %d tail bytes", got)
 	}
 }
 

@@ -81,6 +81,11 @@ const DBSelfEq byte = 1 << 0
 var DBMagic = [4]byte{'F', 'M', 'D', 'B'}
 
 // DBVersion is the fmdb format version this package reads and writes.
+// Segments persist global.StableHash values and default-banding LSH band
+// keys, so the stable-hash algorithm and lsh.DefaultParams are part of the
+// format: a change to either must bump this so stale segments are rejected
+// instead of silently mis-comparing. v1 hashes with the 8-byte-block FNV-1a
+// + splitmix64-finalizer fnv64.
 const DBVersion = 1
 
 // fmdb section identifiers (disjoint stream from fmir sections).
@@ -169,20 +174,51 @@ func AppendDBTombstones(b []byte, tombs []DBTombstone) []byte {
 // returns an error; callbacks already invoked before the error stand (the
 // caller discards its accumulated state on error). Returns the store name
 // from the header.
+//
+// WalkDB is the strict walker: every byte of data must belong to a complete,
+// well-formed section. A reader that wants crash recovery — replay the
+// complete prefix of a segment whose tail was cut mid-append — uses
+// WalkDBPrefix instead.
 func WalkDB(data []byte, onRecord func(DBRecord), onTomb func(DBTombstone)) (string, error) {
+	name, n, err := WalkDBPrefix(data, onRecord, onTomb)
+	if err != nil {
+		return "", err
+	}
+	if n != len(data) {
+		return "", fmt.Errorf("wire: fmdb segment truncated mid-section at offset %d", n)
+	}
+	return name, nil
+}
+
+// WalkDBPrefix replays the longest complete-section prefix of a segment byte
+// stream, with the same callback and aliasing contract as WalkDB, and
+// returns the store name plus the prefix length in bytes. A truncated
+// trailing section — what a crash mid-way through an O_APPEND flush leaves
+// behind — is not an error: replay stops at the last complete section and
+// the returned length tells the caller where the valid log ends (n <
+// len(data) signals a damaged tail to truncate before appending again).
+// Errors are reserved for damage that recovery cannot scope: bad magic, a
+// version mismatch, a truncated header, an unknown section id, or corruption
+// inside a fully-present section payload. No callback is invoked for the
+// truncated tail: sections replay only once their payload is complete.
+func WalkDBPrefix(data []byte, onRecord func(DBRecord), onTomb func(DBTombstone)) (string, int, error) {
 	if !IsFMDB(data) {
-		return "", ErrBadDBMagic
+		return "", 0, ErrBadDBMagic
 	}
 	r := &reader{buf: data, pos: len(DBMagic)}
 	if v := r.uvarint(); r.err == nil && v != DBVersion {
-		return "", fmt.Errorf("wire: unsupported fmdb version %d", v)
+		return "", 0, fmt.Errorf("wire: unsupported fmdb version %d", v)
 	}
 	name := string(r.bytes(int(r.uvarint())))
-	for r.err == nil && r.remaining() > 0 {
+	if r.err != nil {
+		return "", 0, r.err // a segment without a complete header holds nothing
+	}
+	good := r.pos
+	for r.remaining() > 0 {
 		id := r.byte()
 		plen := r.uvarint()
 		if r.err != nil {
-			break
+			break // truncated tail: keep the prefix
 		}
 		payload := r.bytes(int(plen))
 		if r.err != nil {
@@ -195,16 +231,14 @@ func WalkDB(data []byte, onRecord func(DBRecord), onTomb func(DBTombstone)) (str
 		case dbSecTombs:
 			walkDBTombs(sub, onTomb)
 		default:
-			r.fail("unexpected section %d in fmdb stream", id)
+			return "", good, fmt.Errorf("wire: unexpected section %d in fmdb stream", id)
 		}
 		if sub.err != nil {
-			return "", sub.err
+			return "", good, sub.err
 		}
+		good = r.pos
 	}
-	if r.err != nil {
-		return "", r.err
-	}
-	return name, nil
+	return name, good, nil
 }
 
 func walkDBRecords(r *reader, onRecord func(DBRecord)) {

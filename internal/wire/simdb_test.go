@@ -131,6 +131,55 @@ func TestDBSegmentRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestDBSegmentPrefixWalk sweeps every truncation point: cuts inside the
+// header are unrecoverable, every other cut replays exactly the complete
+// sections before it and reports the boundary so a crashed store can
+// truncate its tail — while corruption inside a complete section stays a
+// hard error even for the prefix walker.
+func TestDBSegmentPrefixWalk(t *testing.T) {
+	seg := AppendDBHeader(nil, "corpus")
+	hdr := len(seg)
+	seg = AppendDBRecords(seg, sampleDBRecords())
+	b1 := len(seg)
+	seg = AppendDBTombstones(seg, []DBTombstone{{Hash: 7, Key: []byte("k")}})
+	for cut := 0; cut <= len(seg); cut++ {
+		var nrec, ntomb int
+		name, n, err := WalkDBPrefix(seg[:cut],
+			func(DBRecord) { nrec++ }, func(DBTombstone) { ntomb++ })
+		if cut < hdr {
+			if err == nil {
+				t.Fatalf("cut %d inside the header accepted", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if name != "corpus" {
+			t.Fatalf("cut %d: name %q", cut, name)
+		}
+		want, wantRec, wantTomb := hdr, 0, 0
+		if cut >= b1 {
+			want, wantRec = b1, len(sampleDBRecords())
+		}
+		if cut == len(seg) {
+			want, wantTomb = len(seg), 1
+		}
+		if n != want {
+			t.Fatalf("cut %d: prefix %d, want %d", cut, n, want)
+		}
+		if nrec != wantRec || ntomb != wantTomb {
+			t.Fatalf("cut %d: replayed %d records %d tombstones, want %d/%d",
+				cut, nrec, ntomb, wantRec, wantTomb)
+		}
+	}
+	bad := append([]byte(nil), seg...)
+	bad[hdr] = 0x33 // unknown id on a fully-present section
+	if _, _, err := WalkDBPrefix(bad, nil, nil); err == nil {
+		t.Fatal("prefix walk accepted an unknown section id")
+	}
+}
+
 func TestDBSegmentBoundsHostileCounts(t *testing.T) {
 	// A records section claiming a huge element count must be rejected by
 	// the min-size bound before any allocation.

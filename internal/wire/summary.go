@@ -23,6 +23,17 @@ const (
 // allocate for, shielding against corrupt or adversarial length prefixes.
 const maxSummaryLanes = 4096
 
+// SumVersion is the .fmsum format version, written in the header slot the
+// fmir body Version occupies in module files. It is a separate constant
+// because summaries persist global.StableHash values: a change to the
+// stable-hash algorithm alters every stored hash without changing the byte
+// layout, so the algorithm is part of the format and must bump this —
+// decoders reject other versions rather than silently comparing hashes
+// produced by a different function. v2: stable hashes come from the
+// 8-byte-block FNV-1a + splitmix64-finalizer fnv64 (v1 used byte-at-a-time
+// FNV-1a).
+const SumVersion = 2
+
 // FuncSummary is the round-1 publication for one function definition:
 // everything round 2 needs to pick fold and merge candidates without the
 // defining translation unit's body present — the stable structural hash,
@@ -73,7 +84,7 @@ func EncodeSummaries(name string, tus []TUSummary) []byte {
 		}
 	}
 	out := append([]byte(nil), Magic[:]...)
-	out = appendUvarint(out, Version)
+	out = appendUvarint(out, SumVersion)
 	out = appendString(out, name)
 	out = append(out, secSummary)
 	out = appendUvarint(out, uint64(len(payload)))
@@ -90,8 +101,8 @@ func DecodeSummaries(data []byte) (string, []TUSummary, error) {
 		return "", nil, ErrBadMagic
 	}
 	r := &reader{buf: data, pos: len(Magic)}
-	if v := r.uvarint(); r.err == nil && v != Version {
-		return "", nil, fmt.Errorf("wire: unsupported fmir version %d", v)
+	if v := r.uvarint(); r.err == nil && v != SumVersion {
+		return "", nil, fmt.Errorf("wire: unsupported fmsum version %d (stable hashes incompatible; regenerate with fmsa-gen -summary)", v)
 	}
 	name := string(r.bytes(int(r.uvarint())))
 	var tus []TUSummary

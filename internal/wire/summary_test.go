@@ -65,6 +65,11 @@ func TestSummaryDecodeRejectsCorrupt(t *testing.T) {
 			{Name: "f", MinHash: make([]uint64, maxSummaryLanes+1)},
 		}},
 	})
+	// A v1 .fmsum decodes byte-for-byte but carries stable hashes from the
+	// old fnv64; it must be rejected, not silently mis-compared.
+	stale := EncodeSummaries("c", sampleSummaries())
+	stale[4] = 1 // version varint sits right after the 4-byte magic
+	cases["stale fmsum version"] = stale
 	for name, data := range cases {
 		if _, _, err := DecodeSummaries(data); err == nil {
 			t.Errorf("%s: decode accepted corrupt input", name)
